@@ -1,0 +1,62 @@
+// Reproduces the §6 in-text measurement: the time to run the action of a
+// type 1, 2 or 3 rule. The paper reports ~0.06 s in all cases — the act
+// phase (query modification binding via PnodeScan, plan construction by the
+// always-reoptimize strategy, and plan execution) does not depend on the
+// number of tuple variables in the condition, because the P-node already
+// holds the joined bindings.
+//
+// Method: load the rule's P-node by inserting a matching tuple through the
+// storage gateway (no cycle), then time monitor().RunCycle() — exactly the
+// act phase.
+
+#include "bench/paper_workload.h"
+
+namespace {
+
+using namespace ariel;
+using namespace ariel::bench;
+
+double TimeActionExecution(int rule_type) {
+  DatabaseOptions options;
+  Database db(options);
+  SetupPaperDatabase(&db);
+  CheckOk(db.Execute(PaperRuleText(rule_type, 0)).status(), "define rule");
+
+  HeapRelation* emp = db.catalog().GetRelation("emp");
+  const int kTrials = 31;
+  std::vector<double> samples;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // One matching tuple: sal inside rule 0's (10000, 11000] interval.
+    Tuple tuple(std::vector<Value>{Value::String("probe"), Value::Int(30),
+                                   Value::Float(10500.0), Value::Int(1),
+                                   Value::Int(1)});
+    CheckOk(db.transitions().Insert(emp, std::move(tuple)).status(),
+            "probe insert");
+
+    Timer timer;
+    CheckOk(db.monitor().RunCycle(), "act phase");
+    samples.push_back(timer.ElapsedMillis());
+
+    for (TupleId tid : emp->AllTupleIds()) {
+      const Tuple* t = emp->Get(tid);
+      if (t != nullptr && t->at(0) == Value::String("probe")) {
+        CheckOk(db.transitions().Delete(emp, tid), "cleanup");
+      }
+    }
+  }
+  return Median(&samples);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== §6 in-text: rule-action execution time ===\n");
+  std::printf("(paper: ~0.06 s for type 1, 2 and 3 rules alike — the act\n");
+  std::printf(" phase cost is independent of the number of tuple variables)\n");
+  std::printf("%-10s %-22s\n", "rule type", "action execution (ms)");
+  for (int rule_type = 1; rule_type <= 3; ++rule_type) {
+    double ms = TimeActionExecution(rule_type);
+    std::printf("%-10d %-22.4f\n", rule_type, ms);
+  }
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Reproduces Figure 10 of the paper: install/activate/token-test times for
+// two-tuple-variable rules (the emp selection plus the emp.dno = dept.dno
+// join condition). Costs rise over Figure 9 because activation primes two
+// α-memories and loads the P-node through a join, and each matching token
+// joins against the dept memory.
+
+#include "bench/paper_workload.h"
+
+int main() {
+  using namespace ariel;
+  using namespace ariel::bench;
+
+  std::vector<FigureRow> rows;
+  for (int n = 25; n <= 200; n += 25) {
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/2, n, DatabaseOptions{}));
+  }
+  PrintFigureTable(
+      "Figure 10",
+      "two-tuple-variable rules (emp selection + emp.dno = dept.dno)", rows);
+  return 0;
+}

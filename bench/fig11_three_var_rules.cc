@@ -1,0 +1,19 @@
+// Reproduces Figure 11 of the paper: install/activate/token-test times for
+// three-tuple-variable rules (emp selection + dept join + job join).
+
+#include "bench/paper_workload.h"
+
+int main() {
+  using namespace ariel;
+  using namespace ariel::bench;
+
+  std::vector<FigureRow> rows;
+  for (int n = 25; n <= 200; n += 25) {
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/3, n, DatabaseOptions{}));
+  }
+  PrintFigureTable("Figure 11",
+                   "three-tuple-variable rules (emp selection + dept join + "
+                   "job join)",
+                   rows);
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Microbenchmarks for the interval skip list (§4.1 substrate): insert,
+// remove and stab throughput as a function of the number of stored
+// intervals. Stab cost should grow ~logarithmically plus the answer size.
+
+#include <benchmark/benchmark.h>
+
+#include "isl/interval_skip_list.h"
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+void FillList(IntervalSkipList* isl, int64_t n, Random* rng,
+              int64_t key_range) {
+  for (int64_t i = 0; i < n; ++i) {
+    int64_t a = rng->UniformRange(0, key_range);
+    int64_t width = rng->UniformRange(1, key_range / 100 + 2);
+    isl->Insert(i, Interval::Range(Value::Int(a), false,
+                                   Value::Int(a + width), true));
+  }
+}
+
+void BM_IslStab(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t key_range = n * 10;
+  Random rng(42);
+  IntervalSkipList isl;
+  FillList(&isl, n, &rng, key_range);
+  std::vector<int64_t> out;
+  int64_t probe = 0;
+  for (auto _ : state) {
+    out.clear();
+    isl.Stab(Value::Int(probe % key_range), &out);
+    benchmark::DoNotOptimize(out.data());
+    probe += 7919;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IslStab)->Arg(100)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_IslInsertRemove(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  const int64_t key_range = n * 10;
+  Random rng(42);
+  IntervalSkipList isl;
+  FillList(&isl, n, &rng, key_range);
+  int64_t next_id = n;
+  for (auto _ : state) {
+    int64_t a = rng.UniformRange(0, key_range);
+    isl.Insert(next_id, Interval::Range(Value::Int(a), true,
+                                        Value::Int(a + 50), true));
+    isl.Remove(next_id);
+    ++next_id;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IslInsertRemove)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_IslStabPoints(benchmark::State& state) {
+  // All-points workload: the `attr = const` predicate population typical
+  // of equality-heavy rule sets.
+  const int64_t n = state.range(0);
+  Random rng(7);
+  IntervalSkipList isl;
+  for (int64_t i = 0; i < n; ++i) {
+    isl.Insert(i, Interval::Point(Value::Int(rng.UniformRange(0, n))));
+  }
+  std::vector<int64_t> out;
+  int64_t probe = 0;
+  for (auto _ : state) {
+    out.clear();
+    isl.Stab(Value::Int(probe % n), &out);
+    benchmark::DoNotOptimize(out.data());
+    probe += 104729;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IslStabPoints)->Arg(1000)->Arg(100000);
+
+}  // namespace
+}  // namespace ariel
+
+BENCHMARK_MAIN();

@@ -1,0 +1,204 @@
+#ifndef ARIEL_BENCH_PAPER_WORKLOAD_H_
+#define ARIEL_BENCH_PAPER_WORKLOAD_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ariel/database.h"
+#include "util/timer.h"
+
+namespace ariel::bench {
+
+/// Aborts the benchmark with a message when an engine call fails; the
+/// harness has no business continuing on broken setup.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok() && !status.IsHalt()) {
+    std::fprintf(stderr, "bench setup failed (%s): %s\n", what,
+                 status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T CheckOk(Result<T> result, const char* what) {
+  CheckOk(result.status(), what);
+  return std::move(result).value();
+}
+
+/// Builds the paper's §6 evaluation database: emp (25 tuples), dept (7),
+/// job (5), plus a bench_log relation rule actions append to. Salary values
+/// spread over [10000, 34000] so the generated rule predicates
+/// (C1 < sal <= C2, shifted by i*1000) have realistic selectivity.
+inline void SetupPaperDatabase(Database* db) {
+  CheckOk(db->Execute("create emp (name = string, age = int, sal = float, "
+                      "dno = int, jno = int)")
+              .status(),
+          "create emp");
+  CheckOk(db->Execute("create dept (dno = int, name = string, "
+                      "building = string)")
+              .status(),
+          "create dept");
+  CheckOk(db->Execute("create job (jno = int, title = string, "
+                      "paygrade = int, description = string)")
+              .status(),
+          "create job");
+  CheckOk(db->Execute("create bench_log (name = string)").status(),
+          "create bench_log");
+
+  static const char* kDeptNames[] = {"Sales", "Toy",  "Shoe", "Candy",
+                                     "Book",  "Auto", "Garden"};
+  for (int d = 0; d < 7; ++d) {
+    std::string cmd = "append dept (dno=" + std::to_string(d + 1) +
+                      ", name=\"" + kDeptNames[d] + "\", building=\"B" +
+                      std::to_string(d % 3 + 1) + "\")";
+    CheckOk(db->Execute(cmd).status(), "populate dept");
+  }
+  static const char* kTitles[] = {"Clerk", "Engineer", "Manager", "Director",
+                                  "Analyst"};
+  for (int j = 0; j < 5; ++j) {
+    std::string cmd = "append job (jno=" + std::to_string(j + 1) +
+                      ", title=\"" + kTitles[j] + "\", paygrade=" +
+                      std::to_string(2 * j + 1) + ", description=\"desc\")";
+    CheckOk(db->Execute(cmd).status(), "populate job");
+  }
+  for (int e = 0; e < 25; ++e) {
+    std::string cmd = "append emp (name=\"emp" + std::to_string(e) +
+                      "\", age=" + std::to_string(25 + e % 30) +
+                      ", sal=" + std::to_string(10000 + e * 1000) + ".0" +
+                      ", dno=" + std::to_string(e % 7 + 1) +
+                      ", jno=" + std::to_string(e % 5 + 1) + ")";
+    CheckOk(db->Execute(cmd).status(), "populate emp");
+  }
+}
+
+/// The §6 rule generator: rule i of each type carries the single-relation
+/// predicate C1+i*1000 < emp.sal <= C2+i*1000; type 2 adds the dept join,
+/// type 3 adds the job join.
+inline std::string PaperRuleText(int rule_type, int i) {
+  long c1 = 10000 + static_cast<long>(i) * 1000;
+  long c2 = c1 + 1000;
+  std::string name = "bench_rule_" + std::to_string(rule_type) + "_" +
+                     std::to_string(i);
+  std::string cond = std::to_string(c1) + " < emp.sal and emp.sal <= " +
+                     std::to_string(c2);
+  if (rule_type >= 2) cond += " and emp.dno = dept.dno";
+  if (rule_type >= 3) cond += " and emp.jno = job.jno";
+  return "define rule " + name + " if " + cond +
+         " then append to bench_log (name = emp.name)";
+}
+
+/// Median of a sample vector (destructive).
+inline double Median(std::vector<double>* samples) {
+  std::sort(samples->begin(), samples->end());
+  size_t n = samples->size();
+  if (n == 0) return 0;
+  return n % 2 == 1 ? (*samples)[n / 2]
+                    : ((*samples)[n / 2 - 1] + (*samples)[n / 2]) / 2;
+}
+
+/// One row of a Figure 9/10/11-style table.
+struct FigureRow {
+  int num_rules;
+  double install_seconds;
+  double activate_seconds;
+  double token_test_ms;
+};
+
+/// Runs the full install/activate/token-test protocol of §6 for one rule
+/// type and one rule count. Token tests use the storage gateway directly so
+/// only condition testing (not rule-action execution) is timed, matching
+/// the paper's separation of the two measurements.
+inline FigureRow RunFigureProtocol(int rule_type, int num_rules,
+                                   const DatabaseOptions& base_options) {
+  DatabaseOptions options = base_options;
+  options.auto_activate_rules = false;  // time install and activate apart
+  Database db(options);
+  SetupPaperDatabase(&db);
+
+  FigureRow row;
+  row.num_rules = num_rules;
+
+  Timer timer;
+  for (int i = 0; i < num_rules; ++i) {
+    CheckOk(db.Execute(PaperRuleText(rule_type, i)).status(), "define rule");
+  }
+  row.install_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  for (int i = 0; i < num_rules; ++i) {
+    std::string name = "bench_rule_" + std::to_string(rule_type) + "_" +
+                       std::to_string(i);
+    CheckOk(db.rules().ActivateRule(name), "activate rule");
+  }
+  row.activate_seconds = timer.ElapsedSeconds();
+
+  // Token test: one insert into emp, propagated through the discrimination
+  // network via the gateway (no recognize-act cycle => no action timing).
+  HeapRelation* emp = db.catalog().GetRelation("emp");
+  const int kTrials = 7;
+  const int kTokensPerTrial = 50;
+  std::vector<double> samples;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    timer.Reset();
+    for (int t = 0; t < kTokensPerTrial; ++t) {
+      Tuple tuple(std::vector<Value>{
+          Value::String("probe"), Value::Int(30),
+          Value::Float(10500.0 + (t % 5) * 1000),  // hits one rule interval
+          Value::Int(t % 7 + 1), Value::Int(t % 5 + 1)});
+      CheckOk(db.transitions().Insert(emp, std::move(tuple)).status(),
+              "token test insert");
+    }
+    samples.push_back(timer.ElapsedMillis() / kTokensPerTrial);
+    // Remove the probes so the next trial starts from the same state.
+    for (TupleId tid : emp->AllTupleIds()) {
+      const Tuple* t = emp->Get(tid);
+      if (t != nullptr && t->at(0) == Value::String("probe")) {
+        CheckOk(db.transitions().Delete(emp, tid), "token test cleanup");
+      }
+    }
+  }
+  row.token_test_ms = Median(&samples);
+  return row;
+}
+
+/// Runs the protocol `trials` times and keeps per-column medians, smoothing
+/// allocator and cache noise out of the single-run timings.
+inline FigureRow RunFigureProtocolMedian(int rule_type, int num_rules,
+                                         const DatabaseOptions& base_options,
+                                         int trials = 3) {
+  std::vector<double> install, activate, token;
+  for (int t = 0; t < trials; ++t) {
+    FigureRow row = RunFigureProtocol(rule_type, num_rules, base_options);
+    install.push_back(row.install_seconds);
+    activate.push_back(row.activate_seconds);
+    token.push_back(row.token_test_ms);
+  }
+  FigureRow row;
+  row.num_rules = num_rules;
+  row.install_seconds = Median(&install);
+  row.activate_seconds = Median(&activate);
+  row.token_test_ms = Median(&token);
+  return row;
+}
+
+/// Prints a Figure 9/10/11-style table.
+inline void PrintFigureTable(const char* figure, const char* description,
+                             const std::vector<FigureRow>& rows) {
+  std::printf("=== %s: %s ===\n", figure, description);
+  std::printf("(paper: Sun SPARCstation 1, ~12 MIPS; this run: modern "
+              "hardware — compare shapes, not absolutes)\n");
+  std::printf("%-12s %-16s %-16s %-16s\n", "no. of rules", "installation(s)",
+              "activation(s)", "token test(ms)");
+  for (const FigureRow& row : rows) {
+    std::printf("%-12d %-16.4f %-16.4f %-16.4f\n", row.num_rules,
+                row.install_seconds, row.activate_seconds, row.token_test_ms);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ariel::bench
+
+#endif  // ARIEL_BENCH_PAPER_WORKLOAD_H_

@@ -1,0 +1,119 @@
+// Interactive POSTQUEL/ARL shell over an in-memory Ariel database.
+//
+//   ./build/examples/ariel_shell
+//   ariel> create emp (name = string, sal = float)
+//   ariel> define rule watch if emp.sal > 100 then delete emp
+//   ariel> append emp (name="x", sal=50.0)
+//   ariel> retrieve (emp.all)
+//
+// Multi-line input: a do…end block or define rule may span lines; the
+// shell keeps reading until the command parses (or is unambiguously
+// broken). Meta commands:
+//   \rules            list rules and their networks
+//   \relations        list relations
+//   \explain <cmd>    show the physical plan
+//   \quit
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "ariel/database.h"
+#include "util/string_util.h"
+
+namespace {
+
+void PrintRules(ariel::Database& db) {
+  for (const std::string& name : db.rules().RuleNames()) {
+    const ariel::Rule* rule = db.rules().GetRule(name);
+    std::printf("rule %s [%s] priority %g ruleset %s, fired %llu times\n",
+                rule->name.c_str(), rule->active ? "active" : "inactive",
+                rule->priority, rule->ruleset.c_str(),
+                static_cast<unsigned long long>(rule->times_fired));
+    if (rule->active) {
+      std::printf("%s", rule->network->ToString().c_str());
+    }
+  }
+}
+
+void PrintRelations(ariel::Database& db) {
+  for (const std::string& name : db.catalog().RelationNames()) {
+    const ariel::HeapRelation* rel = db.catalog().GetRelation(name);
+    std::printf("%s %s — %zu tuples", name.c_str(),
+                rel->schema().ToString().c_str(), rel->size());
+    auto indexed = rel->IndexedAttributes();
+    if (!indexed.empty()) {
+      std::printf(", indexed on %s", ariel::Join(indexed, ", ").c_str());
+    }
+    std::printf("\n");
+  }
+}
+
+/// Heuristic: input that ends mid-block or mid-rule needs more lines —
+/// the parser reports running into end of input.
+bool LooksIncomplete(const ariel::Status& error) {
+  return error.message().find("found end of input") != std::string::npos ||
+         error.message().find("unterminated") != std::string::npos;
+}
+
+}  // namespace
+
+int main() {
+  ariel::Database db;
+  std::printf("Ariel shell — POSTQUEL/ARL. \\quit to exit, \\rules, "
+              "\\relations, \\explain <cmd>.\n");
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    std::printf(buffer.empty() ? "ariel> " : "   ... ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(ariel::Trim(line));
+    if (buffer.empty() && trimmed.empty()) continue;
+
+    if (buffer.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") break;
+      if (trimmed == "\\rules") {
+        PrintRules(db);
+        continue;
+      }
+      if (trimmed == "\\relations") {
+        PrintRelations(db);
+        continue;
+      }
+      if (trimmed.rfind("\\explain ", 0) == 0) {
+        auto plan = db.ExplainPlan(trimmed.substr(9));
+        std::printf("%s\n", plan.ok() ? plan->c_str()
+                                      : plan.status().ToString().c_str());
+        continue;
+      }
+      std::printf("unknown meta command: %s\n", trimmed.c_str());
+      continue;
+    }
+
+    buffer += line;
+    buffer += "\n";
+    auto result = db.Execute(buffer);
+    if (!result.ok()) {
+      if (result.status().code() == ariel::StatusCode::kParseError &&
+          LooksIncomplete(result.status())) {
+        continue;  // keep accumulating lines
+      }
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      buffer.clear();
+      continue;
+    }
+    if (result->rows.has_value()) {
+      std::printf("%s(%zu rows)\n", result->rows->ToString().c_str(),
+                  result->rows->num_rows());
+    } else if (result->affected > 0) {
+      std::printf("(%zu tuples affected)\n", result->affected);
+    } else {
+      std::printf("ok\n");
+    }
+    buffer.clear();
+  }
+  std::printf("\n");
+  return 0;
+}

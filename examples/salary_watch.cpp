@@ -1,0 +1,118 @@
+// Salary monitoring: the paper's §2.3 scenarios end to end — transition
+// conditions (`previous`), a transition+pattern join, and the
+// event+pattern+transition demotion detector, stacked so that rules
+// trigger other rules.
+//
+//   raiselimit     — log raises of more than 10% into salaryerror
+//   toyraiselimit  — same, but only for the Toy department (join)
+//   finddemotions  — on replace emp(jno), detect paygrade drops via a
+//                    self-join of job on old and new job numbers
+//   escalate       — a second-layer rule watching salaryerror and notifying
+//                    an alerts relation (rules cascading on rule output)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ariel/database.h"
+
+namespace {
+
+ariel::CommandResult Run(ariel::Database& db, const std::string& script) {
+  auto result = db.Execute(script);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error in [%s]: %s\n", script.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*result);
+}
+
+void Show(ariel::Database& db, const std::string& what,
+          const std::string& retrieve) {
+  auto result = Run(db, retrieve);
+  std::printf("--- %s ---\n%s\n", what.c_str(),
+              result.rows->ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  ariel::Database db;
+
+  Run(db, "create emp (name = string, age = int, sal = float, dno = int, "
+          "jno = int)");
+  Run(db, "create dept (dno = int, name = string, building = string)");
+  Run(db, "create job (jno = int, title = string, paygrade = int, "
+          "description = string)");
+  Run(db, "create salaryerror (name = string, oldsal = float, "
+          "newsal = float)");
+  Run(db, "create toysalaryerror (name = string, oldsal = float, "
+          "newsal = float)");
+  Run(db, "create demotions (name = string, dno = int, oldjno = int, "
+          "newjno = int)");
+  Run(db, "create alerts (message = string, who = string)");
+
+  // §2.3 raiselimit: every raise over 10% is logged with old & new salary.
+  Run(db, "define rule raiselimit "
+          "if emp.sal > 1.1 * previous emp.sal "
+          "then append to salaryerror(emp.name, previous emp.sal, emp.sal)");
+
+  // §2.3 toyraiselimit: the same transition condition joined to a pattern
+  // condition selecting the Toy department.
+  Run(db, "define rule toyraiselimit "
+          "if emp.sal > 1.1 * previous emp.sal and emp.dno = dept.dno and "
+          "dept.name = \"Toy\" "
+          "then append to toysalaryerror(emp.name, previous emp.sal, "
+          "emp.sal)");
+
+  // §2.3 finddemotions: event + pattern + transition conditions combined.
+  Run(db, "define rule finddemotions "
+          "on replace emp(jno) "
+          "if newjob.jno = emp.jno and oldjob.jno = previous emp.jno and "
+          "newjob.paygrade < oldjob.paygrade "
+          "from oldjob in job, newjob in job "
+          "then append to demotions (name=emp.name, dno=emp.dno, "
+          "oldjno=oldjob.jno, newjno=newjob.jno)");
+
+  // Second layer: rules watching the output of other rules (§2.3: "other
+  // rules could be defined to trigger on appends to salaryerror").
+  Run(db, "define rule escalate on append salaryerror "
+          "then append to alerts (message=\"raise over 10%\", "
+          "who=salaryerror.name)");
+
+  // Populate.
+  Run(db, "append dept (dno=1, name=\"Sales\", building=\"B1\")");
+  Run(db, "append dept (dno=2, name=\"Toy\", building=\"B2\")");
+  Run(db, "append job (jno=1, title=\"Clerk\", paygrade=2, "
+          "description=\"entry level\")");
+  Run(db, "append job (jno=2, title=\"Engineer\", paygrade=5, "
+          "description=\"builds things\")");
+  Run(db, "append job (jno=3, title=\"Manager\", paygrade=7, "
+          "description=\"runs things\")");
+  Run(db, "append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, jno=3)");
+  Run(db, "append emp (name=\"Carol\", age=41, sal=40000.0, dno=2, jno=2)");
+
+  std::printf("== modest raise for Alice (+5%%): no alarms ==\n");
+  Run(db, "replace emp (sal = 42000.0) where emp.name = \"Alice\"");
+  Show(db, "salaryerror", "retrieve (salaryerror.all)");
+
+  std::printf("== big raises for both (+25%%) ==\n");
+  Run(db, "replace emp (sal = 52500.0) where emp.name = \"Alice\"");
+  Run(db, "replace emp (sal = 50000.0) where emp.name = \"Carol\"");
+  Show(db, "salaryerror (both logged)", "retrieve (salaryerror.all)");
+  Show(db, "toysalaryerror (only Carol: Toy dept)",
+       "retrieve (toysalaryerror.all)");
+  Show(db, "alerts (escalated by the second-layer rule)",
+       "retrieve (alerts.all)");
+
+  std::printf("== Alice: Manager -> Engineer (a demotion) ==\n");
+  Run(db, "replace emp (jno = 2) where emp.name = \"Alice\"");
+  Show(db, "demotions", "retrieve (demotions.all)");
+
+  std::printf("== Carol: Engineer -> Manager (a promotion, no entry) ==\n");
+  Run(db, "replace emp (jno = 3) where emp.name = \"Carol\"");
+  Show(db, "demotions (unchanged)", "retrieve (demotions.all)");
+
+  std::printf("salary_watch OK\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Stock ticker: the §8 future-work scenario — an application receiving
+// data from database triggers asynchronously. Rules watch price movements
+// and append to alert relations; the application subscribes to those
+// relations and receives each alert once the engine quiesces, following
+// logical (not physical) events.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "ariel/database.h"
+
+namespace {
+
+void Run(ariel::Database& db, const std::string& script) {
+  auto result = db.Execute(script);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error in [%s]: %s\n", script.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  ariel::Database db;
+
+  Run(db, "create quotes (symbol = string, price = float)");
+  Run(db, "create spike_alerts (symbol = string, oldprice = float, "
+          "newprice = float)");
+  Run(db, "create crash_alerts (symbol = string, price = float)");
+
+  // Transition rule: a >5% single-update move is a spike.
+  Run(db, "define rule spike "
+          "if quotes.price > 1.05 * previous quotes.price "
+          "then append to spike_alerts (quotes.symbol, "
+          "previous quotes.price, quotes.price)");
+  // Pattern rule: anything under 10.0 is a crash, however it got there.
+  Run(db, "define rule crash if quotes.price < 10.0 "
+          "then append to crash_alerts (quotes.symbol, quotes.price)");
+
+  // The "application": subscribes to the alert relations. Callbacks fire
+  // after each command's recognize-act cycle completes.
+  int alerts_received = 0;
+  auto subscribe = [&](const char* relation) {
+    auto status = db.Subscribe(
+        relation, [&](const std::string& rel, const ariel::Tuple& tuple) {
+          ++alerts_received;
+          std::printf("  [ticker] %s <- %s\n", rel.c_str(),
+                      tuple.ToString().c_str());
+        });
+    if (!status.ok()) {
+      std::fprintf(stderr, "subscribe failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  };
+  subscribe("spike_alerts");
+  subscribe("crash_alerts");
+
+  std::printf("== quiet market ==\n");
+  Run(db, "append quotes (symbol=\"ACME\", price=100.0)");
+  Run(db, "append quotes (symbol=\"INIT\", price=50.0)");
+  Run(db, "replace quotes (price = 102.0) where quotes.symbol = \"ACME\"");
+
+  std::printf("== ACME spikes +8%% ==\n");
+  Run(db, "replace quotes (price = 110.2) where quotes.symbol = \"ACME\"");
+
+  std::printf("== INIT crashes ==\n");
+  Run(db, "replace quotes (price = 8.5) where quotes.symbol = \"INIT\"");
+
+  std::printf("== logical events: an alert appended and retracted inside "
+              "one block is never delivered ==\n");
+  Run(db, "do\n"
+          "  append spike_alerts (symbol=\"GHOST\", oldprice=1.0, "
+          "newprice=2.0)\n"
+          "  delete spike_alerts where spike_alerts.symbol = \"GHOST\"\n"
+          "end");
+
+  std::printf("total alerts delivered: %d (expected 2)\n", alerts_received);
+  return alerts_received == 2 ? 0 : 1;
+}

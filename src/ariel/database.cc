@@ -1,0 +1,278 @@
+#include "ariel/database.h"
+
+#include <algorithm>
+
+#include "parser/parser.h"
+#include "util/string_util.h"
+
+namespace ariel {
+
+Database::Database(DatabaseOptions options)
+    : options_(options), optimizer_(options.optimizer) {
+  transitions_ = std::make_unique<TransitionManager>(&network_);
+  executor_ = std::make_unique<Executor>(&catalog_, transitions_.get(),
+                                         &optimizer_);
+  rules_ = std::make_unique<RuleManager>(&catalog_, &network_, &optimizer_);
+  rules_->set_policy(options.alpha_policy);
+  rules_->set_join_backend(options.join_backend);
+  monitor_ = std::make_unique<RuleExecutionMonitor>(rules_.get(),
+                                                    executor_.get(),
+                                                    transitions_.get());
+  monitor_->set_max_firings_per_cycle(options.max_rule_firings_per_cycle);
+  monitor_->set_cache_action_plans(options.cache_action_plans);
+  monitor_->set_conflict_strategy(options.conflict_strategy);
+  network_.set_token_listener(
+      [this](const Token& token) { ObserveToken(token); });
+}
+
+Database::~Database() = default;
+
+Status Database::Subscribe(std::string_view relation,
+                           AlertCallback callback) {
+  ARIEL_ASSIGN_OR_RETURN(HeapRelation * rel, catalog_.FindRelation(relation));
+  subscriptions_[rel->id()].push_back(std::move(callback));
+  return Status::OK();
+}
+
+void Database::ObserveToken(const Token& token) {
+  if (subscriptions_.empty()) return;
+  auto it = subscriptions_.find(token.relation_id);
+  if (it == subscriptions_.end()) return;
+  if (!token.event.has_value() || token.event->kind != EventKind::kAppend) {
+    return;
+  }
+  if (token.kind == TokenKind::kPlus) {
+    pending_alerts_.push_back(
+        PendingAlert{token.relation_id, token.tid, token.value});
+  } else if (token.kind == TokenKind::kMinus) {
+    // Retraction of an in-transition append (§2.2.2 cases 1/2): the
+    // pending alert either gets re-asserted with the new value or was a
+    // net-nothing insert — drop it; subscribers see logical events only.
+    pending_alerts_.erase(
+        std::remove_if(pending_alerts_.begin(), pending_alerts_.end(),
+                       [&](const PendingAlert& alert) {
+                         return alert.relation_id == token.relation_id &&
+                                alert.tid == token.tid;
+                       }),
+        pending_alerts_.end());
+  }
+}
+
+void Database::DrainAlerts() {
+  if (pending_alerts_.empty()) return;
+  std::vector<PendingAlert> delivering;
+  delivering.swap(pending_alerts_);
+  for (const PendingAlert& alert : delivering) {
+    auto subs = subscriptions_.find(alert.relation_id);
+    if (subs == subscriptions_.end()) continue;
+    const HeapRelation* rel = catalog_.GetRelationById(alert.relation_id);
+    std::string name = rel != nullptr ? rel->name() : "<dropped>";
+    for (const AlertCallback& callback : subs->second) {
+      callback(name, alert.value);
+    }
+  }
+}
+
+Result<CommandResult> Database::Execute(std::string_view script) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<CommandResult> results,
+                         ExecuteAll(script));
+  if (results.empty()) return CommandResult{};
+  return std::move(results.back());
+}
+
+Result<std::vector<CommandResult>> Database::ExecuteAll(
+    std::string_view script) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<CommandPtr> commands,
+                         ParseScript(script));
+  std::vector<CommandResult> results;
+  for (const CommandPtr& command : commands) {
+    ARIEL_ASSIGN_OR_RETURN(CommandResult result, ExecuteCommand(*command));
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+Result<CommandResult> Database::ExecuteCommand(const Command& command) {
+  switch (command.kind) {
+    case CommandKind::kCreate:
+    case CommandKind::kDefineIndex:
+      return executor_->Execute(command);
+
+    case CommandKind::kDestroy: {
+      const auto& cmd = static_cast<const DestroyCommand&>(command);
+      if (rules_->AnyRuleReferences(cmd.relation)) {
+        return Status::InvalidArgument(
+            "cannot destroy relation \"" + cmd.relation +
+            "\": it is referenced by an installed rule");
+      }
+      return executor_->Execute(command);
+    }
+
+    case CommandKind::kRetrieve: {
+      // System catalogs are snapshots: rebuild them when the query might
+      // look at them (cheap — proportional to #relations + #rules).
+      const auto& cmd = static_cast<const RetrieveCommand&>(command);
+      bool touches_sys = false;
+      auto check = [&](const Expr* e) {
+        if (e == nullptr) return;
+        for (const std::string& var : CollectTupleVars(*e)) {
+          if (var.rfind("sys", 0) == 0) touches_sys = true;
+        }
+      };
+      for (const Assignment& a : cmd.targets) check(a.expr.get());
+      check(cmd.qualification.get());
+      for (const FromItem& item : cmd.from) {
+        if (ToLower(item.relation).rfind("sys", 0) == 0) touches_sys = true;
+      }
+      if (touches_sys) {
+        ARIEL_RETURN_NOT_OK(RefreshSystemCatalogs());
+      }
+      // Plain retrieve is read-only: no transition bookkeeping or rule
+      // wake-ups. retrieve-into materializes a relation and is a mutation.
+      if (!cmd.into.empty()) {
+        return ExecuteDml(command);
+      }
+      return executor_->Execute(command);
+    }
+
+    case CommandKind::kAppend:
+    case CommandKind::kDelete:
+    case CommandKind::kReplace:
+    case CommandKind::kBlock:
+      return ExecuteDml(command);
+
+    case CommandKind::kDefineRule: {
+      const auto& cmd = static_cast<const DefineRuleCommand&>(command);
+      ARIEL_RETURN_NOT_OK(rules_->DefineRule(cmd));
+      if (options_.auto_activate_rules) {
+        ARIEL_RETURN_NOT_OK(rules_->ActivateRule(cmd.rule_name));
+      }
+      return CommandResult{};
+    }
+    case CommandKind::kActivateRule: {
+      const auto& cmd = static_cast<const ActivateRuleCommand&>(command);
+      ARIEL_RETURN_NOT_OK(cmd.is_ruleset
+                              ? rules_->ActivateRuleset(cmd.rule_name)
+                              : rules_->ActivateRule(cmd.rule_name));
+      return CommandResult{};
+    }
+    case CommandKind::kDeactivateRule: {
+      const auto& cmd = static_cast<const DeactivateRuleCommand&>(command);
+      ARIEL_RETURN_NOT_OK(cmd.is_ruleset
+                              ? rules_->DeactivateRuleset(cmd.rule_name)
+                              : rules_->DeactivateRule(cmd.rule_name));
+      return CommandResult{};
+    }
+    case CommandKind::kRemoveRule:
+      ARIEL_RETURN_NOT_OK(rules_->RemoveRule(
+          static_cast<const RemoveRuleCommand&>(command).rule_name));
+      return CommandResult{};
+
+    case CommandKind::kHalt:
+      // Top-level halt is a no-op; halt matters inside rule actions.
+      return CommandResult{};
+  }
+  return Status::Internal("unhandled command kind");
+}
+
+Result<CommandResult> Database::ExecuteDml(const Command& command) {
+  // One transition per command; a do…end block is a single transition
+  // (§2.2.1 — the programmer controls transition boundaries with blocks).
+  transitions_->BeginTransition();
+  Status status;
+  CommandResult result;
+  if (command.kind == CommandKind::kBlock) {
+    const auto& block = static_cast<const BlockCommand&>(command);
+    for (const CommandPtr& inner : block.commands) {
+      auto inner_result = executor_->Execute(*inner);
+      if (!inner_result.ok()) {
+        status = inner_result.status();
+        break;
+      }
+      result.affected += inner_result->affected;
+      if (inner_result->rows.has_value()) {
+        result.rows = std::move(inner_result->rows);
+      }
+    }
+  } else {
+    auto exec_result = executor_->Execute(command);
+    if (exec_result.ok()) {
+      result = std::move(*exec_result);
+    } else {
+      status = exec_result.status();
+    }
+  }
+  Status end = transitions_->EndTransition();
+  if (status.ok()) status = end;
+  ARIEL_RETURN_NOT_OK(status);
+
+  // Rules get the opportunity to wake up after every transition.
+  ARIEL_RETURN_NOT_OK(monitor_->RunCycle());
+  // With the engine quiescent, deliver subscribed trigger output.
+  DrainAlerts();
+  return result;
+}
+
+Status Database::RefreshSystemCatalogs() {
+  // (Re)create each snapshot relation if missing, clear it, and fill it
+  // directly — bypassing the gateway, so no tokens and no rule wake-ups.
+  auto rebuild = [&](const char* name,
+                     Schema schema) -> Result<HeapRelation*> {
+    HeapRelation* rel = catalog_.GetRelation(name);
+    if (rel == nullptr) {
+      ARIEL_ASSIGN_OR_RETURN(rel, catalog_.CreateRelation(name, schema));
+    }
+    for (TupleId tid : rel->AllTupleIds()) {
+      ARIEL_RETURN_NOT_OK(rel->Delete(tid));
+    }
+    return rel;
+  };
+
+  ARIEL_ASSIGN_OR_RETURN(
+      HeapRelation * relations,
+      rebuild(kSysRelations, Schema({Attribute{"name", DataType::kString},
+                                     Attribute{"tuples", DataType::kInt},
+                                     Attribute{"indexes", DataType::kInt}})));
+  for (const std::string& name : catalog_.RelationNames()) {
+    const HeapRelation* rel = catalog_.GetRelation(name);
+    ARIEL_RETURN_NOT_OK(
+        relations
+            ->Insert(Tuple(std::vector<Value>{
+                Value::String(name),
+                Value::Int(static_cast<int64_t>(
+                    name == kSysRelations || name == kSysRules
+                        ? 0  // being rebuilt; counts are not meaningful
+                        : rel->size())),
+                Value::Int(static_cast<int64_t>(
+                    rel->IndexedAttributes().size()))}))
+            .status());
+  }
+
+  ARIEL_ASSIGN_OR_RETURN(
+      HeapRelation * rules,
+      rebuild(kSysRules, Schema({Attribute{"name", DataType::kString},
+                                 Attribute{"ruleset", DataType::kString},
+                                 Attribute{"priority", DataType::kFloat},
+                                 Attribute{"active", DataType::kInt},
+                                 Attribute{"fired", DataType::kInt}})));
+  for (const std::string& name : rules_->RuleNames()) {
+    const Rule* rule = rules_->GetRule(name);
+    ARIEL_RETURN_NOT_OK(
+        rules
+            ->Insert(Tuple(std::vector<Value>{
+                Value::String(rule->name), Value::String(rule->ruleset),
+                Value::Float(rule->priority),
+                Value::Int(rule->active ? 1 : 0),
+                Value::Int(static_cast<int64_t>(rule->times_fired))}))
+            .status());
+  }
+  return Status::OK();
+}
+
+Result<std::string> Database::ExplainPlan(std::string_view command_text) {
+  ARIEL_ASSIGN_OR_RETURN(CommandPtr command, ParseCommand(command_text));
+  ARIEL_ASSIGN_OR_RETURN(Plan plan, executor_->PlanFor(*command));
+  return plan.ToString();
+}
+
+}  // namespace ariel

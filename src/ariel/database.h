@@ -1,0 +1,144 @@
+#ifndef ARIEL_ARIEL_DATABASE_H_
+#define ARIEL_ARIEL_DATABASE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/executor.h"
+#include "exec/optimizer.h"
+#include "network/discrimination_network.h"
+#include "network/transition_manager.h"
+#include "rules/rule_compiler.h"
+#include "rules/rule_manager.h"
+#include "rules/rule_monitor.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Engine-level configuration.
+struct DatabaseOptions {
+  /// `define rule` both installs and activates (convenient interactive
+  /// behaviour). The Figure 9-11 benchmarks disable this to time the two
+  /// phases separately, as the paper does.
+  bool auto_activate_rules = true;
+  /// Stored-vs-virtual α-memory choice for pattern variables.
+  AlphaMemoryPolicy alpha_policy;
+  OptimizerOptions optimizer;
+  /// Runaway-cascade guard for the recognize-act cycle.
+  size_t max_rule_firings_per_cycle = 100000;
+  /// Stored-plan strategy for rule actions (§5.3): reuse plans across
+  /// firings, invalidated by catalog changes. Off = always-reoptimize,
+  /// the paper's choice.
+  bool cache_action_plans = false;
+  /// Join-network algorithm for pattern rules: the paper's TREAT (default)
+  /// or classic Rete with β-memories (§8's combined-network direction).
+  JoinBackend join_backend = JoinBackend::kTreat;
+  /// Equal-priority tie-break: deterministic definition order (default) or
+  /// OPS5-style recency.
+  ConflictStrategy conflict_strategy = ConflictStrategy::kDefinitionOrder;
+};
+
+/// The Ariel active DBMS: a relational engine whose update processing is
+/// tightly coupled with an A-TREAT production-rule system.
+///
+/// Usage:
+///   ariel::Database db;
+///   db.Execute("create emp (name = string, age = int, sal = float, "
+///              "dno = int, jno = int)");
+///   db.Execute("define rule NoBobs on append emp if emp.name = \"Bob\" "
+///              "then delete emp");
+///   db.Execute("append emp (name=\"Bob\", age=27, sal=55000.0, dno=1, "
+///              "jno=2)");   // NoBobs fires; Bob never survives
+///
+/// Execute parses a script of one or more POSTQUEL/ARL commands, runs each
+/// as a transition (a do…end block is a single transition), and after every
+/// mutating command runs the recognize-act cycle until no rule is eligible
+/// or a rule executes halt.
+class Database {
+ public:
+  explicit Database(DatabaseOptions options = {});
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Parses and executes a script; returns the result of its last command.
+  Result<CommandResult> Execute(std::string_view script);
+
+  /// Parses and executes a script; returns all command results.
+  Result<std::vector<CommandResult>> ExecuteAll(std::string_view script);
+
+  /// Executes one pre-parsed command.
+  Result<CommandResult> ExecuteCommand(const Command& command);
+
+  /// Renders the physical plan the optimizer would use for a DML command.
+  Result<std::string> ExplainPlan(std::string_view command_text);
+
+  /// Asynchronous trigger output (§8 future work: "applications that can
+  /// receive data from database triggers asynchronously — safety and
+  /// integrity alert monitors, stock tickers"). The callback fires once per
+  /// tuple logically appended to `relation`, after the appending
+  /// transition's recognize-act cycle quiesces. Appends retracted within
+  /// their transition (the §2.2.2 im*d case) are never delivered — alerts
+  /// follow logical, not physical, events. Typical use: rules append to an
+  /// alert relation; the application subscribes to it.
+  using AlertCallback =
+      std::function<void(const std::string& relation, const Tuple& tuple)>;
+  Status Subscribe(std::string_view relation, AlertCallback callback);
+
+  /// Names of the queryable system catalogs, refreshed before every
+  /// retrieve that could see them:
+  ///   sysrelations(name, tuples, indexes)
+  ///   sysrules(name, ruleset, priority, active, fired)
+  /// They are snapshots — mutating them has no effect on the engine.
+  static constexpr const char* kSysRelations = "sysrelations";
+  static constexpr const char* kSysRules = "sysrules";
+
+  // --- Introspection / instrumentation (benchmarks, tests, examples) ---
+  Catalog& catalog() { return catalog_; }
+  const Catalog& catalog() const { return catalog_; }
+  RuleManager& rules() { return *rules_; }
+  RuleExecutionMonitor& monitor() { return *monitor_; }
+  const DiscriminationNetwork& network() const { return network_; }
+  TransitionManager& transitions() { return *transitions_; }
+  Executor& executor() { return *executor_; }
+  Optimizer& optimizer() { return optimizer_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  Result<CommandResult> ExecuteDml(const Command& command);
+
+  /// Rebuilds the system-catalog snapshot relations.
+  Status RefreshSystemCatalogs();
+
+  /// Queues/cancels alerts as tokens flow (logical-event semantics).
+  void ObserveToken(const Token& token);
+  /// Delivers queued alerts once the engine is quiescent.
+  void DrainAlerts();
+
+  struct PendingAlert {
+    uint32_t relation_id;
+    TupleId tid;
+    Tuple value;
+  };
+
+  DatabaseOptions options_;
+  std::unordered_map<uint32_t, std::vector<AlertCallback>> subscriptions_;
+  std::vector<PendingAlert> pending_alerts_;
+  Catalog catalog_;
+  Optimizer optimizer_;
+  DiscriminationNetwork network_;
+  std::unique_ptr<TransitionManager> transitions_;
+  std::unique_ptr<Executor> executor_;
+  std::unique_ptr<RuleManager> rules_;
+  std::unique_ptr<RuleExecutionMonitor> monitor_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_ARIEL_DATABASE_H_

@@ -1,0 +1,63 @@
+#include "catalog/catalog.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+Result<HeapRelation*> Catalog::CreateRelation(std::string_view name,
+                                              Schema schema) {
+  std::string key = ToLower(name);
+  if (by_name_.contains(key)) {
+    return Status::AlreadyExists("relation \"" + key + "\" already exists");
+  }
+  uint32_t id = next_id_++;
+  auto relation = std::make_unique<HeapRelation>(id, key, std::move(schema));
+  HeapRelation* ptr = relation.get();
+  by_name_.emplace(key, std::move(relation));
+  by_id_.emplace(id, ptr);
+  ++version_;
+  return ptr;
+}
+
+Status Catalog::DropRelation(std::string_view name) {
+  std::string key = ToLower(name);
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return Status::NotFound("relation \"" + key + "\" does not exist");
+  }
+  by_id_.erase(it->second->id());
+  by_name_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+HeapRelation* Catalog::GetRelation(std::string_view name) const {
+  auto it = by_name_.find(ToLower(name));
+  return it == by_name_.end() ? nullptr : it->second.get();
+}
+
+Result<HeapRelation*> Catalog::FindRelation(std::string_view name) const {
+  HeapRelation* rel = GetRelation(name);
+  if (rel == nullptr) {
+    return Status::NotFound("relation \"" + ToLower(name) +
+                            "\" does not exist");
+  }
+  return rel;
+}
+
+HeapRelation* Catalog::GetRelationById(uint32_t id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> Catalog::RelationNames() const {
+  std::vector<std::string> names;
+  names.reserve(by_name_.size());
+  for (const auto& [name, rel] : by_name_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace ariel

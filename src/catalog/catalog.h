@@ -1,0 +1,62 @@
+#ifndef ARIEL_CATALOG_CATALOG_H_
+#define ARIEL_CATALOG_CATALOG_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/heap_relation.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// The system catalog: owns all relations and maps names and ids to them.
+/// Relation ids start at 1 (0 is the invalid TupleId marker).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates a relation. Fails with AlreadyExists on duplicate name.
+  Result<HeapRelation*> CreateRelation(std::string_view name, Schema schema);
+
+  /// Destroys a relation and all its tuples and indexes.
+  Status DropRelation(std::string_view name);
+
+  /// Lookup by name (case-insensitive). Null if absent.
+  HeapRelation* GetRelation(std::string_view name) const;
+
+  /// Checked lookup by name.
+  Result<HeapRelation*> FindRelation(std::string_view name) const;
+
+  /// Lookup by id. Null if absent.
+  HeapRelation* GetRelationById(uint32_t id) const;
+
+  /// Names of all relations, sorted.
+  std::vector<std::string> RelationNames() const;
+
+  size_t num_relations() const { return by_name_.size(); }
+
+  /// Schema-change epoch: bumped whenever the set of relations or indexes
+  /// changes. Cached query plans (§5.3's stored-plan strategy) carry the
+  /// version they were built against and are rebuilt on mismatch — the
+  /// "dependencies between plans and database objects" the paper says
+  /// stored-plan strategies must maintain.
+  uint64_t version() const { return version_; }
+  void BumpVersion() { ++version_; }
+
+ private:
+  uint32_t next_id_ = 1;
+  uint64_t version_ = 1;
+  std::unordered_map<std::string, std::unique_ptr<HeapRelation>> by_name_;
+  std::unordered_map<uint32_t, HeapRelation*> by_id_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_CATALOG_CATALOG_H_

@@ -1,0 +1,40 @@
+#include "catalog/schema.h"
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+Schema::Schema(std::vector<Attribute> attributes)
+    : attributes_(std::move(attributes)) {
+  for (auto& attr : attributes_) attr.name = ToLower(attr.name);
+}
+
+int Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (EqualsIgnoreCase(attributes_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<size_t> Schema::Find(std::string_view name) const {
+  int idx = IndexOf(name);
+  if (idx < 0) {
+    return Status::SemanticError("no attribute named \"" + std::string(name) +
+                                 "\" in schema " + ToString());
+  }
+  return static_cast<size_t>(idx);
+}
+
+std::string Schema::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += attributes_[i].name;
+    out += "=";
+    out += DataTypeToString(attributes_[i].type);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace ariel

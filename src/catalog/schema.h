@@ -1,0 +1,53 @@
+#ifndef ARIEL_CATALOG_SCHEMA_H_
+#define ARIEL_CATALOG_SCHEMA_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "types/value.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// One column: a (name, type) pair. Names are stored lower-cased since
+/// POSTQUEL identifiers are case-insensitive.
+struct Attribute {
+  std::string name;
+  DataType type = DataType::kNull;
+
+  bool operator==(const Attribute& other) const = default;
+};
+
+/// An ordered list of attributes describing the layout of tuples in a
+/// relation (or of rows in a P-node / query result).
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Attribute> attributes);
+
+  size_t num_attributes() const { return attributes_.size(); }
+  const Attribute& attribute(size_t i) const { return attributes_[i]; }
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+
+  /// Index of the attribute named `name` (case-insensitive), or -1.
+  int IndexOf(std::string_view name) const;
+
+  /// Checked lookup variant of IndexOf.
+  Result<size_t> Find(std::string_view name) const;
+
+  /// Appends an attribute (used when building P-node schemas).
+  void AddAttribute(Attribute attr) { attributes_.push_back(std::move(attr)); }
+
+  /// "(name=type, ...)" rendering for catalogs and error messages.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const = default;
+
+ private:
+  std::vector<Attribute> attributes_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_CATALOG_SCHEMA_H_

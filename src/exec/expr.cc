@@ -1,0 +1,216 @@
+#include "exec/expr.h"
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+int Scope::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < vars_.size(); ++i) {
+    if (EqualsIgnoreCase(vars_[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<bool> CompiledExpr::EvalPredicate(const Row& row) const {
+  ARIEL_ASSIGN_OR_RETURN(Value v, Eval(row));
+  if (v.is_null()) return false;
+  if (!v.is_bool()) {
+    return Status::ExecutionError("predicate evaluated to non-boolean " +
+                                  v.ToString());
+  }
+  return v.bool_value();
+}
+
+namespace {
+
+class LiteralNode : public CompiledExpr {
+ public:
+  explicit LiteralNode(Value value) : value_(std::move(value)) {}
+  Result<Value> Eval(const Row&) const override { return value_; }
+
+ private:
+  Value value_;
+};
+
+class ColumnNode : public CompiledExpr {
+ public:
+  ColumnNode(size_t var, size_t attr, bool previous)
+      : var_(var), attr_(attr), previous_(previous) {}
+
+  Result<Value> Eval(const Row& row) const override {
+    if (!row.filled[var_]) {
+      return Status::Internal("unbound tuple variable slot " +
+                              std::to_string(var_));
+    }
+    const Tuple& t = previous_ ? row.previous[var_] : row.current[var_];
+    if (attr_ >= t.size()) {
+      return Status::Internal("attribute index out of range");
+    }
+    return t.at(attr_);
+  }
+
+ private:
+  size_t var_;
+  size_t attr_;
+  bool previous_;
+};
+
+class BinaryNode : public CompiledExpr {
+ public:
+  BinaryNode(BinaryOp op, CompiledExprPtr lhs, CompiledExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Result<Value> Eval(const Row& row) const override {
+    // Short-circuit for and/or.
+    if (op_ == BinaryOp::kAnd || op_ == BinaryOp::kOr) {
+      ARIEL_ASSIGN_OR_RETURN(bool left, lhs_->EvalPredicate(row));
+      if (op_ == BinaryOp::kAnd && !left) return Value::Bool(false);
+      if (op_ == BinaryOp::kOr && left) return Value::Bool(true);
+      ARIEL_ASSIGN_OR_RETURN(bool right, rhs_->EvalPredicate(row));
+      return Value::Bool(right);
+    }
+    ARIEL_ASSIGN_OR_RETURN(Value a, lhs_->Eval(row));
+    ARIEL_ASSIGN_OR_RETURN(Value b, rhs_->Eval(row));
+    switch (op_) {
+      case BinaryOp::kAdd: return Add(a, b);
+      case BinaryOp::kSub: return Subtract(a, b);
+      case BinaryOp::kMul: return Multiply(a, b);
+      case BinaryOp::kDiv: return Divide(a, b);
+      case BinaryOp::kEq: return Value::Bool(a == b);
+      case BinaryOp::kNe: return Value::Bool(a != b);
+      case BinaryOp::kLt: return Value::Bool(a < b);
+      case BinaryOp::kLe: return Value::Bool(a <= b);
+      case BinaryOp::kGt: return Value::Bool(a > b);
+      case BinaryOp::kGe: return Value::Bool(a >= b);
+      default:
+        return Status::Internal("unhandled binary op");
+    }
+  }
+
+ private:
+  BinaryOp op_;
+  CompiledExprPtr lhs_;
+  CompiledExprPtr rhs_;
+};
+
+class UnaryNode : public CompiledExpr {
+ public:
+  UnaryNode(UnaryOp op, CompiledExprPtr operand)
+      : op_(op), operand_(std::move(operand)) {}
+
+  Result<Value> Eval(const Row& row) const override {
+    if (op_ == UnaryOp::kNot) {
+      ARIEL_ASSIGN_OR_RETURN(bool v, operand_->EvalPredicate(row));
+      return Value::Bool(!v);
+    }
+    ARIEL_ASSIGN_OR_RETURN(Value v, operand_->Eval(row));
+    return Negate(v);
+  }
+
+ private:
+  UnaryOp op_;
+  CompiledExprPtr operand_;
+};
+
+}  // namespace
+
+Result<CompiledExprPtr> CompileExpr(const Expr& expr, const Scope& scope) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return CompiledExprPtr(std::make_unique<LiteralNode>(
+          static_cast<const LiteralExpr&>(expr).value));
+    case ExprKind::kNew:
+      // `new(v)` is the always-true selection condition (§2.1 of the paper).
+      return CompiledExprPtr(std::make_unique<LiteralNode>(Value::Bool(true)));
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      int var = scope.IndexOf(ref.tuple_var);
+      if (var < 0) {
+        return Status::SemanticError("unknown tuple variable \"" +
+                                     ref.tuple_var + "\"");
+      }
+      if (ref.is_all()) {
+        return Status::SemanticError(
+            "\"" + ref.tuple_var +
+            ".all\" is only valid in a target list, not inside an expression");
+      }
+      const VarBinding& binding = scope.var(var);
+      if (ref.previous && !binding.has_previous) {
+        return Status::SemanticError(
+            "\"previous " + ref.tuple_var +
+            "\" used, but no transition data is available for this variable");
+      }
+      ARIEL_ASSIGN_OR_RETURN(size_t attr, binding.schema->Find(ref.attribute));
+      return CompiledExprPtr(std::make_unique<ColumnNode>(
+          static_cast<size_t>(var), attr, ref.previous));
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr lhs, CompileExpr(*bin.lhs, scope));
+      ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr rhs, CompileExpr(*bin.rhs, scope));
+      return CompiledExprPtr(std::make_unique<BinaryNode>(
+          bin.op, std::move(lhs), std::move(rhs)));
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr operand,
+                             CompileExpr(*un.operand, scope));
+      return CompiledExprPtr(
+          std::make_unique<UnaryNode>(un.op, std::move(operand)));
+    }
+    case ExprKind::kAggregate:
+      return Status::SemanticError(
+          "aggregates are only valid as top-level retrieve targets");
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<DataType> InferType(const Expr& expr, const Scope& scope) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value.type();
+    case ExprKind::kNew:
+      return DataType::kBool;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      int var = scope.IndexOf(ref.tuple_var);
+      if (var < 0) {
+        return Status::SemanticError("unknown tuple variable \"" +
+                                     ref.tuple_var + "\"");
+      }
+      ARIEL_ASSIGN_OR_RETURN(size_t attr,
+                             scope.var(var).schema->Find(ref.attribute));
+      return scope.var(var).schema->attribute(attr).type;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      if (IsComparison(bin.op) || bin.op == BinaryOp::kAnd ||
+          bin.op == BinaryOp::kOr) {
+        return DataType::kBool;
+      }
+      ARIEL_ASSIGN_OR_RETURN(DataType lt, InferType(*bin.lhs, scope));
+      ARIEL_ASSIGN_OR_RETURN(DataType rt, InferType(*bin.rhs, scope));
+      if (lt == DataType::kString && rt == DataType::kString) {
+        return DataType::kString;
+      }
+      if (lt == DataType::kInt && rt == DataType::kInt) return DataType::kInt;
+      return DataType::kFloat;
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op == UnaryOp::kNot) return DataType::kBool;
+      return InferType(*un.operand, scope);
+    }
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      switch (agg.func) {
+        case AggFunc::kCount: return DataType::kInt;
+        case AggFunc::kAvg: return DataType::kFloat;
+        default: return InferType(*agg.operand, scope);
+      }
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+}  // namespace ariel

@@ -1,0 +1,71 @@
+#ifndef ARIEL_EXEC_EXPR_H_
+#define ARIEL_EXEC_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "exec/row.h"
+#include "parser/ast.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// A tuple variable visible to an expression: its name and the schema of the
+/// tuples bound to it. `has_previous` marks variables that carry transition
+/// (old-value) data so `previous v.attr` can be validated at bind time.
+struct VarBinding {
+  std::string name;
+  const Schema* schema = nullptr;
+  bool has_previous = false;
+};
+
+/// The ordered set of tuple variables an expression may reference. Variable
+/// ordinals index into Row slots.
+class Scope {
+ public:
+  Scope() = default;
+  explicit Scope(std::vector<VarBinding> vars) : vars_(std::move(vars)) {}
+
+  size_t size() const { return vars_.size(); }
+  const VarBinding& var(size_t i) const { return vars_[i]; }
+
+  void Add(VarBinding binding) { vars_.push_back(std::move(binding)); }
+
+  /// Ordinal of `name` (case-insensitive), or -1.
+  int IndexOf(std::string_view name) const;
+
+ private:
+  std::vector<VarBinding> vars_;
+};
+
+/// An expression compiled against a Scope: column references are resolved to
+/// (variable ordinal, attribute position) slots so evaluation is just array
+/// indexing — this is what keeps per-token predicate tests cheap.
+class CompiledExpr {
+ public:
+  virtual ~CompiledExpr() = default;
+  virtual Result<Value> Eval(const Row& row) const = 0;
+
+  /// Convenience for predicates: error statuses propagate, non-boolean
+  /// results are an execution error, null is false.
+  Result<bool> EvalPredicate(const Row& row) const;
+};
+
+using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
+
+/// Resolves names in `expr` against `scope` and returns an executable tree.
+/// Fails with SemanticError on unknown variables/attributes, on `v.all`
+/// outside a target list, and on `previous v` where v has no previous data.
+Result<CompiledExprPtr> CompileExpr(const Expr& expr, const Scope& scope);
+
+/// Infers the static result type of `expr` under `scope` (best effort;
+/// arithmetic over int and float yields float). Used to type P-node columns
+/// and retrieve results.
+Result<DataType> InferType(const Expr& expr, const Scope& scope);
+
+}  // namespace ariel
+
+#endif  // ARIEL_EXEC_EXPR_H_

@@ -1,0 +1,48 @@
+#ifndef ARIEL_EXEC_GATEWAY_H_
+#define ARIEL_EXEC_GATEWAY_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/heap_relation.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Every tuple mutation performed by the executor flows through this
+/// interface. The plain DirectGateway just touches storage; the rule engine
+/// substitutes its TransitionManager, which generates discrimination-network
+/// tokens in the order the paper requires — notably, an insertion token is
+/// propagated through the network *before* the tuple reaches the base
+/// relation, which is what makes virtual α-memory self-joins come out right
+/// (§4.2).
+class StorageGateway {
+ public:
+  virtual ~StorageGateway() = default;
+
+  virtual Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) = 0;
+  virtual Status Delete(HeapRelation* relation, TupleId tid) = 0;
+  /// `updated_attrs` lists the attribute names assigned by the replace
+  /// command (the token's replace(target-list) event specifier).
+  virtual Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+                        const std::vector<std::string>& updated_attrs) = 0;
+};
+
+/// Gateway with no rule processing: direct storage calls.
+class DirectGateway : public StorageGateway {
+ public:
+  Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override {
+    return relation->Insert(std::move(tuple));
+  }
+  Status Delete(HeapRelation* relation, TupleId tid) override {
+    return relation->Delete(tid);
+  }
+  Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+                const std::vector<std::string>&) override {
+    return relation->Update(tid, std::move(new_value));
+  }
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_EXEC_GATEWAY_H_

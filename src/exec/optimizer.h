@@ -1,0 +1,59 @@
+#ifndef ARIEL_EXEC_OPTIMIZER_H_
+#define ARIEL_EXEC_OPTIMIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "parser/ast.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// One tuple variable of the command being planned and the relation it
+/// ranges over. `is_pnode` marks the rule-action variable P so the plan
+/// shows the paper's PnodeScan operator.
+struct PlanVar {
+  std::string name;
+  const HeapRelation* relation = nullptr;
+  bool is_pnode = false;
+};
+
+struct OptimizerOptions {
+  /// Use B+tree indexes for single-variable range/point predicates.
+  bool enable_index_scan = true;
+  /// Consider sort-merge for equijoins (otherwise always nested loop).
+  bool enable_sort_merge = true;
+  /// Minimum estimated outer*inner row product before sort-merge is
+  /// preferred over nested loop.
+  double sort_merge_threshold = 256;
+};
+
+/// A System-R-flavored planner: splits the qualification into conjuncts,
+/// pushes single-variable selections into scans (choosing index scans when
+/// a B+tree matches a bound), orders joins greedily by estimated
+/// cardinality, and picks nested-loop or sort-merge per join. This is the
+/// same component the paper's rule-action planner reuses: "the rest of the
+/// query plan is constructed as usual by the query optimizer" (§5.2).
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {}) : options_(options) {}
+
+  /// Builds a plan producing every binding of `vars` satisfying `qual`
+  /// (null = no qualification). Scope ordinals follow `vars` order.
+  Result<Plan> BuildPlan(const std::vector<PlanVar>& vars, const Expr* qual);
+
+  const OptimizerOptions& options() const { return options_; }
+  void set_options(OptimizerOptions options) { options_ = options; }
+
+ private:
+  OptimizerOptions options_;
+};
+
+/// Estimated selectivity of one conjunct (equality tighter than ranges),
+/// exposed for the optimizer's tests.
+double EstimateSelectivity(const Expr& conjunct);
+
+}  // namespace ariel
+
+#endif  // ARIEL_EXEC_OPTIMIZER_H_

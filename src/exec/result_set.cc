@@ -1,0 +1,61 @@
+#include "exec/result_set.h"
+
+#include <algorithm>
+
+namespace ariel {
+
+std::string ResultSet::ToString() const {
+  // Compute column widths from header and cells.
+  size_t n = schema.num_attributes();
+  std::vector<size_t> widths(n);
+  std::vector<std::vector<std::string>> cells;
+  for (size_t i = 0; i < n; ++i) widths[i] = schema.attribute(i).name.size();
+  cells.reserve(rows.size());
+  for (const Tuple& row : rows) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < n && i < row.size(); ++i) {
+      line.push_back(row.at(i).ToString());
+      widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto pad = [](const std::string& s, size_t w) {
+    return s + std::string(w - s.size(), ' ');
+  };
+
+  std::string out;
+  for (size_t i = 0; i < n; ++i) {
+    out += (i ? " | " : "| ") ;
+    out += pad(schema.attribute(i).name, widths[i]);
+  }
+  out += " |\n";
+  for (size_t i = 0; i < n; ++i) {
+    out += (i ? "-+-" : "+-");
+    out += std::string(widths[i], '-');
+  }
+  out += "-+\n";
+  for (const auto& line : cells) {
+    for (size_t i = 0; i < n; ++i) {
+      out += (i ? " | " : "| ");
+      out += pad(i < line.size() ? line[i] : "", widths[i]);
+    }
+    out += " |\n";
+  }
+  return out;
+}
+
+bool ResultSet::SameRowsUnordered(const std::vector<Tuple>& expected) const {
+  if (rows.size() != expected.size()) return false;
+  std::vector<const Tuple*> remaining;
+  for (const Tuple& t : expected) remaining.push_back(&t);
+  for (const Tuple& row : rows) {
+    auto it = std::find_if(remaining.begin(), remaining.end(),
+                           [&](const Tuple* t) { return *t == row; });
+    if (it == remaining.end()) return false;
+    remaining.erase(it);
+  }
+  return true;
+}
+
+}  // namespace ariel

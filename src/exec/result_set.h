@@ -1,0 +1,30 @@
+#ifndef ARIEL_EXEC_RESULT_SET_H_
+#define ARIEL_EXEC_RESULT_SET_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/tuple.h"
+
+namespace ariel {
+
+/// The materialized output of a retrieve command.
+struct ResultSet {
+  Schema schema;
+  std::vector<Tuple> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  bool empty() const { return rows.empty(); }
+
+  /// ASCII table rendering for examples and debugging.
+  std::string ToString() const;
+
+  /// Comparison helper for tests: true if `rows` equals `expected` as a
+  /// multiset (row order is not part of the retrieve contract).
+  bool SameRowsUnordered(const std::vector<Tuple>& expected) const;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_EXEC_RESULT_SET_H_

@@ -1,0 +1,15 @@
+#include "isl/interval.h"
+
+namespace ariel {
+
+std::string Interval::ToString() const {
+  std::string out;
+  out += lo.has_value() ? (lo_closed ? "[" : "(") + lo->ToString()
+                        : std::string("(-inf");
+  out += ", ";
+  out += hi.has_value() ? hi->ToString() + (hi_closed ? "]" : ")")
+                        : std::string("+inf)");
+  return out;
+}
+
+}  // namespace ariel

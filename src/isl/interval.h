@@ -1,0 +1,79 @@
+#ifndef ARIEL_ISL_INTERVAL_H_
+#define ARIEL_ISL_INTERVAL_H_
+
+#include <optional>
+#include <string>
+
+#include "types/value.h"
+
+namespace ariel {
+
+/// A (possibly half-open, possibly unbounded) interval over the total order
+/// of Values. This is the index key for selection predicates: the paper's
+/// closed intervals (c1 < attr <= c2), open intervals (c < attr), and points
+/// (attr = c) all normalize to this form (§4.1).
+struct Interval {
+  std::optional<Value> lo;  // absent = -infinity
+  std::optional<Value> hi;  // absent = +infinity
+  bool lo_closed = false;   // irrelevant when lo is absent
+  bool hi_closed = false;   // irrelevant when hi is absent
+
+  static Interval Point(Value v) {
+    Interval iv;
+    iv.lo = v;
+    iv.hi = std::move(v);
+    iv.lo_closed = iv.hi_closed = true;
+    return iv;
+  }
+  static Interval All() { return Interval{}; }
+  static Interval AtLeast(Value v, bool closed) {
+    Interval iv;
+    iv.lo = std::move(v);
+    iv.lo_closed = closed;
+    return iv;
+  }
+  static Interval AtMost(Value v, bool closed) {
+    Interval iv;
+    iv.hi = std::move(v);
+    iv.hi_closed = closed;
+    return iv;
+  }
+  static Interval Range(Value lo, bool lo_closed, Value hi, bool hi_closed) {
+    Interval iv;
+    iv.lo = std::move(lo);
+    iv.hi = std::move(hi);
+    iv.lo_closed = lo_closed;
+    iv.hi_closed = hi_closed;
+    return iv;
+  }
+
+  bool lo_unbounded() const { return !lo.has_value(); }
+  bool hi_unbounded() const { return !hi.has_value(); }
+
+  bool Contains(const Value& v) const {
+    if (lo.has_value()) {
+      int c = v.Compare(*lo);
+      if (c < 0 || (c == 0 && !lo_closed)) return false;
+    }
+    if (hi.has_value()) {
+      int c = v.Compare(*hi);
+      if (c > 0 || (c == 0 && !hi_closed)) return false;
+    }
+    return true;
+  }
+
+  /// True for intervals that cannot contain any value (e.g. (5, 5)).
+  bool Empty() const {
+    if (!lo.has_value() || !hi.has_value()) return false;
+    int c = lo->Compare(*hi);
+    if (c > 0) return true;
+    return c == 0 && !(lo_closed && hi_closed);
+  }
+
+  /// "[3, 7)", "(-inf, 10]", "[5, 5]" rendering.
+  std::string ToString() const;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_ISL_INTERVAL_H_

@@ -1,0 +1,365 @@
+#include "isl/interval_skip_list.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ariel {
+
+namespace {
+constexpr int kMaxHeight = 32;
+}  // namespace
+
+struct IntervalSkipList::Node {
+  Value key;
+  int refcount = 0;
+  std::vector<Node*> forward;
+  /// edge_markers[l] holds the marker ids on the edge (this -> forward[l]);
+  /// every marker's interval contains that edge's whole span.
+  std::vector<std::set<int64_t>> edge_markers;
+  /// Ids of intervals that contain this node's key and touch this node
+  /// (endpoint or staircase node).
+  std::set<int64_t> eq_markers;
+
+  Node(Value k, int height)
+      : key(std::move(k)), forward(height, nullptr), edge_markers(height) {}
+
+  int height() const { return static_cast<int>(forward.size()); }
+};
+
+IntervalSkipList::IntervalSkipList() : rng_(0xA11E1) {
+  header_ = new Node(Value::Null(), kMaxHeight);
+}
+
+IntervalSkipList::~IntervalSkipList() {
+  Node* node = header_;
+  while (node != nullptr) {
+    Node* next = node->forward[0];
+    delete node;
+    node = next;
+  }
+}
+
+int IntervalSkipList::RandomHeight() {
+  int h = 1;
+  while (h < kMaxHeight && rng_.Bernoulli(0.5)) ++h;
+  return h;
+}
+
+IntervalSkipList::Node* IntervalSkipList::FindNode(const Value& key) const {
+  Node* x = header_;
+  for (int l = max_height_ - 1; l >= 0; --l) {
+    while (x->forward[l] != nullptr && x->forward[l]->key < key) {
+      x = x->forward[l];
+    }
+  }
+  Node* candidate = x->forward[0];
+  return (candidate != nullptr && candidate->key == key) ? candidate : nullptr;
+}
+
+IntervalSkipList::Node* IntervalSkipList::AcquireNode(const Value& key) {
+  Node* update[kMaxHeight];
+  Node* x = header_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    while (x->forward[l] != nullptr && x->forward[l]->key < key) {
+      x = x->forward[l];
+    }
+    update[l] = x;
+  }
+  Node* existing = x->forward[0];
+  if (existing != nullptr && existing->key == key) {
+    ++existing->refcount;
+    return existing;
+  }
+
+  int height = RandomHeight();
+  if (height > max_height_) max_height_ = height;
+  Node* node = new Node(key, height);
+  node->refcount = 1;
+  ++num_nodes_;
+
+  for (int l = 0; l < height; ++l) {
+    node->forward[l] = update[l]->forward[l];
+    update[l]->forward[l] = node;
+  }
+
+  // The new node splits, at each of its levels, the edge that used to run
+  // from update[l] across this key range. Markers on a split edge remain
+  // valid on both halves (their interval contains the larger old span), so
+  // copy them and record the new (node, l) edge in each owner's placement.
+  for (int l = 0; l < height; ++l) {
+    if (node->forward[l] == nullptr) continue;  // there was no old edge
+    const std::set<int64_t>& markers = update[l]->edge_markers[l];
+    node->edge_markers[l] = markers;
+    for (int64_t id : markers) {
+      Placement& p = registry_.at(id);
+      p.edges.emplace_back(node, l);
+      if (p.interval.Contains(key) && node->eq_markers.insert(id).second) {
+        p.eq_nodes.push_back(node);
+      }
+    }
+  }
+  return node;
+}
+
+void IntervalSkipList::ReleaseNode(Node* node) {
+  if (--node->refcount > 0) return;
+
+  // Collect intervals whose markers touch this node: on its outgoing edges,
+  // on the incoming edges that end here, or in its eq set. Their placements
+  // are torn down, the node is removed, and they are re-placed.
+  Node* update[kMaxHeight];
+  Node* x = header_;
+  for (int l = kMaxHeight - 1; l >= 0; --l) {
+    while (x->forward[l] != nullptr && x->forward[l]->key < node->key) {
+      x = x->forward[l];
+    }
+    update[l] = x;
+  }
+
+  std::set<int64_t> affected = node->eq_markers;
+  for (int l = 0; l < node->height(); ++l) {
+    affected.insert(node->edge_markers[l].begin(),
+                    node->edge_markers[l].end());
+    affected.insert(update[l]->edge_markers[l].begin(),
+                    update[l]->edge_markers[l].end());
+  }
+
+  for (int64_t id : affected) {
+    auto it = registry_.find(id);
+    if (it != registry_.end()) ClearMarkers(&it->second, id);
+  }
+
+  for (int l = 0; l < node->height(); ++l) {
+    update[l]->forward[l] = node->forward[l];
+  }
+  delete node;
+  --num_nodes_;
+  while (max_height_ > 1 && header_->forward[max_height_ - 1] == nullptr) {
+    --max_height_;
+  }
+
+  for (int64_t id : affected) {
+    auto it = registry_.find(id);
+    if (it != registry_.end()) PlaceMarkers(id, &it->second);
+  }
+}
+
+void IntervalSkipList::PlaceMarkers(int64_t id, Placement* placement) {
+  Node* x = placement->lo_node;
+  Node* end = placement->hi_node;
+  const Interval& interval = placement->interval;
+
+  auto touch = [&](Node* n) {
+    if (interval.Contains(n->key) && n->eq_markers.insert(id).second) {
+      placement->eq_nodes.push_back(n);
+    }
+  };
+
+  touch(x);
+  if (end->key < x->key) return;  // degenerate (lo > hi): nothing to cover
+  while (x != end) {
+    // Take the highest outgoing edge that does not overshoot the right
+    // endpoint; the level-0 chain guarantees progress to `end`.
+    int l = x->height() - 1;
+    while (x->forward[l] == nullptr || end->key < x->forward[l]->key) --l;
+    x->edge_markers[l].insert(id);
+    placement->edges.emplace_back(x, l);
+    x = x->forward[l];
+    touch(x);
+  }
+}
+
+void IntervalSkipList::ClearMarkers(Placement* placement, int64_t id) {
+  for (auto& [node, level] : placement->edges) {
+    node->edge_markers[level].erase(id);
+  }
+  placement->edges.clear();
+  for (Node* node : placement->eq_nodes) {
+    node->eq_markers.erase(id);
+  }
+  placement->eq_nodes.clear();
+}
+
+void IntervalSkipList::Insert(int64_t id, Interval interval) {
+  Remove(id);  // idempotent replacement semantics
+
+  Placement placement;
+  placement.interval = std::move(interval);
+  const Interval& iv = placement.interval;
+
+  if (iv.lo_unbounded() && iv.hi_unbounded()) {
+    placement.kind = Placement::Kind::kAll;
+    always_.insert(id);
+  } else if (iv.lo_unbounded()) {
+    placement.kind = Placement::Kind::kLoUnbounded;
+    lo_unbounded_.emplace(*iv.hi, id);
+  } else if (iv.hi_unbounded()) {
+    placement.kind = Placement::Kind::kHiUnbounded;
+    hi_unbounded_.emplace(*iv.lo, id);
+  } else {
+    placement.kind = Placement::Kind::kBounded;
+    placement.lo_node = AcquireNode(*iv.lo);
+    placement.hi_node = AcquireNode(*iv.hi);
+    registry_.emplace(id, std::move(placement));
+    PlaceMarkers(id, &registry_.at(id));
+    return;
+  }
+  registry_.emplace(id, std::move(placement));
+}
+
+bool IntervalSkipList::Remove(int64_t id) {
+  auto it = registry_.find(id);
+  if (it == registry_.end()) return false;
+  Placement& p = it->second;
+  switch (p.kind) {
+    case Placement::Kind::kAll:
+      always_.erase(id);
+      break;
+    case Placement::Kind::kLoUnbounded: {
+      auto range = lo_unbounded_.equal_range(*p.interval.hi);
+      for (auto e = range.first; e != range.second; ++e) {
+        if (e->second == id) {
+          lo_unbounded_.erase(e);
+          break;
+        }
+      }
+      break;
+    }
+    case Placement::Kind::kHiUnbounded: {
+      auto range = hi_unbounded_.equal_range(*p.interval.lo);
+      for (auto e = range.first; e != range.second; ++e) {
+        if (e->second == id) {
+          hi_unbounded_.erase(e);
+          break;
+        }
+      }
+      break;
+    }
+    case Placement::Kind::kBounded: {
+      ClearMarkers(&p, id);
+      Node* lo = p.lo_node;
+      Node* hi = p.hi_node;
+      registry_.erase(it);
+      // A point interval shares one node for both endpoints but took two
+      // refcounts, so two releases are correct in either case.
+      ReleaseNode(lo);
+      ReleaseNode(hi);
+      return true;
+    }
+  }
+  registry_.erase(it);
+  return true;
+}
+
+void IntervalSkipList::Stab(const Value& v, std::vector<int64_t>* out) const {
+  std::set<int64_t> found;
+  auto consider = [&](int64_t id) {
+    auto it = registry_.find(id);
+    if (it != registry_.end() && it->second.interval.Contains(v)) {
+      found.insert(id);
+    }
+  };
+
+  // Skip-list descent: at each level the final edge is the unique edge
+  // spanning v, so every bounded interval containing v is seen either there
+  // or in the eq set of the node whose key equals v.
+  const Node* x = header_;
+  for (int l = max_height_ - 1; l >= 0; --l) {
+    while (x->forward[l] != nullptr && x->forward[l]->key < v) {
+      x = x->forward[l];
+    }
+    const Node* y = x->forward[l];
+    if (y == nullptr) continue;
+    for (int64_t id : x->edge_markers[l]) consider(id);
+    if (y->key == v) {
+      for (int64_t id : y->eq_markers) consider(id);
+    }
+  }
+
+  // (-inf, b): all entries with b >= v (closedness checked by consider).
+  for (auto it = lo_unbounded_.lower_bound(v); it != lo_unbounded_.end();
+       ++it) {
+    consider(it->second);
+  }
+  // (a, +inf): all entries with a <= v.
+  for (auto it = hi_unbounded_.begin();
+       it != hi_unbounded_.end() && !(v < it->first); ++it) {
+    consider(it->second);
+  }
+  for (int64_t id : always_) consider(id);
+
+  out->insert(out->end(), found.begin(), found.end());
+}
+
+void IntervalSkipList::CheckInvariants() const {
+  auto die = [](const char* what) {
+    std::fprintf(stderr, "IntervalSkipList invariant violated: %s\n", what);
+    std::abort();
+  };
+
+  // Node chain: ascending keys, positive refcounts, consistent count.
+  size_t count = 0;
+  for (const Node* n = header_->forward[0]; n != nullptr; n = n->forward[0]) {
+    ++count;
+    if (n->refcount <= 0) die("non-positive refcount");
+    if (n->forward[0] != nullptr && !(n->key < n->forward[0]->key)) {
+      die("keys out of order");
+    }
+  }
+  if (count != num_nodes_) die("node count mismatch");
+
+  // Every marker on every edge / node belongs to a registered bounded
+  // interval that records exactly that edge / node.
+  for (const Node* n = header_; n != nullptr; n = n->forward[0]) {
+    for (int l = 0; l < n->height(); ++l) {
+      for (int64_t id : n->edge_markers[l]) {
+        auto it = registry_.find(id);
+        if (it == registry_.end()) die("orphan edge marker");
+        const auto& edges = it->second.edges;
+        bool recorded = false;
+        for (const auto& [from, level] : edges) {
+          if (from == n && level == l) recorded = true;
+        }
+        if (!recorded) die("edge marker missing from placement");
+      }
+    }
+    for (int64_t id : n->eq_markers) {
+      auto it = registry_.find(id);
+      if (it == registry_.end()) die("orphan eq marker");
+      if (!it->second.interval.Contains(n->key)) {
+        die("eq marker on non-contained node");
+      }
+    }
+  }
+
+  // Each bounded placement's edges form a chain from lo_node to hi_node.
+  for (const auto& [id, p] : registry_) {
+    if (p.kind != Placement::Kind::kBounded) continue;
+    std::set<const Node*> edge_from;
+    for (const auto& [from, level] : p.edges) {
+      if (from->forward[level] == nullptr) die("placement edge dangling");
+      if (from->edge_markers[level].find(id) ==
+          from->edge_markers[level].end()) {
+        die("placement edge not marked");
+      }
+      if (!edge_from.insert(from).second) die("two edges from one node");
+    }
+    const Node* x = p.lo_node;
+    size_t used = 0;
+    while (x != p.hi_node) {
+      bool advanced = false;
+      for (const auto& [from, level] : p.edges) {
+        if (from == x) {
+          x = from->forward[level];
+          ++used;
+          advanced = true;
+          break;
+        }
+      }
+      if (!advanced) die("placement chain broken");
+    }
+    if (used != p.edges.size()) die("unused placement edges");
+  }
+}
+
+}  // namespace ariel

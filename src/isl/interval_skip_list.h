@@ -1,0 +1,105 @@
+#ifndef ARIEL_ISL_INTERVAL_SKIP_LIST_H_
+#define ARIEL_ISL_INTERVAL_SKIP_LIST_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "isl/interval.h"
+#include "util/random.h"
+
+namespace ariel {
+
+/// The interval skip list of Hanson [9]: an index over a dynamic set of
+/// intervals answering stabbing queries — "which intervals contain value v?"
+/// — in O(log n + answer) expected time. It is the top layer of Ariel's
+/// discrimination network (§4.1): each rule's single-relation selection
+/// predicate contributes one interval per indexed attribute, and every
+/// update token is stabbed through the list to find the rules it may affect.
+///
+/// Fully bounded intervals live in the skip list proper, with marker sets on
+/// edges and nodes maintaining the coverage invariant: every interval's
+/// markers cover its span, so a top-down descent to v crosses (at each
+/// level) the unique edge spanning v and thereby sees a marker of every
+/// interval containing v. Collected markers are verified against the actual
+/// interval endpoints, so half-open boundaries are exact. Half-unbounded
+/// intervals are kept in ordered boundary maps (a skip-list staircase cannot
+/// cover an unbounded span), and (-inf, +inf) intervals in an always-set;
+/// both are also O(log n + answer).
+class IntervalSkipList {
+ public:
+  IntervalSkipList();
+  ~IntervalSkipList();
+
+  IntervalSkipList(const IntervalSkipList&) = delete;
+  IntervalSkipList& operator=(const IntervalSkipList&) = delete;
+
+  /// Adds an interval under a caller-chosen unique id. Empty intervals are
+  /// stored (and simply never returned by Stab).
+  void Insert(int64_t id, Interval interval);
+
+  /// Removes the interval with this id. Returns false if unknown.
+  bool Remove(int64_t id);
+
+  /// Appends the ids of all intervals containing `v`, in ascending id order.
+  void Stab(const Value& v, std::vector<int64_t>* out) const;
+
+  /// Number of intervals currently stored.
+  size_t size() const { return registry_.size(); }
+  bool empty() const { return registry_.empty(); }
+
+  /// Number of skip-list nodes (distinct bounded endpoints), for tests.
+  size_t num_nodes() const { return num_nodes_; }
+
+  /// Verifies structural invariants (marker coverage, registry consistency,
+  /// node ordering); aborts on violation. Used by property tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  /// Where one interval's markers live, so removal is exact.
+  struct Placement {
+    Interval interval;
+    Node* lo_node = nullptr;  // endpoint nodes (bounded intervals only)
+    Node* hi_node = nullptr;
+    std::vector<std::pair<Node*, int>> edges;  // (from-node, level)
+    std::vector<Node*> eq_nodes;
+    enum class Kind : uint8_t { kBounded, kLoUnbounded, kHiUnbounded, kAll };
+    Kind kind = Kind::kBounded;
+  };
+
+  int RandomHeight();
+  Node* FindNode(const Value& key) const;
+  /// Inserts (or finds) an endpoint node, splitting edge markers of
+  /// overlapping intervals as needed. Increments the node's refcount.
+  Node* AcquireNode(const Value& key);
+  /// Decrements refcount; when it hits zero, removes the node, tearing down
+  /// and re-placing markers of intervals overlapping it.
+  void ReleaseNode(Node* node);
+  /// Lays `id`'s markers along the staircase from lo_node to hi_node and
+  /// records them in the placement.
+  void PlaceMarkers(int64_t id, Placement* placement);
+  /// Removes all recorded markers of `id` (does not touch refcounts).
+  void ClearMarkers(Placement* placement, int64_t id);
+
+  Node* header_;
+  int max_height_ = 1;
+  size_t num_nodes_ = 0;
+  Random rng_;
+
+  std::unordered_map<int64_t, Placement> registry_;
+
+  // Boundary maps for half-unbounded intervals: key = the bounded endpoint.
+  // For (-inf, b): stored under b; stab(v) answers entries with b > v, plus
+  // b == v when closed. Symmetrically for (a, +inf).
+  std::multimap<Value, int64_t> lo_unbounded_;  // keyed by hi endpoint
+  std::multimap<Value, int64_t> hi_unbounded_;  // keyed by lo endpoint
+  std::set<int64_t> always_;                    // (-inf, +inf)
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_ISL_INTERVAL_SKIP_LIST_H_

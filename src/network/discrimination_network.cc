@@ -1,0 +1,53 @@
+#include "network/discrimination_network.h"
+
+#include <algorithm>
+
+namespace ariel {
+
+Status DiscriminationNetwork::AddRule(RuleNetwork* rule) {
+  ARIEL_RETURN_NOT_OK(selection_.AddRule(rule));
+  rules_.push_back(rule);
+  return Status::OK();
+}
+
+void DiscriminationNetwork::RemoveRule(RuleNetwork* rule) {
+  selection_.RemoveRule(rule);
+  rules_.erase(std::remove(rules_.begin(), rules_.end(), rule), rules_.end());
+  dirty_dynamic_rules_.erase(std::remove(dirty_dynamic_rules_.begin(),
+                                         dirty_dynamic_rules_.end(), rule),
+                             dirty_dynamic_rules_.end());
+}
+
+Status DiscriminationNetwork::ProcessToken(const Token& token) {
+  ++tokens_processed_;
+  if (token_listener_) token_listener_(token);
+  ARIEL_ASSIGN_OR_RETURN(std::vector<ConditionMatch> matches,
+                         selection_.Match(token));
+  RuleNetwork::ProcessedMemories processed;
+  for (const ConditionMatch& match : matches) {
+    // The memory joins the token's ProcessedMemories set at arrival, before
+    // its joins run (§4.2) — this is what makes self-joins through virtual
+    // α-memories produce each pairing exactly once.
+    processed.insert(match.rule->alpha(match.alpha_ordinal));
+    ++arrivals_;
+    if (match.rule->has_dynamic_memories() && !match.rule->dirty_dynamic()) {
+      match.rule->set_dirty_dynamic(true);
+      dirty_dynamic_rules_.push_back(match.rule);
+    }
+    ARIEL_RETURN_NOT_OK(
+        match.rule->Arrive(token, match.alpha_ordinal, processed));
+  }
+  return Status::OK();
+}
+
+void DiscriminationNetwork::OnTransitionEnd() {
+  // Only rules a token actually reached this transition can hold dynamic
+  // state; flushing everything would make transitions O(#rules).
+  for (RuleNetwork* rule : dirty_dynamic_rules_) {
+    rule->FlushDynamicMemories();
+    rule->set_dirty_dynamic(false);
+  }
+  dirty_dynamic_rules_.clear();
+}
+
+}  // namespace ariel

@@ -1,0 +1,56 @@
+#ifndef ARIEL_NETWORK_DISCRIMINATION_NETWORK_H_
+#define ARIEL_NETWORK_DISCRIMINATION_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "network/selection_network.h"
+#include "network/rule_network.h"
+#include "network/token.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// The complete A-TREAT discrimination network (§4): the selection-predicate
+/// index on top, one TREAT join network per rule below. Owns neither — rule
+/// networks belong to the rule manager; this class routes tokens.
+class DiscriminationNetwork {
+ public:
+  DiscriminationNetwork() = default;
+
+  Status AddRule(RuleNetwork* rule);
+  void RemoveRule(RuleNetwork* rule);
+
+  /// Propagates one token: the selection network finds the α-memories it
+  /// reaches; each arrival updates the memory, joins (for insertions), and
+  /// maintains the P-node. ProcessedMemories grows across arrivals of the
+  /// same token, implementing the paper's virtual-memory self-join protocol.
+  Status ProcessToken(const Token& token);
+
+  /// End-of-transition housekeeping: flushes dynamic α-memories (§4.3.2).
+  void OnTransitionEnd();
+
+  const SelectionNetwork& selection_network() const { return selection_; }
+
+  uint64_t tokens_processed() const { return tokens_processed_; }
+  uint64_t arrivals() const { return arrivals_; }
+
+  /// Observation hook invoked for every token before propagation. Used by
+  /// tests validating the §4.3.1 token-generation cases and by tracing.
+  using TokenListener = std::function<void(const Token&)>;
+  void set_token_listener(TokenListener listener) {
+    token_listener_ = std::move(listener);
+  }
+
+ private:
+  TokenListener token_listener_;
+  SelectionNetwork selection_;
+  std::vector<RuleNetwork*> rules_;
+  std::vector<RuleNetwork*> dirty_dynamic_rules_;
+  uint64_t tokens_processed_ = 0;
+  uint64_t arrivals_ = 0;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_DISCRIMINATION_NETWORK_H_

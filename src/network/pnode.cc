@@ -1,0 +1,137 @@
+#include "network/pnode.h"
+
+#include <atomic>
+
+namespace ariel {
+
+namespace {
+/// Process-wide match clock: every P-node insertion anywhere draws the next
+/// tick, giving a total recency order across rules (and across engines,
+/// which is harmless — only relative order within one engine matters).
+std::atomic<uint64_t> g_match_clock{0};
+}  // namespace
+
+PNode::PNode(uint32_t relation_id, const std::string& rule_name,
+             std::vector<PnodeVar> vars)
+    : vars_(std::move(vars)) {
+  Schema schema;
+  for (const PnodeVar& v : vars_) {
+    var_offset_.push_back(schema.num_attributes());
+    schema.AddAttribute(Attribute{v.name + ".tid", DataType::kInt});
+    for (const Attribute& attr : v.schema->attributes()) {
+      schema.AddAttribute(Attribute{v.name + "." + attr.name, attr.type});
+    }
+    if (v.has_previous) {
+      for (const Attribute& attr : v.schema->attributes()) {
+        schema.AddAttribute(
+            Attribute{v.name + ".previous." + attr.name, attr.type});
+      }
+    }
+  }
+  relation_ = std::make_unique<HeapRelation>(
+      relation_id, "pnode$" + rule_name, std::move(schema));
+}
+
+Status PNode::Insert(const Row& row) {
+  if (row.num_vars() != vars_.size()) {
+    return Status::Internal("P-node row arity mismatch");
+  }
+  Tuple out;
+  for (size_t v = 0; v < vars_.size(); ++v) {
+    if (!row.filled[v]) {
+      return Status::Internal("P-node insert with unbound variable \"" +
+                              vars_[v].name + "\"");
+    }
+    out.Append(Value::Int(EncodeTid(row.tids[v])));
+    const size_t arity = vars_[v].schema->num_attributes();
+    if (row.current[v].size() != arity) {
+      return Status::Internal("P-node value arity mismatch for \"" +
+                              vars_[v].name + "\"");
+    }
+    for (size_t i = 0; i < arity; ++i) out.Append(row.current[v].at(i));
+    if (vars_[v].has_previous) {
+      if (row.previous[v].size() != arity) {
+        return Status::Internal("P-node previous arity mismatch for \"" +
+                                vars_[v].name + "\"");
+      }
+      for (size_t i = 0; i < arity; ++i) out.Append(row.previous[v].at(i));
+    }
+  }
+  last_insert_stamp_ = ++g_match_clock;
+  return relation_->Insert(std::move(out)).status();
+}
+
+size_t PNode::RemoveByTid(size_t var_ordinal, TupleId tid) {
+  const size_t tid_col = var_offset_[var_ordinal];
+  const int64_t encoded = EncodeTid(tid);
+  size_t removed = 0;
+  for (TupleId row_id : relation_->AllTupleIds()) {
+    const Tuple* t = relation_->Get(row_id);
+    if (t != nullptr && t->at(tid_col).int_value() == encoded) {
+      relation_->Delete(row_id);  // cannot fail: id just enumerated
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+void PNode::Clear() {
+  for (TupleId row_id : relation_->AllTupleIds()) {
+    relation_->Delete(row_id);
+  }
+}
+
+std::unique_ptr<HeapRelation> PNode::MakeFiringBuffer() const {
+  return std::make_unique<HeapRelation>(
+      relation_->id(), relation_->name() + "$firing", relation_->schema());
+}
+
+void PNode::DrainInto(HeapRelation* dest) {
+  for (TupleId row_id : dest->AllTupleIds()) {
+    dest->Delete(row_id);
+  }
+  for (TupleId row_id : relation_->AllTupleIds()) {
+    const Tuple* t = relation_->Get(row_id);
+    if (t != nullptr) {
+      dest->Insert(*t).status();  // same schema: cannot fail
+      relation_->Delete(row_id);
+    }
+  }
+}
+
+std::unique_ptr<HeapRelation> PNode::DetachSnapshot() {
+  auto snapshot = std::make_unique<HeapRelation>(
+      relation_->id(), relation_->name() + "$firing", relation_->schema());
+  for (TupleId row_id : relation_->AllTupleIds()) {
+    const Tuple* t = relation_->Get(row_id);
+    if (t != nullptr) {
+      snapshot->Insert(*t).status();  // same schema: cannot fail
+      relation_->Delete(row_id);
+    }
+  }
+  return snapshot;
+}
+
+Row PNode::ToRow(const Tuple& pnode_tuple) const {
+  Row row(vars_.size());
+  for (size_t v = 0; v < vars_.size(); ++v) {
+    size_t offset = var_offset_[v];
+    const size_t arity = vars_[v].schema->num_attributes();
+    TupleId tid = DecodeTid(pnode_tuple.at(offset).int_value());
+    Tuple value;
+    for (size_t i = 0; i < arity; ++i) {
+      value.Append(pnode_tuple.at(offset + 1 + i));
+    }
+    row.Set(v, std::move(value), tid);
+    if (vars_[v].has_previous) {
+      Tuple prev;
+      for (size_t i = 0; i < arity; ++i) {
+        prev.Append(pnode_tuple.at(offset + 1 + arity + i));
+      }
+      row.SetPrevious(v, std::move(prev));
+    }
+  }
+  return row;
+}
+
+}  // namespace ariel

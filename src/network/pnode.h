@@ -1,0 +1,93 @@
+#ifndef ARIEL_NETWORK_PNODE_H_
+#define ARIEL_NETWORK_PNODE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "exec/row.h"
+#include "storage/heap_relation.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Describes one tuple variable whose bindings a P-node stores.
+struct PnodeVar {
+  std::string name;
+  const Schema* schema = nullptr;  // schema of the variable's relation
+  bool has_previous = false;       // transition variable: store old values too
+};
+
+/// The P-node of §2.2.3/§5: a temporary relation holding the data matching a
+/// rule's condition — the rule's conflict-set entry, in TREAT terms.
+///
+/// Layout per variable v (in rule variable order):
+///   v.tid              encoded tuple identifier (int)
+///   v.<attr>...        current attribute values
+///   v.previous.<attr>  old attribute values (transition variables only)
+///
+/// The rule-action planner binds the tuple variable P to `relation()`, and
+/// the primed commands decode `v.tid` to reach base tuples (§5.1).
+class PNode {
+ public:
+  /// `relation_id` must be unique across the engine (it appears inside the
+  /// TupleIds of P-node rows; the rule system allocates from a reserved
+  /// range so P-node ids never collide with catalog relations).
+  PNode(uint32_t relation_id, const std::string& rule_name,
+        std::vector<PnodeVar> vars);
+
+  const std::vector<PnodeVar>& vars() const { return vars_; }
+
+  /// The backing relation, for PnodeScan binding.
+  const HeapRelation& relation() const { return *relation_; }
+
+  size_t size() const { return relation_->size(); }
+  bool empty() const { return relation_->empty(); }
+
+  /// Monotonic stamp of the most recent insertion (0 = never), drawn from a
+  /// process-wide match clock. OPS5-style recency conflict resolution
+  /// prefers the rule whose conflict-set entry is freshest.
+  uint64_t last_insert_stamp() const { return last_insert_stamp_; }
+
+  /// Materializes one instantiation. `row` is laid out against the rule's
+  /// variable order; every slot must be filled.
+  Status Insert(const Row& row);
+
+  /// Removes all instantiations whose binding for variable `var_ordinal`
+  /// is the tuple `tid`. Returns the number removed.
+  size_t RemoveByTid(size_t var_ordinal, TupleId tid);
+
+  /// Consumes all instantiations (rule firing / deactivation).
+  void Clear();
+
+  /// Moves the current contents into a fresh relation and clears this
+  /// P-node. Rule firing binds the action to the snapshot (the data matched
+  /// "at rule fire time", §5), while instantiations produced by the action
+  /// itself accumulate in the live P-node for later cycle iterations.
+  std::unique_ptr<HeapRelation> DetachSnapshot();
+
+  /// Creates an empty relation with this P-node's schema — the rule
+  /// monitor's reusable firing buffer (a stable relation pointer lets
+  /// cached action plans survive across firings).
+  std::unique_ptr<HeapRelation> MakeFiringBuffer() const;
+
+  /// Moves the current contents into `dest` (cleared first) and clears this
+  /// P-node. `dest` must come from MakeFiringBuffer.
+  void DrainInto(HeapRelation* dest);
+
+  /// Rebuilds a Row (rule-variable layout) from one stored P-node tuple;
+  /// used by tests and by the equivalence checker.
+  Row ToRow(const Tuple& pnode_tuple) const;
+
+ private:
+  std::vector<PnodeVar> vars_;
+  /// Per variable: column offset of its tid column (attr values follow).
+  std::vector<size_t> var_offset_;
+  std::unique_ptr<HeapRelation> relation_;
+  uint64_t last_insert_stamp_ = 0;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_PNODE_H_

@@ -1,0 +1,671 @@
+#include "network/rule_network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* AlphaKindToString(AlphaKind kind) {
+  switch (kind) {
+    case AlphaKind::kStored: return "stored";
+    case AlphaKind::kVirtual: return "virtual";
+    case AlphaKind::kDynamicOn: return "dynamic-on";
+    case AlphaKind::kDynamicTrans: return "dynamic-trans";
+    case AlphaKind::kSimple: return "simple";
+    case AlphaKind::kSimpleOn: return "simple-on";
+    case AlphaKind::kSimpleTrans: return "simple-trans";
+  }
+  return "?";
+}
+
+bool AlphaMemory::AcceptsToken(const Token& token) const {
+  // On-conditions examine the event specifier (§4.3.1); a token with no
+  // specifier (the paper's simple − token) never matches an on-condition.
+  if (spec_.on_event.has_value()) {
+    if (!token.event.has_value()) return false;
+    if (token.event->kind != spec_.on_event->kind) return false;
+    if (spec_.on_event->kind == EventKind::kReplace &&
+        !spec_.on_event->attributes.empty()) {
+      bool touched = false;
+      for (const std::string& want : spec_.on_event->attributes) {
+        for (const std::string& got : token.event->updated_attrs) {
+          if (EqualsIgnoreCase(want, got)) {
+            touched = true;
+            break;
+          }
+        }
+      }
+      if (!touched) return false;
+    }
+  }
+  // Transition memories consume only Δ tokens (Figure 5: +/− entries for
+  // the trans rows are "don't care" — they can never occur).
+  if (is_transition() && !token.is_delta()) return false;
+  return true;
+}
+
+bool AlphaMemory::RemoveEntry(TupleId tid) {
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->tid == tid) {
+      entries_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t AlphaMemory::EstimatedSize() const {
+  if (is_virtual()) return spec_.relation->size();
+  return entries_.size();
+}
+
+size_t AlphaMemory::FootprintBytes() const {
+  size_t bytes = entries_.capacity() * sizeof(AlphaEntry);
+  for (const AlphaEntry& e : entries_) {
+    bytes += e.value.FootprintBytes() + e.previous.FootprintBytes();
+  }
+  return bytes;
+}
+
+const char* JoinBackendToString(JoinBackend backend) {
+  switch (backend) {
+    case JoinBackend::kTreat: return "treat";
+    case JoinBackend::kRete: return "rete";
+  }
+  return "?";
+}
+
+RuleNetwork::RuleNetwork(std::string rule_name, uint32_t pnode_relation_id,
+                         std::vector<AlphaSpec> alphas,
+                         std::vector<ExprPtr> join_conjuncts,
+                         JoinBackend backend)
+    : rule_name_(std::move(rule_name)),
+      pnode_relation_id_(pnode_relation_id),
+      join_exprs_(std::move(join_conjuncts)),
+      backend_(backend) {
+  for (size_t i = 0; i < alphas.size(); ++i) {
+    alphas_.push_back(
+        std::make_unique<AlphaMemory>(std::move(alphas[i]), i));
+  }
+}
+
+Status RuleNetwork::Init() {
+  const size_t n = alphas_.size();
+  if (n == 0) {
+    return Status::SemanticError("rule \"" + rule_name_ +
+                                 "\" has no tuple variables");
+  }
+
+  std::vector<PnodeVar> pnode_vars;
+  for (const auto& alpha : alphas_) {
+    const AlphaSpec& spec = alpha->spec();
+    scope_.Add(VarBinding{ToLower(spec.var_name), &spec.relation->schema(),
+                          spec.has_previous});
+    pnode_vars.push_back(PnodeVar{ToLower(spec.var_name),
+                                  &spec.relation->schema(),
+                                  spec.has_previous});
+    if (alpha->is_virtual() && spec.has_previous) {
+      return Status::Internal(
+          "virtual α-memories cannot hold transition conditions");
+    }
+    if (alpha->is_simple() && n > 1) {
+      return Status::Internal(
+          "simple α-memories are only valid in one-variable rules");
+    }
+  }
+  pnode_ = std::make_unique<PNode>(pnode_relation_id_, rule_name_,
+                                   std::move(pnode_vars));
+
+  for (auto& alpha : alphas_) {
+    if (alpha->spec_.selection != nullptr) {
+      ARIEL_ASSIGN_OR_RETURN(alpha->compiled_selection_,
+                             CompileExpr(*alpha->spec_.selection, scope_));
+    }
+  }
+
+  adjacency_.assign(n, std::vector<bool>(n, false));
+  for (const ExprPtr& expr : join_exprs_) {
+    CompiledConjunct cc;
+    for (const std::string& var : CollectTupleVars(*expr)) {
+      int idx = scope_.IndexOf(var);
+      if (idx < 0) {
+        return Status::SemanticError("join conjunct references unknown "
+                                     "variable \"" + var + "\"");
+      }
+      cc.vars.push_back(static_cast<size_t>(idx));
+    }
+    ARIEL_ASSIGN_OR_RETURN(cc.expr, CompileExpr(*expr, scope_));
+    for (size_t a : cc.vars) {
+      for (size_t b : cc.vars) {
+        if (a != b) adjacency_[a][b] = true;
+      }
+    }
+    ARIEL_RETURN_NOT_OK(RecordIndexJoinPaths(*expr));
+    join_conjuncts_.push_back(std::move(cc));
+  }
+
+  for (const auto& alpha : alphas_) {
+    if (alpha->is_dynamic()) has_dynamic_ = true;
+  }
+  // Rete is only offered to multi-variable pattern rules: flushing dynamic
+  // bindings out of β chains at every transition would reintroduce the
+  // maintenance cost TREAT avoids, and one-variable rules have no joins.
+  if (backend_ == JoinBackend::kRete && (has_dynamic_ || n < 2)) {
+    backend_ = JoinBackend::kTreat;
+  }
+  if (backend_ == JoinBackend::kRete) {
+    beta_.assign(n, {});  // levels 1..n-2 used
+  }
+  initialized_ = true;
+  return Status::OK();
+}
+
+Status RuleNetwork::RecordIndexJoinPaths(const Expr& conjunct) {
+  if (conjunct.kind != ExprKind::kBinary) return Status::OK();
+  const auto& bin = static_cast<const BinaryExpr&>(conjunct);
+  if (bin.op != BinaryOp::kEq) return Status::OK();
+
+  // Either side of `a.x = <expr>` yields a path into a's memory when the
+  // other side depends only on other variables.
+  for (bool flip : {false, true}) {
+    const Expr* ref_side = flip ? bin.rhs.get() : bin.lhs.get();
+    const Expr* key_side = flip ? bin.lhs.get() : bin.rhs.get();
+    if (ref_side->kind != ExprKind::kColumnRef) continue;
+    const auto& ref = static_cast<const ColumnRefExpr&>(*ref_side);
+    if (ref.previous || ref.is_all()) continue;
+    int var = scope_.IndexOf(ref.tuple_var);
+    if (var < 0) continue;
+    if (!alphas_[var]->is_virtual()) continue;  // only virtual joins probe
+
+    IndexJoinPath path;
+    path.var = static_cast<size_t>(var);
+    path.attr_name = ref.attribute;
+    bool self_reference = false;
+    for (const std::string& kv : CollectTupleVars(*key_side)) {
+      int idx = scope_.IndexOf(kv);
+      if (idx < 0 || idx == var) {
+        self_reference = true;
+        break;
+      }
+      path.key_vars.push_back(static_cast<size_t>(idx));
+    }
+    if (self_reference || path.key_vars.empty()) continue;
+    ARIEL_ASSIGN_OR_RETURN(path.key_expr, CompileExpr(*key_side, scope_));
+    index_join_paths_.push_back(std::move(path));
+  }
+  return Status::OK();
+}
+
+Status RuleNetwork::Arrive(const Token& token, size_t alpha_ordinal,
+                           const ProcessedMemories& processed) {
+  AlphaMemory* alpha = alphas_[alpha_ordinal].get();
+  const size_t n = alphas_.size();
+
+  // Does this token assert a binding here, or retract one? Insertion
+  // tokens assert; deletion tokens retract — except at on-delete
+  // conditions, where the delete-specified − token IS the triggering event
+  // (§4.3.1 case 4: "a delete −, which will match any applicable on delete
+  // rule conditions"). On-delete bindings are never retracted within a
+  // transition, because a deleted tuple cannot be touched again (§4.3.1).
+  const bool asserts_binding =
+      token.is_insertion() ||
+      (alpha->spec().on_event.has_value() &&
+       alpha->spec().on_event->kind == EventKind::kDelete);
+
+  if (!asserts_binding) {
+    // Deletion handling: drop the entry and delete the affected
+    // instantiations directly from the conflict set (P-node); under Rete
+    // the β chain sheds the affected partials too. No joins either way —
+    // this asymmetry is TREAT's main advantage.
+    if (alpha->stores_tuples()) alpha->RemoveEntry(token.tid);
+    if (backend_ == JoinBackend::kRete) {
+      ReteRetract(alpha_ordinal, token.tid);
+    }
+    pnode_->RemoveByTid(alpha_ordinal, token.tid);
+    return Status::OK();
+  }
+
+  if (alpha->is_simple()) {
+    // One-variable rule: matching data goes straight to the P-node.
+    Row row(1);
+    row.Set(0, token.value, token.tid);
+    if (alpha->is_transition()) row.SetPrevious(0, token.previous);
+    return pnode_->Insert(row);
+  }
+
+  if (alpha->stores_tuples()) {
+    alpha->InsertEntry(AlphaEntry{token.tid, token.value,
+                                  alpha->is_transition() ? token.previous
+                                                         : Tuple()});
+  }
+
+  if (backend_ == JoinBackend::kRete) {
+    return ReteAssert(token, alpha_ordinal, processed);
+  }
+
+  Row row(n);
+  row.Set(alpha_ordinal, token.value, token.tid);
+  if (alpha->is_transition()) row.SetPrevious(alpha_ordinal, token.previous);
+  std::vector<bool> bound(n, false);
+  bound[alpha_ordinal] = true;
+  return ExtendJoin(token, &row, &bound, 1, processed);
+}
+
+// ---------------------------------------------------------------------------
+// Rete backend
+// ---------------------------------------------------------------------------
+
+Result<bool> RuleNetwork::PrefixConjunctsHold(size_t level, size_t newly,
+                                              const Row& row) const {
+  for (const CompiledConjunct& cc : join_conjuncts_) {
+    bool touches_new = false;
+    bool in_prefix = true;
+    for (size_t v : cc.vars) {
+      if (v == newly) touches_new = true;
+      if (v > level) in_prefix = false;
+    }
+    if (!touches_new || !in_prefix) continue;
+    ARIEL_ASSIGN_OR_RETURN(bool ok, cc.expr->EvalPredicate(row));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+Status RuleNetwork::ReteExtend(size_t level, Row* row, const Token& token,
+                               const ProcessedMemories& processed) {
+  const size_t n = alphas_.size();
+  if (level == n - 1) return pnode_->Insert(*row);
+  if (level >= 1) beta_[level].push_back(*row);
+
+  const size_t next = level + 1;
+  std::vector<bool> bound(n, false);
+  for (size_t k = 0; k <= level; ++k) bound[k] = row->filled[k];
+  bound[next] = true;  // mirror ExtendJoin's convention for index probing
+
+  Status status = ForEachCandidate(
+      token, next, *row, bound, processed,
+      [&](const AlphaEntry& entry) -> Status {
+        row->Set(next, entry.value, entry.tid);
+        if (alphas_[next]->is_transition()) {
+          row->SetPrevious(next, entry.previous);
+        }
+        ARIEL_ASSIGN_OR_RETURN(bool ok,
+                               PrefixConjunctsHold(next, next, *row));
+        if (!ok) return Status::OK();
+        return ReteExtend(next, row, token, processed);
+      });
+  row->filled[next] = false;
+  return status;
+}
+
+Status RuleNetwork::ReteAssert(const Token& token, size_t alpha_ordinal,
+                               const ProcessedMemories& processed) {
+  const size_t n = alphas_.size();
+  Row row(n);
+  row.Set(alpha_ordinal, token.value, token.tid);
+  if (alphas_[alpha_ordinal]->is_transition()) {
+    row.SetPrevious(alpha_ordinal, token.previous);
+  }
+
+  if (alpha_ordinal == 0) {
+    return ReteExtend(0, &row, token, processed);
+  }
+
+  // Join the token leftward against the partials over [0, i-1], then let
+  // every surviving combination cascade rightward.
+  const size_t i = alpha_ordinal;
+  if (i == 1) {
+    // β_0 is α_0 itself: enumerate its candidates.
+    std::vector<bool> bound(n, false);
+    bound[1] = true;
+    bound[0] = true;  // index-path convention: the probed var reads as bound
+    Status status = ForEachCandidate(
+        token, 0, row, bound, processed,
+        [&](const AlphaEntry& entry) -> Status {
+          row.Set(0, entry.value, entry.tid);
+          if (alphas_[0]->is_transition()) row.SetPrevious(0, entry.previous);
+          ARIEL_ASSIGN_OR_RETURN(bool ok, PrefixConjunctsHold(1, 1, row));
+          if (!ok) return Status::OK();
+          return ReteExtend(1, &row, token, processed);
+        });
+    row.filled[0] = false;
+    return status;
+  }
+
+  // i >= 2: join against the stored β_{i-1} partials. ReteExtend only
+  // appends to β levels >= i, so iterating by index is safe.
+  const std::vector<Row>& lefts = beta_[i - 1];
+  for (size_t idx = 0; idx < lefts.size(); ++idx) {
+    Row combined = lefts[idx];
+    combined.MergeFrom(row);
+    ARIEL_ASSIGN_OR_RETURN(bool ok, PrefixConjunctsHold(i, i, combined));
+    if (!ok) continue;
+    ARIEL_RETURN_NOT_OK(ReteExtend(i, &combined, token, processed));
+  }
+  return Status::OK();
+}
+
+void RuleNetwork::ReteRetract(size_t var, TupleId tid) {
+  for (size_t level = std::max<size_t>(var, 1); level + 1 < alphas_.size();
+       ++level) {
+    if (level >= beta_.size()) break;
+    auto& partials = beta_[level];
+    partials.erase(std::remove_if(partials.begin(), partials.end(),
+                                  [&](const Row& row) {
+                                    return row.filled[var] &&
+                                           row.tids[var] == tid;
+                                  }),
+                   partials.end());
+  }
+}
+
+Status RuleNetwork::PrimeBetas(Optimizer* optimizer) {
+  const size_t n = alphas_.size();
+  if (backend_ != JoinBackend::kRete) return Status::OK();
+  beta_.assign(n, {});
+  for (size_t level = 1; level + 1 < n; ++level) {
+    // Plan the prefix join over variables [0, level] using their
+    // selections plus the join conjuncts fully contained in the prefix.
+    std::vector<PlanVar> vars;
+    std::vector<ExprPtr> conjuncts;
+    for (size_t v = 0; v <= level; ++v) {
+      vars.push_back(PlanVar{alphas_[v]->spec().var_name,
+                             alphas_[v]->spec().relation, false});
+      if (alphas_[v]->spec().selection != nullptr) {
+        conjuncts.push_back(alphas_[v]->spec().selection->Clone());
+      }
+    }
+    for (const ExprPtr& join : join_exprs_) {
+      bool in_prefix = true;
+      for (const std::string& name : CollectTupleVars(*join)) {
+        int idx = scope_.IndexOf(name);
+        if (idx < 0 || static_cast<size_t>(idx) > level) in_prefix = false;
+      }
+      if (in_prefix) conjuncts.push_back(join->Clone());
+    }
+    ExprPtr qual = CombineConjuncts(std::move(conjuncts));
+    ARIEL_ASSIGN_OR_RETURN(Plan plan, optimizer->BuildPlan(vars, qual.get()));
+    ARIEL_ASSIGN_OR_RETURN(std::vector<Row> rows, plan.CollectRows());
+    for (const Row& prefix_row : rows) {
+      Row widened(n);
+      for (size_t v = 0; v <= level; ++v) {
+        widened.Set(v, prefix_row.current[v], prefix_row.tids[v]);
+      }
+      beta_[level].push_back(std::move(widened));
+    }
+  }
+  return Status::OK();
+}
+
+Status RuleNetwork::ExtendJoin(const Token& token, Row* row,
+                               std::vector<bool>* bound, size_t num_bound,
+                               const ProcessedMemories& processed) {
+  const size_t n = alphas_.size();
+  if (num_bound == n) return pnode_->Insert(*row);
+
+  // Join-order heuristic: prefer a variable connected to the bound set by
+  // some join conjunct; among those, the smallest memory.
+  int next = -1;
+  bool next_connected = false;
+  size_t next_size = std::numeric_limits<size_t>::max();
+  for (size_t j = 0; j < n; ++j) {
+    if ((*bound)[j]) continue;
+    bool connected = false;
+    for (size_t i = 0; i < n && !connected; ++i) {
+      if ((*bound)[i] && adjacency_[i][j]) connected = true;
+    }
+    size_t size = alphas_[j]->EstimatedSize();
+    if (next < 0 || (connected && !next_connected) ||
+        (connected == next_connected && size < next_size)) {
+      next = static_cast<int>(j);
+      next_connected = connected;
+      next_size = size;
+    }
+  }
+  const size_t j = static_cast<size_t>(next);
+
+  (*bound)[j] = true;
+  Status status = ForEachCandidate(
+      token, j, *row, *bound, processed,
+      [&](const AlphaEntry& entry) -> Status {
+        row->Set(j, entry.value, entry.tid);
+        if (alphas_[j]->is_transition()) row->SetPrevious(j, entry.previous);
+        ARIEL_ASSIGN_OR_RETURN(bool ok, JoinConjunctsHold(j, *bound, *row));
+        if (!ok) return Status::OK();
+        return ExtendJoin(token, row, bound, num_bound + 1, processed);
+      });
+  (*bound)[j] = false;
+  row->filled[j] = false;
+  return status;
+}
+
+Status RuleNetwork::ForEachCandidate(
+    const Token& token, size_t j, const Row& row,
+    const std::vector<bool>& bound, const ProcessedMemories& processed,
+    const std::function<Status(const AlphaEntry&)>& fn) {
+  AlphaMemory* alpha = alphas_[j].get();
+
+  if (alpha->stores_tuples()) {
+    // Iterate over a snapshot index range: fn never mutates α-memories.
+    const auto& entries = alpha->entries();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      ARIEL_RETURN_NOT_OK(fn(entries[i]));
+    }
+    return Status::OK();
+  }
+
+  if (!alpha->is_virtual()) {
+    return Status::Internal("join through a simple α-memory");
+  }
+
+  // Virtual α-memory (§4.2): derive the node's value from the base
+  // relation through the stored predicate. The token's own tuple is already
+  // in the relation, so it is skipped here and supplied explicitly iff this
+  // memory is in ProcessedMemories — the self-join protocol that makes a
+  // token join to itself exactly the right number of times.
+  const HeapRelation* relation = alpha->spec().relation;
+  const CompiledExpr* selection = alpha->compiled_selection();
+  Row scratch(alphas_.size());
+
+  auto emit = [&](TupleId tid) -> Status {
+    if (tid == token.tid) return Status::OK();
+    const Tuple* tuple = relation->Get(tid);
+    if (tuple == nullptr) return Status::OK();
+    if (selection != nullptr) {
+      scratch.Set(j, *tuple, tid);
+      ARIEL_ASSIGN_OR_RETURN(bool keep, selection->EvalPredicate(scratch));
+      if (!keep) return Status::OK();
+    }
+    return fn(AlphaEntry{tid, *tuple, Tuple()});
+  };
+
+  // Prefer an index probe when an equijoin path into this memory has its
+  // key side fully bound and the relation has a matching B+tree (§4.2's
+  // "index scan or sequential scan" optimization choice).
+  const BTreeIndex* index = nullptr;
+  const IndexJoinPath* chosen = nullptr;
+  for (const IndexJoinPath& path : index_join_paths_) {
+    if (path.var != j) continue;
+    bool usable = true;
+    for (size_t kv : path.key_vars) {
+      if (!bound[kv] || kv == j) usable = false;
+    }
+    if (!usable) continue;
+    const BTreeIndex* candidate = relation->GetIndex(path.attr_name);
+    if (candidate != nullptr) {
+      index = candidate;
+      chosen = &path;
+      break;
+    }
+  }
+
+  if (chosen != nullptr) {
+    ARIEL_ASSIGN_OR_RETURN(Value key, chosen->key_expr->Eval(row));
+    std::vector<TupleId> tids;
+    index->Lookup(key, &tids);
+    for (TupleId tid : tids) {
+      ARIEL_RETURN_NOT_OK(emit(tid));
+    }
+  } else {
+    for (TupleId tid : relation->AllTupleIds()) {
+      ARIEL_RETURN_NOT_OK(emit(tid));
+    }
+  }
+
+  // Self-inclusion applies to asserting tokens only. A deletion token that
+  // reached this memory was *removed* from it on arrival — a stored memory
+  // would no longer hold it — so an on-delete event binding joining through
+  // a virtual memory of the same relation must not pair with the dying
+  // tuple.
+  if (token.is_insertion() && processed.contains(alpha)) {
+    ARIEL_RETURN_NOT_OK(fn(AlphaEntry{token.tid, token.value, Tuple()}));
+  }
+  return Status::OK();
+}
+
+Result<bool> RuleNetwork::JoinConjunctsHold(size_t j,
+                                            const std::vector<bool>& bound,
+                                            const Row& row) const {
+  for (const CompiledConjunct& cc : join_conjuncts_) {
+    bool touches_j = false;
+    bool all_bound = true;
+    for (size_t v : cc.vars) {
+      if (v == j) touches_j = true;
+      if (!bound[v]) all_bound = false;
+    }
+    if (!touches_j || !all_bound) continue;
+    ARIEL_ASSIGN_OR_RETURN(bool ok, cc.expr->EvalPredicate(row));
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void RuleNetwork::FlushDynamicMemories() {
+  for (auto& alpha : alphas_) {
+    if (alpha->is_dynamic()) alpha->Flush();
+  }
+}
+
+Status RuleNetwork::Prime(Optimizer* optimizer) {
+  // Load stored α-memories from the base relations.
+  for (auto& alpha : alphas_) {
+    if (alpha->kind() != AlphaKind::kStored) continue;
+    alpha->Flush();
+    const HeapRelation* relation = alpha->spec().relation;
+    const CompiledExpr* selection = alpha->compiled_selection();
+    Row scratch(alphas_.size());
+    for (TupleId tid : relation->AllTupleIds()) {
+      const Tuple* tuple = relation->Get(tid);
+      if (tuple == nullptr) continue;
+      if (selection != nullptr) {
+        scratch.Set(alpha->var_ordinal(), *tuple, tid);
+        ARIEL_ASSIGN_OR_RETURN(bool keep, selection->EvalPredicate(scratch));
+        if (!keep) continue;
+      }
+      alpha->InsertEntry(AlphaEntry{tid, *tuple, Tuple()});
+    }
+  }
+
+  // Load the P-node by running a query equivalent to the whole condition —
+  // but only for fully pattern-based rules: event and transition bindings
+  // cannot exist at activation time.
+  for (const auto& alpha : alphas_) {
+    if (alpha->is_dynamic() || alpha->is_transition() ||
+        alpha->spec().on_event.has_value()) {
+      return Status::OK();
+    }
+  }
+  ARIEL_RETURN_NOT_OK(PrimeBetas(optimizer));
+  ARIEL_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                         RecomputeInstantiations(optimizer));
+  pnode_->Clear();
+  for (const Row& row : rows) {
+    ARIEL_RETURN_NOT_OK(pnode_->Insert(row));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Row>> RuleNetwork::RecomputeInstantiations(
+    Optimizer* optimizer) const {
+  for (const auto& alpha : alphas_) {
+    if (alpha->is_dynamic() || alpha->is_transition() ||
+        alpha->spec().on_event.has_value()) {
+      return Status::InvalidArgument(
+          "cannot recompute instantiations of a rule with event or "
+          "transition conditions");
+    }
+  }
+  std::vector<PlanVar> vars;
+  std::vector<ExprPtr> conjuncts;
+  for (const auto& alpha : alphas_) {
+    vars.push_back(PlanVar{alpha->spec().var_name, alpha->spec().relation,
+                           false});
+    if (alpha->spec().selection != nullptr) {
+      conjuncts.push_back(alpha->spec().selection->Clone());
+    }
+  }
+  for (const ExprPtr& expr : join_exprs_) conjuncts.push_back(expr->Clone());
+  ExprPtr qual = CombineConjuncts(std::move(conjuncts));
+  ARIEL_ASSIGN_OR_RETURN(Plan plan, optimizer->BuildPlan(vars, qual.get()));
+  return plan.CollectRows();
+}
+
+size_t RuleNetwork::AlphaFootprintBytes() const {
+  size_t bytes = 0;
+  for (const auto& alpha : alphas_) bytes += alpha->FootprintBytes();
+  return bytes;
+}
+
+size_t RuleNetwork::BetaFootprintBytes() const {
+  size_t bytes = 0;
+  for (const auto& level : beta_) {
+    bytes += level.capacity() * sizeof(Row);
+    for (const Row& row : level) {
+      for (const Tuple& t : row.current) bytes += t.FootprintBytes();
+    }
+  }
+  return bytes;
+}
+
+std::vector<size_t> RuleNetwork::BetaSizes() const {
+  std::vector<size_t> sizes;
+  for (size_t level = 1; level + 1 < beta_.size(); ++level) {
+    sizes.push_back(beta_[level].size());
+  }
+  return sizes;
+}
+
+std::string RuleNetwork::ToString() const {
+  std::string out = std::string("A-TREAT network for rule \"") + rule_name_ +
+                    "\" [backend: " + JoinBackendToString(backend_) + "]\n";
+  out += "  root\n";
+  for (const auto& alpha : alphas_) {
+    const AlphaSpec& spec = alpha->spec();
+    out += "  alpha(" + spec.var_name + " in " + spec.relation->name() +
+           ") [" + AlphaKindToString(spec.kind) + "]";
+    if (spec.on_event.has_value()) {
+      out += " on " + spec.on_event->ToString();
+    }
+    if (spec.selection != nullptr) {
+      out += ": " + spec.selection->ToString();
+    }
+    if (alpha->stores_tuples()) {
+      out += "  {" + std::to_string(alpha->entries().size()) + " tuples}";
+    }
+    out += "\n";
+  }
+  for (const ExprPtr& join : join_exprs_) {
+    out += "  join: " + join->ToString() + "\n";
+  }
+  for (const IndexJoinPath& path : index_join_paths_) {
+    out += "  index probe available: " + scope_.var(path.var).name + "." +
+           path.attr_name + " = " + "<bound key>\n";
+  }
+  out += "  P(" + rule_name_ + "): " + std::to_string(pnode_->size()) +
+         " instantiations\n";
+  return out;
+}
+
+}  // namespace ariel

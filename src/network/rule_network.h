@@ -1,0 +1,296 @@
+#ifndef ARIEL_NETWORK_RULE_NETWORK_H_
+#define ARIEL_NETWORK_RULE_NETWORK_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "exec/expr.h"
+#include "exec/optimizer.h"
+#include "network/pnode.h"
+#include "network/token.h"
+#include "parser/ast.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// The seven α-memory kinds of §4.3.3. A variable that is both event-based
+/// and transition-based (the paper's finddemotions rule) is classified
+/// kDynamicTrans and additionally carries the event filter.
+enum class AlphaKind : uint8_t {
+  kStored,        // materialized collection of matching tuples
+  kVirtual,       // predicate only; joins scan the base relation (§4.2)
+  kDynamicOn,     // event condition: flushed after each transition
+  kDynamicTrans,  // transition condition: pairs, flushed after transition
+  kSimple,        // 1-variable rule: matches go straight to the P-node
+  kSimpleOn,
+  kSimpleTrans,
+};
+
+const char* AlphaKindToString(AlphaKind kind);
+
+/// Construction-time description of one α-memory node, produced by the rule
+/// compiler from the rule's condition.
+struct AlphaSpec {
+  std::string var_name;
+  const HeapRelation* relation = nullptr;
+  /// The single-variable selection predicate over this variable (null means
+  /// always true, the paper's new(v)).
+  ExprPtr selection;
+  AlphaKind kind = AlphaKind::kStored;
+  /// Event filter for on-conditions.
+  std::optional<EventSpec> on_event;
+  /// True when the condition references `previous var`: the memory stores
+  /// (new, old) pairs and only transition (Δ) tokens reach it.
+  bool has_previous = false;
+};
+
+/// One entry of a stored/dynamic α-memory.
+struct AlphaEntry {
+  TupleId tid;
+  Tuple value;
+  Tuple previous;  // transition memories only
+};
+
+/// A materialized or virtual α-memory inside one rule's network.
+class AlphaMemory {
+ public:
+  AlphaMemory(AlphaSpec spec, size_t var_ordinal)
+      : spec_(std::move(spec)), var_ordinal_(var_ordinal) {}
+
+  const AlphaSpec& spec() const { return spec_; }
+  size_t var_ordinal() const { return var_ordinal_; }
+  AlphaKind kind() const { return spec_.kind; }
+
+  bool stores_tuples() const {
+    return spec_.kind == AlphaKind::kStored ||
+           spec_.kind == AlphaKind::kDynamicOn ||
+           spec_.kind == AlphaKind::kDynamicTrans;
+  }
+  bool is_virtual() const { return spec_.kind == AlphaKind::kVirtual; }
+  bool is_simple() const {
+    return spec_.kind == AlphaKind::kSimple ||
+           spec_.kind == AlphaKind::kSimpleOn ||
+           spec_.kind == AlphaKind::kSimpleTrans;
+  }
+  bool is_dynamic() const {
+    return spec_.kind == AlphaKind::kDynamicOn ||
+           spec_.kind == AlphaKind::kDynamicTrans;
+  }
+  bool is_transition() const { return spec_.has_previous; }
+
+  /// Token admission: event-specifier filtering (§4.3.1) plus the Δ-only
+  /// rule for transition memories. The selection predicate is checked
+  /// separately by the selection network.
+  bool AcceptsToken(const Token& token) const;
+
+  const std::vector<AlphaEntry>& entries() const { return entries_; }
+  void InsertEntry(AlphaEntry entry) { entries_.push_back(std::move(entry)); }
+  /// Removes the entry with this tid (if present). Returns true if removed.
+  bool RemoveEntry(TupleId tid);
+  void Flush() { entries_.clear(); }
+
+  /// Estimated candidate count for join ordering.
+  size_t EstimatedSize() const;
+
+  /// Approximate bytes held by materialized entries (the storage the
+  /// virtual-memory technique saves; §4.2).
+  size_t FootprintBytes() const;
+
+  /// Compiled selection predicate (set by RuleNetwork::Init).
+  const CompiledExpr* compiled_selection() const {
+    return compiled_selection_.get();
+  }
+
+ private:
+  friend class RuleNetwork;
+
+  AlphaSpec spec_;
+  size_t var_ordinal_;
+  CompiledExprPtr compiled_selection_;  // against the rule scope; may be null
+  std::vector<AlphaEntry> entries_;
+};
+
+/// Which join-network algorithm a rule's condition is tested with.
+///
+/// kTreat is the paper's choice: no β-memories; each token re-joins against
+/// the other α-memories and deletions are handled directly on the conflict
+/// set (P-node). kRete materializes the classic left-deep chain of
+/// β-memories holding partial instantiations — faster for tokens arriving
+/// late in the chain, at the cost of β storage and β maintenance on
+/// deletion. §8 names the combined/selectable network as future work.
+/// Rules with event or transition conditions always run on TREAT (flushing
+/// dynamic bindings out of β chains would reintroduce exactly the
+/// maintenance cost TREAT avoids); the backend choice applies to pattern
+/// rules.
+enum class JoinBackend : uint8_t { kTreat, kRete };
+
+const char* JoinBackendToString(JoinBackend backend);
+
+/// The per-rule join network (§4.2): one α-memory per tuple variable, the
+/// rule's join conjuncts, and the P-node collecting complete
+/// instantiations. Runs the A-TREAT algorithm, or optionally Rete (see
+/// JoinBackend).
+class RuleNetwork {
+ public:
+  RuleNetwork(std::string rule_name, uint32_t pnode_relation_id,
+              std::vector<AlphaSpec> alphas,
+              std::vector<ExprPtr> join_conjuncts,
+              JoinBackend backend = JoinBackend::kTreat);
+
+  /// Compiles predicates and builds the P-node. Must be called once before
+  /// any token processing.
+  Status Init();
+
+  const std::string& rule_name() const { return rule_name_; }
+  const Scope& scope() const { return scope_; }
+  size_t num_vars() const { return alphas_.size(); }
+  AlphaMemory* alpha(size_t i) { return alphas_[i].get(); }
+  const AlphaMemory* alpha(size_t i) const { return alphas_[i].get(); }
+  PNode* pnode() { return pnode_.get(); }
+  const PNode* pnode() const { return pnode_.get(); }
+
+  /// The set of (virtual) memories the current token has already been
+  /// conceptually placed in — the paper's ProcessedMemories structure.
+  using ProcessedMemories = std::set<const AlphaMemory*>;
+
+  /// Processes the arrival of `token` at α-memory `alpha_ordinal` (the
+  /// selection network already verified the predicate): updates the memory
+  /// and either extends joins into the P-node (insertions) or deletes the
+  /// affected instantiations from the P-node (deletions).
+  Status Arrive(const Token& token, size_t alpha_ordinal,
+                const ProcessedMemories& processed);
+
+  /// Flushes dynamic memories (end of transition; §4.3.2).
+  void FlushDynamicMemories();
+
+  /// True when any α-memory is dynamic (set by Init): only such rules need
+  /// end-of-transition flushing.
+  bool has_dynamic_memories() const { return has_dynamic_; }
+
+  /// Transition-scoped dirty flag, managed by DiscriminationNetwork so that
+  /// end-of-transition flushing touches only the rules a token reached.
+  bool dirty_dynamic() const { return dirty_dynamic_; }
+  void set_dirty_dynamic(bool dirty) { dirty_dynamic_ = dirty; }
+
+  /// Loads stored α-memories and the P-node from current database contents
+  /// (rule activation; §6 "priming"). Dynamic memories stay empty; the
+  /// P-node is loaded only when no dynamic memory exists (event/transition
+  /// bindings cannot predate activation).
+  Status Prime(Optimizer* optimizer);
+
+  /// The backend actually in use (kRete requests fall back to kTreat for
+  /// rules with dynamic memories).
+  JoinBackend backend() const { return backend_; }
+
+  /// Total bytes materialized across α-memories (ablation metric).
+  size_t AlphaFootprintBytes() const;
+
+  /// Bytes held in β-memories (Rete backend only; 0 under TREAT).
+  size_t BetaFootprintBytes() const;
+
+  /// Partial-instantiation counts per β level (Rete; empty under TREAT).
+  std::vector<size_t> BetaSizes() const;
+
+  /// Renders the network structure in the style of the paper's Figures 3-4:
+  /// per-variable selection predicates and α-memory kinds, the join
+  /// conjuncts, and the current P-node cardinality.
+  std::string ToString() const;
+
+  /// Recomputes, from base relations only, the set of instantiations a
+  /// fully-pattern rule should currently have — used by equivalence tests
+  /// to validate incremental maintenance. Fails for rules with dynamic
+  /// memories (their expected contents depend on transition history).
+  Result<std::vector<Row>> RecomputeInstantiations(Optimizer* optimizer) const;
+
+ private:
+  /// Recursively extends `row` (with `bound` variables already set) across
+  /// the remaining α-memories, emitting completed instantiations into the
+  /// P-node.
+  Status ExtendJoin(const Token& token, Row* row, std::vector<bool>* bound,
+                    size_t num_bound, const ProcessedMemories& processed);
+
+  /// Candidate enumeration for joining into variable `j`.
+  Status ForEachCandidate(const Token& token, size_t j, const Row& row,
+                          const std::vector<bool>& bound,
+                          const ProcessedMemories& processed,
+                          const std::function<Status(const AlphaEntry&)>& fn);
+
+  /// Evaluates every join conjunct that becomes fully bound when `j` joins
+  /// the bound set.
+  Result<bool> JoinConjunctsHold(size_t j, const std::vector<bool>& bound,
+                                 const Row& row) const;
+
+  /// Records index-probe opportunities arising from equijoin conjuncts
+  /// into virtual α-memories (called once per conjunct by Init).
+  Status RecordIndexJoinPaths(const Expr& conjunct);
+
+  // --- Rete backend ---
+
+  /// Handles an asserting token arrival at α `i` under Rete: joins it
+  /// leftward against β_{i-1} (or α_0), then cascades rightward.
+  Status ReteAssert(const Token& token, size_t alpha_ordinal,
+                    const ProcessedMemories& processed);
+
+  /// Extends a checked partial over variables [0, level] rightward,
+  /// storing it in β_level and recursing until the P-node.
+  Status ReteExtend(size_t level, Row* row, const Token& token,
+                    const ProcessedMemories& processed);
+
+  /// Removes the partials binding (var, tid) from every β at or right of
+  /// var's position.
+  void ReteRetract(size_t var, TupleId tid);
+
+  /// Evaluates the join conjuncts whose variables all lie in [0, level].
+  /// `newly` is the variable just added (conjuncts not touching it were
+  /// checked at an earlier level).
+  Result<bool> PrefixConjunctsHold(size_t level, size_t newly,
+                                   const Row& row) const;
+
+  /// Rebuilds the β chain from α contents / base relations (activation).
+  Status PrimeBetas(Optimizer* optimizer);
+
+  std::string rule_name_;
+  uint32_t pnode_relation_id_;
+  std::vector<std::unique_ptr<AlphaMemory>> alphas_;
+  std::vector<ExprPtr> join_exprs_;
+
+  struct CompiledConjunct {
+    CompiledExprPtr expr;
+    std::vector<size_t> vars;
+  };
+  std::vector<CompiledConjunct> join_conjuncts_;
+
+  /// An equijoin path usable to probe a virtual α-memory through a B+tree
+  /// index instead of scanning its base relation (§4.2: "the base relation
+  /// scan ... can be done with any scan algorithm"): when joining into
+  /// variable `var` with all of `key_vars` already bound, evaluate
+  /// `key_expr` and look up `attr_name` in the relation's index.
+  struct IndexJoinPath {
+    size_t var;
+    std::string attr_name;
+    CompiledExprPtr key_expr;
+    std::vector<size_t> key_vars;
+  };
+  std::vector<IndexJoinPath> index_join_paths_;
+  /// adjacency_[i][j] = true when some join conjunct touches both i and j.
+  std::vector<std::vector<bool>> adjacency_;
+
+  Scope scope_;
+  std::unique_ptr<PNode> pnode_;
+  JoinBackend backend_;
+  /// Rete: beta_[L] holds partials over variables [0, L], for
+  /// L in [1, n-2]; β_0 is the first α-memory itself and the final join
+  /// result lands in the P-node.
+  std::vector<std::vector<Row>> beta_;
+  bool initialized_ = false;
+  bool has_dynamic_ = false;
+  bool dirty_dynamic_ = false;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_RULE_NETWORK_H_

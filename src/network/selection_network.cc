@@ -1,0 +1,190 @@
+#include "network/selection_network.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+namespace {
+
+/// Intersects `add` into `acc`.
+void IntersectInterval(Interval* acc, const Interval& add) {
+  if (add.lo.has_value()) {
+    if (!acc->lo.has_value() || *add.lo > *acc->lo ||
+        (*add.lo == *acc->lo && !add.lo_closed)) {
+      acc->lo = add.lo;
+      acc->lo_closed = add.lo_closed;
+    }
+  }
+  if (add.hi.has_value()) {
+    if (!acc->hi.has_value() || *add.hi < *acc->hi ||
+        (*add.hi == *acc->hi && !add.hi_closed)) {
+      acc->hi = add.hi;
+      acc->hi_closed = add.hi_closed;
+    }
+  }
+}
+
+/// Ranks interval tightness for anchor choice: 3 = point, 2 = bounded,
+/// 1 = half-bounded, 0 = unbounded.
+int Tightness(const Interval& iv) {
+  if (iv.lo.has_value() && iv.hi.has_value()) {
+    return (*iv.lo == *iv.hi) ? 3 : 2;
+  }
+  if (iv.lo.has_value() || iv.hi.has_value()) return 1;
+  return 0;
+}
+
+}  // namespace
+
+bool ExtractAnchorInterval(const Expr& selection, const Schema& schema,
+                           size_t* attr_pos, Interval* interval) {
+  std::map<size_t, Interval> per_attr;
+  for (const ExprPtr& conjunct : SplitConjuncts(selection)) {
+    if (conjunct->kind != ExprKind::kBinary) continue;
+    const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+    if (!IsComparison(bin.op) || bin.op == BinaryOp::kNe) continue;
+    const Expr* ref = nullptr;
+    const Expr* lit = nullptr;
+    BinaryOp op = bin.op;
+    if (bin.lhs->kind == ExprKind::kColumnRef &&
+        bin.rhs->kind == ExprKind::kLiteral) {
+      ref = bin.lhs.get();
+      lit = bin.rhs.get();
+    } else if (bin.rhs->kind == ExprKind::kColumnRef &&
+               bin.lhs->kind == ExprKind::kLiteral) {
+      ref = bin.rhs.get();
+      lit = bin.lhs.get();
+      op = MirrorComparison(bin.op);
+    } else {
+      continue;
+    }
+    const auto& col = static_cast<const ColumnRefExpr&>(*ref);
+    if (col.previous || col.is_all()) continue;
+    int pos = schema.IndexOf(col.attribute);
+    if (pos < 0) continue;
+    const Value& v = static_cast<const LiteralExpr&>(*lit).value;
+
+    Interval conjunct_iv;
+    switch (op) {
+      case BinaryOp::kEq: conjunct_iv = Interval::Point(v); break;
+      case BinaryOp::kLt: conjunct_iv = Interval::AtMost(v, false); break;
+      case BinaryOp::kLe: conjunct_iv = Interval::AtMost(v, true); break;
+      case BinaryOp::kGt: conjunct_iv = Interval::AtLeast(v, false); break;
+      case BinaryOp::kGe: conjunct_iv = Interval::AtLeast(v, true); break;
+      default: continue;
+    }
+    auto [it, inserted] =
+        per_attr.emplace(static_cast<size_t>(pos), conjunct_iv);
+    if (!inserted) IntersectInterval(&it->second, conjunct_iv);
+  }
+
+  int best_rank = -1;
+  for (const auto& [pos, iv] : per_attr) {
+    int rank = Tightness(iv);
+    if (rank > best_rank) {
+      best_rank = rank;
+      *attr_pos = pos;
+      *interval = iv;
+    }
+  }
+  return best_rank >= 1;  // an unbounded anchor indexes nothing useful
+}
+
+Status SelectionNetwork::AddRule(RuleNetwork* rule) {
+  for (size_t i = 0; i < rule->num_vars(); ++i) {
+    const AlphaMemory* alpha = rule->alpha(i);
+    const AlphaSpec& spec = alpha->spec();
+    PerRelation& per_rel = relations_[spec.relation->id()];
+
+    NodeInfo node;
+    node.id = next_node_id_++;
+    node.rule = rule;
+    node.alpha_ordinal = i;
+    node.indexed = false;
+
+    size_t attr_pos = 0;
+    Interval interval;
+    if (spec.selection != nullptr &&
+        ExtractAnchorInterval(*spec.selection, spec.relation->schema(),
+                              &attr_pos, &interval)) {
+      node.indexed = true;
+      node.anchor_attr = attr_pos;
+      auto& index = per_rel.attr_indexes[attr_pos];
+      if (index == nullptr) index = std::make_unique<IntervalSkipList>();
+      index->Insert(node.id, interval);
+      ++num_indexed_;
+    } else {
+      per_rel.residual.push_back(node.id);
+      ++num_residual_;
+    }
+    per_rel.nodes.emplace(node.id, node);
+  }
+  return Status::OK();
+}
+
+void SelectionNetwork::RemoveRule(RuleNetwork* rule) {
+  for (auto& [relation_id, per_rel] : relations_) {
+    std::vector<int64_t> victims;
+    for (const auto& [id, node] : per_rel.nodes) {
+      if (node.rule == rule) victims.push_back(id);
+    }
+    for (int64_t id : victims) {
+      const NodeInfo& node = per_rel.nodes.at(id);
+      if (node.indexed) {
+        per_rel.attr_indexes.at(node.anchor_attr)->Remove(id);
+        --num_indexed_;
+      } else {
+        per_rel.residual.erase(std::find(per_rel.residual.begin(),
+                                         per_rel.residual.end(), id));
+        --num_residual_;
+      }
+      per_rel.nodes.erase(id);
+    }
+  }
+}
+
+Status SelectionNetwork::VerifyAndCollect(
+    const Token& token, const NodeInfo& node,
+    std::vector<ConditionMatch>* out) const {
+  const AlphaMemory* alpha = node.rule->alpha(node.alpha_ordinal);
+  if (!alpha->AcceptsToken(token)) return Status::OK();
+  const CompiledExpr* selection = alpha->compiled_selection();
+  if (selection != nullptr) {
+    Row scratch(node.rule->num_vars());
+    scratch.Set(node.alpha_ordinal, token.value, token.tid);
+    if (alpha->is_transition()) {
+      scratch.SetPrevious(node.alpha_ordinal, token.previous);
+    }
+    ARIEL_ASSIGN_OR_RETURN(bool ok, selection->EvalPredicate(scratch));
+    if (!ok) return Status::OK();
+  }
+  out->push_back(ConditionMatch{node.rule, node.alpha_ordinal});
+  return Status::OK();
+}
+
+Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
+    const Token& token) const {
+  std::vector<ConditionMatch> out;
+  auto rel_it = relations_.find(token.relation_id);
+  if (rel_it == relations_.end()) return out;
+  const PerRelation& per_rel = rel_it->second;
+
+  // Candidate ids from the attribute interval indexes plus the residuals;
+  // verified in registration-id order for deterministic arrival order.
+  std::vector<int64_t> candidates = per_rel.residual;
+  for (const auto& [attr_pos, index] : per_rel.attr_indexes) {
+    if (attr_pos < token.value.size()) {
+      index->Stab(token.value.at(attr_pos), &candidates);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+
+  for (int64_t id : candidates) {
+    ARIEL_RETURN_NOT_OK(VerifyAndCollect(token, per_rel.nodes.at(id), &out));
+  }
+  return out;
+}
+
+}  // namespace ariel

@@ -1,0 +1,89 @@
+#ifndef ARIEL_NETWORK_SELECTION_NETWORK_H_
+#define ARIEL_NETWORK_SELECTION_NETWORK_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "isl/interval_skip_list.h"
+#include "network/rule_network.h"
+#include "network/token.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// A matched condition: which rule's which α-memory a token reaches.
+struct ConditionMatch {
+  RuleNetwork* rule;
+  size_t alpha_ordinal;
+};
+
+/// The top layer of the discrimination network (§4.1): an index over the
+/// single-relation selection predicates of all active rules.
+///
+/// For each relation, each registered condition contributes either an
+/// interval (extracted from its `attr op constant` conjuncts, intersected
+/// per attribute; the tightest attribute wins) into that attribute's
+/// interval skip list, or — when no such conjunct exists, e.g. pure event
+/// conditions or transition predicates like sal > 1.1 * previous sal — an
+/// entry in the relation's residual list. A token is stabbed through each
+/// attribute index and checked against the residual list; surviving
+/// candidates are verified against the full predicate and the α-memory's
+/// event/Δ admission filter. This keeps token testing sublinear in the
+/// number of rules, which is what Figure 9-11's flat token-test curves
+/// depend on.
+class SelectionNetwork {
+ public:
+  SelectionNetwork() = default;
+
+  /// Registers all α-memories of an initialized rule network.
+  Status AddRule(RuleNetwork* rule);
+
+  /// Unregisters a rule's conditions.
+  void RemoveRule(RuleNetwork* rule);
+
+  /// Computes the α-memories this token reaches (admission filter plus full
+  /// selection predicate), in registration order.
+  Result<std::vector<ConditionMatch>> Match(const Token& token) const;
+
+  /// Diagnostics: how many conditions are interval-indexed vs. residual.
+  size_t num_indexed() const { return num_indexed_; }
+  size_t num_residual() const { return num_residual_; }
+
+ private:
+  struct NodeInfo {
+    int64_t id;
+    RuleNetwork* rule;
+    size_t alpha_ordinal;
+    bool indexed;
+    size_t anchor_attr = 0;  // attribute position when indexed
+  };
+
+  struct PerRelation {
+    /// attribute position -> interval index over conditions anchored there.
+    std::map<size_t, std::unique_ptr<IntervalSkipList>> attr_indexes;
+    std::vector<int64_t> residual;      // node ids verified on every token
+    std::unordered_map<int64_t, NodeInfo> nodes;
+  };
+
+  Status VerifyAndCollect(const Token& token, const NodeInfo& node,
+                          std::vector<ConditionMatch>* out) const;
+
+  std::unordered_map<uint32_t, PerRelation> relations_;
+  int64_t next_node_id_ = 1;
+  size_t num_indexed_ = 0;
+  size_t num_residual_ = 0;
+};
+
+/// Extracts the tightest index interval from a selection predicate: AND
+/// conjuncts of the form `attr op constant` are intersected per attribute
+/// and the best-anchored attribute (point > bounded > half-bounded) is
+/// chosen. Returns false when no conjunct is indexable. Exposed for tests.
+bool ExtractAnchorInterval(const Expr& selection, const Schema& schema,
+                           size_t* attr_pos, Interval* interval);
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_SELECTION_NETWORK_H_

@@ -1,0 +1,37 @@
+#include "network/token.h"
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kPlus: return "+";
+    case TokenKind::kMinus: return "-";
+    case TokenKind::kDeltaPlus: return "delta+";
+    case TokenKind::kDeltaMinus: return "delta-";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  std::string out = TokenKindToString(kind);
+  out += " ";
+  out += tid.ToString();
+  out += " ";
+  out += value.ToString();
+  if (is_delta()) {
+    out += " prev=";
+    out += previous.ToString();
+  }
+  if (event.has_value()) {
+    out += " on=";
+    out += EventKindToString(event->kind);
+    if (!event->updated_attrs.empty()) {
+      out += "(" + Join(event->updated_attrs, ",") + ")";
+    }
+  }
+  return out;
+}
+
+}  // namespace ariel

@@ -1,0 +1,59 @@
+#ifndef ARIEL_NETWORK_TOKEN_H_
+#define ARIEL_NETWORK_TOKEN_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "parser/ast.h"
+#include "storage/tuple.h"
+
+namespace ariel {
+
+/// The four token kinds of §4.3 of the paper: plain insert/delete tokens and
+/// the transition (Δ) tokens carrying (new, old) pairs.
+enum class TokenKind : uint8_t {
+  kPlus,        // + : insertion of a new tuple value
+  kMinus,       // − : deletion of a tuple value
+  kDeltaPlus,   // Δ+: insertion of a transition (new/old) pair
+  kDeltaMinus,  // Δ−: retraction of a previously emitted transition pair
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+/// The event specifier attached to (most) tokens: append, delete, or
+/// replace(target-list). On-conditions in the top-level network are the only
+/// consumers (§4.3.1). A token may carry no specifier at all — the paper's
+/// "simple − token" emitted for the first modification of a pre-existing
+/// tuple, which must not wake on-delete rules.
+struct TokenEvent {
+  EventKind kind = EventKind::kAppend;
+  /// For replace: which attributes the command assigned.
+  std::vector<std::string> updated_attrs;
+};
+
+/// One unit of change flowing through the discrimination network.
+struct Token {
+  TokenKind kind = TokenKind::kPlus;
+  uint32_t relation_id = 0;
+  TupleId tid;
+  /// The tuple value pattern conditions test: the (new) tuple for +/Δ+, the
+  /// departing value for −, and the retracted pair's new part for Δ−.
+  Tuple value;
+  /// The old value of the pair; present only for Δ tokens.
+  Tuple previous;
+  std::optional<TokenEvent> event;
+
+  bool is_delta() const {
+    return kind == TokenKind::kDeltaPlus || kind == TokenKind::kDeltaMinus;
+  }
+  bool is_insertion() const {
+    return kind == TokenKind::kPlus || kind == TokenKind::kDeltaPlus;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_TOKEN_H_

@@ -1,0 +1,214 @@
+#include "network/transition_manager.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+namespace {
+
+/// Merges attribute names case-insensitively, preserving first-seen order.
+void MergeAttrs(std::vector<std::string>* acc,
+                const std::vector<std::string>& add) {
+  for (const std::string& attr : add) {
+    std::string lower = ToLower(attr);
+    if (std::find(acc->begin(), acc->end(), lower) == acc->end()) {
+      acc->push_back(lower);
+    }
+  }
+}
+
+}  // namespace
+
+void TransitionManager::BeginTransition() {
+  in_transition_ = true;
+  inserted_.clear();
+  modified_.clear();
+}
+
+Status TransitionManager::EndTransition() {
+  in_transition_ = false;
+  inserted_.clear();
+  modified_.clear();
+  network_->OnTransitionEnd();
+  return Status::OK();
+}
+
+Status TransitionManager::Emit(Token token) {
+  ++tokens_emitted_;
+  return network_->ProcessToken(token);
+}
+
+Result<TupleId> TransitionManager::Insert(HeapRelation* relation,
+                                          Tuple tuple) {
+  const bool implicit = !in_transition_;
+  if (implicit) BeginTransition();
+
+  ARIEL_ASSIGN_OR_RETURN(TupleId tid, relation->Insert(std::move(tuple)));
+  inserted_.insert(tid);
+
+  Token token;
+  token.kind = TokenKind::kPlus;
+  token.relation_id = relation->id();
+  token.tid = tid;
+  token.value = *relation->Get(tid);
+  token.event = TokenEvent{EventKind::kAppend, {}};
+  Status status = Emit(std::move(token));
+
+  if (implicit) {
+    Status end = EndTransition();
+    if (status.ok()) status = end;
+  }
+  if (!status.ok()) return status;
+  return tid;
+}
+
+Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
+  const Tuple* current = relation->Get(tid);
+  if (current == nullptr) {
+    return Status::ExecutionError("delete of nonexistent tuple " +
+                                  tid.ToString());
+  }
+  const bool implicit = !in_transition_;
+  if (implicit) BeginTransition();
+  Tuple old_value = *current;
+
+  Status status = Status::OK();
+  if (inserted_.contains(tid)) {
+    // Case 2 (im*d): retract the insertion; net effect nothing.
+    Token minus;
+    minus.kind = TokenKind::kMinus;
+    minus.relation_id = relation->id();
+    minus.tid = tid;
+    minus.value = old_value;
+    minus.event = TokenEvent{EventKind::kAppend, {}};
+    status = Emit(std::move(minus));
+    inserted_.erase(tid);
+  } else {
+    auto mod = modified_.find(tid);
+    if (mod != modified_.end()) {
+      // Case 4 tail: retract the transition pair first.
+      Token delta_minus;
+      delta_minus.kind = TokenKind::kDeltaMinus;
+      delta_minus.relation_id = relation->id();
+      delta_minus.tid = tid;
+      delta_minus.value = old_value;  // the pair's new part
+      delta_minus.previous = mod->second.original;
+      delta_minus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+      status = Emit(std::move(delta_minus));
+      modified_.erase(mod);
+    }
+    if (status.ok()) {
+      Token minus;
+      minus.kind = TokenKind::kMinus;
+      minus.relation_id = relation->id();
+      minus.tid = tid;
+      minus.value = old_value;
+      minus.event = TokenEvent{EventKind::kDelete, {}};
+      status = Emit(std::move(minus));
+    }
+  }
+
+  if (status.ok()) status = relation->Delete(tid);
+  if (implicit) {
+    Status end = EndTransition();
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
+                                 Tuple new_value,
+                                 const std::vector<std::string>& updated_attrs) {
+  const Tuple* current = relation->Get(tid);
+  if (current == nullptr) {
+    return Status::ExecutionError("update of nonexistent tuple " +
+                                  tid.ToString());
+  }
+  const bool implicit = !in_transition_;
+  if (implicit) BeginTransition();
+  Tuple old_value = *current;
+
+  Status status = relation->Update(tid, std::move(new_value));
+  Tuple updated = status.ok() ? *relation->Get(tid) : Tuple();
+
+  if (status.ok() && inserted_.contains(tid)) {
+    // Case 1 (im*): the insertion is re-expressed with the new value.
+    Token minus;
+    minus.kind = TokenKind::kMinus;
+    minus.relation_id = relation->id();
+    minus.tid = tid;
+    minus.value = old_value;
+    minus.event = TokenEvent{EventKind::kAppend, {}};
+    status = Emit(std::move(minus));
+    if (status.ok()) {
+      Token plus;
+      plus.kind = TokenKind::kPlus;
+      plus.relation_id = relation->id();
+      plus.tid = tid;
+      plus.value = updated;
+      plus.event = TokenEvent{EventKind::kAppend, {}};
+      status = Emit(std::move(plus));
+    }
+  } else if (status.ok()) {
+    auto mod = modified_.find(tid);
+    if (mod == modified_.end()) {
+      // Case 3 head (first modification of a pre-existing tuple): a
+      // specifier-less − removes the old value from pattern memories
+      // without waking on-delete rules, then a Δ+ introduces the pair.
+      ModifiedEntry entry;
+      entry.original = old_value;
+      MergeAttrs(&entry.attrs, updated_attrs);
+
+      Token minus;
+      minus.kind = TokenKind::kMinus;
+      minus.relation_id = relation->id();
+      minus.tid = tid;
+      minus.value = old_value;
+      // no event specifier
+      status = Emit(std::move(minus));
+      if (status.ok()) {
+        Token delta_plus;
+        delta_plus.kind = TokenKind::kDeltaPlus;
+        delta_plus.relation_id = relation->id();
+        delta_plus.tid = tid;
+        delta_plus.value = updated;
+        delta_plus.previous = entry.original;
+        delta_plus.event = TokenEvent{EventKind::kReplace, entry.attrs};
+        status = Emit(std::move(delta_plus));
+      }
+      modified_.emplace(tid, std::move(entry));
+    } else {
+      // Case 3 tail: replace the old pair with the updated one. The old
+      // value of the pair stays the transition-start original.
+      Token delta_minus;
+      delta_minus.kind = TokenKind::kDeltaMinus;
+      delta_minus.relation_id = relation->id();
+      delta_minus.tid = tid;
+      delta_minus.value = old_value;
+      delta_minus.previous = mod->second.original;
+      delta_minus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+      status = Emit(std::move(delta_minus));
+      if (status.ok()) {
+        MergeAttrs(&mod->second.attrs, updated_attrs);
+        Token delta_plus;
+        delta_plus.kind = TokenKind::kDeltaPlus;
+        delta_plus.relation_id = relation->id();
+        delta_plus.tid = tid;
+        delta_plus.value = updated;
+        delta_plus.previous = mod->second.original;
+        delta_plus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+        status = Emit(std::move(delta_plus));
+      }
+    }
+  }
+
+  if (implicit) {
+    Status end = EndTransition();
+    if (status.ok()) status = end;
+  }
+  return status;
+}
+
+}  // namespace ariel

@@ -1,0 +1,74 @@
+#ifndef ARIEL_NETWORK_TRANSITION_MANAGER_H_
+#define ARIEL_NETWORK_TRANSITION_MANAGER_H_
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "exec/gateway.h"
+#include "network/discrimination_network.h"
+#include "network/token.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// The logical-event machinery of §2.2.2 and §4.3.1: a StorageGateway that
+/// observes every tuple mutation, classifies it against the transition's
+/// Δ-sets [I, M], emits the token sequence prescribed by cases 1-4, and
+/// propagates the tokens through the discrimination network.
+///
+/// Δ-set contents per relation:
+///   I — tuples inserted during the current transition,
+///   M — pre-existing tuples modified during it, with their original value
+///       and the accumulated set of updated attributes.
+/// (No set is kept for deletions: a deleted tuple cannot be touched again.)
+///
+/// Token sequences (§4.3.1):
+///   case 1 (im*):   insert → (+, append); each modify → (−, append),
+///                   (+, append)
+///   case 2 (im*d):  final delete → (−, append); net effect nothing
+///   case 3 (m+):    first modify → (−, no specifier), (Δ+, replace);
+///                   later modifies → (Δ−, replace), (Δ+, replace)
+///   case 4 (m*d):   final delete → (Δ−, replace) if modified, then
+///                   (−, delete)
+///
+/// A transition is opened/closed by the engine around each command or
+/// do…end block. Gateway calls outside a transition get an implicit
+/// single-operation transition (without the engine-level recognize-act
+/// cycle, which only the engine runs).
+class TransitionManager : public StorageGateway {
+ public:
+  explicit TransitionManager(DiscriminationNetwork* network)
+      : network_(network) {}
+
+  void BeginTransition();
+  /// Clears the Δ-sets and flushes dynamic α-memories.
+  Status EndTransition();
+  bool in_transition() const { return in_transition_; }
+
+  // StorageGateway:
+  Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override;
+  Status Delete(HeapRelation* relation, TupleId tid) override;
+  Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+                const std::vector<std::string>& updated_attrs) override;
+
+  uint64_t tokens_emitted() const { return tokens_emitted_; }
+
+ private:
+  struct ModifiedEntry {
+    Tuple original;                       // value at transition start
+    std::vector<std::string> attrs;      // accumulated updated attributes
+  };
+
+  Status Emit(Token token);
+
+  DiscriminationNetwork* network_;
+  bool in_transition_ = false;
+  std::unordered_set<TupleId, TupleIdHash> inserted_;
+  std::unordered_map<TupleId, ModifiedEntry, TupleIdHash> modified_;
+  uint64_t tokens_emitted_ = 0;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_NETWORK_TRANSITION_MANAGER_H_

@@ -1,0 +1,479 @@
+#include "parser/ast.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* BinaryOpToString(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+    case BinaryOp::kMul: return "*";
+    case BinaryOp::kDiv: return "/";
+    case BinaryOp::kEq: return "=";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "and";
+    case BinaryOp::kOr: return "or";
+  }
+  return "?";
+}
+
+bool IsComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+BinaryOp MirrorComparison(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kLt: return BinaryOp::kGt;
+    case BinaryOp::kLe: return BinaryOp::kGe;
+    case BinaryOp::kGt: return BinaryOp::kLt;
+    case BinaryOp::kGe: return BinaryOp::kLe;
+    default: return op;  // = and != are symmetric
+  }
+}
+
+const char* AggFuncToString(AggFunc func) {
+  switch (func) {
+    case AggFunc::kCount: return "count";
+    case AggFunc::kSum: return "sum";
+    case AggFunc::kAvg: return "avg";
+    case AggFunc::kMin: return "min";
+    case AggFunc::kMax: return "max";
+  }
+  return "?";
+}
+
+std::string AggregateExpr::ToString() const {
+  std::string out = AggFuncToString(func);
+  out += "(";
+  out += operand != nullptr ? operand->ToString() : tuple_var;
+  out += ")";
+  return out;
+}
+
+std::string ColumnRefExpr::ToString() const {
+  std::string out;
+  if (previous) out += "previous ";
+  out += tuple_var;
+  out += ".";
+  out += attribute;
+  return out;
+}
+
+namespace {
+
+/// Precedence used only for minimal parenthesization when printing.
+int Precedence(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr: return 1;
+    case BinaryOp::kAnd: return 2;
+    case BinaryOp::kEq:
+    case BinaryOp::kNe:
+    case BinaryOp::kLt:
+    case BinaryOp::kLe:
+    case BinaryOp::kGt:
+    case BinaryOp::kGe: return 3;
+    case BinaryOp::kAdd:
+    case BinaryOp::kSub: return 4;
+    case BinaryOp::kMul:
+    case BinaryOp::kDiv: return 5;
+  }
+  return 0;
+}
+
+std::string PrintChild(const Expr& child, int parent_prec, bool is_right) {
+  std::string text = child.ToString();
+  if (child.kind == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(child);
+    int prec = Precedence(bin.op);
+    // Parenthesize when the child binds less tightly, or equally tightly on
+    // the right of a left-associative operator. Comparisons (precedence 3)
+    // are non-associative — `a = b = c` does not parse — so equal-precedence
+    // comparison children need parentheses on either side.
+    if (prec < parent_prec || (prec == parent_prec && is_right) ||
+        (prec == parent_prec && prec == 3)) {
+      return "(" + text + ")";
+    }
+  }
+  // `not` binds above or/and but below comparisons and arithmetic in the
+  // grammar; inside any binary operator it must be parenthesized
+  // ("not x + y" would reparse as not(x + y)).
+  if (child.kind == ExprKind::kUnary &&
+      static_cast<const UnaryExpr&>(child).op == UnaryOp::kNot) {
+    return "(" + text + ")";
+  }
+  return text;
+}
+
+}  // namespace
+
+std::string BinaryExpr::ToString() const {
+  int prec = Precedence(op);
+  return PrintChild(*lhs, prec, /*is_right=*/false) + " " +
+         BinaryOpToString(op) + " " + PrintChild(*rhs, prec, /*is_right=*/true);
+}
+
+std::string UnaryExpr::ToString() const {
+  std::string inner = operand->ToString();
+  // Binary operands always need parentheses under a unary operator. So does
+  // any unary under negation: "-not x" has no parse, and "--x" would lex as
+  // a line comment.
+  if (operand->kind == ExprKind::kBinary ||
+      (op == UnaryOp::kNeg && operand->kind == ExprKind::kUnary)) {
+    inner = "(" + inner + ")";
+  }
+  return (op == UnaryOp::kNot ? "not " : "-") + inner;
+}
+
+// ---------------------------------------------------------------------------
+// Command printing / cloning
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string PrintFrom(const std::vector<FromItem>& from) {
+  if (from.empty()) return "";
+  std::vector<std::string> parts;
+  for (const FromItem& item : from) {
+    if (EqualsIgnoreCase(item.var, item.relation)) {
+      parts.push_back(item.relation);
+    } else {
+      parts.push_back(item.var + " in " + item.relation);
+    }
+  }
+  return " from " + Join(parts, ", ");
+}
+
+std::string PrintWhere(const ExprPtr& qual) {
+  return qual ? " where " + qual->ToString() : "";
+}
+
+std::string PrintTargets(const std::vector<Assignment>& targets) {
+  std::vector<std::string> parts;
+  for (const Assignment& a : targets) {
+    if (a.name.empty()) {
+      parts.push_back(a.expr->ToString());
+    } else {
+      parts.push_back(a.name + " = " + a.expr->ToString());
+    }
+  }
+  return "(" + Join(parts, ", ") + ")";
+}
+
+std::vector<Assignment> CloneTargets(const std::vector<Assignment>& targets) {
+  std::vector<Assignment> out;
+  out.reserve(targets.size());
+  for (const Assignment& a : targets) out.push_back(a.Clone());
+  return out;
+}
+
+}  // namespace
+
+CommandPtr CreateCommand::Clone() const {
+  auto cmd = std::make_unique<CreateCommand>();
+  cmd->relation = relation;
+  cmd->attributes = attributes;
+  return cmd;
+}
+
+std::string CreateCommand::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& [name, type] : attributes) {
+    parts.push_back(name + " = " + DataTypeToString(type));
+  }
+  return "create " + relation + " (" + Join(parts, ", ") + ")";
+}
+
+CommandPtr DestroyCommand::Clone() const {
+  auto cmd = std::make_unique<DestroyCommand>();
+  cmd->relation = relation;
+  return cmd;
+}
+
+std::string DestroyCommand::ToString() const { return "destroy " + relation; }
+
+CommandPtr DefineIndexCommand::Clone() const {
+  auto cmd = std::make_unique<DefineIndexCommand>();
+  cmd->relation = relation;
+  cmd->attribute = attribute;
+  return cmd;
+}
+
+std::string DefineIndexCommand::ToString() const {
+  return "define index on " + relation + " (" + attribute + ")";
+}
+
+CommandPtr RetrieveCommand::Clone() const {
+  auto cmd = std::make_unique<RetrieveCommand>();
+  cmd->into = into;
+  cmd->targets = CloneTargets(targets);
+  cmd->from = from;
+  if (qualification) cmd->qualification = qualification->Clone();
+  return cmd;
+}
+
+std::string RetrieveCommand::ToString() const {
+  return "retrieve " + (into.empty() ? "" : "into " + into + " ") +
+         PrintTargets(targets) + PrintFrom(from) + PrintWhere(qualification);
+}
+
+CommandPtr AppendCommand::Clone() const {
+  auto cmd = std::make_unique<AppendCommand>();
+  cmd->relation = relation;
+  cmd->targets = CloneTargets(targets);
+  cmd->from = from;
+  if (qualification) cmd->qualification = qualification->Clone();
+  return cmd;
+}
+
+std::string AppendCommand::ToString() const {
+  return "append to " + relation + " " + PrintTargets(targets) +
+         PrintFrom(from) + PrintWhere(qualification);
+}
+
+CommandPtr DeleteCommand::Clone() const {
+  auto cmd = std::make_unique<DeleteCommand>();
+  cmd->target_var = target_var;
+  cmd->from = from;
+  if (qualification) cmd->qualification = qualification->Clone();
+  cmd->primed = primed;
+  return cmd;
+}
+
+std::string DeleteCommand::ToString() const {
+  return std::string("delete") + (primed ? "'" : "") + " " + target_var +
+         PrintFrom(from) + PrintWhere(qualification);
+}
+
+CommandPtr ReplaceCommand::Clone() const {
+  auto cmd = std::make_unique<ReplaceCommand>();
+  cmd->target_var = target_var;
+  cmd->targets = CloneTargets(targets);
+  cmd->from = from;
+  if (qualification) cmd->qualification = qualification->Clone();
+  cmd->primed = primed;
+  return cmd;
+}
+
+std::string ReplaceCommand::ToString() const {
+  return std::string("replace") + (primed ? "'" : "") + " " + target_var +
+         " " + PrintTargets(targets) + PrintFrom(from) +
+         PrintWhere(qualification);
+}
+
+CommandPtr BlockCommand::Clone() const {
+  auto cmd = std::make_unique<BlockCommand>();
+  for (const CommandPtr& c : commands) cmd->commands.push_back(c->Clone());
+  return cmd;
+}
+
+std::string BlockCommand::ToString() const {
+  std::string out = "do\n";
+  for (const CommandPtr& c : commands) {
+    out += "  " + c->ToString() + "\n";
+  }
+  out += "end";
+  return out;
+}
+
+const char* EventKindToString(EventKind kind) {
+  switch (kind) {
+    case EventKind::kAppend: return "append";
+    case EventKind::kDelete: return "delete";
+    case EventKind::kReplace: return "replace";
+  }
+  return "?";
+}
+
+std::string EventSpec::ToString() const {
+  std::string out = EventKindToString(kind);
+  out += kind == EventKind::kDelete ? " from " : " to ";
+  out += relation;
+  if (!attributes.empty()) {
+    out += " (" + Join(attributes, ", ") + ")";
+  }
+  return out;
+}
+
+CommandPtr DefineRuleCommand::Clone() const {
+  auto cmd = std::make_unique<DefineRuleCommand>();
+  cmd->rule_name = rule_name;
+  cmd->ruleset = ruleset;
+  cmd->priority = priority;
+  cmd->event = event;
+  if (condition) cmd->condition = condition->Clone();
+  cmd->from = from;
+  for (const CommandPtr& c : action) cmd->action.push_back(c->Clone());
+  return cmd;
+}
+
+std::string DefineRuleCommand::ToString() const {
+  std::string out = "define rule " + rule_name;
+  if (!ruleset.empty()) out += " in " + ruleset;
+  if (priority.has_value()) {
+    std::string p = Value::Float(*priority).ToString();
+    out += " priority " + p;
+  }
+  out += "\n";
+  if (event.has_value()) out += "on " + event->ToString() + "\n";
+  if (condition) {
+    out += "if " + condition->ToString();
+    out += PrintFrom(from).empty() ? "" : PrintFrom(from);
+    out += "\n";
+  }
+  out += "then ";
+  if (action.size() == 1 && action[0]->kind != CommandKind::kBlock) {
+    out += action[0]->ToString();
+  } else {
+    out += "do\n";
+    for (const CommandPtr& c : action) out += "  " + c->ToString() + "\n";
+    out += "end";
+  }
+  return out;
+}
+
+CommandPtr ActivateRuleCommand::Clone() const {
+  auto cmd = std::make_unique<ActivateRuleCommand>();
+  cmd->rule_name = rule_name;
+  cmd->is_ruleset = is_ruleset;
+  return cmd;
+}
+std::string ActivateRuleCommand::ToString() const {
+  return std::string("activate ") + (is_ruleset ? "ruleset " : "rule ") +
+         rule_name;
+}
+
+CommandPtr DeactivateRuleCommand::Clone() const {
+  auto cmd = std::make_unique<DeactivateRuleCommand>();
+  cmd->rule_name = rule_name;
+  cmd->is_ruleset = is_ruleset;
+  return cmd;
+}
+std::string DeactivateRuleCommand::ToString() const {
+  return std::string("deactivate ") + (is_ruleset ? "ruleset " : "rule ") +
+         rule_name;
+}
+
+CommandPtr RemoveRuleCommand::Clone() const {
+  auto cmd = std::make_unique<RemoveRuleCommand>();
+  cmd->rule_name = rule_name;
+  return cmd;
+}
+std::string RemoveRuleCommand::ToString() const {
+  return "remove rule " + rule_name;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void SplitConjunctsInto(const Expr& qual, std::vector<ExprPtr>* out) {
+  if (qual.kind == ExprKind::kBinary) {
+    const auto& bin = static_cast<const BinaryExpr&>(qual);
+    if (bin.op == BinaryOp::kAnd) {
+      SplitConjunctsInto(*bin.lhs, out);
+      SplitConjunctsInto(*bin.rhs, out);
+      return;
+    }
+  }
+  out->push_back(qual.Clone());
+}
+
+void CollectVarsInto(const Expr& expr, std::vector<std::string>* out) {
+  auto add = [out](const std::string& var) {
+    std::string lower = ToLower(var);
+    if (std::find(out->begin(), out->end(), lower) == out->end()) {
+      out->push_back(lower);
+    }
+  };
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return;
+    case ExprKind::kColumnRef:
+      add(static_cast<const ColumnRefExpr&>(expr).tuple_var);
+      return;
+    case ExprKind::kNew:
+      add(static_cast<const NewExpr&>(expr).tuple_var);
+      return;
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      if (!agg.tuple_var.empty()) add(agg.tuple_var);
+      if (agg.operand != nullptr) CollectVarsInto(*agg.operand, out);
+      return;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      CollectVarsInto(*bin.lhs, out);
+      CollectVarsInto(*bin.rhs, out);
+      return;
+    }
+    case ExprKind::kUnary:
+      CollectVarsInto(*static_cast<const UnaryExpr&>(expr).operand, out);
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<ExprPtr> SplitConjuncts(const Expr& qual) {
+  std::vector<ExprPtr> out;
+  SplitConjunctsInto(qual, &out);
+  return out;
+}
+
+ExprPtr CombineConjuncts(std::vector<ExprPtr> conjuncts) {
+  if (conjuncts.empty()) return nullptr;
+  ExprPtr result = std::move(conjuncts[0]);
+  for (size_t i = 1; i < conjuncts.size(); ++i) {
+    result = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(result),
+                                          std::move(conjuncts[i]));
+  }
+  return result;
+}
+
+std::vector<std::string> CollectTupleVars(const Expr& expr) {
+  std::vector<std::string> out;
+  CollectVarsInto(expr, &out);
+  return out;
+}
+
+bool MentionsPrevious(const Expr& expr) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kNew:
+      return false;
+    case ExprKind::kColumnRef:
+      return static_cast<const ColumnRefExpr&>(expr).previous;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      return MentionsPrevious(*bin.lhs) || MentionsPrevious(*bin.rhs);
+    }
+    case ExprKind::kUnary:
+      return MentionsPrevious(*static_cast<const UnaryExpr&>(expr).operand);
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      return agg.operand != nullptr && MentionsPrevious(*agg.operand);
+    }
+  }
+  return false;
+}
+
+}  // namespace ariel

@@ -1,0 +1,218 @@
+#include "parser/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kIdentifier: return "identifier";
+    case TokenKind::kInteger: return "integer";
+    case TokenKind::kFloat: return "float";
+    case TokenKind::kString: return "string";
+    case TokenKind::kEquals: return "'='";
+    case TokenKind::kNotEquals: return "'!='";
+    case TokenKind::kLess: return "'<'";
+    case TokenKind::kLessEquals: return "'<='";
+    case TokenKind::kGreater: return "'>'";
+    case TokenKind::kGreaterEquals: return "'>='";
+    case TokenKind::kPlus: return "'+'";
+    case TokenKind::kMinus: return "'-'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kSlash: return "'/'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kPrime: return "'''";
+    case TokenKind::kSemicolon: return "';'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(std::string_view input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+
+  auto push = [&](TokenKind kind, size_t offset, std::string text = "") {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.offset = offset;
+    t.line = line;
+    tokens.push_back(std::move(t));
+  };
+
+  while (i < input.size()) {
+    char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments: /* ... */ and -- to end of line.
+    if (c == '/' && i + 1 < input.size() && input[i + 1] == '*') {
+      size_t end = input.find("*/", i + 2);
+      if (end == std::string_view::npos) {
+        return Status::ParseError("unterminated comment at line " +
+                                  std::to_string(line));
+      }
+      for (size_t j = i; j < end; ++j) {
+        if (input[j] == '\n') ++line;
+      }
+      i = end + 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < input.size() && input[i + 1] == '-') {
+      while (i < input.size() && input[i] != '\n') ++i;
+      continue;
+    }
+
+    size_t start = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ++i;
+      }
+      push(TokenKind::kIdentifier, start,
+           ToLower(input.substr(start, i - start)));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      bool is_float = false;
+      while (i < input.size() &&
+             std::isdigit(static_cast<unsigned char>(input[i]))) {
+        ++i;
+      }
+      // A '.' followed by a digit continues a float literal; a '.' followed
+      // by a letter is a qualification dot (e.g. in `1.x`, invalid anyway).
+      if (i + 1 < input.size() && input[i] == '.' &&
+          std::isdigit(static_cast<unsigned char>(input[i + 1]))) {
+        is_float = true;
+        ++i;
+        while (i < input.size() &&
+               std::isdigit(static_cast<unsigned char>(input[i]))) {
+          ++i;
+        }
+      }
+      if (i < input.size() && (input[i] == 'e' || input[i] == 'E')) {
+        size_t exp = i + 1;
+        if (exp < input.size() && (input[exp] == '+' || input[exp] == '-')) {
+          ++exp;
+        }
+        if (exp < input.size() &&
+            std::isdigit(static_cast<unsigned char>(input[exp]))) {
+          is_float = true;
+          i = exp;
+          while (i < input.size() &&
+                 std::isdigit(static_cast<unsigned char>(input[i]))) {
+            ++i;
+          }
+        }
+      }
+      std::string text(input.substr(start, i - start));
+      Token t;
+      t.offset = start;
+      t.line = line;
+      t.text = text;
+      if (is_float) {
+        t.kind = TokenKind::kFloat;
+        t.float_value = std::strtod(text.c_str(), nullptr);
+      } else {
+        t.kind = TokenKind::kInteger;
+        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+      }
+      tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"') {
+      std::string text;
+      ++i;
+      bool closed = false;
+      while (i < input.size()) {
+        if (input[i] == '\\' && i + 1 < input.size()) {
+          text.push_back(input[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (input[i] == '"') {
+          closed = true;
+          ++i;
+          break;
+        }
+        if (input[i] == '\n') ++line;
+        text.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError("unterminated string literal at line " +
+                                  std::to_string(line));
+      }
+      push(TokenKind::kString, start, std::move(text));
+      continue;
+    }
+
+    switch (c) {
+      case '=':
+        push(TokenKind::kEquals, start);
+        ++i;
+        continue;
+      case '!':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kNotEquals, start);
+          i += 2;
+          continue;
+        }
+        return Status::ParseError("unexpected '!' at line " +
+                                  std::to_string(line));
+      case '<':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kLessEquals, start);
+          i += 2;
+        } else if (i + 1 < input.size() && input[i + 1] == '>') {
+          push(TokenKind::kNotEquals, start);
+          i += 2;
+        } else {
+          push(TokenKind::kLess, start);
+          ++i;
+        }
+        continue;
+      case '>':
+        if (i + 1 < input.size() && input[i + 1] == '=') {
+          push(TokenKind::kGreaterEquals, start);
+          i += 2;
+        } else {
+          push(TokenKind::kGreater, start);
+          ++i;
+        }
+        continue;
+      case '+': push(TokenKind::kPlus, start); ++i; continue;
+      case '-': push(TokenKind::kMinus, start); ++i; continue;
+      case '*': push(TokenKind::kStar, start); ++i; continue;
+      case '/': push(TokenKind::kSlash, start); ++i; continue;
+      case '(': push(TokenKind::kLParen, start); ++i; continue;
+      case ')': push(TokenKind::kRParen, start); ++i; continue;
+      case ',': push(TokenKind::kComma, start); ++i; continue;
+      case '.': push(TokenKind::kDot, start); ++i; continue;
+      case '\'': push(TokenKind::kPrime, start); ++i; continue;
+      case ';': push(TokenKind::kSemicolon, start); ++i; continue;
+      default:
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at line " + std::to_string(line));
+    }
+  }
+  push(TokenKind::kEnd, input.size());
+  return tokens;
+}
+
+}  // namespace ariel

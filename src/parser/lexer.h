@@ -1,0 +1,54 @@
+#ifndef ARIEL_PARSER_LEXER_H_
+#define ARIEL_PARSER_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ariel {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,   // normalized to lower case
+  kInteger,
+  kFloat,
+  kString,
+  kEquals,       // =
+  kNotEquals,    // !=
+  kLess,         // <
+  kLessEquals,   // <=
+  kGreater,      // >
+  kGreaterEquals,// >=
+  kPlus, kMinus, kStar, kSlash,
+  kLParen, kRParen,
+  kComma, kDot, kPrime,  // ' (replace'/delete')
+  kSemicolon,
+  kEnd,          // end of input
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;       // identifier (lower-cased) or raw literal text
+  int64_t int_value = 0;  // kInteger
+  double float_value = 0; // kFloat
+  size_t offset = 0;      // byte offset in the input, for error messages
+  size_t line = 1;
+
+  bool Is(TokenKind k) const { return kind == k; }
+  /// True if this is the identifier `word` (already lower-cased).
+  bool IsWord(std::string_view word) const {
+    return kind == TokenKind::kIdentifier && text == word;
+  }
+};
+
+/// Tokenizes a full command string. POSTQUEL keywords are not reserved at
+/// the lexer level; the parser recognizes them contextually so attribute
+/// names like "name" or "priority" stay usable.
+Result<std::vector<Token>> Tokenize(std::string_view input);
+
+}  // namespace ariel
+
+#endif  // ARIEL_PARSER_LEXER_H_

@@ -1,0 +1,612 @@
+#include "parser/parser.h"
+
+#include <utility>
+
+#include "parser/lexer.h"
+#include "util/string_util.h"
+
+namespace ariel {
+namespace {
+
+/// Recursive-descent parser over the token stream. Keywords are contextual:
+/// an identifier is only treated as a keyword where the grammar expects one,
+/// so attribute names like "name", "priority" or "title" remain usable.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<CommandPtr> ParseSingleCommand() {
+    ARIEL_ASSIGN_OR_RETURN(CommandPtr cmd, ParseCommand());
+    SkipSemicolons();
+    if (!Peek().Is(TokenKind::kEnd)) {
+      return Unexpected("end of input");
+    }
+    return cmd;
+  }
+
+  Result<std::vector<CommandPtr>> ParseAll() {
+    std::vector<CommandPtr> commands;
+    SkipSemicolons();
+    while (!Peek().Is(TokenKind::kEnd)) {
+      ARIEL_ASSIGN_OR_RETURN(CommandPtr cmd, ParseCommand());
+      commands.push_back(std::move(cmd));
+      SkipSemicolons();
+    }
+    return commands;
+  }
+
+  Result<ExprPtr> ParseStandaloneExpression() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+    if (!Peek().Is(TokenKind::kEnd)) {
+      return Unexpected("end of input");
+    }
+    return expr;
+  }
+
+ private:
+  // --- token plumbing ---
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t idx = pos_ + ahead;
+    return idx < tokens_.size() ? tokens_[idx] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_ < tokens_.size() - 1 ? pos_++ : pos_]; }
+  bool Match(TokenKind kind) {
+    if (Peek().Is(kind)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  bool MatchWord(std::string_view word) {
+    if (Peek().IsWord(word)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(TokenKind kind) {
+    if (Match(kind)) return Status::OK();
+    return Unexpected(TokenKindToString(kind));
+  }
+  Status ExpectWord(std::string_view word) {
+    if (MatchWord(word)) return Status::OK();
+    return Unexpected("\"" + std::string(word) + "\"");
+  }
+  Result<std::string> ExpectIdentifier(std::string_view what) {
+    if (Peek().Is(TokenKind::kIdentifier)) {
+      return Advance().text;
+    }
+    return Unexpected(std::string(what));
+  }
+  Status Unexpected(std::string expected) const {
+    const Token& t = Peek();
+    std::string got = t.Is(TokenKind::kEnd)
+                          ? "end of input"
+                          : (t.Is(TokenKind::kIdentifier) ||
+                                     t.Is(TokenKind::kString)
+                                 ? "\"" + t.text + "\""
+                                 : std::string(TokenKindToString(t.kind)));
+    return Status::ParseError("expected " + expected + " but found " + got +
+                              " at line " + std::to_string(t.line));
+  }
+  void SkipSemicolons() {
+    while (Match(TokenKind::kSemicolon)) {
+    }
+  }
+
+  // --- commands ---
+
+  Result<CommandPtr> ParseCommand() {
+    const Token& t = Peek();
+    if (!t.Is(TokenKind::kIdentifier)) return Unexpected("a command");
+    if (t.text == "create") return ParseCreate();
+    if (t.text == "destroy") return ParseDestroy();
+    if (t.text == "define") return ParseDefine();
+    if (t.text == "retrieve") return ParseRetrieve();
+    if (t.text == "append") return ParseAppend();
+    if (t.text == "delete") return ParseDelete();
+    if (t.text == "replace") return ParseReplace();
+    if (t.text == "do") return ParseBlock();
+    if (t.text == "activate") return ParseRuleAdmin(CommandKind::kActivateRule);
+    if (t.text == "deactivate") {
+      return ParseRuleAdmin(CommandKind::kDeactivateRule);
+    }
+    if (t.text == "remove" || t.text == "drop") {
+      return ParseRuleAdmin(CommandKind::kRemoveRule);
+    }
+    if (t.text == "halt") {
+      Advance();
+      return CommandPtr(std::make_unique<HaltCommand>());
+    }
+    return Unexpected("a command");
+  }
+
+  Result<CommandPtr> ParseCreate() {
+    Advance();  // create
+    auto cmd = std::make_unique<CreateCommand>();
+    ARIEL_ASSIGN_OR_RETURN(cmd->relation, ExpectIdentifier("relation name"));
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    do {
+      ARIEL_ASSIGN_OR_RETURN(std::string attr,
+                             ExpectIdentifier("attribute name"));
+      ARIEL_RETURN_NOT_OK(Expect(TokenKind::kEquals));
+      ARIEL_ASSIGN_OR_RETURN(std::string type_name,
+                             ExpectIdentifier("type name"));
+      ARIEL_ASSIGN_OR_RETURN(DataType type, DataTypeFromString(type_name));
+      cmd->attributes.emplace_back(std::move(attr), type);
+    } while (Match(TokenKind::kComma));
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseDestroy() {
+    Advance();  // destroy
+    auto cmd = std::make_unique<DestroyCommand>();
+    ARIEL_ASSIGN_OR_RETURN(cmd->relation, ExpectIdentifier("relation name"));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseDefine() {
+    Advance();  // define
+    if (MatchWord("index")) {
+      auto cmd = std::make_unique<DefineIndexCommand>();
+      ARIEL_RETURN_NOT_OK(ExpectWord("on"));
+      ARIEL_ASSIGN_OR_RETURN(cmd->relation, ExpectIdentifier("relation name"));
+      ARIEL_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+      ARIEL_ASSIGN_OR_RETURN(cmd->attribute,
+                             ExpectIdentifier("attribute name"));
+      ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return CommandPtr(std::move(cmd));
+    }
+    ARIEL_RETURN_NOT_OK(ExpectWord("rule"));
+    return ParseRuleBody();
+  }
+
+  Result<CommandPtr> ParseRuleBody() {
+    auto cmd = std::make_unique<DefineRuleCommand>();
+    ARIEL_ASSIGN_OR_RETURN(cmd->rule_name, ExpectIdentifier("rule name"));
+    if (MatchWord("in")) {
+      ARIEL_ASSIGN_OR_RETURN(cmd->ruleset, ExpectIdentifier("ruleset name"));
+    }
+    if (MatchWord("priority")) {
+      bool negative = Match(TokenKind::kMinus);
+      const Token& t = Peek();
+      double p;
+      if (t.Is(TokenKind::kInteger)) {
+        p = static_cast<double>(Advance().int_value);
+      } else if (t.Is(TokenKind::kFloat)) {
+        p = Advance().float_value;
+      } else {
+        return Unexpected("a priority value");
+      }
+      cmd->priority = negative ? -p : p;
+    }
+    if (MatchWord("on")) {
+      ARIEL_ASSIGN_OR_RETURN(EventSpec event, ParseEventSpec());
+      cmd->event = std::move(event);
+    }
+    if (MatchWord("if")) {
+      ARIEL_ASSIGN_OR_RETURN(cmd->condition, ParseExpr());
+      if (MatchWord("from")) {
+        ARIEL_ASSIGN_OR_RETURN(cmd->from, ParseFromItems());
+      }
+    }
+    ARIEL_RETURN_NOT_OK(ExpectWord("then"));
+    if (Peek().IsWord("do")) {
+      ARIEL_ASSIGN_OR_RETURN(CommandPtr block, ParseBlock());
+      auto* blk = static_cast<BlockCommand*>(block.get());
+      cmd->action = std::move(blk->commands);
+    } else {
+      ARIEL_ASSIGN_OR_RETURN(CommandPtr action, ParseCommand());
+      cmd->action.push_back(std::move(action));
+    }
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<EventSpec> ParseEventSpec() {
+    EventSpec event;
+    if (MatchWord("append")) {
+      event.kind = EventKind::kAppend;
+      MatchWord("to");
+    } else if (MatchWord("delete")) {
+      event.kind = EventKind::kDelete;
+      MatchWord("from");
+      MatchWord("to");
+    } else if (MatchWord("replace")) {
+      event.kind = EventKind::kReplace;
+      MatchWord("to");
+    } else {
+      return Unexpected("\"append\", \"delete\" or \"replace\"");
+    }
+    ARIEL_ASSIGN_OR_RETURN(event.relation, ExpectIdentifier("relation name"));
+    if (event.kind == EventKind::kReplace && Match(TokenKind::kLParen)) {
+      do {
+        ARIEL_ASSIGN_OR_RETURN(std::string attr,
+                               ExpectIdentifier("attribute name"));
+        event.attributes.push_back(std::move(attr));
+      } while (Match(TokenKind::kComma));
+      ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    }
+    return event;
+  }
+
+  Result<CommandPtr> ParseRetrieve() {
+    Advance();  // retrieve
+    auto cmd = std::make_unique<RetrieveCommand>();
+    if (MatchWord("into")) {
+      ARIEL_ASSIGN_OR_RETURN(cmd->into, ExpectIdentifier("relation name"));
+    }
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    ARIEL_ASSIGN_OR_RETURN(cmd->targets, ParseTargetList());
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    ARIEL_RETURN_NOT_OK(ParseFromWhere(&cmd->from, &cmd->qualification));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseAppend() {
+    Advance();  // append
+    auto cmd = std::make_unique<AppendCommand>();
+    MatchWord("to");
+    ARIEL_ASSIGN_OR_RETURN(cmd->relation, ExpectIdentifier("relation name"));
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    ARIEL_ASSIGN_OR_RETURN(cmd->targets, ParseTargetList());
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    ARIEL_RETURN_NOT_OK(ParseFromWhere(&cmd->from, &cmd->qualification));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseDelete() {
+    Advance();  // delete
+    auto cmd = std::make_unique<DeleteCommand>();
+    cmd->primed = Match(TokenKind::kPrime);
+    MatchWord("from");
+    ARIEL_ASSIGN_OR_RETURN(cmd->target_var, ParseDottedName());
+    ARIEL_RETURN_NOT_OK(ParseFromWhere(&cmd->from, &cmd->qualification));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseReplace() {
+    Advance();  // replace
+    auto cmd = std::make_unique<ReplaceCommand>();
+    cmd->primed = Match(TokenKind::kPrime);
+    MatchWord("to");
+    ARIEL_ASSIGN_OR_RETURN(cmd->target_var, ParseDottedName());
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kLParen));
+    ARIEL_ASSIGN_OR_RETURN(cmd->targets, ParseTargetList());
+    ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+    ARIEL_RETURN_NOT_OK(ParseFromWhere(&cmd->from, &cmd->qualification));
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseBlock() {
+    Advance();  // do
+    auto cmd = std::make_unique<BlockCommand>();
+    SkipSemicolons();
+    while (!Peek().IsWord("end")) {
+      if (Peek().Is(TokenKind::kEnd)) return Unexpected("\"end\"");
+      if (Peek().IsWord("do")) {
+        return Status::ParseError("blocks may not be nested (line " +
+                                  std::to_string(Peek().line) + ")");
+      }
+      ARIEL_ASSIGN_OR_RETURN(CommandPtr inner, ParseCommand());
+      cmd->commands.push_back(std::move(inner));
+      SkipSemicolons();
+    }
+    Advance();  // end
+    return CommandPtr(std::move(cmd));
+  }
+
+  Result<CommandPtr> ParseRuleAdmin(CommandKind kind) {
+    Advance();  // activate / deactivate / remove / drop
+    bool is_ruleset = false;
+    if ((kind == CommandKind::kActivateRule ||
+         kind == CommandKind::kDeactivateRule) &&
+        MatchWord("ruleset")) {
+      is_ruleset = true;
+    } else {
+      ARIEL_RETURN_NOT_OK(ExpectWord("rule"));
+    }
+    ARIEL_ASSIGN_OR_RETURN(
+        std::string name,
+        ExpectIdentifier(is_ruleset ? "ruleset name" : "rule name"));
+    switch (kind) {
+      case CommandKind::kActivateRule: {
+        auto cmd = std::make_unique<ActivateRuleCommand>();
+        cmd->rule_name = std::move(name);
+        cmd->is_ruleset = is_ruleset;
+        return CommandPtr(std::move(cmd));
+      }
+      case CommandKind::kDeactivateRule: {
+        auto cmd = std::make_unique<DeactivateRuleCommand>();
+        cmd->rule_name = std::move(name);
+        cmd->is_ruleset = is_ruleset;
+        return CommandPtr(std::move(cmd));
+      }
+      default: {
+        auto cmd = std::make_unique<RemoveRuleCommand>();
+        cmd->rule_name = std::move(name);
+        return CommandPtr(std::move(cmd));
+      }
+    }
+  }
+
+  // --- clauses ---
+
+  Status ParseFromWhere(std::vector<FromItem>* from, ExprPtr* qual) {
+    if (MatchWord("from")) {
+      ARIEL_ASSIGN_OR_RETURN(*from, ParseFromItems());
+    }
+    if (MatchWord("where")) {
+      ARIEL_ASSIGN_OR_RETURN(*qual, ParseExpr());
+    }
+    return Status::OK();
+  }
+
+  Result<std::vector<FromItem>> ParseFromItems() {
+    std::vector<FromItem> items;
+    do {
+      ARIEL_ASSIGN_OR_RETURN(std::string first,
+                             ExpectIdentifier("tuple variable"));
+      FromItem item;
+      if (MatchWord("in")) {
+        item.var = std::move(first);
+        ARIEL_ASSIGN_OR_RETURN(item.relation,
+                               ExpectIdentifier("relation name"));
+      } else {
+        item.var = first;
+        item.relation = std::move(first);
+      }
+      items.push_back(std::move(item));
+    } while (Match(TokenKind::kComma));
+    return items;
+  }
+
+  Result<std::vector<Assignment>> ParseTargetList() {
+    std::vector<Assignment> targets;
+    do {
+      // `name = expr` when an identifier is directly followed by '='
+      // (an expression can't continue after a bare identifier anyway).
+      if (Peek().Is(TokenKind::kIdentifier) &&
+          Peek(1).Is(TokenKind::kEquals)) {
+        std::string name = Advance().text;
+        Advance();  // =
+        ARIEL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        targets.emplace_back(std::move(name), std::move(expr));
+      } else {
+        ARIEL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        targets.emplace_back("", std::move(expr));
+      }
+    } while (Match(TokenKind::kComma));
+    return targets;
+  }
+
+  /// Parses `a`, `a.b`, or `a.b.c...` into a dotted string (used for
+  /// delete/replace targets, which may be P-node paths after query
+  /// modification).
+  Result<std::string> ParseDottedName() {
+    ARIEL_ASSIGN_OR_RETURN(std::string name, ExpectIdentifier("a name"));
+    while (Match(TokenKind::kDot)) {
+      ARIEL_ASSIGN_OR_RETURN(std::string part, ExpectIdentifier("a name"));
+      name += ".";
+      name += part;
+    }
+    return name;
+  }
+
+  // --- expressions (precedence climbing) ---
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsWord("or")) {
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (Peek().IsWord("and")) {
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchWord("not")) {
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr operand, ParseNot());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(operand)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    BinaryOp op;
+    switch (Peek().kind) {
+      case TokenKind::kEquals: op = BinaryOp::kEq; break;
+      case TokenKind::kNotEquals: op = BinaryOp::kNe; break;
+      case TokenKind::kLess: op = BinaryOp::kLt; break;
+      case TokenKind::kLessEquals: op = BinaryOp::kLe; break;
+      case TokenKind::kGreater: op = BinaryOp::kGt; break;
+      case TokenKind::kGreaterEquals: op = BinaryOp::kGe; break;
+      default: return lhs;
+    }
+    Advance();
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return ExprPtr(std::make_unique<BinaryExpr>(op, std::move(lhs),
+                                                std::move(rhs)));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (Peek().Is(TokenKind::kPlus) || Peek().Is(TokenKind::kMinus)) {
+      BinaryOp op =
+          Peek().Is(TokenKind::kPlus) ? BinaryOp::kAdd : BinaryOp::kSub;
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ARIEL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().Is(TokenKind::kStar) || Peek().Is(TokenKind::kSlash)) {
+      BinaryOp op =
+          Peek().Is(TokenKind::kStar) ? BinaryOp::kMul : BinaryOp::kDiv;
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Match(TokenKind::kMinus)) {
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kNeg, std::move(operand)));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kInteger: {
+        int64_t v = Advance().int_value;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Int(v)));
+      }
+      case TokenKind::kFloat: {
+        double v = Advance().float_value;
+        return ExprPtr(std::make_unique<LiteralExpr>(Value::Float(v)));
+      }
+      case TokenKind::kString: {
+        std::string v = Advance().text;
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::String(std::move(v))));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        ARIEL_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+        ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return expr;
+      }
+      case TokenKind::kIdentifier:
+        break;
+      default:
+        return Unexpected("an expression");
+    }
+
+    if (t.text == "true") {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(true)));
+    }
+    if (t.text == "false") {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Bool(false)));
+    }
+    if (t.text == "null") {
+      Advance();
+      return ExprPtr(std::make_unique<LiteralExpr>(Value::Null()));
+    }
+    if (t.text == "previous") {
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(ExprPtr ref, ParseColumnRef());
+      static_cast<ColumnRefExpr*>(ref.get())->previous = true;
+      return ref;
+    }
+    if (t.text == "new" && Peek(1).Is(TokenKind::kLParen)) {
+      Advance();
+      Advance();
+      ARIEL_ASSIGN_OR_RETURN(std::string var,
+                             ExpectIdentifier("tuple variable"));
+      ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+      return ExprPtr(std::make_unique<NewExpr>(std::move(var)));
+    }
+    if (Peek(1).Is(TokenKind::kLParen)) {
+      std::optional<AggFunc> func;
+      if (t.text == "count") func = AggFunc::kCount;
+      else if (t.text == "sum") func = AggFunc::kSum;
+      else if (t.text == "avg") func = AggFunc::kAvg;
+      else if (t.text == "min") func = AggFunc::kMin;
+      else if (t.text == "max") func = AggFunc::kMax;
+      if (func.has_value()) {
+        Advance();  // function name
+        Advance();  // (
+        // count(v): a bare tuple variable counts qualified rows.
+        if (Peek().Is(TokenKind::kIdentifier) &&
+            Peek(1).Is(TokenKind::kRParen)) {
+          if (*func != AggFunc::kCount) {
+            return Status::ParseError(
+                std::string(AggFuncToString(*func)) +
+                " needs an attribute expression, not a bare tuple variable "
+                "(line " + std::to_string(Peek().line) + ")");
+          }
+          std::string var = Advance().text;
+          Advance();  // )
+          return ExprPtr(std::make_unique<AggregateExpr>(
+              AggFunc::kCount, std::move(var), nullptr));
+        }
+        ARIEL_ASSIGN_OR_RETURN(ExprPtr operand, ParseExpr());
+        ARIEL_RETURN_NOT_OK(Expect(TokenKind::kRParen));
+        return ExprPtr(std::make_unique<AggregateExpr>(*func, "",
+                                                       std::move(operand)));
+      }
+    }
+    return ParseColumnRef();
+  }
+
+  /// Parses `tv.attr` (or longer dotted paths for P-node references:
+  /// `p.emp.sal` means tuple variable "p", attribute "emp.sal").
+  Result<ExprPtr> ParseColumnRef() {
+    ARIEL_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("a column reference"));
+    if (!Match(TokenKind::kDot)) {
+      return Unexpected("'.' after tuple variable \"" + var + "\"");
+    }
+    ARIEL_ASSIGN_OR_RETURN(std::string attr, ExpectIdentifier("attribute name"));
+    while (Match(TokenKind::kDot)) {
+      ARIEL_ASSIGN_OR_RETURN(std::string part,
+                             ExpectIdentifier("attribute name"));
+      attr += ".";
+      attr += part;
+    }
+    return ExprPtr(
+        std::make_unique<ColumnRefExpr>(std::move(var), std::move(attr)));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<CommandPtr> ParseCommand(std::string_view input) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseSingleCommand();
+}
+
+Result<std::vector<CommandPtr>> ParseScript(std::string_view input) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+Result<ExprPtr> ParseExpression(std::string_view input) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseStandaloneExpression();
+}
+
+}  // namespace ariel

@@ -1,0 +1,26 @@
+#ifndef ARIEL_PARSER_PARSER_H_
+#define ARIEL_PARSER_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "parser/ast.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Parses a single command ("retrieve ...", "define rule ...", "do ... end").
+/// Trailing input after the command is an error.
+Result<CommandPtr> ParseCommand(std::string_view input);
+
+/// Parses a sequence of commands separated by optional semicolons or just
+/// whitespace (POSTQUEL commands are self-delimiting).
+Result<std::vector<CommandPtr>> ParseScript(std::string_view input);
+
+/// Parses a standalone expression (used by tests and by the rule catalog
+/// when re-loading stored condition text).
+Result<ExprPtr> ParseExpression(std::string_view input);
+
+}  // namespace ariel
+
+#endif  // ARIEL_PARSER_PARSER_H_

@@ -1,0 +1,62 @@
+#ifndef ARIEL_RULES_RULE_COMPILER_H_
+#define ARIEL_RULES_RULE_COMPILER_H_
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "network/rule_network.h"
+#include "parser/ast.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Policy for choosing between stored and virtual α-memories for pattern
+/// variables (§4.2: "when to use a virtual memory node ... is an
+/// interesting optimization problem").
+struct AlphaMemoryPolicy {
+  enum class Mode : uint8_t {
+    kAllStored,   // classic TREAT
+    kAllVirtual,  // maximum storage saving
+    kAdaptive,    // virtual when the estimated match count exceeds threshold
+  };
+  Mode mode = Mode::kAdaptive;
+  /// Adaptive: memories whose estimated cardinality (|R| × predicate
+  /// selectivity) is at least this many tuples become virtual.
+  double virtual_threshold = 256;
+};
+
+/// The condition analysis of one rule: the α-memory layer plus join
+/// conjuncts, ready to build a RuleNetwork, and the query-modified action.
+struct CompiledRule {
+  std::vector<AlphaSpec> alphas;
+  std::vector<ExprPtr> join_conjuncts;
+  /// Action commands after query modification (§5.1): shared tuple-variable
+  /// references rewritten to P-node references, shared replace/delete
+  /// targets turned into the primed forms.
+  std::vector<CommandPtr> modified_action;
+};
+
+/// Analyzes a rule definition against the catalog:
+///   - resolves tuple variables (from-list, on-clause relation, implicit
+///     relation-name variables),
+///   - splits the condition into per-variable selections and join conjuncts,
+///   - classifies each variable's α-memory kind (Figure 5 taxonomy) using
+///     `policy` for the stored/virtual choice,
+///   - performs query modification on the action.
+Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
+                                 const Catalog& catalog,
+                                 const AlphaMemoryPolicy& policy);
+
+/// Query modification (§5.1) of a single command, exposed for tests:
+/// rewrites references to variables in `shared_vars` into P-node paths
+/// (`emp.sal` → `p.emp.sal`, `previous emp.sal` → `p.emp.previous.sal`),
+/// marks shared replace/delete targets primed, expands shared `v.all`, and
+/// drops shared variables from from-lists.
+Result<CommandPtr> QueryModifyCommand(const Command& command,
+                                      const std::vector<std::string>& shared_vars,
+                                      const Catalog& catalog);
+
+}  // namespace ariel
+
+#endif  // ARIEL_RULES_RULE_COMPILER_H_

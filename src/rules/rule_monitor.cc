@@ -1,0 +1,112 @@
+#include "rules/rule_monitor.h"
+
+namespace ariel {
+
+Rule* RuleExecutionMonitor::SelectRule() {
+  Rule* best = nullptr;
+  auto beats = [&](const Rule* challenger, const Rule* incumbent) {
+    if (challenger->priority != incumbent->priority) {
+      return challenger->priority > incumbent->priority;
+    }
+    if (conflict_strategy_ == ConflictStrategy::kRecency) {
+      uint64_t a = challenger->network->pnode()->last_insert_stamp();
+      uint64_t b = incumbent->network->pnode()->last_insert_stamp();
+      if (a != b) return a > b;
+    }
+    return challenger->id < incumbent->id;
+  };
+  for (Rule* rule : rules_->ActiveRules()) {
+    if (rule->network == nullptr || rule->network->pnode()->empty()) continue;
+    if (best == nullptr || beats(rule, best)) {
+      best = rule;
+    }
+  }
+  return best;
+}
+
+Status RuleExecutionMonitor::FireRule(Rule* rule) {
+  // Bind the data matching the condition at fire time (§5): the P-node
+  // contents drain into the rule's firing buffer; instantiations created
+  // *by* the action accumulate in the live P-node for later cycle
+  // iterations. The buffer is a stable relation, so stored action plans
+  // (when enabled) remain valid across firings.
+  if (rule->firing_buffer == nullptr) {
+    rule->firing_buffer = rule->network->pnode()->MakeFiringBuffer();
+  }
+  rule->network->pnode()->DrainInto(rule->firing_buffer.get());
+  ExtraBindings bindings;
+  bindings.emplace("p", rule->firing_buffer.get());
+
+  ++rule->times_fired;
+  ++rules_fired_;
+
+  // Flattened per-command index into the rule's stored-plan slots.
+  size_t plan_slot = 0;
+  auto next_plan_slot = [&]() -> CachedPlan* {
+    if (!cache_action_plans_) return nullptr;
+    if (rule->action_plans.size() <= plan_slot) {
+      rule->action_plans.resize(plan_slot + 1);
+    }
+    return &rule->action_plans[plan_slot++];
+  };
+
+  for (const CommandPtr& command : rule->modified_action) {
+    if (command->kind == CommandKind::kHalt) {
+      return Status::Halt();
+    }
+    // Each command (a do…end block counts as one command) is a transition.
+    transitions_->BeginTransition();
+    Status status;
+    if (command->kind == CommandKind::kBlock) {
+      const auto& block = static_cast<const BlockCommand&>(*command);
+      for (const CommandPtr& inner : block.commands) {
+        if (inner->kind == CommandKind::kHalt) {
+          status = Status::Halt();
+          break;
+        }
+        status =
+            executor_->Execute(*inner, &bindings, next_plan_slot()).status();
+        if (!status.ok()) break;
+      }
+    } else {
+      status =
+          executor_->Execute(*command, &bindings, next_plan_slot()).status();
+    }
+    Status end = transitions_->EndTransition();
+    if (status.ok()) status = end;
+    if (!status.ok()) {
+      if (status.IsHalt()) return status;
+      return Status::ExecutionError("action of rule \"" + rule->name +
+                                    "\" failed: " + status.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Status RuleExecutionMonitor::RunCycle() {
+  if (in_cycle_) return Status::OK();
+  in_cycle_ = true;
+  size_t fired = 0;
+  Status result = Status::OK();
+  while (true) {
+    Rule* rule = SelectRule();
+    if (rule == nullptr) break;
+    if (++fired > max_firings_per_cycle_) {
+      result = Status::ExecutionError(
+          "rule firing limit (" + std::to_string(max_firings_per_cycle_) +
+          ") exceeded — likely a non-terminating rule cascade; last rule: \"" +
+          rule->name + "\"");
+      break;
+    }
+    Status status = FireRule(rule);
+    if (status.IsHalt()) break;  // halt ends the cycle, not an error
+    if (!status.ok()) {
+      result = status;
+      break;
+    }
+  }
+  in_cycle_ = false;
+  return result;
+}
+
+}  // namespace ariel

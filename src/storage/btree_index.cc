@@ -1,0 +1,337 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ariel {
+
+/// A composite (key, tid) entry. Entries are totally ordered so the tree can
+/// locate the exact entry of a specific tuple among duplicates.
+struct BTreeIndex::Entry {
+  Value key;
+  TupleId tid;
+
+  bool Less(const Entry& other) const {
+    int c = key.Compare(other.key);
+    if (c != 0) return c < 0;
+    return tid < other.tid;
+  }
+  bool Equals(const Entry& other) const {
+    return key.Compare(other.key) == 0 && tid == other.tid;
+  }
+};
+
+struct BTreeIndex::Node {
+  bool is_leaf = true;
+  /// Leaf: the stored entries. Internal: separator entries; separators_[i]
+  /// is a lower bound (inclusive) for the keys in children_[i + 1].
+  std::vector<Entry> entries;
+  std::vector<Node*> children;  // internal nodes only; entries.size() + 1
+  Node* parent = nullptr;
+  Node* next = nullptr;  // leaf chain
+  Node* prev = nullptr;
+};
+
+BTreeIndex::BTreeIndex(size_t fanout) : fanout_(std::max<size_t>(4, fanout)) {
+  root_ = new Node();
+}
+
+BTreeIndex::~BTreeIndex() { FreeTree(root_); }
+
+void BTreeIndex::FreeTree(Node* node) {
+  if (!node->is_leaf) {
+    for (Node* child : node->children) FreeTree(child);
+  }
+  delete node;
+}
+
+BTreeIndex::Node* BTreeIndex::FindLeaf(const Value& key, TupleId tid) const {
+  Entry probe{key, tid};
+  Node* node = root_;
+  while (!node->is_leaf) {
+    // First separator strictly greater than probe determines the child:
+    // children[i] holds entries in [separator[i-1], separator[i]).
+    size_t i = std::upper_bound(node->entries.begin(), node->entries.end(),
+                                probe,
+                                [](const Entry& a, const Entry& b) {
+                                  return a.Less(b);
+                                }) -
+               node->entries.begin();
+    node = node->children[i];
+  }
+  return node;
+}
+
+void BTreeIndex::Insert(const Value& key, TupleId tid) {
+  Entry entry{key, tid};
+  Node* leaf = FindLeaf(key, tid);
+  auto pos = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), entry,
+      [](const Entry& a, const Entry& b) { return a.Less(b); });
+  leaf->entries.insert(pos, entry);
+  ++size_;
+
+  Node* node = leaf;
+  while (node->entries.size() > fanout_) {
+    // Split: right half moves to a new node; the first entry of the right
+    // node becomes the separator pushed into the parent.
+    size_t mid = node->entries.size() / 2;
+    Node* right = new Node();
+    right->is_leaf = node->is_leaf;
+    right->entries.assign(node->entries.begin() + mid, node->entries.end());
+    Entry separator = node->entries[mid];
+    if (node->is_leaf) {
+      node->entries.resize(mid);
+      right->next = node->next;
+      if (right->next) right->next->prev = right;
+      right->prev = node;
+      node->next = right;
+    } else {
+      // Internal split: the separator moves up and is removed from the
+      // right node; children split accordingly.
+      right->entries.erase(right->entries.begin());
+      node->entries.resize(mid);
+      right->children.assign(node->children.begin() + mid + 1,
+                             node->children.end());
+      node->children.resize(mid + 1);
+      for (Node* child : right->children) child->parent = right;
+    }
+    InsertIntoParent(node, separator.key, separator.tid, right);
+    node = node->parent;
+  }
+}
+
+void BTreeIndex::InsertIntoParent(Node* left, const Value& split_key,
+                                  TupleId split_tid, Node* right) {
+  Entry separator{split_key, split_tid};
+  if (left->parent == nullptr) {
+    Node* new_root = new Node();
+    new_root->is_leaf = false;
+    new_root->entries.push_back(separator);
+    new_root->children.push_back(left);
+    new_root->children.push_back(right);
+    left->parent = new_root;
+    right->parent = new_root;
+    root_ = new_root;
+    return;
+  }
+  Node* parent = left->parent;
+  right->parent = parent;
+  auto child_it =
+      std::find(parent->children.begin(), parent->children.end(), left);
+  size_t idx = child_it - parent->children.begin();
+  parent->entries.insert(parent->entries.begin() + idx, separator);
+  parent->children.insert(parent->children.begin() + idx + 1, right);
+}
+
+bool BTreeIndex::Remove(const Value& key, TupleId tid) {
+  Entry entry{key, tid};
+  Node* leaf = FindLeaf(key, tid);
+  auto pos = std::lower_bound(
+      leaf->entries.begin(), leaf->entries.end(), entry,
+      [](const Entry& a, const Entry& b) { return a.Less(b); });
+  if (pos == leaf->entries.end() || !pos->Equals(entry)) return false;
+  leaf->entries.erase(pos);
+  --size_;
+  RebalanceAfterDelete(leaf);
+  return true;
+}
+
+void BTreeIndex::RebalanceAfterDelete(Node* node) {
+  size_t min_fill = fanout_ / 2;
+  while (node != root_ && node->entries.size() < min_fill) {
+    Node* parent = node->parent;
+    size_t idx = std::find(parent->children.begin(), parent->children.end(),
+                           node) -
+                 parent->children.begin();
+    Node* left_sib = idx > 0 ? parent->children[idx - 1] : nullptr;
+    Node* right_sib =
+        idx + 1 < parent->children.size() ? parent->children[idx + 1] : nullptr;
+
+    if (left_sib && left_sib->entries.size() > min_fill) {
+      // Borrow the largest entry/child from the left sibling.
+      if (node->is_leaf) {
+        node->entries.insert(node->entries.begin(), left_sib->entries.back());
+        left_sib->entries.pop_back();
+        parent->entries[idx - 1] = node->entries.front();
+      } else {
+        node->entries.insert(node->entries.begin(), parent->entries[idx - 1]);
+        parent->entries[idx - 1] = left_sib->entries.back();
+        left_sib->entries.pop_back();
+        Node* moved = left_sib->children.back();
+        left_sib->children.pop_back();
+        moved->parent = node;
+        node->children.insert(node->children.begin(), moved);
+      }
+      return;
+    }
+    if (right_sib && right_sib->entries.size() > min_fill) {
+      // Borrow the smallest entry/child from the right sibling.
+      if (node->is_leaf) {
+        node->entries.push_back(right_sib->entries.front());
+        right_sib->entries.erase(right_sib->entries.begin());
+        parent->entries[idx] = right_sib->entries.front();
+      } else {
+        node->entries.push_back(parent->entries[idx]);
+        parent->entries[idx] = right_sib->entries.front();
+        right_sib->entries.erase(right_sib->entries.begin());
+        Node* moved = right_sib->children.front();
+        right_sib->children.erase(right_sib->children.begin());
+        moved->parent = node;
+        node->children.push_back(moved);
+      }
+      return;
+    }
+
+    // Merge with a sibling. Arrange (left, right) adjacent pair.
+    Node* left = left_sib ? left_sib : node;
+    Node* right = left_sib ? node : right_sib;
+    size_t sep_idx = left_sib ? idx - 1 : idx;
+    if (left->is_leaf) {
+      left->entries.insert(left->entries.end(), right->entries.begin(),
+                           right->entries.end());
+      left->next = right->next;
+      if (right->next) right->next->prev = left;
+    } else {
+      left->entries.push_back(parent->entries[sep_idx]);
+      left->entries.insert(left->entries.end(), right->entries.begin(),
+                           right->entries.end());
+      for (Node* child : right->children) child->parent = left;
+      left->children.insert(left->children.end(), right->children.begin(),
+                            right->children.end());
+    }
+    parent->entries.erase(parent->entries.begin() + sep_idx);
+    parent->children.erase(parent->children.begin() + sep_idx + 1);
+    delete right;
+    node = parent;
+  }
+
+  if (node == root_ && !root_->is_leaf && root_->entries.empty()) {
+    Node* old_root = root_;
+    root_ = root_->children[0];
+    root_->parent = nullptr;
+    delete old_root;
+  }
+}
+
+void BTreeIndex::Lookup(const Value& key, std::vector<TupleId>* out) const {
+  Scan(KeyBound{key, true}, KeyBound{key, true}, out);
+}
+
+void BTreeIndex::Scan(const std::optional<KeyBound>& lower,
+                      const std::optional<KeyBound>& upper,
+                      std::vector<TupleId>* out) const {
+  // Find the starting leaf: smallest entry satisfying the lower bound.
+  Node* leaf;
+  size_t start = 0;
+  if (lower.has_value()) {
+    // Minimal composite entry with this key: tid (0, 0) for inclusive
+    // bounds; past-max tid sentinel handled by using upper_bound semantics.
+    leaf = FindLeaf(lower->key, TupleId{0, 0});
+    Entry probe{lower->key, TupleId{0, 0}};
+    auto it = std::lower_bound(
+        leaf->entries.begin(), leaf->entries.end(), probe,
+        [](const Entry& a, const Entry& b) { return a.Less(b); });
+    start = it - leaf->entries.begin();
+  } else {
+    leaf = root_;
+    while (!leaf->is_leaf) leaf = leaf->children.front();
+  }
+
+  for (Node* node = leaf; node != nullptr; node = node->next) {
+    for (size_t i = (node == leaf ? start : 0); i < node->entries.size();
+         ++i) {
+      const Entry& e = node->entries[i];
+      if (lower.has_value() && !lower->inclusive &&
+          e.key.Compare(lower->key) == 0) {
+        continue;
+      }
+      if (upper.has_value()) {
+        int c = e.key.Compare(upper->key);
+        if (c > 0 || (c == 0 && !upper->inclusive)) return;
+      }
+      out->push_back(e.tid);
+    }
+    start = 0;
+  }
+}
+
+size_t BTreeIndex::height() const {
+  size_t h = 1;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = node->children.front();
+    ++h;
+  }
+  return h;
+}
+
+void BTreeIndex::CheckNode(const Node* node, const Entry* lo, const Entry* hi,
+                           size_t depth, size_t leaf_depth) const {
+  auto die = [&](const char* what) {
+    std::fprintf(stderr, "BTreeIndex invariant violated: %s\n", what);
+    std::abort();
+  };
+  // Entries sorted and within (lo, hi].
+  for (size_t i = 0; i + 1 < node->entries.size(); ++i) {
+    if (!node->entries[i].Less(node->entries[i + 1])) die("unsorted entries");
+  }
+  for (const Entry& e : node->entries) {
+    if (lo && e.Less(*lo)) die("entry below lower bound");
+    if (hi && !e.Less(*hi) && !e.Equals(*hi)) die("entry above upper bound");
+  }
+  if (node != root_ && node->entries.size() < fanout_ / 2) die("underfull node");
+  if (node->entries.size() > fanout_) die("overfull node");
+  if (node->is_leaf) {
+    if (depth != leaf_depth) die("leaves at different depths");
+    return;
+  }
+  if (node->children.size() != node->entries.size() + 1) {
+    die("child count != entries + 1");
+  }
+  for (size_t i = 0; i < node->children.size(); ++i) {
+    if (node->children[i]->parent != node) die("bad parent pointer");
+    const Entry* child_lo = i == 0 ? lo : &node->entries[i - 1];
+    const Entry* child_hi = i == node->entries.size() ? hi : &node->entries[i];
+    CheckNode(node->children[i], child_lo, child_hi, depth + 1, leaf_depth);
+  }
+}
+
+void BTreeIndex::CheckInvariants() const {
+  // Compute leaf depth from the leftmost path, then verify the whole tree.
+  size_t leaf_depth = 0;
+  const Node* node = root_;
+  while (!node->is_leaf) {
+    node = node->children.front();
+    ++leaf_depth;
+  }
+  CheckNode(root_, nullptr, nullptr, 0, leaf_depth);
+
+  // Leaf chain covers exactly size_ entries in sorted order.
+  const Node* leftmost = root_;
+  while (!leftmost->is_leaf) leftmost = leftmost->children.front();
+  size_t count = 0;
+  const Entry* prev = nullptr;
+  for (const Node* leaf = leftmost; leaf != nullptr; leaf = leaf->next) {
+    for (const Entry& e : leaf->entries) {
+      if (prev && !prev->Less(e)) {
+        std::fprintf(stderr, "BTreeIndex invariant violated: leaf chain order\n");
+        std::abort();
+      }
+      prev = &e;
+      ++count;
+    }
+    if (leaf->next && leaf->next->prev != leaf) {
+      std::fprintf(stderr, "BTreeIndex invariant violated: leaf links\n");
+      std::abort();
+    }
+  }
+  if (count != size_) {
+    std::fprintf(stderr, "BTreeIndex invariant violated: size mismatch\n");
+    std::abort();
+  }
+}
+
+}  // namespace ariel

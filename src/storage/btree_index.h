@@ -1,0 +1,86 @@
+#ifndef ARIEL_STORAGE_BTREE_INDEX_H_
+#define ARIEL_STORAGE_BTREE_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/tuple.h"
+#include "types/value.h"
+
+namespace ariel {
+
+/// Bound of a key range. `inclusive` distinguishes `<=` from `<` bounds;
+/// an absent optional means unbounded.
+struct KeyBound {
+  Value key;
+  bool inclusive = true;
+};
+
+/// An in-memory B+tree mapping attribute values to tuple identifiers.
+///
+/// Duplicates are allowed: entries are (key, tid) pairs ordered by key then
+/// tid, so Remove() can delete the exact entry for one tuple. Leaves are
+/// linked for range scans, which back both the executor's IndexScan operator
+/// and the index-assisted joins through virtual α-memories (§4.2 of the
+/// paper: "the base relation scan done when joining a token to a virtual
+/// α-memory can be done with any scan algorithm — index scan or sequential
+/// scan").
+class BTreeIndex {
+ public:
+  /// `fanout` is the max entries per node; small values are handy in tests
+  /// to force deep trees.
+  explicit BTreeIndex(size_t fanout = 64);
+  ~BTreeIndex();
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts an entry. Duplicate (key, tid) pairs are allowed but the engine
+  /// never creates them (one entry per stored tuple).
+  void Insert(const Value& key, TupleId tid);
+
+  /// Removes the entry (key, tid). Returns false if not present.
+  bool Remove(const Value& key, TupleId tid);
+
+  /// Appends all tids with key exactly equal to `key` to `out`.
+  void Lookup(const Value& key, std::vector<TupleId>* out) const;
+
+  /// Appends all tids whose key lies in the given (possibly half-open,
+  /// possibly unbounded) range, in key order.
+  void Scan(const std::optional<KeyBound>& lower,
+            const std::optional<KeyBound>& upper,
+            std::vector<TupleId>* out) const;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Height of the tree (1 = just a leaf). Exposed for tests.
+  size_t height() const;
+
+  /// Verifies structural invariants (ordering, fill, leaf links); aborts the
+  /// process on violation. Used by property tests.
+  void CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct Entry;
+
+  Node* FindLeaf(const Value& key, TupleId tid) const;
+  void InsertIntoParent(Node* left, const Value& split_key, TupleId split_tid,
+                        Node* right);
+  void RebalanceAfterDelete(Node* node);
+  void CheckNode(const Node* node, const Entry* lo, const Entry* hi,
+                 size_t depth, size_t leaf_depth) const;
+  void FreeTree(Node* node);
+
+  size_t fanout_;
+  Node* root_;
+  size_t size_ = 0;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_STORAGE_BTREE_INDEX_H_

@@ -1,0 +1,137 @@
+#include "storage/heap_relation.h"
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+HeapRelation::HeapRelation(uint32_t id, std::string name, Schema schema)
+    : id_(id), name_(ToLower(name)), schema_(std::move(schema)) {}
+
+Status HeapRelation::CoerceToSchema(Tuple* tuple) const {
+  if (tuple->size() != schema_.num_attributes()) {
+    return Status::ExecutionError(
+        "tuple arity " + std::to_string(tuple->size()) +
+        " does not match schema of \"" + name_ + "\" " + schema_.ToString());
+  }
+  for (size_t i = 0; i < tuple->size(); ++i) {
+    const Value& v = tuple->at(i);
+    DataType want = schema_.attribute(i).type;
+    if (v.is_null() || v.type() == want) continue;
+    if (v.is_int() && want == DataType::kFloat) {
+      tuple->at(i) = Value::Float(static_cast<double>(v.int_value()));
+      continue;
+    }
+    return Status::ExecutionError(
+        "value " + v.ToString() + " has type " + DataTypeToString(v.type()) +
+        " but attribute \"" + schema_.attribute(i).name + "\" of \"" + name_ +
+        "\" has type " + DataTypeToString(want));
+  }
+  return Status::OK();
+}
+
+Result<TupleId> HeapRelation::Insert(Tuple tuple) {
+  ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(tuple);
+  } else {
+    slot = static_cast<uint32_t>(slots_.size());
+    slots_.push_back(std::move(tuple));
+  }
+  ++live_count_;
+  TupleId tid{id_, slot};
+  for (auto& [attr_pos, index] : indexes_) {
+    index->Insert(slots_[slot]->at(attr_pos), tid);
+  }
+  return tid;
+}
+
+Status HeapRelation::Delete(TupleId tid) {
+  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
+      !slots_[tid.slot].has_value()) {
+    return Status::ExecutionError("delete of nonexistent tuple " +
+                                  tid.ToString() + " in \"" + name_ + "\"");
+  }
+  for (auto& [attr_pos, index] : indexes_) {
+    index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+  }
+  slots_[tid.slot].reset();
+  free_slots_.push_back(tid.slot);
+  --live_count_;
+  return Status::OK();
+}
+
+Status HeapRelation::Update(TupleId tid, Tuple tuple) {
+  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
+      !slots_[tid.slot].has_value()) {
+    return Status::ExecutionError("update of nonexistent tuple " +
+                                  tid.ToString() + " in \"" + name_ + "\"");
+  }
+  ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
+  for (auto& [attr_pos, index] : indexes_) {
+    index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+  }
+  slots_[tid.slot] = std::move(tuple);
+  for (auto& [attr_pos, index] : indexes_) {
+    index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+  }
+  return Status::OK();
+}
+
+const Tuple* HeapRelation::Get(TupleId tid) const {
+  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
+      !slots_[tid.slot].has_value()) {
+    return nullptr;
+  }
+  return &*slots_[tid.slot];
+}
+
+void HeapRelation::ForEach(
+    const std::function<void(TupleId, const Tuple&)>& fn) const {
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].has_value()) {
+      fn(TupleId{id_, slot}, *slots_[slot]);
+    }
+  }
+}
+
+std::vector<TupleId> HeapRelation::AllTupleIds() const {
+  std::vector<TupleId> tids;
+  tids.reserve(live_count_);
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].has_value()) tids.push_back(TupleId{id_, slot});
+  }
+  return tids;
+}
+
+Status HeapRelation::CreateIndex(std::string_view attribute) {
+  ARIEL_ASSIGN_OR_RETURN(size_t pos, schema_.Find(attribute));
+  if (indexes_.contains(pos)) return Status::OK();
+  auto index = std::make_unique<BTreeIndex>();
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].has_value()) {
+      index->Insert(slots_[slot]->at(pos), TupleId{id_, slot});
+    }
+  }
+  indexes_.emplace(pos, std::move(index));
+  return Status::OK();
+}
+
+const BTreeIndex* HeapRelation::GetIndex(std::string_view attribute) const {
+  int pos = schema_.IndexOf(attribute);
+  if (pos < 0) return nullptr;
+  auto it = indexes_.find(static_cast<size_t>(pos));
+  return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> HeapRelation::IndexedAttributes() const {
+  std::vector<std::string> names;
+  for (const auto& [pos, index] : indexes_) {
+    names.push_back(schema_.attribute(pos).name);
+  }
+  return names;
+}
+
+}  // namespace ariel

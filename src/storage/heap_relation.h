@@ -1,0 +1,89 @@
+#ifndef ARIEL_STORAGE_HEAP_RELATION_H_
+#define ARIEL_STORAGE_HEAP_RELATION_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/schema.h"
+#include "storage/btree_index.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// An in-memory heap of tuples with stable slot-based tuple identifiers.
+///
+/// This is the engine's substitute for Ariel's EXODUS-backed storage: slots
+/// survive unrelated inserts/deletes, so a TupleId captured in a P-node stays
+/// valid until that specific tuple is deleted — exactly the property the
+/// paper's replace'/delete' commands rely on (§5.1). Freed slots are recycled
+/// via a free list.
+///
+/// Secondary B+tree indexes may be attached per attribute; all mutators keep
+/// them synchronized.
+class HeapRelation {
+ public:
+  HeapRelation(uint32_t id, std::string name, Schema schema);
+
+  HeapRelation(const HeapRelation&) = delete;
+  HeapRelation& operator=(const HeapRelation&) = delete;
+
+  uint32_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+
+  /// Number of live tuples.
+  size_t size() const { return live_count_; }
+  bool empty() const { return live_count_ == 0; }
+
+  /// Inserts a tuple (must match the schema arity; type agreement is checked
+  /// by the executor) and returns its id.
+  Result<TupleId> Insert(Tuple tuple);
+
+  /// Deletes the tuple at `tid`. Fails if the slot is empty.
+  Status Delete(TupleId tid);
+
+  /// Replaces the tuple at `tid` wholesale.
+  Status Update(TupleId tid, Tuple tuple);
+
+  /// Returns the tuple at `tid`, or nullptr if the slot is empty/invalid.
+  const Tuple* Get(TupleId tid) const;
+
+  /// Invokes `fn` for every live tuple. `fn` must not mutate the relation.
+  void ForEach(const std::function<void(TupleId, const Tuple&)>& fn) const;
+
+  /// Materializes all live tuple ids (used by operators that mutate while
+  /// scanning).
+  std::vector<TupleId> AllTupleIds() const;
+
+  /// Creates a B+tree index on `attribute`; idempotent.
+  Status CreateIndex(std::string_view attribute);
+
+  /// Returns the index on `attribute`, or nullptr.
+  const BTreeIndex* GetIndex(std::string_view attribute) const;
+
+  /// Names of indexed attributes (for introspection).
+  std::vector<std::string> IndexedAttributes() const;
+
+  /// Checks that the tuple has the right arity and value types coercible to
+  /// the schema (coercing in place: int literals into float columns).
+  Status CoerceToSchema(Tuple* tuple) const;
+
+ private:
+  uint32_t id_;
+  std::string name_;
+  Schema schema_;
+  std::vector<std::optional<Tuple>> slots_;
+  std::vector<uint32_t> free_slots_;
+  size_t live_count_ = 0;
+  // attribute position -> index
+  std::unordered_map<size_t, std::unique_ptr<BTreeIndex>> indexes_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_STORAGE_HEAP_RELATION_H_

@@ -1,0 +1,39 @@
+#include "storage/tuple.h"
+
+namespace ariel {
+
+Tuple Tuple::Concat(const Tuple& a, const Tuple& b) {
+  std::vector<Value> values;
+  values.reserve(a.size() + b.size());
+  for (const Value& v : a.values()) values.push_back(v);
+  for (const Value& v : b.values()) values.push_back(v);
+  return Tuple(std::move(values));
+}
+
+std::string Tuple::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += values_[i].ToString();
+  }
+  out += "]";
+  return out;
+}
+
+size_t Tuple::FootprintBytes() const {
+  size_t bytes = sizeof(Tuple) + values_.capacity() * sizeof(Value);
+  for (const Value& v : values_) {
+    if (v.is_string()) bytes += v.string_value().capacity();
+  }
+  return bytes;
+}
+
+size_t Tuple::Hash() const {
+  size_t h = 0x51ED270B;
+  for (const Value& v : values_) {
+    h ^= v.Hash() + 0x9E3779B9 + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace ariel

@@ -1,0 +1,91 @@
+#ifndef ARIEL_STORAGE_TUPLE_H_
+#define ARIEL_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "types/value.h"
+
+namespace ariel {
+
+/// Identifies a stored tuple: which relation (catalog-assigned id) and which
+/// slot within its heap. Slots are stable for the life of the tuple, so TIDs
+/// can be carried in P-nodes and used later by replace'/delete' (§5.1 of the
+/// paper) to locate the tuples to update without re-scanning.
+struct TupleId {
+  uint32_t relation_id = 0;
+  uint32_t slot = 0;
+
+  bool valid() const { return relation_id != 0; }
+
+  bool operator==(const TupleId& other) const = default;
+  bool operator<(const TupleId& other) const {
+    return relation_id != other.relation_id ? relation_id < other.relation_id
+                                            : slot < other.slot;
+  }
+
+  std::string ToString() const {
+    return "(" + std::to_string(relation_id) + ":" + std::to_string(slot) + ")";
+  }
+};
+
+struct TupleIdHash {
+  size_t operator()(const TupleId& tid) const {
+    return std::hash<uint64_t>()((static_cast<uint64_t>(tid.relation_id) << 32) |
+                                 tid.slot);
+  }
+};
+
+/// A row of values. Layout (order/arity) is given by the owning Schema.
+class Tuple {
+ public:
+  Tuple() = default;
+  explicit Tuple(std::vector<Value> values) : values_(std::move(values)) {}
+
+  size_t size() const { return values_.size(); }
+  const Value& at(size_t i) const { return values_[i]; }
+  Value& at(size_t i) { return values_[i]; }
+  const std::vector<Value>& values() const { return values_; }
+
+  void Append(Value v) { values_.push_back(std::move(v)); }
+
+  bool operator==(const Tuple& other) const { return values_ == other.values_; }
+
+  /// Concatenates two tuples (used when forming join rows / P-node rows).
+  static Tuple Concat(const Tuple& a, const Tuple& b);
+
+  /// "[v1, v2, ...]" rendering.
+  std::string ToString() const;
+
+  /// Approximate heap footprint, for the α-memory storage benchmark.
+  size_t FootprintBytes() const;
+
+  size_t Hash() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const { return t.Hash(); }
+};
+
+/// P-node rows carry tuple identifiers as int64 column values so the primed
+/// commands (replace'/delete') can find their target tuples (§5.1 of the
+/// paper). Encoding: relation id in the high 32 bits, slot in the low 32.
+inline int64_t EncodeTid(TupleId tid) {
+  return static_cast<int64_t>(
+      (static_cast<uint64_t>(tid.relation_id) << 32) | tid.slot);
+}
+
+inline TupleId DecodeTid(int64_t encoded) {
+  uint64_t bits = static_cast<uint64_t>(encoded);
+  return TupleId{static_cast<uint32_t>(bits >> 32),
+                 static_cast<uint32_t>(bits & 0xFFFFFFFFu)};
+}
+
+}  // namespace ariel
+
+#endif  // ARIEL_STORAGE_TUPLE_H_

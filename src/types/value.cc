@@ -1,0 +1,220 @@
+#include "types/value.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* DataTypeToString(DataType type) {
+  switch (type) {
+    case DataType::kNull: return "null";
+    case DataType::kBool: return "bool";
+    case DataType::kInt: return "int";
+    case DataType::kFloat: return "float";
+    case DataType::kString: return "string";
+  }
+  return "unknown";
+}
+
+Result<DataType> DataTypeFromString(std::string_view name) {
+  std::string lower = ToLower(name);
+  if (lower == "int" || lower == "integer" || lower == "i4" || lower == "int4" ||
+      lower == "int8") {
+    return DataType::kInt;
+  }
+  if (lower == "float" || lower == "float4" || lower == "float8" ||
+      lower == "real" || lower == "double") {
+    return DataType::kFloat;
+  }
+  if (lower == "string" || lower == "text" || lower == "varchar" ||
+      lower == "char") {
+    return DataType::kString;
+  }
+  if (lower == "bool" || lower == "boolean") {
+    return DataType::kBool;
+  }
+  return Status::SemanticError("unknown type name: " + std::string(name));
+}
+
+Result<Value> Value::CastTo(DataType target) const {
+  if (type() == target) return *this;
+  if (is_null()) return Value::Null();
+  switch (target) {
+    case DataType::kFloat:
+      if (is_int()) return Value::Float(static_cast<double>(int_value()));
+      break;
+    case DataType::kInt:
+      if (is_float()) {
+        double d = float_value();
+        if (d == std::floor(d)) return Value::Int(static_cast<int64_t>(d));
+        return Status::ExecutionError("cannot cast non-integral float to int");
+      }
+      break;
+    default:
+      break;
+  }
+  return Status::ExecutionError(std::string("cannot cast ") +
+                                DataTypeToString(type()) + " to " +
+                                DataTypeToString(target));
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+/// Rank used to order values of incomparable types: null < bool < numeric
+/// < string. Int and float share a rank so they compare numerically.
+int TypeRank(DataType t) {
+  switch (t) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: return 1;
+    case DataType::kInt:
+    case DataType::kFloat: return 2;
+    case DataType::kString: return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = TypeRank(type());
+  int rb = TypeRank(other.type());
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (type()) {
+    case DataType::kNull:
+      return 0;
+    case DataType::kBool:
+      return static_cast<int>(bool_value()) - static_cast<int>(other.bool_value());
+    case DataType::kInt:
+      if (other.is_int()) {
+        int64_t a = int_value(), b = other.int_value();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    case DataType::kFloat:
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    case DataType::kString:
+      return string_value().compare(other.string_value()) < 0
+                 ? -1
+                 : (string_value() == other.string_value() ? 0 : 1);
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9E3779B9;
+    case DataType::kBool:
+      return bool_value() ? 0x85EBCA6B : 0xC2B2AE35;
+    case DataType::kInt: {
+      // Hash ints through double when exactly representable so that
+      // Value::Int(3) and Value::Float(3.0), which compare equal, hash
+      // equally too.
+      int64_t v = int_value();
+      double d = static_cast<double>(v);
+      if (static_cast<int64_t>(d) == v) return std::hash<double>()(d);
+      return std::hash<int64_t>()(v);
+    }
+    case DataType::kFloat:
+      return std::hash<double>()(float_value());
+    case DataType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return bool_value() ? "true" : "false";
+    case DataType::kInt:
+      return std::to_string(int_value());
+    case DataType::kFloat: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", float_value());
+      return buf;
+    }
+    case DataType::kString:
+      return QuoteString(string_value());
+  }
+  return "?";
+}
+
+size_t Value::FootprintBytes() const {
+  size_t base = sizeof(Value);
+  if (is_string()) base += string_value().capacity();
+  return base;
+}
+
+namespace {
+
+Result<Value> NumericBinary(const Value& a, const Value& b, char op) {
+  if (!a.is_numeric() || !b.is_numeric()) {
+    return Status::ExecutionError(
+        std::string("arithmetic requires numeric operands, got ") +
+        DataTypeToString(a.type()) + " and " + DataTypeToString(b.type()));
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.int_value(), y = b.int_value();
+    switch (op) {
+      case '+': return Value::Int(x + y);
+      case '-': return Value::Int(x - y);
+      case '*': return Value::Int(x * y);
+      case '/':
+        if (y == 0) return Status::ExecutionError("division by zero");
+        return Value::Int(x / y);
+    }
+  }
+  double x = a.AsDouble(), y = b.AsDouble();
+  switch (op) {
+    case '+': return Value::Float(x + y);
+    case '-': return Value::Float(x - y);
+    case '*': return Value::Float(x * y);
+    case '/':
+      if (y == 0.0) return Status::ExecutionError("division by zero");
+      return Value::Float(x / y);
+  }
+  return Status::Internal("bad arithmetic operator");
+}
+
+}  // namespace
+
+Result<Value> Add(const Value& a, const Value& b) {
+  // String concatenation via `+` is a convenience extension.
+  if (a.is_string() && b.is_string()) {
+    return Value::String(a.string_value() + b.string_value());
+  }
+  return NumericBinary(a, b, '+');
+}
+
+Result<Value> Subtract(const Value& a, const Value& b) {
+  return NumericBinary(a, b, '-');
+}
+
+Result<Value> Multiply(const Value& a, const Value& b) {
+  return NumericBinary(a, b, '*');
+}
+
+Result<Value> Divide(const Value& a, const Value& b) {
+  return NumericBinary(a, b, '/');
+}
+
+Result<Value> Negate(const Value& a) {
+  if (a.is_int()) return Value::Int(-a.int_value());
+  if (a.is_float()) return Value::Float(-a.float_value());
+  return Status::ExecutionError(std::string("cannot negate ") +
+                                DataTypeToString(a.type()));
+}
+
+}  // namespace ariel

@@ -1,0 +1,129 @@
+#ifndef ARIEL_TYPES_VALUE_H_
+#define ARIEL_TYPES_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/status.h"
+
+namespace ariel {
+
+/// Column data types supported by the engine. The paper's POSTQUEL subset
+/// needs integers (ages, department numbers), floats (salaries) and strings
+/// (names, titles); bool appears only as a predicate result.
+enum class DataType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,     // 64-bit signed
+  kFloat,   // IEEE double
+  kString,  // variable-length byte string
+};
+
+/// Human-readable type name ("int", "float", "string", ...).
+const char* DataTypeToString(DataType type);
+
+/// Parses a type name as written in `create` commands ("int"/"integer"/"i4",
+/// "float"/"float8"/"real", "string"/"text"/"varchar", "bool"/"boolean").
+Result<DataType> DataTypeFromString(std::string_view name);
+
+/// A dynamically-typed scalar: the unit of data flowing through tuples,
+/// expressions, tokens and α-memories.
+///
+/// Values are ordered and hashable. Numeric comparisons coerce int <-> float;
+/// cross-type comparisons otherwise order by type tag (so heterogeneous sort
+/// keys are well-defined), matching what the interval skip list needs.
+class Value {
+ public:
+  /// Null value.
+  Value() : data_(std::monostate{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Rep(v)); }
+  static Value Int(int64_t v) { return Value(Rep(v)); }
+  static Value Float(double v) { return Value(Rep(v)); }
+  static Value String(std::string v) { return Value(Rep(std::move(v))); }
+
+  DataType type() const {
+    switch (data_.index()) {
+      case 0: return DataType::kNull;
+      case 1: return DataType::kBool;
+      case 2: return DataType::kInt;
+      case 3: return DataType::kFloat;
+      default: return DataType::kString;
+    }
+  }
+
+  bool is_null() const { return type() == DataType::kNull; }
+  bool is_bool() const { return type() == DataType::kBool; }
+  bool is_int() const { return type() == DataType::kInt; }
+  bool is_float() const { return type() == DataType::kFloat; }
+  bool is_numeric() const { return is_int() || is_float(); }
+  bool is_string() const { return type() == DataType::kString; }
+
+  /// Accessors. Calling the wrong accessor is a programming error; they
+  /// abort via std::get's exception-to-terminate (engine is -fno-exceptions
+  /// agnostic but never catches).
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int_value() const { return std::get<int64_t>(data_); }
+  double float_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric value widened to double (valid for int and float values).
+  double AsDouble() const {
+    return is_int() ? static_cast<double>(int_value()) : float_value();
+  }
+
+  /// Truthiness used by predicate evaluation: null and false are false.
+  bool IsTruthy() const { return is_bool() && bool_value(); }
+
+  /// Coerces this value to `target` if a lossless-enough conversion exists
+  /// (int -> float, float -> int when integral, numeric parsing NOT done).
+  Result<Value> CastTo(DataType target) const;
+
+  /// Three-way comparison defining a total order over all values:
+  /// null < bool < numerics (int/float compared numerically) < string.
+  /// Returns -1, 0, or +1.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Stable hash consistent with operator== (ints and equal-valued floats
+  /// hash identically).
+  size_t Hash() const;
+
+  /// Renders the value for result sets and debugging. Strings are quoted.
+  std::string ToString() const;
+
+  /// Approximate heap footprint in bytes, used by the virtual-α-memory
+  /// storage accounting benchmark.
+  size_t FootprintBytes() const;
+
+ private:
+  using Rep = std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Rep rep) : data_(std::move(rep)) {}
+
+  Rep data_;
+};
+
+/// Arithmetic over values with int/float coercion. Division by zero and
+/// type mismatches produce ExecutionError.
+Result<Value> Add(const Value& a, const Value& b);
+Result<Value> Subtract(const Value& a, const Value& b);
+Result<Value> Multiply(const Value& a, const Value& b);
+Result<Value> Divide(const Value& a, const Value& b);
+Result<Value> Negate(const Value& a);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_TYPES_VALUE_H_

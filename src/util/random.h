@@ -1,0 +1,48 @@
+#ifndef ARIEL_UTIL_RANDOM_H_
+#define ARIEL_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace ariel {
+
+/// A small, fast, deterministic PRNG (xorshift64*). Used for interval skip
+/// list level choice and for workload generation in tests and benchmarks.
+/// Deterministic seeding keeps test failures reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 1) {}
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  /// Uniform value in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Bernoulli(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_UTIL_RANDOM_H_

@@ -1,0 +1,53 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ariel {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kSemanticError:
+      return "Semantic error";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kExecutionError:
+      return "Execution error";
+    case StatusCode::kInternal:
+      return "Internal error";
+    case StatusCode::kNotSupported:
+      return "Not supported";
+    case StatusCode::kHalt:
+      return "Halt";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+namespace internal {
+
+void DieBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "FATAL: accessed value of failed Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace ariel

@@ -1,0 +1,157 @@
+#ifndef ARIEL_UTIL_STATUS_H_
+#define ARIEL_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ariel {
+
+/// Error categories used across the engine. Codes are coarse on purpose:
+/// callers branch on broad classes (parse error vs. runtime error), while the
+/// message carries the specifics.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // malformed input from the caller (bad value, bad name)
+  kParseError,        // lexer/parser rejected a command string
+  kSemanticError,     // command parsed but is not meaningful (unknown column)
+  kNotFound,          // named object does not exist
+  kAlreadyExists,     // named object exists and duplicates are not allowed
+  kExecutionError,    // runtime failure while evaluating a plan
+  kInternal,          // invariant violation inside the engine (a bug)
+  kNotSupported,      // recognized but unimplemented construct
+  kHalt,              // `halt` executed inside a rule action (not an error)
+};
+
+/// Returns a human-readable name for a status code ("Parse error", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A lightweight success-or-error result, modeled on the Status idiom used by
+/// Arrow and RocksDB. The engine does not throw exceptions; every fallible
+/// operation returns Status or Result<T>.
+///
+/// The OK status carries no allocation; error statuses carry a code plus a
+/// message describing what went wrong.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status Halt() { return Status(StatusCode::kHalt, "halt executed"); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsHalt() const { return code_ == StatusCode::kHalt; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A value-or-error pair: holds T on success, a non-OK Status on failure.
+/// Mirrors arrow::Result. Accessing the value of a failed Result aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit so `return value;` works in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit so `return Status::...(...);` propagates errors naturally.
+  Result(Status status) : status_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieBadResultAccess(const Status& status);
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckOk() const {
+  if (!status_.ok()) internal::DieBadResultAccess(status_);
+}
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define ARIEL_RETURN_NOT_OK(expr)                \
+  do {                                           \
+    ::ariel::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates an expression yielding Result<T>; on error returns the Status,
+/// on success assigns the value to `lhs`.
+#define ARIEL_ASSIGN_OR_RETURN_IMPL(result_name, lhs, expr) \
+  auto result_name = (expr);                                \
+  if (!result_name.ok()) return result_name.status();       \
+  lhs = std::move(result_name).value()
+
+#define ARIEL_CONCAT_IMPL(a, b) a##b
+#define ARIEL_CONCAT(a, b) ARIEL_CONCAT_IMPL(a, b)
+
+#define ARIEL_ASSIGN_OR_RETURN(lhs, expr) \
+  ARIEL_ASSIGN_OR_RETURN_IMPL(ARIEL_CONCAT(_res_, __LINE__), lhs, expr)
+
+}  // namespace ariel
+
+#endif  // ARIEL_UTIL_STATUS_H_

@@ -1,0 +1,29 @@
+#ifndef ARIEL_UTIL_STRING_UTIL_H_
+#define ARIEL_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ariel {
+
+/// Lower-cases ASCII characters; used for case-insensitive keywords and
+/// identifier normalization (POSTQUEL identifiers are case-insensitive).
+std::string ToLower(std::string_view s);
+
+/// True if `a` and `b` compare equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing whitespace.
+std::string_view Trim(std::string_view s);
+
+/// Quotes a string literal for re-printing: wraps in double quotes and
+/// backslash-escapes embedded quotes and backslashes.
+std::string QuoteString(std::string_view s);
+
+}  // namespace ariel
+
+#endif  // ARIEL_UTIL_STRING_UTIL_H_

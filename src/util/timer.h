@@ -1,0 +1,34 @@
+#ifndef ARIEL_UTIL_TIMER_H_
+#define ARIEL_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace ariel {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harnesses that
+/// reproduce the paper's tables (total seconds per batch of operations).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed microseconds since construction or last Reset().
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+  /// Elapsed milliseconds since construction or last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_UTIL_TIMER_H_

@@ -1,0 +1,125 @@
+// Tests for aggregate retrieve targets: count/sum/avg/min/max over the
+// qualified row set (POSTQUEL-style, no grouping).
+
+#include <gtest/gtest.h>
+
+#include "ariel/database.h"
+
+namespace ariel {
+namespace {
+
+class AggregateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Ok("create emp (name = string, sal = float, dno = int)");
+    Ok("append emp (name=\"a\", sal=10.0, dno=1)");
+    Ok("append emp (name=\"b\", sal=20.0, dno=1)");
+    Ok("append emp (name=\"c\", sal=30.0, dno=2)");
+    Ok("append emp (name=\"d\", sal=40.0, dno=2)");
+  }
+
+  void Ok(const std::string& cmd) {
+    auto r = db_.Execute(cmd);
+    ASSERT_TRUE(r.ok()) << cmd << " -> " << r.status().ToString();
+  }
+
+  Value Single(const std::string& retrieve, size_t col = 0) {
+    auto r = db_.Execute(retrieve);
+    EXPECT_TRUE(r.ok()) << retrieve << " -> " << r.status().ToString();
+    if (!r.ok() || !r->rows.has_value() || r->rows->num_rows() != 1) {
+      return Value::Null();
+    }
+    return r->rows->rows[0].at(col);
+  }
+
+  Database db_;
+};
+
+TEST_F(AggregateTest, CountForms) {
+  EXPECT_EQ(Single("retrieve (count(emp))"), Value::Int(4));
+  EXPECT_EQ(Single("retrieve (count(emp)) where emp.dno = 1"), Value::Int(2));
+  EXPECT_EQ(Single("retrieve (count(emp.sal))"), Value::Int(4));
+  // count(expr) skips nulls; count(v) counts rows.
+  Ok("append emp (name=\"e\", dno=1)");  // sal is null
+  EXPECT_EQ(Single("retrieve (count(emp))"), Value::Int(5));
+  EXPECT_EQ(Single("retrieve (count(emp.sal))"), Value::Int(4));
+}
+
+TEST_F(AggregateTest, SumAvgMinMax) {
+  EXPECT_EQ(Single("retrieve (sum(emp.sal))"), Value::Float(100.0));
+  EXPECT_EQ(Single("retrieve (avg(emp.sal))"), Value::Float(25.0));
+  EXPECT_EQ(Single("retrieve (min(emp.sal))"), Value::Float(10.0));
+  EXPECT_EQ(Single("retrieve (max(emp.sal))"), Value::Float(40.0));
+  EXPECT_EQ(Single("retrieve (sum(emp.dno))"), Value::Int(6));
+  EXPECT_EQ(Single("retrieve (min(emp.name))"), Value::String("a"));
+}
+
+TEST_F(AggregateTest, MultipleAggregatesAndNames) {
+  auto r = db_.Execute("retrieve (n = count(emp), total = sum(emp.sal)) "
+                       "where emp.dno = 2");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows->num_rows(), 1u);
+  EXPECT_EQ(r->rows->schema.attribute(0).name, "n");
+  EXPECT_EQ(r->rows->schema.attribute(1).name, "total");
+  EXPECT_EQ(r->rows->rows[0].at(0), Value::Int(2));
+  EXPECT_EQ(r->rows->rows[0].at(1), Value::Float(70.0));
+}
+
+TEST_F(AggregateTest, AggregateOverJoin) {
+  Ok("create dept (dno = int, name = string)");
+  Ok("append dept (dno=1, name=\"Sales\")");
+  Ok("append dept (dno=2, name=\"Toy\")");
+  EXPECT_EQ(Single("retrieve (sum(emp.sal)) where emp.dno = dept.dno and "
+                   "dept.name = \"Toy\""),
+            Value::Float(70.0));
+}
+
+TEST_F(AggregateTest, EmptySetSemantics) {
+  EXPECT_EQ(Single("retrieve (count(emp)) where emp.sal > 1000"),
+            Value::Int(0));
+  EXPECT_TRUE(
+      Single("retrieve (sum(emp.sal)) where emp.sal > 1000").is_null());
+  EXPECT_TRUE(
+      Single("retrieve (avg(emp.sal)) where emp.sal > 1000").is_null());
+  EXPECT_TRUE(
+      Single("retrieve (min(emp.sal)) where emp.sal > 1000").is_null());
+}
+
+TEST_F(AggregateTest, AggregateOverExpression) {
+  EXPECT_EQ(Single("retrieve (sum(emp.sal * 2))"), Value::Float(200.0));
+  EXPECT_EQ(Single("retrieve (max(emp.sal + emp.dno))"), Value::Float(42.0));
+}
+
+TEST_F(AggregateTest, ErrorsAndMisuse) {
+  // Mixing per-tuple and aggregate targets is rejected.
+  EXPECT_FALSE(db_.Execute("retrieve (emp.name, count(emp))").ok());
+  // Aggregates outside retrieve targets are rejected.
+  EXPECT_FALSE(db_.Execute("retrieve (emp.name) where count(emp) > 1").ok());
+  EXPECT_FALSE(db_.Execute("retrieve (count(emp) + 1)").ok());
+  // Bare variable only valid for count.
+  EXPECT_FALSE(db_.Execute("retrieve (sum(emp))").ok());
+  // Numeric-only aggregates reject string operands.
+  EXPECT_FALSE(db_.Execute("retrieve (sum(emp.name))").ok());
+  // retrieve into does not take aggregates.
+  EXPECT_FALSE(db_.Execute("retrieve into t (count(emp))").ok());
+}
+
+TEST_F(AggregateTest, AggregateInRuleActionCountsPnode) {
+  // A rule action summarizing its own binding set: count(emp) becomes a
+  // count over the P-node (query modification maps v -> p).
+  Ok("create summary (n = int, total = float)");
+  Ok("create sink (n = int, total = float)");
+  Ok("define rule summarize if emp.sal > 15 "
+     "then append to sink (count(emp), sum(emp.sal))");
+  // Activation primed three matching employees (20, 30, 40); the rule
+  // fires on the next transition with the whole set.
+  Ok("append emp (name=\"z\", sal=1.0, dno=3)");
+  auto r = db_.Execute("retrieve (sink.all)");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->rows->num_rows(), 1u);
+  EXPECT_EQ(r->rows->rows[0].at(0), Value::Int(3));
+  EXPECT_EQ(r->rows->rows[0].at(1), Value::Float(90.0));
+}
+
+}  // namespace
+}  // namespace ariel

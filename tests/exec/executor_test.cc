@@ -1,0 +1,285 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/gateway.h"
+#include "parser/parser.h"
+
+namespace ariel {
+namespace {
+
+/// Executor tests run against the plain DirectGateway: no rule system,
+/// pure query/update semantics.
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecutorTest() : executor_(&catalog_, &gateway_, &optimizer_) {}
+
+  CommandResult Run(const std::string& text,
+                    const ExtraBindings* extra = nullptr) {
+    auto cmd = ParseCommand(text);
+    EXPECT_TRUE(cmd.ok()) << cmd.status().ToString();
+    auto result = executor_.Execute(**cmd, extra);
+    EXPECT_TRUE(result.ok()) << text << " -> " << result.status().ToString();
+    return result.ok() ? std::move(*result) : CommandResult{};
+  }
+
+  Status TryRun(const std::string& text) {
+    auto cmd = ParseCommand(text);
+    if (!cmd.ok()) return cmd.status();
+    return executor_.Execute(**cmd).status();
+  }
+
+  void SetUpEmp() {
+    Run("create emp (name = string, sal = float, dno = int)");
+    Run("append emp (name=\"a\", sal=10.0, dno=1)");
+    Run("append emp (name=\"b\", sal=20.0, dno=1)");
+    Run("append emp (name=\"c\", sal=30.0, dno=2)");
+  }
+
+  Catalog catalog_;
+  DirectGateway gateway_;
+  Optimizer optimizer_;
+  Executor executor_;
+};
+
+TEST_F(ExecutorTest, CreateDestroy) {
+  Run("create t (x = int)");
+  EXPECT_NE(catalog_.GetRelation("t"), nullptr);
+  EXPECT_FALSE(TryRun("create t (x = int)").ok());  // duplicate
+  Run("destroy t");
+  EXPECT_EQ(catalog_.GetRelation("t"), nullptr);
+  EXPECT_FALSE(TryRun("destroy t").ok());
+}
+
+TEST_F(ExecutorTest, AppendConstantsAndDefaults) {
+  Run("create t (x = int, y = string, z = float)");
+  Run("append t (x = 1, z = 2.5)");  // y unassigned -> null
+  auto result = Run("retrieve (t.all)");
+  ASSERT_EQ(result.rows->num_rows(), 1u);
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Int(1));
+  EXPECT_TRUE(result.rows->rows[0].at(1).is_null());
+  EXPECT_EQ(result.rows->rows[0].at(2), Value::Float(2.5));
+}
+
+TEST_F(ExecutorTest, AppendPositionalTargets) {
+  SetUpEmp();
+  Run("create watch (name = string, sal = float)");
+  size_t n = Run("append watch (emp.name, emp.sal) where emp.dno = 1")
+                 .affected;
+  EXPECT_EQ(n, 2u);
+  auto result = Run("retrieve (watch.all) where watch.name = \"a\"");
+  ASSERT_EQ(result.rows->num_rows(), 1u);
+  EXPECT_EQ(result.rows->rows[0].at(1), Value::Float(10.0));
+}
+
+TEST_F(ExecutorTest, AppendMixedNamedAndPositional) {
+  Run("create t (x = int, y = int, z = int)");
+  Run("append t (y = 2, 1, 3)");  // named claims y; positionals fill x, z
+  auto result = Run("retrieve (t.all)");
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Int(1));
+  EXPECT_EQ(result.rows->rows[0].at(1), Value::Int(2));
+  EXPECT_EQ(result.rows->rows[0].at(2), Value::Int(3));
+}
+
+TEST_F(ExecutorTest, AppendAllExpansion) {
+  SetUpEmp();
+  Run("create empcopy (name = string, sal = float, dno = int)");
+  EXPECT_EQ(Run("append empcopy (emp.all)").affected, 3u);
+  EXPECT_EQ(Run("retrieve (empcopy.all)").rows->num_rows(), 3u);
+}
+
+TEST_F(ExecutorTest, AppendSelfReferencingSourceSnapshot) {
+  SetUpEmp();
+  // Appending from the destination itself must not loop: sources are
+  // materialized before inserts begin.
+  EXPECT_EQ(Run("append emp (emp.name, emp.sal, emp.dno)").affected, 3u);
+  EXPECT_EQ(Run("retrieve (emp.all)").rows->num_rows(), 6u);
+}
+
+TEST_F(ExecutorTest, AppendErrors) {
+  Run("create t (x = int)");
+  EXPECT_FALSE(TryRun("append t (x = 1, x = 2)").ok());     // dup attr
+  EXPECT_FALSE(TryRun("append t (y = 1)").ok());            // unknown attr
+  EXPECT_FALSE(TryRun("append t (1, 2)").ok());             // too many
+  EXPECT_FALSE(TryRun("append ghost (x = 1)").ok());        // no relation
+  EXPECT_FALSE(TryRun("append t (x = \"s\")").ok());        // type error
+}
+
+TEST_F(ExecutorTest, DeleteWithQualification) {
+  SetUpEmp();
+  EXPECT_EQ(Run("delete emp where emp.dno = 1").affected, 2u);
+  EXPECT_EQ(Run("retrieve (emp.all)").rows->num_rows(), 1u);
+  EXPECT_EQ(Run("delete emp").affected, 1u);  // unqualified deletes all
+  EXPECT_EQ(Run("retrieve (emp.all)").rows->num_rows(), 0u);
+}
+
+TEST_F(ExecutorTest, DeleteDeduplicatesJoinMatches) {
+  SetUpEmp();
+  Run("create boost (dno = int)");
+  Run("append boost (dno = 1)");
+  Run("append boost (dno = 1)");  // two matches per dno-1 employee
+  EXPECT_EQ(Run("delete emp where emp.dno = boost.dno").affected, 2u);
+}
+
+TEST_F(ExecutorTest, ReplaceComputedFromOldValues) {
+  SetUpEmp();
+  EXPECT_EQ(Run("replace emp (sal = emp.sal * 2) where emp.dno = 1").affected,
+            2u);
+  auto result = Run("retrieve (emp.sal) where emp.name = \"a\"");
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Float(20.0));
+  // Unchanged outside the qualification.
+  result = Run("retrieve (emp.sal) where emp.name = \"c\"");
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Float(30.0));
+}
+
+TEST_F(ExecutorTest, ReplaceWithJoin) {
+  SetUpEmp();
+  Run("create raise (dno = int, amount = float)");
+  Run("append raise (dno = 1, amount = 5.0)");
+  EXPECT_EQ(
+      Run("replace emp (sal = emp.sal + raise.amount) "
+          "where emp.dno = raise.dno")
+          .affected,
+      2u);
+  auto result = Run("retrieve (emp.sal) where emp.name = \"b\"");
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Float(25.0));
+}
+
+TEST_F(ExecutorTest, ReplaceRequiresAssignments) {
+  SetUpEmp();
+  EXPECT_FALSE(TryRun("replace emp (emp.sal)").ok());
+}
+
+TEST_F(ExecutorTest, RetrieveComputedColumnsAndNames) {
+  SetUpEmp();
+  auto result = Run("retrieve (emp.name, doubled = emp.sal * 2, "
+                    "emp.sal > 15.0)");
+  EXPECT_EQ(result.rows->schema.attribute(0).name, "name");
+  EXPECT_EQ(result.rows->schema.attribute(1).name, "doubled");
+  EXPECT_EQ(result.rows->schema.attribute(2).name, "col2");
+  EXPECT_EQ(result.rows->schema.attribute(1).type, DataType::kFloat);
+  EXPECT_EQ(result.rows->schema.attribute(2).type, DataType::kBool);
+}
+
+TEST_F(ExecutorTest, RetrieveConstantRow) {
+  auto result = Run("retrieve (x = 1 + 2)");
+  ASSERT_EQ(result.rows->num_rows(), 1u);
+  EXPECT_EQ(result.rows->rows[0].at(0), Value::Int(3));
+}
+
+TEST_F(ExecutorTest, RetrieveWithExplicitTupleVariables) {
+  SetUpEmp();
+  // Self-join via two tuple variables over emp.
+  auto result = Run(
+      "retrieve (e1.name, e2.name) from e1 in emp, e2 in emp "
+      "where e1.dno = e2.dno and e1.sal < e2.sal");
+  EXPECT_EQ(result.rows->num_rows(), 1u);  // (a, b) in dno 1
+}
+
+TEST_F(ExecutorTest, PrimedDeleteThroughPnodeBinding) {
+  SetUpEmp();
+  // Build a fake P-node holding bindings of variable emp: tid + attrs.
+  HeapRelation* emp = catalog_.GetRelation("emp");
+  Schema pschema({Attribute{"emp.tid", DataType::kInt},
+                  Attribute{"emp.name", DataType::kString},
+                  Attribute{"emp.sal", DataType::kFloat},
+                  Attribute{"emp.dno", DataType::kInt}});
+  HeapRelation pnode(999, "pnode$test", pschema);
+  for (TupleId tid : emp->AllTupleIds()) {
+    const Tuple* t = emp->Get(tid);
+    if (t->at(2) == Value::Int(1)) {
+      ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
+                                   Value::Int(EncodeTid(tid)), t->at(0),
+                                   t->at(1), t->at(2)}))
+                      .ok());
+    }
+  }
+  ExtraBindings bindings{{"p", &pnode}};
+  auto cmd = ParseCommand("delete' p.emp");
+  ASSERT_TRUE(cmd.ok());
+  auto result = executor_.Execute(**cmd, &bindings);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected, 2u);
+  EXPECT_EQ(emp->size(), 1u);
+}
+
+TEST_F(ExecutorTest, PrimedReplaceThroughPnodeBinding) {
+  SetUpEmp();
+  HeapRelation* emp = catalog_.GetRelation("emp");
+  Schema pschema({Attribute{"emp.tid", DataType::kInt},
+                  Attribute{"emp.name", DataType::kString},
+                  Attribute{"emp.sal", DataType::kFloat},
+                  Attribute{"emp.dno", DataType::kInt}});
+  HeapRelation pnode(999, "pnode$test", pschema);
+  for (TupleId tid : emp->AllTupleIds()) {
+    const Tuple* t = emp->Get(tid);
+    ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
+                                 Value::Int(EncodeTid(tid)), t->at(0),
+                                 t->at(1), t->at(2)}))
+                    .ok());
+  }
+  ExtraBindings bindings{{"p", &pnode}};
+  // New salary computed from the P-node copy of the old value.
+  auto cmd = ParseCommand("replace' p.emp (sal = p.emp.sal + 1.0)");
+  ASSERT_TRUE(cmd.ok());
+  auto result = executor_.Execute(**cmd, &bindings);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected, 3u);
+  auto rows = Run("retrieve (emp.sal) where emp.name = \"a\"");
+  EXPECT_EQ(rows.rows->rows[0].at(0), Value::Float(11.0));
+}
+
+TEST_F(ExecutorTest, PrimedCommandsSkipVanishedTuples) {
+  SetUpEmp();
+  HeapRelation* emp = catalog_.GetRelation("emp");
+  Schema pschema({Attribute{"emp.tid", DataType::kInt}});
+  HeapRelation pnode(999, "pnode$test", pschema);
+  TupleId victim = emp->AllTupleIds()[0];
+  ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
+                               Value::Int(EncodeTid(victim))}))
+                  .ok());
+  ASSERT_TRUE(emp->Delete(victim).ok());  // tuple gone before the command
+  ExtraBindings bindings{{"p", &pnode}};
+  auto cmd = ParseCommand("delete' p.emp");
+  auto result = executor_.Execute(**cmd, &bindings);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->affected, 0u);
+}
+
+TEST_F(ExecutorTest, RetrieveIntoMaterializesRelation) {
+  SetUpEmp();
+  auto r = Run("retrieve into rich (emp.name, pay = emp.sal * 2) "
+               "where emp.sal >= 20");
+  EXPECT_EQ(r.affected, 2u);
+  EXPECT_FALSE(r.rows.has_value());
+  HeapRelation* rich = catalog_.GetRelation("rich");
+  ASSERT_NE(rich, nullptr);
+  EXPECT_EQ(rich->size(), 2u);
+  EXPECT_EQ(rich->schema().attribute(0).name, "name");
+  EXPECT_EQ(rich->schema().attribute(1).name, "pay");
+  EXPECT_EQ(rich->schema().attribute(1).type, DataType::kFloat);
+  // The new relation is a first-class citizen.
+  EXPECT_EQ(Run("retrieve (rich.all) where rich.pay = 60").rows->num_rows(),
+            1u);
+  // Duplicate name rejected.
+  EXPECT_FALSE(TryRun("retrieve into rich (emp.name)").ok());
+}
+
+TEST_F(ExecutorTest, DefineIndexCommand) {
+  SetUpEmp();
+  Run("define index on emp (sal)");
+  EXPECT_NE(catalog_.GetRelation("emp")->GetIndex("sal"), nullptr);
+  EXPECT_FALSE(TryRun("define index on emp (ghost)").ok());
+  EXPECT_FALSE(TryRun("define index on ghost (x)").ok());
+}
+
+TEST_F(ExecutorTest, SemanticErrorsSurface) {
+  SetUpEmp();
+  EXPECT_FALSE(TryRun("retrieve (ghost.x)").ok());
+  EXPECT_FALSE(TryRun("retrieve (emp.ghost)").ok());
+  EXPECT_FALSE(TryRun("delete ghost").ok());
+  EXPECT_FALSE(TryRun("replace ghost (x = 1)").ok());
+}
+
+}  // namespace
+}  // namespace ariel

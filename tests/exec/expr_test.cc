@@ -1,0 +1,165 @@
+#include "exec/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace ariel {
+namespace {
+
+class ExprTest : public ::testing::Test {
+ protected:
+  ExprTest()
+      : emp_schema_({Attribute{"name", DataType::kString},
+                     Attribute{"sal", DataType::kFloat},
+                     Attribute{"dno", DataType::kInt}}),
+        dept_schema_({Attribute{"dno", DataType::kInt},
+                      Attribute{"name", DataType::kString}}) {
+    scope_.Add(VarBinding{"emp", &emp_schema_, /*has_previous=*/true});
+    scope_.Add(VarBinding{"dept", &dept_schema_, /*has_previous=*/false});
+  }
+
+  Result<Value> Eval(const std::string& text, const Row& row) {
+    auto expr = ParseExpression(text);
+    if (!expr.ok()) return expr.status();
+    auto compiled = CompileExpr(**expr, scope_);
+    if (!compiled.ok()) return compiled.status();
+    return (*compiled)->Eval(row);
+  }
+
+  Row MakeRow(const std::string& name, double sal, int64_t dno,
+              double prev_sal = 0) {
+    Row row(2);
+    row.Set(0, Tuple(std::vector<Value>{Value::String(name),
+                                        Value::Float(sal), Value::Int(dno)}),
+            TupleId{1, 0});
+    row.SetPrevious(0, Tuple(std::vector<Value>{Value::String(name),
+                                                Value::Float(prev_sal),
+                                                Value::Int(dno)}));
+    row.Set(1, Tuple(std::vector<Value>{Value::Int(dno),
+                                        Value::String("Sales")}),
+            TupleId{2, 0});
+    return row;
+  }
+
+  Schema emp_schema_;
+  Schema dept_schema_;
+  Scope scope_;
+};
+
+TEST_F(ExprTest, ColumnAccess) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  EXPECT_EQ(*Eval("emp.name", row), Value::String("Alice"));
+  EXPECT_EQ(*Eval("emp.sal", row), Value::Float(100.0));
+  EXPECT_EQ(*Eval("dept.name", row), Value::String("Sales"));
+}
+
+TEST_F(ExprTest, PreviousAccess) {
+  Row row = MakeRow("Alice", 110.0, 3, /*prev_sal=*/100.0);
+  EXPECT_EQ(*Eval("previous emp.sal", row), Value::Float(100.0));
+  EXPECT_EQ(*Eval("emp.sal > 1.05 * previous emp.sal", row),
+            Value::Bool(true));
+  EXPECT_EQ(*Eval("emp.sal > 1.2 * previous emp.sal", row),
+            Value::Bool(false));
+}
+
+TEST_F(ExprTest, PreviousRejectedWithoutTransitionData) {
+  Row row = MakeRow("A", 1.0, 1);
+  auto result = Eval("previous dept.name", row);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kSemanticError);
+}
+
+TEST_F(ExprTest, UnknownNamesRejected) {
+  Row row = MakeRow("A", 1.0, 1);
+  EXPECT_EQ(Eval("ghost.x", row).status().code(),
+            StatusCode::kSemanticError);
+  EXPECT_EQ(Eval("emp.ghost", row).status().code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExprTest, AllRejectedInsideExpressions) {
+  Row row = MakeRow("A", 1.0, 1);
+  EXPECT_EQ(Eval("emp.all = 1", row).status().code(),
+            StatusCode::kSemanticError);
+}
+
+TEST_F(ExprTest, ComparisonsAndLogic) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  EXPECT_EQ(*Eval("emp.sal = 100", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("emp.sal != 100", row), Value::Bool(false));
+  EXPECT_EQ(*Eval("emp.dno >= 3 and emp.dno <= 3", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("emp.name = \"Alice\" or emp.name = \"Bob\"", row),
+            Value::Bool(true));
+  EXPECT_EQ(*Eval("not emp.sal < 50", row), Value::Bool(true));
+}
+
+TEST_F(ExprTest, ShortCircuitSkipsErrors) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  // Division by zero on the right is never evaluated.
+  EXPECT_EQ(*Eval("emp.sal < 50 and emp.sal / 0 > 1", row),
+            Value::Bool(false));
+  EXPECT_EQ(*Eval("emp.sal > 50 or emp.sal / 0 > 1", row),
+            Value::Bool(true));
+  // But it is evaluated (and fails) when reached.
+  EXPECT_FALSE(Eval("emp.sal > 50 and emp.sal / 0 > 1", row).ok());
+}
+
+TEST_F(ExprTest, ArithmeticAndJoinPredicate) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  EXPECT_EQ(*Eval("emp.sal * 2 + 1", row), Value::Float(201.0));
+  EXPECT_EQ(*Eval("emp.dno = dept.dno", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("-emp.dno", row), Value::Int(-3));
+}
+
+TEST_F(ExprTest, NewIsAlwaysTrue) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  EXPECT_EQ(*Eval("new(emp)", row), Value::Bool(true));
+}
+
+TEST_F(ExprTest, EvalPredicateRequiresBoolean) {
+  Row row = MakeRow("Alice", 100.0, 3);
+  auto expr = ParseExpression("emp.sal + 1");
+  auto compiled = CompileExpr(**expr, scope_);
+  auto result = (*compiled)->EvalPredicate(row);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(ExprTest, NullComparesAsValueNotSqlNull) {
+  // The engine uses a total order (null smallest), not SQL three-valued
+  // logic; document the behaviour via test.
+  Row row(2);
+  row.Set(0, Tuple(std::vector<Value>{Value::Null(), Value::Null(),
+                                      Value::Null()}),
+          TupleId{1, 0});
+  row.Set(1, Tuple(std::vector<Value>{Value::Int(1), Value::String("d")}),
+          TupleId{2, 0});
+  EXPECT_EQ(*Eval("emp.name = null", row), Value::Bool(true));
+  EXPECT_EQ(*Eval("emp.sal < 0", row), Value::Bool(true));  // null < numbers
+}
+
+TEST_F(ExprTest, InferTypes) {
+  auto type_of = [&](const std::string& text) {
+    auto expr = ParseExpression(text);
+    EXPECT_TRUE(expr.ok());
+    auto t = InferType(**expr, scope_);
+    EXPECT_TRUE(t.ok()) << t.status().ToString();
+    return *t;
+  };
+  EXPECT_EQ(type_of("emp.sal"), DataType::kFloat);
+  EXPECT_EQ(type_of("emp.dno + 1"), DataType::kInt);
+  EXPECT_EQ(type_of("emp.dno + 1.5"), DataType::kFloat);
+  EXPECT_EQ(type_of("emp.sal > 1"), DataType::kBool);
+  EXPECT_EQ(type_of("emp.name + \"!\""), DataType::kString);
+  EXPECT_EQ(type_of("not emp.sal > 1"), DataType::kBool);
+  EXPECT_EQ(type_of("new(emp)"), DataType::kBool);
+}
+
+TEST_F(ExprTest, ScopeLookupCaseInsensitive) {
+  EXPECT_EQ(scope_.IndexOf("EMP"), 0);
+  EXPECT_EQ(scope_.IndexOf("Dept"), 1);
+  EXPECT_EQ(scope_.IndexOf("nope"), -1);
+}
+
+}  // namespace
+}  // namespace ariel

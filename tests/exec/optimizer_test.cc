@@ -1,0 +1,196 @@
+#include "exec/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "parser/parser.h"
+
+namespace ariel {
+namespace {
+
+class OptimizerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    emp_ = *catalog_.CreateRelation(
+        "emp", Schema({Attribute{"name", DataType::kString},
+                       Attribute{"sal", DataType::kFloat},
+                       Attribute{"dno", DataType::kInt},
+                       Attribute{"jno", DataType::kInt}}));
+    dept_ = *catalog_.CreateRelation(
+        "dept", Schema({Attribute{"dno", DataType::kInt},
+                        Attribute{"name", DataType::kString}}));
+    job_ = *catalog_.CreateRelation(
+        "job", Schema({Attribute{"jno", DataType::kInt},
+                       Attribute{"paygrade", DataType::kInt}}));
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{
+                                   Value::String("e" + std::to_string(i)),
+                                   Value::Float(1000.0 * (i % 100)),
+                                   Value::Int(i % 8), Value::Int(i % 4)}))
+                      .ok());
+    }
+    for (int d = 0; d < 8; ++d) {
+      ASSERT_TRUE(dept_->Insert(Tuple(std::vector<Value>{
+                                    Value::Int(d), Value::String("d")}))
+                      .ok());
+    }
+    for (int j = 0; j < 4; ++j) {
+      ASSERT_TRUE(job_->Insert(Tuple(std::vector<Value>{Value::Int(j),
+                                                        Value::Int(j)}))
+                      .ok());
+    }
+  }
+
+  Plan MustPlan(Optimizer* opt, const std::vector<PlanVar>& vars,
+                const std::string& qual_text) {
+    ExprPtr qual;
+    if (!qual_text.empty()) {
+      auto parsed = ParseExpression(qual_text);
+      EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+      qual = std::move(*parsed);
+    }
+    auto plan = opt->BuildPlan(vars, qual.get());
+    EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+    return std::move(*plan);
+  }
+
+  size_t CountRows(const Plan& plan) {
+    auto rows = plan.CollectRows();
+    EXPECT_TRUE(rows.ok()) << rows.status().ToString();
+    return rows->size();
+  }
+
+  Catalog catalog_;
+  HeapRelation* emp_ = nullptr;
+  HeapRelation* dept_ = nullptr;
+  HeapRelation* job_ = nullptr;
+};
+
+TEST_F(OptimizerTest, SelectionPushdownIntoSeqScan) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}}, "emp.sal = 5000");
+  EXPECT_NE(plan.ToString().find("SeqScan emp (filtered)"),
+            std::string::npos);
+  EXPECT_EQ(CountRows(plan), 5u);  // sal==5000 for i%100==5
+}
+
+TEST_F(OptimizerTest, IndexScanChosenWhenIndexExists) {
+  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}},
+                       "emp.sal > 97000 and emp.sal <= 99000");
+  EXPECT_NE(plan.ToString().find("IndexScan emp.sal"), std::string::npos);
+  EXPECT_EQ(CountRows(plan), 10u);  // sal in {98000, 99000}, 5 each
+}
+
+TEST_F(OptimizerTest, IndexScanDisabledByOption) {
+  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  OptimizerOptions options;
+  options.enable_index_scan = false;
+  Optimizer opt(options);
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}}, "emp.sal = 5000");
+  EXPECT_EQ(plan.ToString().find("IndexScan"), std::string::npos);
+  EXPECT_EQ(CountRows(plan), 5u);
+}
+
+TEST_F(OptimizerTest, EquijoinUsesSortMergeWhenLarge) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}, {"dept", dept_, false}},
+                       "emp.dno = dept.dno");
+  EXPECT_NE(plan.ToString().find("SortMergeJoin"), std::string::npos);
+  EXPECT_EQ(CountRows(plan), 500u);  // every emp joins its one dept
+}
+
+TEST_F(OptimizerTest, SmallJoinUsesNestedLoop) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}, {"dept", dept_, false}},
+                       "emp.dno = dept.dno and emp.sal = 5000 and "
+                       "emp.name = \"e5\"");
+  EXPECT_NE(plan.ToString().find("NestedLoopJoin"), std::string::npos)
+      << plan.ToString();
+  EXPECT_EQ(CountRows(plan), 1u);
+}
+
+TEST_F(OptimizerTest, SortMergeDisabledByOption) {
+  OptimizerOptions options;
+  options.enable_sort_merge = false;
+  Optimizer opt(options);
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}, {"dept", dept_, false}},
+                       "emp.dno = dept.dno");
+  EXPECT_EQ(plan.ToString().find("SortMergeJoin"), std::string::npos);
+  EXPECT_EQ(CountRows(plan), 500u);
+}
+
+TEST_F(OptimizerTest, ThreeWayJoinCoversAllPredicates) {
+  Optimizer opt;
+  Plan plan = MustPlan(
+      &opt,
+      {{"emp", emp_, false}, {"dept", dept_, false}, {"job", job_, false}},
+      "emp.dno = dept.dno and emp.jno = job.jno and job.paygrade >= 2");
+  // paygrade >= 2 keeps jno in {2, 3}: half the employees.
+  EXPECT_EQ(CountRows(plan), 250u);
+}
+
+TEST_F(OptimizerTest, CrossProductWhenNoJoinPredicate) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"dept", dept_, false}, {"job", job_, false}},
+                       "");
+  EXPECT_EQ(CountRows(plan), 32u);  // 8 * 4
+}
+
+TEST_F(OptimizerTest, NonEquiJoinPredicate) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"dept", dept_, false}, {"job", job_, false}},
+                       "dept.dno < job.jno");
+  // dno<jno pairs over dno in 0..7, jno in 0..3: (0,1..3)+(1,2..3)+(2,3)=6
+  EXPECT_EQ(CountRows(plan), 6u);
+}
+
+TEST_F(OptimizerTest, ZeroVariablePlans) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {}, "");
+  EXPECT_EQ(CountRows(plan), 1u);  // single constant row
+  Plan filtered = MustPlan(&opt, {}, "1 = 2");
+  EXPECT_EQ(CountRows(filtered), 0u);
+}
+
+TEST_F(OptimizerTest, PnodeVarGetsPnodeScanLabel) {
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"p", emp_, true}}, "");
+  EXPECT_NE(plan.ToString().find("PnodeScan"), std::string::npos);
+}
+
+TEST_F(OptimizerTest, UnknownVarInQualificationFails) {
+  Optimizer opt;
+  auto parsed = ParseExpression("ghost.x = 1");
+  auto plan = opt.BuildPlan({{"emp", emp_, false}}, parsed->get());
+  EXPECT_FALSE(plan.ok());
+}
+
+TEST_F(OptimizerTest, SelectivityEstimates) {
+  auto parse = [](const std::string& s) {
+    auto e = ParseExpression(s);
+    EXPECT_TRUE(e.ok());
+    return std::move(*e);
+  };
+  EXPECT_LT(EstimateSelectivity(*parse("a.x = 1")),
+            EstimateSelectivity(*parse("a.x < 1")));
+  EXPECT_LT(EstimateSelectivity(*parse("a.x < 1")),
+            EstimateSelectivity(*parse("a.x != 1")));
+}
+
+TEST_F(OptimizerTest, MergedIndexBoundsFromMultipleConjuncts) {
+  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  Optimizer opt;
+  Plan plan = MustPlan(&opt, {{"emp", emp_, false}},
+                       "emp.sal >= 10000 and emp.sal < 12000 and "
+                       "emp.sal > 9000");
+  std::string text = plan.ToString();
+  // Tightest bounds win: [10000, 12000).
+  EXPECT_NE(text.find("[10000"), std::string::npos) << text;
+  EXPECT_NE(text.find("12000)"), std::string::npos) << text;
+  EXPECT_EQ(CountRows(plan), 10u);  // sal in {10000, 11000}
+}
+
+}  // namespace
+}  // namespace ariel

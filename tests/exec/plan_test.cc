@@ -1,0 +1,185 @@
+// Unit tests for the physical plan operators: row semantics, join
+// behaviour (duplicates, empty inputs), filters, and plan rendering.
+
+#include "exec/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "parser/parser.h"
+
+namespace ariel {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    left_ = *catalog_.CreateRelation(
+        "l", Schema({Attribute{"k", DataType::kInt},
+                     Attribute{"tag", DataType::kString}}));
+    right_ = *catalog_.CreateRelation(
+        "r", Schema({Attribute{"k", DataType::kInt},
+                     Attribute{"val", DataType::kInt}}));
+    scope_.Add(VarBinding{"l", &left_->schema(), false});
+    scope_.Add(VarBinding{"r", &right_->schema(), false});
+  }
+
+  void FillLeft(const std::vector<std::pair<int, std::string>>& rows) {
+    for (const auto& [k, tag] : rows) {
+      ASSERT_TRUE(left_->Insert(Tuple(std::vector<Value>{
+                                    Value::Int(k), Value::String(tag)}))
+                      .ok());
+    }
+  }
+  void FillRight(const std::vector<std::pair<int, int>>& rows) {
+    for (const auto& [k, v] : rows) {
+      ASSERT_TRUE(right_->Insert(Tuple(std::vector<Value>{Value::Int(k),
+                                                          Value::Int(v)}))
+                      .ok());
+    }
+  }
+
+  CompiledExprPtr Compile(const std::string& text) {
+    auto e = ParseExpression(text);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    auto c = CompileExpr(**e, scope_);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(*c);
+  }
+
+  PlanNodePtr Scan(HeapRelation* rel, size_t var) {
+    return std::make_unique<SeqScanNode>(rel, var, 2, nullptr);
+  }
+
+  size_t Run(PlanNode* node) {
+    size_t count = 0;
+    EXPECT_TRUE(node->Execute([&](const Row&) {
+                      ++count;
+                      return Status::OK();
+                    })
+                    .ok());
+    return count;
+  }
+
+  Catalog catalog_;
+  HeapRelation* left_;
+  HeapRelation* right_;
+  Scope scope_;
+};
+
+TEST_F(PlanTest, ConstRowEmitsExactlyOne) {
+  ConstRowNode node(2);
+  EXPECT_EQ(Run(&node), 1u);
+}
+
+TEST_F(PlanTest, SeqScanFillsSlotAndTid) {
+  FillLeft({{1, "a"}, {2, "b"}});
+  SeqScanNode scan(left_, 0, 2, nullptr);
+  std::vector<Row> rows;
+  ASSERT_TRUE(scan.Execute([&](const Row& row) {
+                    rows.push_back(row);
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(rows[0].filled[0]);
+  EXPECT_FALSE(rows[0].filled[1]);
+  EXPECT_TRUE(rows[0].tids[0].valid());
+  EXPECT_EQ(rows[0].current[0].at(1), Value::String("a"));
+}
+
+TEST_F(PlanTest, NestedLoopJoinDuplicatesAndEmptiness) {
+  FillLeft({{1, "a"}, {1, "b"}});
+  FillRight({{1, 10}, {1, 20}, {2, 30}});
+  NestedLoopJoinNode join(Scan(left_, 0), Scan(right_, 1),
+                          Compile("l.k = r.k"), "l.k = r.k");
+  EXPECT_EQ(Run(&join), 4u);  // 2 left x 2 matching right
+
+  // Cross product when no predicate.
+  NestedLoopJoinNode cross(Scan(left_, 0), Scan(right_, 1), nullptr, "");
+  EXPECT_EQ(Run(&cross), 6u);
+}
+
+TEST_F(PlanTest, NestedLoopJoinEmptySides) {
+  FillRight({{1, 10}});
+  NestedLoopJoinNode join(Scan(left_, 0), Scan(right_, 1), nullptr, "");
+  EXPECT_EQ(Run(&join), 0u);
+}
+
+TEST_F(PlanTest, SortMergeJoinMatchesNestedLoop) {
+  FillLeft({{3, "x"}, {1, "a"}, {1, "b"}, {2, "c"}});
+  FillRight({{1, 10}, {1, 20}, {2, 30}, {4, 40}});
+  SortMergeJoinNode smj(Scan(left_, 0), Scan(right_, 1), Compile("l.k"),
+                        Compile("r.k"), "l.k = r.k");
+  // Matches: k=1 -> 2x2 = 4; k=2 -> 1x1 = 1. Total 5.
+  EXPECT_EQ(Run(&smj), 5u);
+}
+
+TEST_F(PlanTest, SortMergeHandlesMixedIntFloatKeys) {
+  FillLeft({{1, "a"}});
+  ASSERT_TRUE(right_->Insert(Tuple(std::vector<Value>{Value::Int(1),
+                                                      Value::Int(5)}))
+                  .ok());
+  // Key expressions of different numeric types compare numerically.
+  SortMergeJoinNode smj(Scan(left_, 0), Scan(right_, 1),
+                        Compile("l.k * 1.0"), Compile("r.k"), "");
+  EXPECT_EQ(Run(&smj), 1u);
+}
+
+TEST_F(PlanTest, FilterNode) {
+  FillLeft({{1, "a"}, {2, "b"}, {3, "c"}});
+  auto filter = std::make_unique<FilterNode>(Scan(left_, 0),
+                                             Compile("l.k >= 2"), "l.k >= 2");
+  EXPECT_EQ(Run(filter.get()), 2u);
+}
+
+TEST_F(PlanTest, ConsumerErrorStopsExecution) {
+  FillLeft({{1, "a"}, {2, "b"}, {3, "c"}});
+  SeqScanNode scan(left_, 0, 2, nullptr);
+  size_t seen = 0;
+  Status status = scan.Execute([&](const Row&) -> Status {
+    if (++seen == 2) return Status::ExecutionError("stop");
+    return Status::OK();
+  });
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(seen, 2u);
+}
+
+TEST_F(PlanTest, PlanRenderingNestsChildren) {
+  FillLeft({{1, "a"}});
+  FillRight({{1, 10}});
+  auto join = std::make_unique<NestedLoopJoinNode>(
+      Scan(left_, 0), Scan(right_, 1), Compile("l.k = r.k"), "l.k = r.k");
+  std::string text = join->ToString();
+  EXPECT_NE(text.find("NestedLoopJoin (l.k = r.k)"), std::string::npos);
+  EXPECT_NE(text.find("  SeqScan l"), std::string::npos);
+  EXPECT_NE(text.find("  SeqScan r"), std::string::npos);
+}
+
+TEST_F(PlanTest, RowMergeCombinesDisjointSlots) {
+  Row a(3), b(3);
+  a.Set(0, Tuple(std::vector<Value>{Value::Int(1)}), TupleId{1, 1});
+  b.Set(2, Tuple(std::vector<Value>{Value::Int(3)}), TupleId{3, 3});
+  b.SetPrevious(2, Tuple(std::vector<Value>{Value::Int(2)}));
+  a.MergeFrom(b);
+  EXPECT_TRUE(a.filled[0]);
+  EXPECT_FALSE(a.filled[1]);
+  EXPECT_TRUE(a.filled[2]);
+  EXPECT_EQ(a.previous[2].at(0), Value::Int(2));
+  EXPECT_EQ(a.tids[2], (TupleId{3, 3}));
+}
+
+TEST_F(PlanTest, IndexScanBoundsAndResidual) {
+  FillLeft({{1, "a"}, {2, "b"}, {3, "a"}, {4, "b"}});
+  ASSERT_TRUE(left_->CreateIndex("k").ok());
+  IndexScanNode scan(left_, left_->GetIndex("k"), "k", 0, 2,
+                     KeyBound{Value::Int(2), true},
+                     KeyBound{Value::Int(4), false},
+                     Compile("l.tag = \"a\""));
+  EXPECT_EQ(Run(&scan), 1u);  // k in [2,4) and tag=a -> only k=3
+  EXPECT_NE(scan.Label().find("IndexScan l.k [2, 4)"), std::string::npos)
+      << scan.Label();
+}
+
+}  // namespace
+}  // namespace ariel

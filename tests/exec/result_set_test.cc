@@ -1,0 +1,64 @@
+#include "exec/result_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+ResultSet Make() {
+  ResultSet rs;
+  rs.schema = Schema({Attribute{"name", DataType::kString},
+                      Attribute{"sal", DataType::kFloat}});
+  rs.rows.push_back(Tuple(std::vector<Value>{Value::String("alice"),
+                                             Value::Float(100.0)}));
+  rs.rows.push_back(Tuple(std::vector<Value>{Value::String("bo"),
+                                             Value::Float(2.5)}));
+  return rs;
+}
+
+TEST(ResultSetTest, Counts) {
+  ResultSet rs = Make();
+  EXPECT_EQ(rs.num_rows(), 2u);
+  EXPECT_FALSE(rs.empty());
+  EXPECT_TRUE(ResultSet{}.empty());
+}
+
+TEST(ResultSetTest, TableRendering) {
+  std::string text = Make().ToString();
+  // Header present, separator present, cells padded to column width.
+  EXPECT_NE(text.find("| name"), std::string::npos) << text;
+  EXPECT_NE(text.find("sal"), std::string::npos);
+  EXPECT_NE(text.find("+-"), std::string::npos);
+  EXPECT_NE(text.find("\"alice\""), std::string::npos);
+  EXPECT_NE(text.find("2.5"), std::string::npos);
+  // Every line ends with the border.
+  size_t pos = 0;
+  while ((pos = text.find('\n', pos + 1)) != std::string::npos) {
+    if (pos >= 2) {
+      std::string tail = text.substr(pos - 2, 2);
+      EXPECT_TRUE(tail == " |" || tail == "-+") << "line tail: " << tail;
+    }
+  }
+}
+
+TEST(ResultSetTest, SameRowsUnorderedIsOrderInsensitive) {
+  ResultSet rs = Make();
+  std::vector<Tuple> reversed = {rs.rows[1], rs.rows[0]};
+  EXPECT_TRUE(rs.SameRowsUnordered(reversed));
+  EXPECT_FALSE(rs.SameRowsUnordered({rs.rows[0]}));          // count
+  std::vector<Tuple> wrong = {rs.rows[0], rs.rows[0]};        // multiset
+  EXPECT_FALSE(rs.SameRowsUnordered(wrong));
+}
+
+TEST(ResultSetTest, SameRowsHandlesDuplicates) {
+  ResultSet rs;
+  rs.schema = Schema({Attribute{"x", DataType::kInt}});
+  Tuple one(std::vector<Value>{Value::Int(1)});
+  rs.rows = {one, one};
+  EXPECT_TRUE(rs.SameRowsUnordered({one, one}));
+  EXPECT_FALSE(rs.SameRowsUnordered(
+      {one, Tuple(std::vector<Value>{Value::Int(2)})}));
+}
+
+}  // namespace
+}  // namespace ariel

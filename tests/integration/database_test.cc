@@ -1,0 +1,546 @@
+#include "ariel/database.h"
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+#define ASSERT_OK(expr)                                         \
+  do {                                                          \
+    auto _r = (expr);                                           \
+    ASSERT_TRUE(_r.ok()) << _r.status().ToString();             \
+  } while (0)
+
+#define EXPECT_OK(expr)                                         \
+  do {                                                          \
+    auto _r = (expr);                                           \
+    EXPECT_TRUE(_r.ok()) << _r.status().ToString();             \
+  } while (0)
+
+/// Fixture with the paper's example schema (§2.2.2):
+///   emp(name, age, salary, dno, jno), dept(dno, name, building),
+///   job(jno, title, paygrade, description).
+class ArielPaperSchemaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute(
+        "create emp (name = string, age = int, sal = float, dno = int, "
+        "jno = int)"));
+    ASSERT_OK(db_.Execute("create dept (dno = int, name = string, "
+                          "building = string)"));
+    ASSERT_OK(db_.Execute("create job (jno = int, title = string, "
+                          "paygrade = int, description = string)"));
+  }
+
+  void AssertOk(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
+
+  Result<CommandResult> Exec(const std::string& script) {
+    return db_.Execute(script);
+  }
+
+  /// Runs a retrieve and returns the row count (fails the test on error).
+  size_t Count(const std::string& retrieve) {
+    auto result = db_.Execute(retrieve);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    if (!result.ok() || !result->rows.has_value()) return SIZE_MAX;
+    return result->rows->num_rows();
+  }
+
+  Database db_;
+};
+
+TEST_F(ArielPaperSchemaTest, BasicAppendAndRetrieve) {
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));
+  ASSERT_OK(Exec("append emp (name=\"Carol\", age=41, sal=60000.0, dno=2, "
+                 "jno=2)"));
+  EXPECT_EQ(Count("retrieve (emp.name) where emp.sal > 50000"), 1u);
+  EXPECT_EQ(Count("retrieve (emp.all)"), 2u);
+
+  auto result = Exec("retrieve (emp.name, double_sal = emp.sal * 2) "
+                     "where emp.name = \"Alice\"");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(1), Value::Float(80000.0));
+}
+
+TEST_F(ArielPaperSchemaTest, DeleteAndReplace) {
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=27, sal=55000.0, dno=1, "
+                 "jno=2)"));
+  ASSERT_OK(Exec("replace emp (sal = emp.sal + 1000.0) where "
+                 "emp.name = \"Alice\""));
+  EXPECT_EQ(Count("retrieve (emp.name) where emp.sal = 41000"), 1u);
+  ASSERT_OK(Exec("delete emp where emp.name = \"Bob\""));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, JoinQuery) {
+  ASSERT_OK(Exec("append dept (dno=1, name=\"Sales\", building=\"B1\")"));
+  ASSERT_OK(Exec("append dept (dno=2, name=\"Toy\", building=\"B2\")"));
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));
+  ASSERT_OK(Exec("append emp (name=\"Carol\", age=41, sal=60000.0, dno=2, "
+                 "jno=2)"));
+  EXPECT_EQ(Count("retrieve (emp.name, dept.name) where "
+                  "emp.dno = dept.dno and dept.name = \"Toy\""),
+            1u);
+}
+
+// --- The paper's rule examples -------------------------------------------
+
+TEST_F(ArielPaperSchemaTest, NoBobsEventRule) {
+  // §2.2.2: "never let anyone named Bob be appended to emp".
+  ASSERT_OK(Exec("define rule NoBobs on append emp "
+                 "if emp.name = \"Bob\" then delete emp"));
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=27, sal=55000.0, dno=1, "
+                 "jno=2)"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 0u);
+
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, NoBobsPhysicalVsLogicalEvents) {
+  // The paper's motivating block: append "Fred" then rename him to "Bob"
+  // inside one do…end block. The *logical* event is `append emp(Bob)`, so
+  // the on-append rule must fire even though no physical append of Bob
+  // happened.
+  ASSERT_OK(Exec("define rule NoBobs on append emp "
+                 "if emp.name = \"Bob\" then delete emp"));
+  ASSERT_OK(Exec(
+      "do\n"
+      "  append emp (name=\"Fred\", age=27, sal=55000.0, dno=12, jno=1)\n"
+      "  replace emp (name=\"Bob\") where emp.name = \"Fred\"\n"
+      "end"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 0u);
+}
+
+TEST_F(ArielPaperSchemaTest, NoBobs2PatternRule) {
+  // The purely pattern-based variant fires regardless of the event kind.
+  ASSERT_OK(Exec("define rule NoBobs2 if emp.name = \"Bob\" "
+                 "then delete emp"));
+  ASSERT_OK(Exec("append emp (name=\"Fred\", age=27, sal=55000.0, dno=12, "
+                 "jno=1)"));
+  ASSERT_OK(Exec("replace emp (name=\"Bob\") where emp.name = \"Fred\""));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 0u);
+}
+
+TEST_F(ArielPaperSchemaTest, RaiseLimitTransitionRule) {
+  // §2.3: log every raise of more than ten percent.
+  ASSERT_OK(Exec("create salaryerror (name = string, oldsal = float, "
+                 "newsal = float)"));
+  ASSERT_OK(Exec("define rule raiselimit "
+                 "if emp.sal > 1.1 * previous emp.sal "
+                 "then append to salaryerror(emp.name, previous emp.sal, "
+                 "emp.sal)"));
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));
+  // +5% raise: no violation.
+  ASSERT_OK(Exec("replace emp (sal = 42000.0) where emp.name = \"Alice\""));
+  EXPECT_EQ(Count("retrieve (salaryerror.all)"), 0u);
+  // +20% raise: violation logged with (old, new) pair.
+  ASSERT_OK(Exec("replace emp (sal = 50400.0) where emp.name = \"Alice\""));
+  auto result = Exec("retrieve (salaryerror.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("Alice"));
+  EXPECT_EQ(result->rows->rows[0].at(1), Value::Float(42000.0));
+  EXPECT_EQ(result->rows->rows[0].at(2), Value::Float(50400.0));
+}
+
+TEST_F(ArielPaperSchemaTest, ToyRaiseLimitJoinPlusTransition) {
+  // §2.3: transition condition combined with a pattern join on dept.
+  ASSERT_OK(Exec("create toysalaryerror (name = string, oldsal = float, "
+                 "newsal = float)"));
+  ASSERT_OK(Exec("append dept (dno=1, name=\"Sales\", building=\"B1\")"));
+  ASSERT_OK(Exec("append dept (dno=2, name=\"Toy\", building=\"B2\")"));
+  ASSERT_OK(Exec("define rule toyraiselimit "
+                 "if emp.sal > 1.1 * previous emp.sal and "
+                 "emp.dno = dept.dno and dept.name = \"Toy\" "
+                 "then append to toysalaryerror(emp.name, previous emp.sal, "
+                 "emp.sal)"));
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=2)"));  // Sales
+  ASSERT_OK(Exec("append emp (name=\"Carol\", age=41, sal=40000.0, dno=2, "
+                 "jno=2)"));  // Toy
+  // Big raises for both; only the Toy employee is logged.
+  ASSERT_OK(Exec("replace emp (sal = 60000.0) where emp.name = \"Alice\""));
+  ASSERT_OK(Exec("replace emp (sal = 60000.0) where emp.name = \"Carol\""));
+  auto result = Exec("retrieve (toysalaryerror.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("Carol"));
+}
+
+TEST_F(ArielPaperSchemaTest, FindDemotionsEventPatternTransition) {
+  // §2.3: event + pattern + transition conditions combined, with a
+  // self-join of the job relation through old and new job numbers.
+  ASSERT_OK(Exec("create demotions (name = string, dno = int, oldjno = int, "
+                 "newjno = int)"));
+  ASSERT_OK(Exec("append job (jno=1, title=\"Clerk\", paygrade=2, "
+                 "description=\"d\")"));
+  ASSERT_OK(Exec("append job (jno=2, title=\"Engineer\", paygrade=5, "
+                 "description=\"d\")"));
+  ASSERT_OK(Exec("append job (jno=3, title=\"Manager\", paygrade=7, "
+                 "description=\"d\")"));
+  ASSERT_OK(Exec(
+      "define rule finddemotions "
+      "on replace emp(jno) "
+      "if newjob.jno = emp.jno and oldjob.jno = previous emp.jno and "
+      "newjob.paygrade < oldjob.paygrade "
+      "from oldjob in job, newjob in job "
+      "then append to demotions (name=emp.name, dno=emp.dno, "
+      "oldjno=oldjob.jno, newjno=newjob.jno)"));
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=3)"));  // Manager
+  ASSERT_OK(Exec("append emp (name=\"Carol\", age=41, sal=45000.0, dno=2, "
+                 "jno=1)"));  // Clerk
+
+  // Demotion: Manager (paygrade 7) -> Engineer (paygrade 5).
+  ASSERT_OK(Exec("replace emp (jno = 2) where emp.name = \"Alice\""));
+  EXPECT_EQ(Count("retrieve (demotions.all)"), 1u);
+
+  // Promotion: Clerk (2) -> Engineer (5): no new demotion entry.
+  ASSERT_OK(Exec("replace emp (jno = 2) where emp.name = \"Carol\""));
+  EXPECT_EQ(Count("retrieve (demotions.all)"), 1u);
+
+  // Updating an attribute not named in the on-clause must not trigger it.
+  ASSERT_OK(Exec("replace emp (sal = 1000.0) where emp.name = \"Alice\""));
+  EXPECT_EQ(Count("retrieve (demotions.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, SalesClerkRule2QueryModification) {
+  // §5 Figure 6: compound action with shared variable emp; replace'
+  // locates target tuples through the P-node TIDs.
+  ASSERT_OK(Exec("create salarywatch (name = string, age = int, "
+                 "sal = float, dno = int, jno = int)"));
+  ASSERT_OK(Exec("append dept (dno=1, name=\"Sales\", building=\"B1\")"));
+  ASSERT_OK(Exec("append dept (dno=2, name=\"Toy\", building=\"B2\")"));
+  ASSERT_OK(Exec("append job (jno=1, title=\"Clerk\", paygrade=2, "
+                 "description=\"d\")"));
+  ASSERT_OK(Exec("define rule SalesClerkRule2 "
+                 "if emp.sal > 30000 and emp.jno = job.jno and "
+                 "job.title = \"Clerk\" "
+                 "then do "
+                 "  append to salarywatch(emp.all) "
+                 "  replace emp (sal = 30000.0) where emp.dno = dept.dno "
+                 "    and dept.name = \"Sales\" "
+                 "  replace emp (sal = 25000.0) where emp.dno = dept.dno "
+                 "    and dept.name != \"Sales\" "
+                 "end"));
+
+  ASSERT_OK(Exec("append emp (name=\"Sally\", age=30, sal=50000.0, dno=1, "
+                 "jno=1)"));  // Sales clerk
+  ASSERT_OK(Exec("append emp (name=\"Tom\", age=35, sal=45000.0, dno=2, "
+                 "jno=1)"));  // Toy clerk
+
+  // Both overpaid clerks were logged and capped.
+  EXPECT_EQ(Count("retrieve (salarywatch.all)"), 2u);
+  EXPECT_EQ(Count("retrieve (emp.name) where emp.name = \"Sally\" and "
+                  "emp.sal = 30000"),
+            1u);
+  EXPECT_EQ(Count("retrieve (emp.name) where emp.name = \"Tom\" and "
+                  "emp.sal = 25000"),
+            1u);
+}
+
+TEST_F(ArielPaperSchemaTest, RulePriorityOrdersFiring) {
+  ASSERT_OK(Exec("create log (source = string)"));
+  ASSERT_OK(Exec("define rule low priority 1 on append emp "
+                 "then append to log (source=\"low\")"));
+  ASSERT_OK(Exec("define rule high priority 10 on append emp "
+                 "then append to log (source=\"high\")"));
+  ASSERT_OK(Exec("append emp (name=\"A\", age=1, sal=1.0, dno=1, jno=1)"));
+  auto result = Exec("retrieve (log.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 2u);
+  // Both fired; the high-priority rule fired first (row order in the heap
+  // reflects insertion order).
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("high"));
+  EXPECT_EQ(result->rows->rows[1].at(0), Value::String("low"));
+}
+
+TEST_F(ArielPaperSchemaTest, CascadingRulesTerminate) {
+  ASSERT_OK(Exec("create t1 (x = int)"));
+  ASSERT_OK(Exec("create t2 (x = int)"));
+  ASSERT_OK(Exec("create t3 (x = int)"));
+  ASSERT_OK(Exec("define rule c1 on append t1 "
+                 "then append to t2 (x = 1)"));
+  ASSERT_OK(Exec("define rule c2 on append t2 "
+                 "then append to t3 (x = 2)"));
+  ASSERT_OK(Exec("append t1 (x = 0)"));
+  EXPECT_EQ(Count("retrieve (t2.all)"), 1u);
+  EXPECT_EQ(Count("retrieve (t3.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, RunawayCascadeIsCaught) {
+  DatabaseOptions options;
+  options.max_rule_firings_per_cycle = 50;
+  Database db(options);
+  ASSERT_OK(db.Execute("create ping (x = int)"));
+  ASSERT_OK(db.Execute("create pong (x = int)"));
+  ASSERT_OK(db.Execute("define rule p1 on append ping "
+                       "then append to pong (x = 1)"));
+  ASSERT_OK(db.Execute("define rule p2 on append pong "
+                       "then append to ping (x = 1)"));
+  auto result = db.Execute("append ping (x = 0)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ArielPaperSchemaTest, HaltStopsCycle) {
+  ASSERT_OK(Exec("create log (source = string)"));
+  ASSERT_OK(Exec("define rule stopper priority 10 on append emp "
+                 "then halt"));
+  ASSERT_OK(Exec("define rule logger priority 1 on append emp "
+                 "then append to log (source=\"logger\")"));
+  ASSERT_OK(Exec("append emp (name=\"A\", age=1, sal=1.0, dno=1, jno=1)"));
+  // The higher-priority halt rule ended the cycle before logger fired.
+  EXPECT_EQ(Count("retrieve (log.all)"), 0u);
+}
+
+TEST_F(ArielPaperSchemaTest, DeactivateAndRemoveRule) {
+  ASSERT_OK(Exec("define rule NoBobs on append emp "
+                 "if emp.name = \"Bob\" then delete emp"));
+  ASSERT_OK(Exec("deactivate rule NoBobs"));
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=27, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 1u);
+
+  ASSERT_OK(Exec("activate rule NoBobs"));
+  // Activation does not retroactively fire on-append rules for existing
+  // tuples (events are gone), but new appends trigger it.
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=28, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 1u);
+
+  ASSERT_OK(Exec("remove rule NoBobs"));
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=29, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (emp.all)"), 2u);
+}
+
+TEST_F(ArielPaperSchemaTest, PatternRuleActivationPrimesPnode) {
+  // A pattern rule activated over existing data fires immediately on the
+  // matching tuples (activation loads the P-node; §6).
+  ASSERT_OK(Exec("append emp (name=\"Bob\", age=27, sal=1.0, dno=1, jno=1)"));
+  ASSERT_OK(Exec("define rule NoBobs2 if emp.name = \"Bob\" "
+                 "then delete emp"));
+  // define+activate alone does not run the cycle; the next transition does.
+  ASSERT_OK(Exec("append emp (name=\"Zed\", age=30, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (emp.all) where emp.name = \"Bob\""), 0u);
+}
+
+TEST_F(ArielPaperSchemaTest, DestroyRefusedWhileRuleReferences) {
+  ASSERT_OK(Exec("define rule NoBobs on append emp "
+                 "if emp.name = \"Bob\" then delete emp"));
+  auto result = Exec("destroy emp");
+  ASSERT_FALSE(result.ok());
+  ASSERT_OK(Exec("remove rule NoBobs"));
+  EXPECT_OK(Exec("destroy emp"));
+}
+
+TEST_F(ArielPaperSchemaTest, OnDeleteRuleFiresWithDeletedValues) {
+  ASSERT_OK(Exec("create graveyard (name = string, sal = float)"));
+  ASSERT_OK(Exec("define rule obituary on delete emp "
+                 "then append to graveyard (name = emp.name, "
+                 "sal = emp.sal)"));
+  ASSERT_OK(Exec("append emp (name=\"Alice\", age=30, sal=40000.0, dno=1, "
+                 "jno=1)"));
+  ASSERT_OK(Exec("delete emp where emp.name = \"Alice\""));
+  auto result = Exec("retrieve (graveyard.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("Alice"));
+  EXPECT_EQ(result->rows->rows[0].at(1), Value::Float(40000.0));
+}
+
+TEST_F(ArielPaperSchemaTest, OnDeleteNotFiredByNetNothingTransition) {
+  // §2.2.2 case 2 (im*d): insert + delete inside one block has no logical
+  // effect, so neither on-append nor on-delete rules fire.
+  ASSERT_OK(Exec("create graveyard (name = string)"));
+  ASSERT_OK(Exec("define rule obituary on delete emp "
+                 "then append to graveyard (name = emp.name)"));
+  ASSERT_OK(Exec(
+      "do\n"
+      "  append emp (name=\"Ghost\", age=1, sal=1.0, dno=1, jno=1)\n"
+      "  delete emp where emp.name = \"Ghost\"\n"
+      "end"));
+  EXPECT_EQ(Count("retrieve (graveyard.all)"), 0u);
+
+  // But modify-then-delete of a *pre-existing* tuple (case 4) does fire,
+  // with the tuple's final value.
+  ASSERT_OK(Exec("append emp (name=\"Real\", age=1, sal=1.0, dno=1, jno=1)"));
+  ASSERT_OK(Exec(
+      "do\n"
+      "  replace emp (name=\"Renamed\") where emp.name = \"Real\"\n"
+      "  delete emp where emp.name = \"Renamed\"\n"
+      "end"));
+  auto result = Exec("retrieve (graveyard.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("Renamed"));
+}
+
+TEST_F(ArielPaperSchemaTest, OnDeleteWithJoinCondition) {
+  ASSERT_OK(Exec("create graveyard (name = string, dept = string)"));
+  ASSERT_OK(Exec("append dept (dno=1, name=\"Sales\", building=\"B1\")"));
+  ASSERT_OK(Exec("append dept (dno=2, name=\"Toy\", building=\"B2\")"));
+  ASSERT_OK(Exec("define rule obituary on delete emp "
+                 "if emp.dno = dept.dno and dept.name = \"Toy\" "
+                 "then append to graveyard (name = emp.name, "
+                 "dept = dept.name)"));
+  ASSERT_OK(Exec("append emp (name=\"S\", age=1, sal=1.0, dno=1, jno=1)"));
+  ASSERT_OK(Exec("append emp (name=\"T\", age=1, sal=1.0, dno=2, jno=1)"));
+  ASSERT_OK(Exec("delete emp"));  // deletes both; only T joins Toy
+  auto result = Exec("retrieve (graveyard.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("T"));
+  EXPECT_EQ(result->rows->rows[0].at(1), Value::String("Toy"));
+}
+
+TEST_F(ArielPaperSchemaTest, BlockIsSingleTransition) {
+  // Inside a block, intermediate states must not wake rules: a constraint
+  // temporarily violated mid-block is fine once the block commits.
+  ASSERT_OK(Exec("create audit (name = string)"));
+  ASSERT_OK(Exec("define rule audit_high_paid "
+                 "on append emp "
+                 "if emp.sal > 100000 "
+                 "then append to audit (name = emp.name)"));
+  ASSERT_OK(Exec(
+      "do\n"
+      "  append emp (name=\"X\", age=1, sal=200000.0, dno=1, jno=1)\n"
+      "  replace emp (sal = 50000.0) where emp.name = \"X\"\n"
+      "end"));
+  // Net logical event: append with sal=50000 — no violation.
+  EXPECT_EQ(Count("retrieve (audit.all)"), 0u);
+
+  // The same two commands as separate transitions do violate.
+  ASSERT_OK(Exec("append emp (name=\"Y\", age=1, sal=200000.0, dno=1, "
+                 "jno=1)"));
+  EXPECT_EQ(Count("retrieve (audit.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, PriorityTiesFireInDefinitionOrder) {
+  ASSERT_OK(Exec("create log (source = string)"));
+  ASSERT_OK(Exec("define rule second priority 5 on append emp "
+                 "then append to log (source=\"first-defined\")"));
+  ASSERT_OK(Exec("define rule third priority 5 on append emp "
+                 "then append to log (source=\"second-defined\")"));
+  ASSERT_OK(Exec("append emp (name=\"x\", age=1, sal=1.0, dno=1, jno=1)"));
+  auto result = Exec("retrieve (log.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 2u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("first-defined"));
+}
+
+TEST_F(ArielPaperSchemaTest, HaltMidBlockStopsRemainingActionAndCycle) {
+  ASSERT_OK(Exec("create log (source = string)"));
+  ASSERT_OK(Exec("define rule stopper priority 9 on append emp then do "
+                 "  append to log (source=\"before-halt\") "
+                 "  halt "
+                 "  append to log (source=\"after-halt\") "
+                 "end"));
+  ASSERT_OK(Exec("define rule later priority 1 on append emp "
+                 "then append to log (source=\"later\")"));
+  ASSERT_OK(Exec("append emp (name=\"x\", age=1, sal=1.0, dno=1, jno=1)"));
+  auto result = Exec("retrieve (log.all)");
+  ASSERT_OK(result);
+  ASSERT_EQ(result->rows->num_rows(), 1u);
+  EXPECT_EQ(result->rows->rows[0].at(0), Value::String("before-halt"));
+}
+
+TEST_F(ArielPaperSchemaTest, OnReplaceMultiAttributeTargetList) {
+  ASSERT_OK(Exec("create log (source = string)"));
+  ASSERT_OK(Exec("define rule watch on replace emp (sal, dno) "
+                 "then append to log (source = emp.name)"));
+  ASSERT_OK(Exec("append emp (name=\"x\", age=1, sal=1.0, dno=1, jno=1)"));
+  // age is not in the on-list: no firing.
+  ASSERT_OK(Exec("replace emp (age = 2) where emp.name = \"x\""));
+  EXPECT_EQ(Count("retrieve (log.all)"), 0u);
+  // dno is: fires.
+  ASSERT_OK(Exec("replace emp (dno = 3) where emp.name = \"x\""));
+  EXPECT_EQ(Count("retrieve (log.all)"), 1u);
+  // Both in one command: fires once (one logical replace).
+  ASSERT_OK(Exec("replace emp (sal = 2.0, dno = 4) where emp.name = \"x\""));
+  EXPECT_EQ(Count("retrieve (log.all)"), 2u);
+}
+
+TEST_F(ArielPaperSchemaTest, ScriptStopsAtFirstError) {
+  // ExecuteAll applies commands in order and stops at the first failure;
+  // earlier commands remain applied (no script-level atomicity).
+  auto result = db_.Execute(
+      "append emp (name=\"ok\", age=1, sal=1.0, dno=1, jno=1)\n"
+      "append ghost (x = 1)\n"
+      "append emp (name=\"never\", age=1, sal=1.0, dno=1, jno=1)");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(Count("retrieve (emp.all)"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, SelfCascadeTerminatesAtGuard) {
+  // A rule that appends to its own trigger relation, bounded by its
+  // condition: counts up to 5 and stops (the condition becomes false for
+  // the newly appended tuples).
+  ASSERT_OK(Exec("create counter (n = int)"));
+  ASSERT_OK(Exec("define rule count_up on append counter "
+                 "if counter.n < 5 "
+                 "then append to counter (n = counter.n + 1)"));
+  ASSERT_OK(Exec("append counter (n = 0)"));
+  auto result = Exec("retrieve (counter.n)");
+  ASSERT_OK(result);
+  EXPECT_EQ(result->rows->num_rows(), 6u);  // 0..5
+}
+
+TEST_F(ArielPaperSchemaTest, NewConditionWakesOnAnyNewValue) {
+  // §2.1: new(v) is the always-true selection; with an on-clause it wakes
+  // for every logically appended tuple.
+  ASSERT_OK(Exec("create log (name = string)"));
+  ASSERT_OK(Exec("define rule watch_all on append emp if new(emp) "
+                 "then append to log (name = emp.name)"));
+  ASSERT_OK(Exec("append emp (name=\"a\", age=1, sal=1.0, dno=1, jno=1)"));
+  ASSERT_OK(Exec("append emp (name=\"b\", age=1, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (log.all)"), 2u);
+}
+
+TEST_F(ArielPaperSchemaTest, RetrieveIntoFeedsRules) {
+  // A rule activated on a retrieve-into product behaves like any relation.
+  ASSERT_OK(Exec("append emp (name=\"a\", age=1, sal=90000.0, dno=1, "
+                 "jno=1)"));
+  ASSERT_OK(Exec("retrieve into rich (emp.name, emp.sal) "
+                 "where emp.sal > 50000"));
+  EXPECT_EQ(Count("retrieve (rich.all)"), 1u);
+  ASSERT_OK(Exec("define rule shrink if rich.sal > 1000.0 "
+                 "then replace rich (sal = 1000.0)"));
+  // Pattern rule primed over existing data; fires on the next transition.
+  ASSERT_OK(Exec("append emp (name=\"b\", age=1, sal=1.0, dno=1, jno=1)"));
+  EXPECT_EQ(Count("retrieve (rich.all) where rich.sal = 1000"), 1u);
+}
+
+TEST_F(ArielPaperSchemaTest, ModerateScaleSmoke) {
+  // 200 rules over 2k tuples with a firing mix — no quadratic blowups,
+  // correct counts.
+  ASSERT_OK(Exec("create log (name = string)"));
+  for (int i = 0; i < 200; ++i) {
+    long c1 = 1000 + i * 100;
+    ASSERT_OK(Exec("define rule r" + std::to_string(i) + " on append emp if " +
+                   std::to_string(c1) + " < emp.sal and emp.sal <= " +
+                   std::to_string(c1 + 100) +
+                   " then append to log (name = emp.name)"));
+  }
+  for (int e = 0; e < 2000; ++e) {
+    ASSERT_OK(Exec("append emp (name=\"e" + std::to_string(e) +
+                   "\", age=1, sal=" + std::to_string(1000 + (e % 300) * 100) +
+                   ".5, dno=1, jno=1)"));
+  }
+  // Salaries land strictly inside one interval each; two thirds of the
+  // values fall inside the 200-rule band.
+  size_t expected = 0;
+  for (int e = 0; e < 2000; ++e) {
+    if (e % 300 < 200) ++expected;
+  }
+  EXPECT_EQ(Count("retrieve (log.all)"), expected);
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,233 @@
+// The central correctness property of the discrimination network (§4.2:
+// "the algorithm just described has the same effect as the normal TREAT
+// strategy"): after any stream of insert/delete/replace transitions, the
+// P-node of a pattern rule maintained incrementally by A-TREAT must hold
+// exactly the instantiations a from-scratch evaluation of the rule
+// condition produces — under every α-memory policy (all stored = classic
+// TREAT, all virtual, adaptive) and across rule shapes including
+// self-joins, which exercise the ProcessedMemories protocol.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ariel/database.h"
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+struct EquivalenceParams {
+  const char* name;
+  AlphaMemoryPolicy::Mode mode;
+  uint64_t seed;
+  int operations;
+  /// Create B+tree indexes on the join attributes, so virtual α-memory
+  /// joins take the §4.2 index-probe path instead of sequential scans.
+  bool with_indexes = false;
+  /// Join-network algorithm (Rete maintains β chains incrementally).
+  JoinBackend backend = JoinBackend::kTreat;
+};
+
+class NetworkEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceParams> {
+ protected:
+  static void CheckOk(const Status& s) { ASSERT_TRUE(s.ok()) << s.ToString(); }
+
+  /// Canonical multiset rendering of a set of instantiations, independent
+  /// of row order.
+  static std::multiset<std::string> Canonical(const std::vector<Row>& rows) {
+    std::multiset<std::string> out;
+    for (const Row& row : rows) {
+      std::string key;
+      for (size_t v = 0; v < row.num_vars(); ++v) {
+        key += row.tids[v].ToString();
+        key += row.current[v].ToString();
+        key += "|";
+      }
+      out.insert(std::move(key));
+    }
+    return out;
+  }
+
+  static std::multiset<std::string> PnodeContents(const Rule* rule) {
+    std::vector<Row> rows;
+    rule->network->pnode()->relation().ForEach(
+        [&](TupleId, const Tuple& t) {
+          rows.push_back(rule->network->pnode()->ToRow(t));
+        });
+    return Canonical(rows);
+  }
+};
+
+TEST_P(NetworkEquivalenceTest, IncrementalMatchesRecompute) {
+  const EquivalenceParams params = GetParam();
+  DatabaseOptions options;
+  options.alpha_policy.mode = params.mode;
+  options.alpha_policy.virtual_threshold = 4;  // adaptive picks both kinds
+  options.auto_activate_rules = false;  // activate after data is loaded
+  options.join_backend = params.backend;
+  Database db(options);
+
+  CheckOk(db.Execute("create emp (name = string, sal = int, dno = int, "
+                     "jno = int)")
+              .status());
+  CheckOk(db.Execute("create dept (dno = int, name = string)").status());
+  CheckOk(db.Execute("create job (jno = int, paygrade = int)").status());
+  CheckOk(db.Execute("create sink (x = int)").status());
+  if (params.with_indexes) {
+    CheckOk(db.Execute("define index on emp (dno)").status());
+    CheckOk(db.Execute("define index on emp (jno)").status());
+    CheckOk(db.Execute("define index on dept (dno)").status());
+    CheckOk(db.Execute("define index on job (jno)").status());
+  }
+
+  // Rules with actions that never fire (impossible guard relation keeps the
+  // recognize-act cycle quiet... actually: give them never-true actions is
+  // impossible; instead give actions appending to `sink`, and verify P-node
+  // state BEFORE cycles run by driving the gateway directly).
+  struct RuleDef {
+    const char* name;
+    const char* condition;
+  };
+  const RuleDef defs[] = {
+      // one-variable selection (simple memory)
+      {"r_simple", "emp.sal > 40 and emp.sal <= 120"},
+      // classic two-variable join
+      {"r_join2", "emp.sal > 10 and emp.dno = dept.dno"},
+      // three-variable chain join with selections on both dimensions
+      {"r_join3",
+       "emp.sal > 5 and emp.dno = dept.dno and emp.jno = job.jno and "
+       "job.paygrade >= 2"},
+      // self-join: employees in the same department with crossing salaries
+      {"r_selfjoin",
+       "e1.sal > e2.sal and e1.dno = e2.dno from e1 in emp, e2 in emp"},
+      // unselective predicate (drives the adaptive policy to virtual)
+      {"r_wide", "emp.sal > 0 and emp.dno = dept.dno"},
+  };
+  for (const RuleDef& def : defs) {
+    std::string cmd = std::string("define rule ") + def.name + " if " +
+                      def.condition + " then append to sink (x = 1)";
+    CheckOk(db.Execute(cmd).status());  // install only (auto-activate off)
+  }
+
+  // Seed data, then activate (exercises priming too).
+  Random rng(params.seed);
+  auto random_emp = [&]() {
+    return Tuple(std::vector<Value>{
+        Value::String("e" + std::to_string(rng.Uniform(1000))),
+        Value::Int(rng.UniformRange(0, 150)),
+        Value::Int(rng.UniformRange(1, 5)),
+        Value::Int(rng.UniformRange(1, 4))});
+  };
+  HeapRelation* emp = db.catalog().GetRelation("emp");
+  HeapRelation* dept = db.catalog().GetRelation("dept");
+  HeapRelation* job = db.catalog().GetRelation("job");
+  for (int i = 0; i < 12; ++i) {
+    CheckOk(db.transitions().Insert(emp, random_emp()).status());
+  }
+  for (int d = 1; d <= 4; ++d) {
+    CheckOk(db.transitions()
+                .Insert(dept, Tuple(std::vector<Value>{
+                                  Value::Int(d),
+                                  Value::String("d" + std::to_string(d))}))
+                .status());
+  }
+  for (int j = 1; j <= 3; ++j) {
+    CheckOk(db.transitions()
+                .Insert(job, Tuple(std::vector<Value>{Value::Int(j),
+                                                      Value::Int(j)}))
+                .status());
+  }
+  for (const RuleDef& def : defs) {
+    CheckOk(db.rules().ActivateRule(def.name));
+  }
+
+  auto check_all = [&](int op) {
+    for (const RuleDef& def : defs) {
+      const Rule* rule = db.rules().GetRule(def.name);
+      auto recomputed =
+          rule->network->RecomputeInstantiations(&db.optimizer());
+      ASSERT_TRUE(recomputed.ok()) << recomputed.status().ToString();
+      ASSERT_EQ(PnodeContents(rule), Canonical(*recomputed))
+          << "rule " << def.name << " diverged after op " << op;
+    }
+  };
+  check_all(-1);
+
+  // Random update stream through the gateway (no rule firing: P-nodes
+  // accumulate exactly the incremental match state).
+  for (int op = 0; op < params.operations; ++op) {
+    int choice = static_cast<int>(rng.Uniform(100));
+    HeapRelation* rel = (rng.Uniform(4) == 0) ? dept : emp;
+    std::vector<TupleId> tids = rel->AllTupleIds();
+    if (choice < 45 || tids.size() < 3) {
+      if (rel == emp) {
+        CheckOk(db.transitions().Insert(emp, random_emp()).status());
+      } else {
+        CheckOk(db.transitions()
+                    .Insert(dept, Tuple(std::vector<Value>{
+                                      Value::Int(rng.UniformRange(1, 5)),
+                                      Value::String("dx")}))
+                    .status());
+      }
+    } else if (choice < 70) {
+      TupleId victim = tids[rng.Uniform(tids.size())];
+      CheckOk(db.transitions().Delete(rel, victim));
+    } else {
+      TupleId victim = tids[rng.Uniform(tids.size())];
+      const Tuple* current = rel->Get(victim);
+      ASSERT_NE(current, nullptr);
+      Tuple next = *current;
+      if (rel == emp) {
+        next.at(1) = Value::Int(rng.UniformRange(0, 150));
+        if (rng.Bernoulli(0.5)) next.at(2) = Value::Int(rng.UniformRange(1, 5));
+        CheckOk(db.transitions().Update(rel, victim, std::move(next),
+                                        {"sal", "dno"}));
+      } else {
+        next.at(0) = Value::Int(rng.UniformRange(1, 5));
+        CheckOk(db.transitions().Update(rel, victim, std::move(next),
+                                        {"dno"}));
+      }
+    }
+    if (op % 7 == 0) check_all(op);
+  }
+  check_all(params.operations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, NetworkEquivalenceTest,
+    ::testing::Values(
+        EquivalenceParams{"stored", AlphaMemoryPolicy::Mode::kAllStored, 101,
+                          200},
+        EquivalenceParams{"virtual", AlphaMemoryPolicy::Mode::kAllVirtual,
+                          102, 200},
+        EquivalenceParams{"adaptive", AlphaMemoryPolicy::Mode::kAdaptive, 103,
+                          200},
+        EquivalenceParams{"stored2", AlphaMemoryPolicy::Mode::kAllStored, 104,
+                          350},
+        EquivalenceParams{"virtual2", AlphaMemoryPolicy::Mode::kAllVirtual,
+                          105, 350},
+        EquivalenceParams{"virtual_indexed",
+                          AlphaMemoryPolicy::Mode::kAllVirtual, 106, 350,
+                          /*with_indexes=*/true},
+        EquivalenceParams{"adaptive_indexed",
+                          AlphaMemoryPolicy::Mode::kAdaptive, 107, 350,
+                          /*with_indexes=*/true},
+        EquivalenceParams{"rete_stored", AlphaMemoryPolicy::Mode::kAllStored,
+                          108, 350, false, JoinBackend::kRete},
+        EquivalenceParams{"rete_virtual",
+                          AlphaMemoryPolicy::Mode::kAllVirtual, 109, 350,
+                          false, JoinBackend::kRete},
+        EquivalenceParams{"rete_virtual_indexed",
+                          AlphaMemoryPolicy::Mode::kAllVirtual, 110, 350,
+                          /*with_indexes=*/true, JoinBackend::kRete}),
+    [](const ::testing::TestParamInfo<EquivalenceParams>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,276 @@
+#include "isl/interval_skip_list.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+TEST(IntervalTest, ContainsRespectsClosedness) {
+  Interval closed = Interval::Range(Value::Int(2), true, Value::Int(5), true);
+  EXPECT_TRUE(closed.Contains(Value::Int(2)));
+  EXPECT_TRUE(closed.Contains(Value::Int(5)));
+  EXPECT_TRUE(closed.Contains(Value::Int(3)));
+  EXPECT_FALSE(closed.Contains(Value::Int(1)));
+  EXPECT_FALSE(closed.Contains(Value::Int(6)));
+
+  Interval open = Interval::Range(Value::Int(2), false, Value::Int(5), false);
+  EXPECT_FALSE(open.Contains(Value::Int(2)));
+  EXPECT_FALSE(open.Contains(Value::Int(5)));
+  EXPECT_TRUE(open.Contains(Value::Int(3)));
+
+  // The paper's canonical selection form: c1 < attr <= c2.
+  Interval half = Interval::Range(Value::Int(2), false, Value::Int(5), true);
+  EXPECT_FALSE(half.Contains(Value::Int(2)));
+  EXPECT_TRUE(half.Contains(Value::Int(5)));
+}
+
+TEST(IntervalTest, UnboundedSides) {
+  Interval at_least = Interval::AtLeast(Value::Int(10), true);
+  EXPECT_TRUE(at_least.Contains(Value::Int(10)));
+  EXPECT_TRUE(at_least.Contains(Value::Int(1000000)));
+  EXPECT_FALSE(at_least.Contains(Value::Int(9)));
+
+  Interval at_most = Interval::AtMost(Value::Int(10), false);
+  EXPECT_FALSE(at_most.Contains(Value::Int(10)));
+  EXPECT_TRUE(at_most.Contains(Value::Int(9)));
+
+  EXPECT_TRUE(Interval::All().Contains(Value::Int(0)));
+  EXPECT_TRUE(Interval::All().Contains(Value::String("x")));
+}
+
+TEST(IntervalTest, PointAndEmpty) {
+  Interval point = Interval::Point(Value::Int(7));
+  EXPECT_TRUE(point.Contains(Value::Int(7)));
+  EXPECT_FALSE(point.Contains(Value::Int(8)));
+  EXPECT_FALSE(point.Empty());
+
+  Interval empty = Interval::Range(Value::Int(5), false, Value::Int(5), false);
+  EXPECT_TRUE(empty.Empty());
+  Interval inverted = Interval::Range(Value::Int(9), true, Value::Int(5), true);
+  EXPECT_TRUE(inverted.Empty());
+}
+
+TEST(IntervalSkipListTest, EmptyStab) {
+  IntervalSkipList isl;
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(5), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(isl.size(), 0u);
+}
+
+TEST(IntervalSkipListTest, SingleInterval) {
+  IntervalSkipList isl;
+  isl.Insert(1, Interval::Range(Value::Int(10), true, Value::Int(20), true));
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(15), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+
+  out.clear();
+  isl.Stab(Value::Int(10), &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  isl.Stab(Value::Int(20), &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  isl.Stab(Value::Int(21), &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  isl.Stab(Value::Int(9), &out);
+  EXPECT_TRUE(out.empty());
+  isl.CheckInvariants();
+}
+
+TEST(IntervalSkipListTest, HalfOpenBoundariesExact) {
+  IntervalSkipList isl;
+  // The paper's rule predicate shape: C1 < emp.sal <= C2.
+  isl.Insert(1, Interval::Range(Value::Int(30000), false, Value::Int(31000),
+                                true));
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(30000), &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  isl.Stab(Value::Int(30001), &out);
+  EXPECT_EQ(out.size(), 1u);
+  out.clear();
+  isl.Stab(Value::Int(31000), &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(IntervalSkipListTest, OverlappingIntervalsAllFound) {
+  IntervalSkipList isl;
+  for (int64_t i = 0; i < 50; ++i) {
+    isl.Insert(i, Interval::Range(Value::Int(i), true, Value::Int(i + 50),
+                                  true));
+  }
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(49), &out);
+  EXPECT_EQ(out.size(), 50u);  // all intervals [i, i+50] contain 49
+  out.clear();
+  isl.Stab(Value::Int(0), &out);
+  EXPECT_EQ(out.size(), 1u);
+  isl.CheckInvariants();
+}
+
+TEST(IntervalSkipListTest, RemoveRestoresPriorAnswers) {
+  IntervalSkipList isl;
+  isl.Insert(1, Interval::Range(Value::Int(0), true, Value::Int(10), true));
+  isl.Insert(2, Interval::Range(Value::Int(5), true, Value::Int(15), true));
+  EXPECT_TRUE(isl.Remove(1));
+  EXPECT_FALSE(isl.Remove(1));
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(7), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 2);
+  isl.CheckInvariants();
+  EXPECT_TRUE(isl.Remove(2));
+  EXPECT_EQ(isl.num_nodes(), 0u);
+}
+
+TEST(IntervalSkipListTest, ReinsertReplacesExisting) {
+  IntervalSkipList isl;
+  isl.Insert(1, Interval::Point(Value::Int(5)));
+  isl.Insert(1, Interval::Point(Value::Int(9)));  // same id, new interval
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(5), &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  isl.Stab(Value::Int(9), &out);
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_EQ(isl.size(), 1u);
+}
+
+TEST(IntervalSkipListTest, UnboundedIntervals) {
+  IntervalSkipList isl;
+  isl.Insert(1, Interval::AtLeast(Value::Int(100), false));  // (100, +inf)
+  isl.Insert(2, Interval::AtMost(Value::Int(50), true));     // (-inf, 50]
+  isl.Insert(3, Interval::All());
+
+  std::vector<int64_t> out;
+  isl.Stab(Value::Int(200), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{1, 3}));
+  out.clear();
+  isl.Stab(Value::Int(100), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{3}));
+  out.clear();
+  isl.Stab(Value::Int(50), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{2, 3}));
+  out.clear();
+  isl.Stab(Value::Int(75), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{3}));
+}
+
+TEST(IntervalSkipListTest, StringIntervals) {
+  IntervalSkipList isl;
+  isl.Insert(1, Interval::Point(Value::String("sales")));
+  isl.Insert(2, Interval::Range(Value::String("a"), true,
+                                Value::String("m"), true));
+  std::vector<int64_t> out;
+  isl.Stab(Value::String("sales"), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{1}));
+  out.clear();
+  isl.Stab(Value::String("dev"), &out);
+  EXPECT_EQ(out, (std::vector<int64_t>{2}));
+}
+
+struct IslFuzzParams {
+  uint64_t seed;
+  int operations;
+  int key_range;
+  bool include_unbounded;
+};
+
+class IslFuzzTest : public ::testing::TestWithParam<IslFuzzParams> {};
+
+/// Differential test against brute force: after every mutation, a batch of
+/// random stabbing queries must return exactly the intervals whose Contains
+/// predicate admits the probe value.
+TEST_P(IslFuzzTest, MatchesBruteForce) {
+  const IslFuzzParams params = GetParam();
+  Random rng(params.seed);
+  IntervalSkipList isl;
+  std::map<int64_t, Interval> reference;
+  int64_t next_id = 0;
+
+  auto random_interval = [&]() -> Interval {
+    if (params.include_unbounded) {
+      int kind = static_cast<int>(rng.Uniform(10));
+      if (kind == 0) return Interval::All();
+      if (kind == 1) {
+        return Interval::AtLeast(Value::Int(rng.UniformRange(0, params.key_range)),
+                                 rng.Bernoulli(0.5));
+      }
+      if (kind == 2) {
+        return Interval::AtMost(Value::Int(rng.UniformRange(0, params.key_range)),
+                                rng.Bernoulli(0.5));
+      }
+    }
+    int64_t a = rng.UniformRange(0, params.key_range);
+    int64_t b = rng.UniformRange(0, params.key_range);
+    if (a > b) std::swap(a, b);
+    if (rng.Bernoulli(0.2)) b = a;  // points are common (attr = const)
+    return Interval::Range(Value::Int(a), rng.Bernoulli(0.5), Value::Int(b),
+                           rng.Bernoulli(0.5));
+  };
+
+  for (int op = 0; op < params.operations; ++op) {
+    int choice = static_cast<int>(rng.Uniform(100));
+    if (choice < 55 || reference.empty()) {
+      Interval iv = random_interval();
+      int64_t id = next_id++;
+      isl.Insert(id, iv);
+      reference[id] = iv;
+    } else {
+      size_t victim = rng.Uniform(reference.size());
+      auto it = reference.begin();
+      std::advance(it, victim);
+      ASSERT_TRUE(isl.Remove(it->first));
+      reference.erase(it);
+    }
+    ASSERT_EQ(isl.size(), reference.size());
+
+    // Probe a few random points, plus boundary-adjacent points.
+    for (int probe = 0; probe < 6; ++probe) {
+      int64_t v = rng.UniformRange(-1, params.key_range + 1);
+      std::vector<int64_t> got;
+      isl.Stab(Value::Int(v), &got);
+      std::vector<int64_t> expect;
+      for (const auto& [id, iv] : reference) {
+        if (iv.Contains(Value::Int(v))) expect.push_back(id);
+      }
+      ASSERT_EQ(got, expect) << "stab " << v << " after op " << op;
+    }
+    if (op % 100 == 0) isl.CheckInvariants();
+  }
+  isl.CheckInvariants();
+
+  // Drain: all nodes must be reclaimed.
+  while (!reference.empty()) {
+    ASSERT_TRUE(isl.Remove(reference.begin()->first));
+    reference.erase(reference.begin());
+  }
+  isl.CheckInvariants();
+  EXPECT_EQ(isl.num_nodes(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IslFuzzTest,
+    ::testing::Values(IslFuzzParams{11, 600, 30, false},
+                      IslFuzzParams{12, 600, 1000, false},
+                      IslFuzzParams{13, 800, 100, true},
+                      IslFuzzParams{14, 400, 8, true},
+                      IslFuzzParams{15, 1000, 300, true}),
+    [](const ::testing::TestParamInfo<IslFuzzParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_range" +
+             std::to_string(info.param.key_range) +
+             (info.param.include_unbounded ? "_unbounded" : "_bounded");
+    });
+
+}  // namespace
+}  // namespace ariel

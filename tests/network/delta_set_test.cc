@@ -1,0 +1,241 @@
+// Validates the logical-event machinery: the §2.2.2 net-effect table and
+// the §4.3.1 token-generation cases 1-4, including event specifiers.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "network/discrimination_network.h"
+#include "network/transition_manager.h"
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+class DeltaSetTest : public ::testing::Test {
+ protected:
+  DeltaSetTest() : manager_(&network_) {
+    rel_ = *catalog_.CreateRelation(
+        "t", Schema({Attribute{"x", DataType::kInt},
+                     Attribute{"y", DataType::kInt}}));
+    network_.set_token_listener(
+        [this](const Token& token) { trace_.push_back(Describe(token)); });
+  }
+
+  /// Compact trace entry: kind/specifier/value, e.g. "+a[1]" for an
+  /// insert token with append specifier carrying x=1.
+  static std::string Describe(const Token& token) {
+    std::string out = TokenKindToString(token.kind);
+    if (token.event.has_value()) {
+      switch (token.event->kind) {
+        case EventKind::kAppend: out += "a"; break;
+        case EventKind::kDelete: out += "d"; break;
+        case EventKind::kReplace: {
+          out += "r(";
+          for (const std::string& a : token.event->updated_attrs) out += a;
+          out += ")";
+          break;
+        }
+      }
+    } else {
+      out += "_";  // no specifier (the paper's simple − token)
+    }
+    out += "[" + token.value.at(0).ToString();
+    if (token.is_delta()) out += "<-" + token.previous.at(0).ToString();
+    out += "]";
+    return out;
+  }
+
+  Tuple Val(int64_t x, int64_t y = 0) {
+    return Tuple(std::vector<Value>{Value::Int(x), Value::Int(y)});
+  }
+
+  std::vector<std::string> TakeTrace() {
+    std::vector<std::string> out = std::move(trace_);
+    trace_.clear();
+    return out;
+  }
+
+  Catalog catalog_;
+  DiscriminationNetwork network_;
+  TransitionManager manager_;
+  HeapRelation* rel_;
+  std::vector<std::string> trace_;
+};
+
+TEST_F(DeltaSetTest, Case1InsertThenModifies) {
+  // im*: insert → (+a); each modify → (−a, +a). Net effect: insert.
+  manager_.BeginTransition();
+  TupleId tid = *manager_.Insert(rel_, Val(1));
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(3), {"x"}).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"+a[1]", "-a[1]", "+a[2]", "-a[2]",
+                                      "+a[3]"}));
+  EXPECT_EQ(rel_->Get(tid)->at(0), Value::Int(3));
+}
+
+TEST_F(DeltaSetTest, Case2InsertModifyDelete) {
+  // im*d: the final delete retracts the append; net effect nothing, and no
+  // delete-specified token is ever emitted.
+  manager_.BeginTransition();
+  TupleId tid = *manager_.Insert(rel_, Val(1));
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
+  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"+a[1]", "-a[1]", "+a[2]", "-a[2]"}));
+  EXPECT_EQ(rel_->size(), 0u);
+}
+
+TEST_F(DeltaSetTest, Case3PreexistingModified) {
+  // m+: first modify → (−_ no specifier, Δ+r); further modifies →
+  // (Δ−r, Δ+r) with the pair's old part pinned to the transition start.
+  TupleId tid = *manager_.Insert(rel_, Val(10));  // implicit transition
+  TakeTrace();
+
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(12), {"x"}).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
+                                      "delta-r(x)[11<-10]",
+                                      "delta+r(x)[12<-10]"}));
+}
+
+TEST_F(DeltaSetTest, Case4ModifyThenDelete) {
+  // m*d: the pair is retracted, then a delete-specified − is emitted.
+  TupleId tid = *manager_.Insert(rel_, Val(10));
+  TakeTrace();
+
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
+  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
+                                      "delta-r(x)[11<-10]", "-d[11]"}));
+}
+
+TEST_F(DeltaSetTest, PlainDeleteOfUntouchedTuple) {
+  TupleId tid = *manager_.Insert(rel_, Val(10));
+  TakeTrace();
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(), (std::vector<std::string>{"-d[10]"}));
+}
+
+TEST_F(DeltaSetTest, UpdatedAttrsAccumulateAcrossModifies) {
+  TupleId tid = *manager_.Insert(rel_, Val(1, 1));
+  TakeTrace();
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2, 1), {"x"}).ok());
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2, 2), {"y"}).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  // The second Δ+ carries the accumulated replace(x, y) specifier; its Δ−
+  // retracts with the previous specifier (x only). The pair's old part
+  // stays pinned to the transition-start original (x = 1).
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"-_[1]", "delta+r(x)[2<-1]",
+                                      "delta-r(x)[2<-1]",
+                                      "delta+r(xy)[2<-1]"}));
+}
+
+TEST_F(DeltaSetTest, TransitionsAreIndependent) {
+  TupleId tid = *manager_.Insert(rel_, Val(10));
+  TakeTrace();
+  // Two separate transitions: the second modify is again a "first modify"
+  // (Δ-sets clear at transition end).
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  manager_.BeginTransition();
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(12), {"x"}).ok());
+  ASSERT_TRUE(manager_.EndTransition().ok());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
+                                      "-_[11]", "delta+r(x)[12<-11]"}));
+}
+
+TEST_F(DeltaSetTest, ImplicitTransactionPerOperation) {
+  // Gateway calls outside a transition get an implicit one each.
+  TupleId tid = *manager_.Insert(rel_, Val(1));
+  EXPECT_FALSE(manager_.in_transition());
+  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
+  EXPECT_FALSE(manager_.in_transition());
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"+a[1]", "-_[1]", "delta+r(x)[2<-1]"}));
+}
+
+TEST_F(DeltaSetTest, ErrorsOnMissingTuples) {
+  EXPECT_FALSE(manager_.Delete(rel_, TupleId{rel_->id(), 404}).ok());
+  EXPECT_FALSE(manager_.Update(rel_, TupleId{rel_->id(), 404}, Val(1), {"x"})
+                   .ok());
+}
+
+/// Property: for any random single-tuple operation sequence inside one
+/// transition, the net effect of the emitted token stream (sum of +1 for
+/// insertions, −1 for deletions, per kind) matches the §2.2.2 table, and
+/// pattern-memory contents derived from the stream match the final
+/// database state.
+TEST_F(DeltaSetTest, NetEffectPropertyRandomSequences) {
+  Random rng(2026);
+  for (int round = 0; round < 200; ++round) {
+    // Fresh tuple per round; pre-existing with probability 1/2.
+    bool preexisting = rng.Bernoulli(0.5);
+    TupleId tid;
+    if (preexisting) {
+      tid = *manager_.Insert(rel_, Val(round));
+      TakeTrace();
+    }
+
+    // Token-stream accounting of a hypothetical pattern α-memory with a
+    // true predicate. Removal is keyed by tid and idempotent, exactly like
+    // AlphaMemory::RemoveEntry (a Δ− followed by a delete − for the same
+    // tuple removes it once).
+    bool stored = preexisting;
+    auto apply = [&](const Token& token) {
+      stored = token.is_insertion();
+    };
+    network_.set_token_listener([&](const Token& t) { apply(t); });
+
+    manager_.BeginTransition();
+    bool alive = preexisting;
+    if (!alive) {
+      tid = *manager_.Insert(rel_, Val(round));
+      alive = true;
+    }
+    int ops = static_cast<int>(rng.Uniform(5));
+    for (int i = 0; i < ops && alive; ++i) {
+      if (rng.Bernoulli(0.3)) {
+        ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+        alive = false;
+      } else {
+        ASSERT_TRUE(
+            manager_.Update(rel_, tid, Val(round, i), {"y"}).ok());
+      }
+    }
+    ASSERT_TRUE(manager_.EndTransition().ok());
+
+    // The memory derived from tokens sees the tuple iff it is alive.
+    EXPECT_EQ(stored, alive) << "round " << round;
+    EXPECT_EQ(rel_->Get(tid) != nullptr, alive);
+
+    // Reset listener to the tracing default and clean up.
+    network_.set_token_listener(nullptr);
+    if (alive) {
+      ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+    }
+    network_.set_token_listener(
+        [this](const Token& token) { trace_.push_back(Describe(token)); });
+    TakeTrace();
+  }
+}
+
+}  // namespace
+}  // namespace ariel

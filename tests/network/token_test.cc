@@ -1,0 +1,54 @@
+#include "network/token.h"
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+Token Make(TokenKind kind) {
+  Token t;
+  t.kind = kind;
+  t.relation_id = 3;
+  t.tid = TupleId{3, 9};
+  t.value = Tuple(std::vector<Value>{Value::Int(7)});
+  if (t.is_delta()) {
+    t.previous = Tuple(std::vector<Value>{Value::Int(6)});
+  }
+  return t;
+}
+
+TEST(TokenTest, KindPredicates) {
+  EXPECT_TRUE(Make(TokenKind::kPlus).is_insertion());
+  EXPECT_TRUE(Make(TokenKind::kDeltaPlus).is_insertion());
+  EXPECT_FALSE(Make(TokenKind::kMinus).is_insertion());
+  EXPECT_FALSE(Make(TokenKind::kDeltaMinus).is_insertion());
+
+  EXPECT_TRUE(Make(TokenKind::kDeltaPlus).is_delta());
+  EXPECT_TRUE(Make(TokenKind::kDeltaMinus).is_delta());
+  EXPECT_FALSE(Make(TokenKind::kPlus).is_delta());
+  EXPECT_FALSE(Make(TokenKind::kMinus).is_delta());
+}
+
+TEST(TokenTest, KindNames) {
+  EXPECT_STREQ(TokenKindToString(TokenKind::kPlus), "+");
+  EXPECT_STREQ(TokenKindToString(TokenKind::kMinus), "-");
+  EXPECT_STREQ(TokenKindToString(TokenKind::kDeltaPlus), "delta+");
+  EXPECT_STREQ(TokenKindToString(TokenKind::kDeltaMinus), "delta-");
+}
+
+TEST(TokenTest, ToStringCoversParts) {
+  Token t = Make(TokenKind::kDeltaPlus);
+  t.event = TokenEvent{EventKind::kReplace, {"sal", "dno"}};
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("delta+"), std::string::npos) << s;
+  EXPECT_NE(s.find("(3:9)"), std::string::npos) << s;
+  EXPECT_NE(s.find("[7]"), std::string::npos) << s;
+  EXPECT_NE(s.find("prev=[6]"), std::string::npos) << s;
+  EXPECT_NE(s.find("on=replace(sal,dno)"), std::string::npos) << s;
+
+  Token bare = Make(TokenKind::kMinus);
+  EXPECT_EQ(bare.ToString().find("on="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ariel

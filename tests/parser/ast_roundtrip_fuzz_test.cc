@@ -1,0 +1,141 @@
+// Property test: for randomly generated expression trees, print → parse →
+// print is a fixed point and the reparsed tree is structurally identical.
+// This pins down printer parenthesization against parser precedence.
+
+#include <gtest/gtest.h>
+
+#include "parser/ast.h"
+#include "parser/parser.h"
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+class ExprGenerator {
+ public:
+  explicit ExprGenerator(uint64_t seed) : rng_(seed) {}
+
+  ExprPtr Generate(int depth) {
+    if (depth <= 0 || rng_.Bernoulli(0.3)) return Leaf();
+    switch (rng_.Uniform(8)) {
+      case 0:
+        return std::make_unique<UnaryExpr>(UnaryOp::kNot,
+                                           Generate(depth - 1));
+      case 1:
+        return std::make_unique<UnaryExpr>(UnaryOp::kNeg,
+                                           Generate(depth - 1));
+      default: {
+        static const BinaryOp kOps[] = {
+            BinaryOp::kAdd, BinaryOp::kSub, BinaryOp::kMul, BinaryOp::kDiv,
+            BinaryOp::kEq,  BinaryOp::kNe,  BinaryOp::kLt,  BinaryOp::kLe,
+            BinaryOp::kGt,  BinaryOp::kGe,  BinaryOp::kAnd, BinaryOp::kOr,
+        };
+        BinaryOp op = kOps[rng_.Uniform(std::size(kOps))];
+        return std::make_unique<BinaryExpr>(op, Generate(depth - 1),
+                                            Generate(depth - 1));
+      }
+    }
+  }
+
+ private:
+  ExprPtr Leaf() {
+    switch (rng_.Uniform(7)) {
+      case 0:
+        return std::make_unique<LiteralExpr>(
+            Value::Int(rng_.UniformRange(0, 1000)));
+      case 1:
+        return std::make_unique<LiteralExpr>(
+            Value::Float(static_cast<double>(rng_.UniformRange(0, 100)) +
+                         0.5));
+      case 2:
+        return std::make_unique<LiteralExpr>(
+            Value::String("s" + std::to_string(rng_.Uniform(10))));
+      case 3:
+        return std::make_unique<LiteralExpr>(Value::Bool(rng_.Bernoulli(0.5)));
+      case 4:
+        return std::make_unique<NewExpr>("v" + std::to_string(rng_.Uniform(3)));
+      case 5:
+        return std::make_unique<ColumnRefExpr>(
+            "v" + std::to_string(rng_.Uniform(3)),
+            "a" + std::to_string(rng_.Uniform(4)), /*previous=*/true);
+      default:
+        return std::make_unique<ColumnRefExpr>(
+            "v" + std::to_string(rng_.Uniform(3)),
+            "a" + std::to_string(rng_.Uniform(4)));
+    }
+  }
+
+  Random rng_;
+};
+
+/// Structural equality of expression trees.
+bool SameTree(const Expr& a, const Expr& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(a).value ==
+             static_cast<const LiteralExpr&>(b).value;
+    case ExprKind::kColumnRef: {
+      const auto& ra = static_cast<const ColumnRefExpr&>(a);
+      const auto& rb = static_cast<const ColumnRefExpr&>(b);
+      return ra.tuple_var == rb.tuple_var && ra.attribute == rb.attribute &&
+             ra.previous == rb.previous;
+    }
+    case ExprKind::kNew:
+      return static_cast<const NewExpr&>(a).tuple_var ==
+             static_cast<const NewExpr&>(b).tuple_var;
+    case ExprKind::kBinary: {
+      const auto& ba = static_cast<const BinaryExpr&>(a);
+      const auto& bb = static_cast<const BinaryExpr&>(b);
+      return ba.op == bb.op && SameTree(*ba.lhs, *bb.lhs) &&
+             SameTree(*ba.rhs, *bb.rhs);
+    }
+    case ExprKind::kUnary: {
+      const auto& ua = static_cast<const UnaryExpr&>(a);
+      const auto& ub = static_cast<const UnaryExpr&>(b);
+      return ua.op == ub.op && SameTree(*ua.operand, *ub.operand);
+    }
+    case ExprKind::kAggregate: {
+      const auto& ga = static_cast<const AggregateExpr&>(a);
+      const auto& gb = static_cast<const AggregateExpr&>(b);
+      if (ga.func != gb.func || ga.tuple_var != gb.tuple_var) return false;
+      if ((ga.operand == nullptr) != (gb.operand == nullptr)) return false;
+      return ga.operand == nullptr || SameTree(*ga.operand, *gb.operand);
+    }
+  }
+  return false;
+}
+
+class AstRoundTripFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AstRoundTripFuzz, PrintParsePrintFixedPoint) {
+  ExprGenerator gen(GetParam());
+  for (int i = 0; i < 400; ++i) {
+    ExprPtr original = gen.Generate(5);
+    std::string printed = original->ToString();
+    auto reparsed = ParseExpression(printed);
+    ASSERT_TRUE(reparsed.ok())
+        << "failed to reparse: " << printed << " -> "
+        << reparsed.status().ToString();
+    EXPECT_TRUE(SameTree(*original, **reparsed))
+        << "printed:  " << printed << "\nreprinted: "
+        << (*reparsed)->ToString();
+    EXPECT_EQ((*reparsed)->ToString(), printed);
+  }
+}
+
+TEST_P(AstRoundTripFuzz, CloneIsStructurallyIdentical) {
+  ExprGenerator gen(GetParam() + 1000);
+  for (int i = 0; i < 200; ++i) {
+    ExprPtr original = gen.Generate(5);
+    ExprPtr clone = original->Clone();
+    EXPECT_TRUE(SameTree(*original, *clone));
+    EXPECT_EQ(original->ToString(), clone->ToString());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AstRoundTripFuzz,
+                         ::testing::Values(21, 22, 23, 24));
+
+}  // namespace
+}  // namespace ariel

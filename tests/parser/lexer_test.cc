@@ -1,0 +1,105 @@
+#include "parser/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+std::vector<Token> Lex(std::string_view input) {
+  auto result = Tokenize(input);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? *result : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kEnd));
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  auto tokens = Lex("EmP Name_2");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "emp");
+  EXPECT_EQ(tokens[1].text, "name_2");
+}
+
+TEST(LexerTest, IntegerAndFloatLiterals) {
+  auto tokens = Lex("42 3.5 1e3 2.5e-2 7");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kInteger));
+  EXPECT_EQ(tokens[0].int_value, 42);
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 3.5);
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 1000.0);
+  EXPECT_TRUE(tokens[3].Is(TokenKind::kFloat));
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.025);
+  EXPECT_TRUE(tokens[4].Is(TokenKind::kInteger));
+}
+
+TEST(LexerTest, DotAfterIntegerIsQualificationNotFloat) {
+  // `1.x` must lex as integer, dot, identifier (not a malformed float).
+  auto tokens = Lex("1.x");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kInteger));
+  EXPECT_TRUE(tokens[1].Is(TokenKind::kDot));
+  EXPECT_TRUE(tokens[2].Is(TokenKind::kIdentifier));
+}
+
+TEST(LexerTest, StringLiteralsWithEscapes) {
+  auto tokens = Lex("\"Bob\" \"say \\\"hi\\\"\" \"\"");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "Bob");  // case preserved inside strings
+  EXPECT_EQ(tokens[1].text, "say \"hi\"");
+  EXPECT_EQ(tokens[2].text, "");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  EXPECT_FALSE(Tokenize("\"oops").ok());
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Lex("= != < <= > >= + - * / ( ) , . ' ; <>");
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kEquals, TokenKind::kNotEquals,
+                       TokenKind::kLess, TokenKind::kLessEquals,
+                       TokenKind::kGreater, TokenKind::kGreaterEquals,
+                       TokenKind::kPlus, TokenKind::kMinus, TokenKind::kStar,
+                       TokenKind::kSlash, TokenKind::kLParen,
+                       TokenKind::kRParen, TokenKind::kComma, TokenKind::kDot,
+                       TokenKind::kPrime, TokenKind::kSemicolon,
+                       TokenKind::kNotEquals, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, Comments) {
+  auto tokens = Lex("a -- end of line comment\nb /* block\ncomment */ c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[2].text, "c");
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+}
+
+TEST(LexerTest, LineNumbersTracked) {
+  auto tokens = Lex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1u);
+  EXPECT_EQ(tokens[1].line, 2u);
+  EXPECT_EQ(tokens[2].line, 4u);
+}
+
+TEST(LexerTest, RejectsUnknownCharacters) {
+  EXPECT_FALSE(Tokenize("a @ b").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());  // bare ! (not !=)
+}
+
+TEST(LexerTest, IsWordHelper) {
+  auto tokens = Lex("Define \"define\"");
+  EXPECT_TRUE(tokens[0].IsWord("define"));
+  EXPECT_FALSE(tokens[1].IsWord("define"));  // strings are not words
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,268 @@
+#include "parser/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/ast.h"
+
+namespace ariel {
+namespace {
+
+CommandPtr MustParse(const std::string& input) {
+  auto result = ParseCommand(input);
+  EXPECT_TRUE(result.ok()) << input << " -> " << result.status().ToString();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+ExprPtr MustParseExpr(const std::string& input) {
+  auto result = ParseExpression(input);
+  EXPECT_TRUE(result.ok()) << input << " -> " << result.status().ToString();
+  return result.ok() ? std::move(*result) : nullptr;
+}
+
+/// parse → print → parse → print must be a fixed point.
+void CheckRoundTrip(const std::string& input) {
+  CommandPtr first = MustParse(input);
+  ASSERT_NE(first, nullptr);
+  std::string printed = first->ToString();
+  CommandPtr second = MustParse(printed);
+  ASSERT_NE(second, nullptr) << "reparse of: " << printed;
+  EXPECT_EQ(second->ToString(), printed) << "not a fixed point: " << input;
+}
+
+TEST(ParserTest, CreateCommand) {
+  CommandPtr cmd = MustParse(
+      "create emp (name = string, age = int, sal = float)");
+  auto* create = static_cast<CreateCommand*>(cmd.get());
+  EXPECT_EQ(create->relation, "emp");
+  ASSERT_EQ(create->attributes.size(), 3u);
+  EXPECT_EQ(create->attributes[1].first, "age");
+  EXPECT_EQ(create->attributes[1].second, DataType::kInt);
+}
+
+TEST(ParserTest, RetrieveWithTargetsFromWhere) {
+  CommandPtr cmd = MustParse(
+      "retrieve (emp.name, big = emp.sal * 2) from e in emp "
+      "where emp.sal > 100");
+  auto* ret = static_cast<RetrieveCommand*>(cmd.get());
+  ASSERT_EQ(ret->targets.size(), 2u);
+  EXPECT_EQ(ret->targets[0].name, "");
+  EXPECT_EQ(ret->targets[1].name, "big");
+  ASSERT_EQ(ret->from.size(), 1u);
+  EXPECT_EQ(ret->from[0].var, "e");
+  EXPECT_EQ(ret->from[0].relation, "emp");
+  ASSERT_NE(ret->qualification, nullptr);
+}
+
+TEST(ParserTest, AppendFormsWithAndWithoutTo) {
+  auto* a = static_cast<AppendCommand*>(
+      MustParse("append to emp (name=\"x\")").get());
+  EXPECT_EQ(a->relation, "emp");
+  auto cmd = MustParse("append emp (name=\"x\", age=3)");
+  auto* b = static_cast<AppendCommand*>(cmd.get());
+  EXPECT_EQ(b->relation, "emp");
+  EXPECT_EQ(b->targets.size(), 2u);
+}
+
+TEST(ParserTest, DeleteForms) {
+  auto cmd = MustParse("delete emp where emp.name = \"Bob\"");
+  auto* del = static_cast<DeleteCommand*>(cmd.get());
+  EXPECT_EQ(del->target_var, "emp");
+  EXPECT_FALSE(del->primed);
+
+  cmd = MustParse("delete' p.emp");
+  del = static_cast<DeleteCommand*>(cmd.get());
+  EXPECT_TRUE(del->primed);
+  EXPECT_EQ(del->target_var, "p.emp");
+}
+
+TEST(ParserTest, ReplaceForms) {
+  auto cmd = MustParse(
+      "replace emp (sal = 30000) where emp.dno = dept.dno");
+  auto* rep = static_cast<ReplaceCommand*>(cmd.get());
+  EXPECT_EQ(rep->target_var, "emp");
+  EXPECT_FALSE(rep->primed);
+  ASSERT_EQ(rep->targets.size(), 1u);
+  EXPECT_EQ(rep->targets[0].name, "sal");
+
+  cmd = MustParse("replace' p.emp (sal = 25000)");
+  rep = static_cast<ReplaceCommand*>(cmd.get());
+  EXPECT_TRUE(rep->primed);
+  EXPECT_EQ(rep->target_var, "p.emp");
+}
+
+TEST(ParserTest, BlocksMayNotNest) {
+  CommandPtr cmd = MustParse(
+      "do append a (x=1) ; append b (y=2) end");
+  auto* block = static_cast<BlockCommand*>(cmd.get());
+  EXPECT_EQ(block->commands.size(), 2u);
+  EXPECT_FALSE(ParseCommand("do do append a (x=1) end end").ok());
+}
+
+TEST(ParserTest, FullRuleDefinition) {
+  CommandPtr cmd = MustParse(
+      "define rule r1 in myset priority 5 on replace emp (sal, dno) "
+      "if emp.sal > 10 then delete emp");
+  auto* rule = static_cast<DefineRuleCommand*>(cmd.get());
+  EXPECT_EQ(rule->rule_name, "r1");
+  EXPECT_EQ(rule->ruleset, "myset");
+  EXPECT_DOUBLE_EQ(rule->priority.value(), 5.0);
+  ASSERT_TRUE(rule->event.has_value());
+  EXPECT_EQ(rule->event->kind, EventKind::kReplace);
+  EXPECT_EQ(rule->event->relation, "emp");
+  EXPECT_EQ(rule->event->attributes,
+            (std::vector<std::string>{"sal", "dno"}));
+  ASSERT_NE(rule->condition, nullptr);
+  ASSERT_EQ(rule->action.size(), 1u);
+  EXPECT_EQ(rule->action[0]->kind, CommandKind::kDelete);
+}
+
+TEST(ParserTest, RuleWithNegativePriorityAndBlockAction) {
+  CommandPtr cmd = MustParse(
+      "define rule r2 priority -3 if a.x = 1 then do "
+      "append to log (x = a.x) halt end");
+  auto* rule = static_cast<DefineRuleCommand*>(cmd.get());
+  EXPECT_DOUBLE_EQ(rule->priority.value(), -3.0);
+  ASSERT_EQ(rule->action.size(), 2u);
+  EXPECT_EQ(rule->action[1]->kind, CommandKind::kHalt);
+}
+
+TEST(ParserTest, RuleEventOnlyNoCondition) {
+  CommandPtr cmd = MustParse("define rule r on delete emp then halt");
+  auto* rule = static_cast<DefineRuleCommand*>(cmd.get());
+  EXPECT_EQ(rule->event->kind, EventKind::kDelete);
+  EXPECT_EQ(rule->condition, nullptr);
+}
+
+TEST(ParserTest, RuleConditionFromList) {
+  CommandPtr cmd = MustParse(
+      "define rule r if oldjob.jno = previous emp.jno "
+      "from oldjob in job, newjob in job then halt");
+  auto* rule = static_cast<DefineRuleCommand*>(cmd.get());
+  ASSERT_EQ(rule->from.size(), 2u);
+  EXPECT_EQ(rule->from[0].var, "oldjob");
+  EXPECT_EQ(rule->from[1].relation, "job");
+}
+
+TEST(ParserTest, RuleAdminCommands) {
+  EXPECT_EQ(MustParse("activate rule r")->kind, CommandKind::kActivateRule);
+  EXPECT_EQ(MustParse("deactivate rule r")->kind,
+            CommandKind::kDeactivateRule);
+  EXPECT_EQ(MustParse("remove rule r")->kind, CommandKind::kRemoveRule);
+  EXPECT_EQ(MustParse("drop rule r")->kind, CommandKind::kRemoveRule);
+  EXPECT_EQ(MustParse("halt")->kind, CommandKind::kHalt);
+  EXPECT_EQ(MustParse("define index on emp (sal)")->kind,
+            CommandKind::kDefineIndex);
+  EXPECT_EQ(MustParse("destroy emp")->kind, CommandKind::kDestroy);
+}
+
+TEST(ParserTest, ExpressionPrecedence) {
+  ExprPtr e = MustParseExpr("a.x + b.y * 2 = 10 and not c.z < 5 or d.w = 1");
+  // or at top
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(static_cast<BinaryExpr*>(e.get())->op, BinaryOp::kOr);
+  // (a.x + (b.y * 2)) on the left of '='
+  ExprPtr f = MustParseExpr("a.x + b.y * 2");
+  auto* add = static_cast<BinaryExpr*>(f.get());
+  EXPECT_EQ(add->op, BinaryOp::kAdd);
+  EXPECT_EQ(static_cast<BinaryExpr*>(add->rhs.get())->op, BinaryOp::kMul);
+}
+
+TEST(ParserTest, UnaryMinusAndNot) {
+  ExprPtr e = MustParseExpr("-a.x * 2");
+  auto* mul = static_cast<BinaryExpr*>(e.get());
+  EXPECT_EQ(mul->op, BinaryOp::kMul);
+  EXPECT_EQ(mul->lhs->kind, ExprKind::kUnary);
+
+  ExprPtr n = MustParseExpr("not not a.x = 1");
+  EXPECT_EQ(n->kind, ExprKind::kUnary);
+}
+
+TEST(ParserTest, PreviousAndNew) {
+  ExprPtr e = MustParseExpr("emp.sal > 1.1 * previous emp.sal");
+  auto* cmp = static_cast<BinaryExpr*>(e.get());
+  auto* mul = static_cast<BinaryExpr*>(cmp->rhs.get());
+  auto* prev = static_cast<ColumnRefExpr*>(mul->rhs.get());
+  EXPECT_TRUE(prev->previous);
+  EXPECT_EQ(prev->tuple_var, "emp");
+  EXPECT_EQ(prev->attribute, "sal");
+
+  ExprPtr n = MustParseExpr("new(emp)");
+  EXPECT_EQ(n->kind, ExprKind::kNew);
+  EXPECT_EQ(static_cast<NewExpr*>(n.get())->tuple_var, "emp");
+}
+
+TEST(ParserTest, MultiPartColumnRefs) {
+  ExprPtr e = MustParseExpr("p.emp.previous.sal");
+  auto* ref = static_cast<ColumnRefExpr*>(e.get());
+  EXPECT_EQ(ref->tuple_var, "p");
+  EXPECT_EQ(ref->attribute, "emp.previous.sal");
+}
+
+TEST(ParserTest, LiteralForms) {
+  EXPECT_EQ(static_cast<LiteralExpr*>(MustParseExpr("true").get())->value,
+            Value::Bool(true));
+  EXPECT_EQ(static_cast<LiteralExpr*>(MustParseExpr("null").get())->value,
+            Value::Null());
+  EXPECT_EQ(static_cast<LiteralExpr*>(MustParseExpr("\"s\"").get())->value,
+            Value::String("s"));
+}
+
+TEST(ParserTest, ScriptParsing) {
+  auto result = ParseScript(
+      "create a (x = int); append a (x = 1)\nappend a (x = 2);;");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->size(), 3u);
+}
+
+TEST(ParserTest, ErrorsAreDiagnostic) {
+  auto r1 = ParseCommand("retrieve emp.name");
+  ASSERT_FALSE(r1.ok());
+  EXPECT_NE(r1.status().message().find("'('"), std::string::npos);
+
+  EXPECT_FALSE(ParseCommand("create emp ()").ok());
+  EXPECT_FALSE(ParseCommand("frobnicate emp").ok());
+  EXPECT_FALSE(ParseCommand("append emp (x=1) trailing").ok());
+  EXPECT_FALSE(ParseCommand("define rule r if a.x = 1").ok());  // no then
+  EXPECT_FALSE(ParseExpression("a.").ok());
+  EXPECT_FALSE(ParseExpression("a").ok());  // bare identifier
+  EXPECT_FALSE(ParseExpression("(a.x = 1").ok());
+}
+
+// Round trips cover every command form, including the paper's rules.
+class RoundTripTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripTest, PrintParseFixedPoint) { CheckRoundTrip(GetParam()); }
+
+INSTANTIATE_TEST_SUITE_P(
+    Commands, RoundTripTest,
+    ::testing::Values(
+        "create emp (name = string, age = int, sal = float, dno = int)",
+        "destroy emp",
+        "define index on emp (sal)",
+        "retrieve (emp.name, emp.sal) where emp.sal > 10000",
+        "retrieve (e.all) from e in emp",
+        "retrieve (x = 1 + 2 * 3)",
+        "retrieve into rich (emp.name, pay = emp.sal * 2) where emp.sal > 10",
+        "append to salaryerror (emp.name, previous emp.sal, emp.sal)",
+        "append emp (name=\"Bob\", age=27) from d in dept where "
+        "d.dno = 12",
+        "delete emp where emp.name = \"Bob\"",
+        "delete' p.emp",
+        "replace emp (name=\"bob\") where emp.name = \"\"",
+        "replace' p.emp (sal = 30000) where p.emp.dno = dept.dno and "
+        "dept.name = \"Sales\"",
+        "do\nappend a (x=1)\nreplace a (x=2) where a.x = 1\nend",
+        "define rule NoBobs on append emp if emp.name = \"Bob\" then "
+        "delete emp",
+        "define rule raiselimit if emp.sal > 1.1 * previous emp.sal then "
+        "append to salaryerror (emp.name, previous emp.sal, emp.sal)",
+        "define rule finddemotions on replace emp (jno) if "
+        "newjob.jno = emp.jno and oldjob.jno = previous emp.jno and "
+        "newjob.paygrade < oldjob.paygrade from oldjob in job, "
+        "newjob in job then append to demotions (name=emp.name)",
+        "define rule r in rs priority 7 if a.x = 1 or a.y = 2 and "
+        "not a.z = 3 then do append l (x=1) halt end",
+        "activate rule r", "deactivate rule r", "remove rule r", "halt"));
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,270 @@
+// Tests for query modification (§5.1): shared tuple-variable references
+// become P-node references, shared replace/delete targets become the primed
+// forms, exactly as the paper's Figure 6 → Figure 7 transformation shows.
+
+#include <gtest/gtest.h>
+
+#include "catalog/catalog.h"
+#include "parser/parser.h"
+#include "rules/rule_compiler.h"
+
+namespace ariel {
+namespace {
+
+class QueryModificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .CreateRelation(
+                        "emp", Schema({Attribute{"name", DataType::kString},
+                                       Attribute{"sal", DataType::kFloat},
+                                       Attribute{"dno", DataType::kInt},
+                                       Attribute{"jno", DataType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateRelation(
+                        "dept", Schema({Attribute{"dno", DataType::kInt},
+                                        Attribute{"name", DataType::kString}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateRelation("salarywatch",
+                                    Schema({Attribute{"name", DataType::kString},
+                                            Attribute{"sal", DataType::kFloat},
+                                            Attribute{"dno", DataType::kInt},
+                                            Attribute{"jno", DataType::kInt}}))
+                    .ok());
+  }
+
+  std::string Modify(const std::string& command,
+                     const std::vector<std::string>& shared) {
+    auto parsed = ParseCommand(command);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto modified = QueryModifyCommand(**parsed, shared, catalog_);
+    EXPECT_TRUE(modified.ok()) << modified.status().ToString();
+    return modified.ok() ? (*modified)->ToString() : "<error>";
+  }
+
+  Catalog catalog_;
+};
+
+TEST_F(QueryModificationTest, SharedColumnRefsBecomePnodeRefs) {
+  EXPECT_EQ(Modify("append to log (x = emp.sal)", {"emp"}),
+            "append to log (x = p.emp.sal)");
+  // Unshared variables are untouched (the paper: "the tuple variable dept
+  // which does not appear in the condition is unchanged in the action").
+  EXPECT_EQ(Modify("append to log (x = emp.sal, y = dept.dno)", {"emp"}),
+            "append to log (x = p.emp.sal, y = dept.dno)");
+}
+
+TEST_F(QueryModificationTest, PreviousRefsBecomePreviousColumns) {
+  EXPECT_EQ(Modify("append to log (previous emp.sal, emp.sal)", {"emp"}),
+            "append to log (p.emp.previous.sal, p.emp.sal)");
+}
+
+TEST_F(QueryModificationTest, Figure6ToFigure7) {
+  // The paper's SalesClerkRule2 action, §5.1 Figures 6 and 7.
+  const std::vector<std::string> shared = {"emp", "job"};
+  EXPECT_EQ(Modify("append to salarywatch(emp.all)", shared),
+            "append to salarywatch (p.emp.name, p.emp.sal, p.emp.dno, "
+            "p.emp.jno)");
+  EXPECT_EQ(Modify("replace emp (sal = 30000) where emp.dno = dept.dno and "
+                   "dept.name = \"Sales\"",
+                   shared),
+            "replace' p.emp (sal = 30000) where p.emp.dno = dept.dno and "
+            "dept.name = \"Sales\"");
+  EXPECT_EQ(Modify("replace emp (sal = 25000) where emp.dno = dept.dno and "
+                   "dept.name != \"Sales\"",
+                   shared),
+            "replace' p.emp (sal = 25000) where p.emp.dno = dept.dno and "
+            "dept.name != \"Sales\"");
+}
+
+TEST_F(QueryModificationTest, DeleteTargetBecomesPrimed) {
+  EXPECT_EQ(Modify("delete emp", {"emp"}), "delete' p.emp");
+  EXPECT_EQ(Modify("delete emp where emp.sal > 10", {"emp"}),
+            "delete' p.emp where p.emp.sal > 10");
+  // Unshared delete target stays plain.
+  EXPECT_EQ(Modify("delete dept where dept.dno = emp.dno", {"emp"}),
+            "delete dept where dept.dno = p.emp.dno");
+}
+
+TEST_F(QueryModificationTest, SharedFromItemsDropped) {
+  EXPECT_EQ(Modify("append to log (x = emp.sal) from emp, d in dept",
+                   {"emp"}),
+            "append to log (x = p.emp.sal) from d in dept");
+  // Rebinding a shared name to a different relation is an error.
+  auto parsed = ParseCommand("append to log (x = e.sal) from e in dept");
+  auto modified = QueryModifyCommand(**parsed, {"e"}, catalog_);
+  EXPECT_FALSE(modified.ok());
+}
+
+TEST_F(QueryModificationTest, BlocksRewrittenRecursively) {
+  std::string out = Modify(
+      "do append to log (x = emp.sal) delete emp end", {"emp"});
+  EXPECT_NE(out.find("p.emp.sal"), std::string::npos);
+  EXPECT_NE(out.find("delete' p.emp"), std::string::npos);
+}
+
+TEST_F(QueryModificationTest, RetrieveRewritten) {
+  EXPECT_EQ(Modify("retrieve (emp.name) where emp.sal > 10", {"emp"}),
+            "retrieve (p.emp.name) where p.emp.sal > 10");
+}
+
+TEST_F(QueryModificationTest, SharedAllToSingleAttributeRejected) {
+  auto parsed = ParseCommand("append to log (x = emp.all)");
+  auto modified = QueryModifyCommand(**parsed, {"emp"}, catalog_);
+  EXPECT_FALSE(modified.ok());
+}
+
+TEST_F(QueryModificationTest, HaltPassesThrough) {
+  EXPECT_EQ(Modify("halt", {"emp"}), "halt");
+}
+
+class RuleCompilerTest : public QueryModificationTest {
+ protected:
+  void SetUp() override {
+    QueryModificationTest::SetUp();
+    ASSERT_TRUE(catalog_
+                    .CreateRelation("job",
+                                    Schema({Attribute{"jno", DataType::kInt},
+                                            Attribute{"paygrade",
+                                                      DataType::kInt}}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .CreateRelation("log",
+                                    Schema({Attribute{"x", DataType::kFloat}}))
+                    .ok());
+  }
+
+  Result<CompiledRule> Compile(const std::string& rule_text,
+                               AlphaMemoryPolicy policy = {}) {
+    auto parsed = ParseCommand(rule_text);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    return CompileRule(static_cast<const DefineRuleCommand&>(**parsed),
+                       catalog_, policy);
+  }
+};
+
+TEST_F(RuleCompilerTest, SingleVariableGetsSimpleKind) {
+  auto compiled = Compile(
+      "define rule r if emp.sal > 10 then append to log (x = emp.sal)");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  ASSERT_EQ(compiled->alphas.size(), 1u);
+  EXPECT_EQ(compiled->alphas[0].kind, AlphaKind::kSimple);
+  EXPECT_TRUE(compiled->join_conjuncts.empty());
+}
+
+TEST_F(RuleCompilerTest, EventAndTransitionKinds) {
+  auto on_rule = Compile(
+      "define rule r on append emp then append to log (x = 1)");
+  ASSERT_TRUE(on_rule.ok());
+  EXPECT_EQ(on_rule->alphas[0].kind, AlphaKind::kSimpleOn);
+
+  auto trans_rule = Compile(
+      "define rule r if emp.sal > previous emp.sal then "
+      "append to log (x = 1)");
+  ASSERT_TRUE(trans_rule.ok());
+  EXPECT_EQ(trans_rule->alphas[0].kind, AlphaKind::kSimpleTrans);
+  EXPECT_TRUE(trans_rule->alphas[0].has_previous);
+
+  auto multi = Compile(
+      "define rule r on replace emp (jno) if emp.jno = job.jno and "
+      "job.paygrade > previous emp.jno then append to log (x = 1)");
+  ASSERT_TRUE(multi.ok()) << multi.status().ToString();
+  // emp: event + transition -> dynamic-trans with event filter.
+  EXPECT_EQ(multi->alphas[0].kind, AlphaKind::kDynamicTrans);
+  EXPECT_TRUE(multi->alphas[0].on_event.has_value());
+  EXPECT_EQ(multi->join_conjuncts.size(), 2u);
+}
+
+TEST_F(RuleCompilerTest, PolicyControlsStoredVsVirtual) {
+  const char* rule =
+      "define rule r if emp.sal > 10 and emp.dno = dept.dno "
+      "then append to log (x = 1)";
+  AlphaMemoryPolicy stored;
+  stored.mode = AlphaMemoryPolicy::Mode::kAllStored;
+  EXPECT_EQ(Compile(rule, stored)->alphas[0].kind, AlphaKind::kStored);
+
+  AlphaMemoryPolicy virt;
+  virt.mode = AlphaMemoryPolicy::Mode::kAllVirtual;
+  EXPECT_EQ(Compile(rule, virt)->alphas[0].kind, AlphaKind::kVirtual);
+}
+
+TEST_F(RuleCompilerTest, AdaptivePolicyUsesEstimates) {
+  // Populate emp so the estimate has a base cardinality.
+  HeapRelation* emp = catalog_.GetRelation("emp");
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(emp->Insert(Tuple(std::vector<Value>{
+                                Value::String("e"), Value::Float(i),
+                                Value::Int(1), Value::Int(1)}))
+                    .ok());
+  }
+  AlphaMemoryPolicy adaptive;
+  adaptive.mode = AlphaMemoryPolicy::Mode::kAdaptive;
+  adaptive.virtual_threshold = 20;
+  // Range predicate: est = 100 * 0.33 = 33 >= 20 -> virtual.
+  auto wide = Compile(
+      "define rule r if emp.sal > 1 and emp.dno = dept.dno "
+      "then append to log (x = 1)",
+      adaptive);
+  EXPECT_EQ(wide->alphas[0].kind, AlphaKind::kVirtual);
+  // Equality predicate: est = 100 * 0.1 = 10 < 20 -> stored.
+  auto narrow = Compile(
+      "define rule r if emp.sal = 5 and emp.dno = dept.dno "
+      "then append to log (x = 1)",
+      adaptive);
+  EXPECT_EQ(narrow->alphas[0].kind, AlphaKind::kStored);
+}
+
+TEST_F(RuleCompilerTest, ConjunctClassification) {
+  auto compiled = Compile(
+      "define rule r if emp.sal > 10 and emp.dno = dept.dno and "
+      "dept.name = \"Toy\" and emp.jno = job.jno "
+      "then append to log (x = 1)");
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->alphas.size(), 3u);
+  EXPECT_NE(compiled->alphas[0].selection, nullptr);  // emp.sal > 10
+  EXPECT_NE(compiled->alphas[1].selection, nullptr);  // dept.name = Toy
+  EXPECT_EQ(compiled->alphas[2].selection, nullptr);  // job: none
+  EXPECT_EQ(compiled->join_conjuncts.size(), 2u);
+}
+
+TEST_F(RuleCompilerTest, ErrorCases) {
+  // Unknown relation as tuple variable.
+  EXPECT_FALSE(Compile("define rule r if ghost.x = 1 then halt").ok());
+  // previous in action without transition condition.
+  EXPECT_FALSE(
+      Compile("define rule r if emp.sal > 1 then "
+              "append to log (x = previous emp.sal)")
+          .ok());
+  // previous on an append-event variable can never match.
+  EXPECT_FALSE(
+      Compile("define rule r on append emp if emp.sal > previous emp.sal "
+              "then halt")
+          .ok());
+  // Unknown attribute in the on-clause target list.
+  EXPECT_FALSE(
+      Compile("define rule r on replace emp (ghost) then halt").ok());
+  // Non-DML action command.
+  EXPECT_FALSE(
+      Compile("define rule r on append emp then create t (x = int)").ok());
+  // No variables at all.
+  EXPECT_FALSE(Compile("define rule r then halt").ok());
+  // Duplicate variable declaration.
+  EXPECT_FALSE(
+      Compile("define rule r if e.sal > 1 from e in emp, e in dept "
+              "then halt")
+          .ok());
+}
+
+TEST_F(RuleCompilerTest, ActionModifiedWithRuleVars) {
+  auto compiled = Compile(
+      "define rule r if emp.sal > 30000 and emp.jno = job.jno "
+      "then replace emp (sal = 30000.0)");
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->modified_action[0]->ToString(),
+            "replace' p.emp (sal = 30000)");
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,146 @@
+#include "rules/rule_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+
+namespace ariel {
+namespace {
+
+class RuleManagerTest : public ::testing::Test {
+ protected:
+  RuleManagerTest() : manager_(&catalog_, &network_, &optimizer_) {
+    auto emp = catalog_.CreateRelation(
+        "emp", Schema({Attribute{"name", DataType::kString},
+                       Attribute{"sal", DataType::kFloat}}));
+    emp_ = *emp;
+    auto log = catalog_.CreateRelation(
+        "log", Schema({Attribute{"x", DataType::kFloat}}));
+    (void)log;
+  }
+
+  Status Define(const std::string& text) {
+    auto parsed = ParseCommand(text);
+    if (!parsed.ok()) return parsed.status();
+    return manager_.DefineRule(
+        static_cast<const DefineRuleCommand&>(**parsed));
+  }
+
+  Catalog catalog_;
+  DiscriminationNetwork network_;
+  Optimizer optimizer_;
+  RuleManager manager_;
+  HeapRelation* emp_;
+};
+
+TEST_F(RuleManagerTest, DefineActivateDeactivateRemove) {
+  ASSERT_TRUE(Define("define rule r1 if emp.sal > 10 then "
+                     "append to log (x = emp.sal)")
+                  .ok());
+  Rule* rule = manager_.GetRule("r1");
+  ASSERT_NE(rule, nullptr);
+  EXPECT_FALSE(rule->active);
+  EXPECT_EQ(rule->ruleset, "default_rules");
+  EXPECT_EQ(manager_.ActiveRules().size(), 0u);
+
+  ASSERT_TRUE(manager_.ActivateRule("R1").ok());  // case-insensitive
+  EXPECT_TRUE(rule->active);
+  ASSERT_NE(rule->network, nullptr);
+  EXPECT_EQ(manager_.ActiveRules().size(), 1u);
+  EXPECT_FALSE(manager_.ActivateRule("r1").ok());  // double activation
+
+  ASSERT_TRUE(manager_.DeactivateRule("r1").ok());
+  EXPECT_FALSE(rule->active);
+  EXPECT_EQ(rule->network, nullptr);
+  EXPECT_FALSE(manager_.DeactivateRule("r1").ok());
+
+  ASSERT_TRUE(manager_.RemoveRule("r1").ok());
+  EXPECT_EQ(manager_.GetRule("r1"), nullptr);
+  EXPECT_FALSE(manager_.RemoveRule("r1").ok());
+}
+
+TEST_F(RuleManagerTest, RemoveWhileActiveDeactivatesFirst) {
+  ASSERT_TRUE(Define("define rule r if emp.sal > 10 then "
+                     "append to log (x = 1)")
+                  .ok());
+  ASSERT_TRUE(manager_.ActivateRule("r").ok());
+  ASSERT_TRUE(manager_.RemoveRule("r").ok());
+  EXPECT_EQ(manager_.num_rules(), 0u);
+}
+
+TEST_F(RuleManagerTest, DuplicateNamesRejected) {
+  ASSERT_TRUE(Define("define rule r if emp.sal > 10 then "
+                     "append to log (x = 1)")
+                  .ok());
+  EXPECT_EQ(Define("define rule R if emp.sal > 20 then "
+                   "append to log (x = 2)")
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(RuleManagerTest, InstallValidatesEagerly) {
+  // Unknown relation rejected at install, not at activation.
+  EXPECT_FALSE(Define("define rule bad if ghost.x = 1 then halt").ok());
+  EXPECT_EQ(manager_.num_rules(), 0u);
+}
+
+TEST_F(RuleManagerTest, ActivationPrimesFromExistingData) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{
+                                 Value::String("e"),
+                                 Value::Float(10.0 * i)}))
+                    .ok());
+  }
+  ASSERT_TRUE(Define("define rule r if emp.sal >= 20 then "
+                     "append to log (x = emp.sal)")
+                  .ok());
+  ASSERT_TRUE(manager_.ActivateRule("r").ok());
+  // sal in {20, 30, 40} matches.
+  EXPECT_EQ(manager_.GetRule("r")->network->pnode()->size(), 3u);
+}
+
+TEST_F(RuleManagerTest, PrioritiesAndRulesets) {
+  ASSERT_TRUE(Define("define rule r1 in audit priority 5 "
+                     "if emp.sal > 10 then append to log (x = 1)")
+                  .ok());
+  Rule* rule = manager_.GetRule("r1");
+  EXPECT_EQ(rule->ruleset, "audit");
+  EXPECT_DOUBLE_EQ(rule->priority, 5.0);
+}
+
+TEST_F(RuleManagerTest, ActiveRulesInCreationOrder) {
+  ASSERT_TRUE(Define("define rule z if emp.sal > 1 then "
+                     "append to log (x = 1)").ok());
+  ASSERT_TRUE(Define("define rule a if emp.sal > 2 then "
+                     "append to log (x = 2)").ok());
+  ASSERT_TRUE(manager_.ActivateRule("z").ok());
+  ASSERT_TRUE(manager_.ActivateRule("a").ok());
+  auto active = manager_.ActiveRules();
+  ASSERT_EQ(active.size(), 2u);
+  EXPECT_EQ(active[0]->name, "z");  // creation order, not name order
+  EXPECT_EQ(active[1]->name, "a");
+}
+
+TEST_F(RuleManagerTest, AnyRuleReferences) {
+  ASSERT_TRUE(Define("define rule r on append emp then "
+                     "append to log (x = 1)")
+                  .ok());
+  EXPECT_TRUE(manager_.AnyRuleReferences("emp"));
+  EXPECT_TRUE(manager_.AnyRuleReferences("EMP"));
+  EXPECT_FALSE(manager_.AnyRuleReferences("dept"));
+}
+
+TEST_F(RuleManagerTest, PolicyChangeTakesEffectOnNextActivation) {
+  AlphaMemoryPolicy policy;
+  policy.mode = AlphaMemoryPolicy::Mode::kAllVirtual;
+  manager_.set_policy(policy);
+  ASSERT_TRUE(Define("define rule r if emp.sal > 10 and emp.sal < log.x "
+                     "then append to log (x = 1)")
+                  .ok());
+  ASSERT_TRUE(manager_.ActivateRule("r").ok());
+  EXPECT_EQ(manager_.GetRule("r")->network->alpha(0)->kind(),
+            AlphaKind::kVirtual);
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,212 @@
+#include "storage/btree_index.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace ariel {
+namespace {
+
+TupleId Tid(uint32_t slot) { return TupleId{1, slot}; }
+
+TEST(BTreeIndexTest, EmptyLookup) {
+  BTreeIndex index;
+  std::vector<TupleId> out;
+  index.Lookup(Value::Int(5), &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_TRUE(index.empty());
+}
+
+TEST(BTreeIndexTest, InsertAndLookup) {
+  BTreeIndex index;
+  index.Insert(Value::Int(5), Tid(1));
+  index.Insert(Value::Int(7), Tid(2));
+  index.Insert(Value::Int(5), Tid(3));  // duplicate key
+
+  std::vector<TupleId> out;
+  index.Lookup(Value::Int(5), &out);
+  EXPECT_EQ(out.size(), 2u);
+  out.clear();
+  index.Lookup(Value::Int(7), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Tid(2));
+  out.clear();
+  index.Lookup(Value::Int(6), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BTreeIndexTest, RemoveExactEntry) {
+  BTreeIndex index;
+  index.Insert(Value::Int(5), Tid(1));
+  index.Insert(Value::Int(5), Tid(2));
+  EXPECT_TRUE(index.Remove(Value::Int(5), Tid(1)));
+  EXPECT_FALSE(index.Remove(Value::Int(5), Tid(1)));  // already gone
+
+  std::vector<TupleId> out;
+  index.Lookup(Value::Int(5), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Tid(2));
+}
+
+TEST(BTreeIndexTest, RangeScanInclusiveExclusive) {
+  BTreeIndex index;
+  for (uint32_t i = 0; i < 100; ++i) {
+    index.Insert(Value::Int(i), Tid(i));
+  }
+  std::vector<TupleId> out;
+  index.Scan(KeyBound{Value::Int(10), true}, KeyBound{Value::Int(20), true},
+             &out);
+  EXPECT_EQ(out.size(), 11u);
+
+  out.clear();
+  index.Scan(KeyBound{Value::Int(10), false}, KeyBound{Value::Int(20), false},
+             &out);
+  EXPECT_EQ(out.size(), 9u);
+
+  out.clear();
+  index.Scan(std::nullopt, KeyBound{Value::Int(5), true}, &out);
+  EXPECT_EQ(out.size(), 6u);
+
+  out.clear();
+  index.Scan(KeyBound{Value::Int(95), true}, std::nullopt, &out);
+  EXPECT_EQ(out.size(), 5u);
+
+  out.clear();
+  index.Scan(std::nullopt, std::nullopt, &out);
+  EXPECT_EQ(out.size(), 100u);
+}
+
+TEST(BTreeIndexTest, ScanReturnsKeyOrder) {
+  BTreeIndex index(4);  // tiny fanout forces a deep tree
+  std::vector<int> keys = {42, 7, 99, 1, 55, 23, 88, 3, 64, 15};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    index.Insert(Value::Int(keys[i]), Tid(static_cast<uint32_t>(keys[i])));
+  }
+  std::vector<TupleId> out;
+  index.Scan(std::nullopt, std::nullopt, &out);
+  std::vector<int> sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  ASSERT_EQ(out.size(), keys.size());
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i].slot, static_cast<uint32_t>(sorted[i]));
+  }
+  index.CheckInvariants();
+  EXPECT_GT(index.height(), 1u);
+}
+
+TEST(BTreeIndexTest, StringKeys) {
+  BTreeIndex index;
+  index.Insert(Value::String("bob"), Tid(1));
+  index.Insert(Value::String("alice"), Tid(2));
+  index.Insert(Value::String("carol"), Tid(3));
+  std::vector<TupleId> out;
+  index.Scan(KeyBound{Value::String("alice"), true},
+             KeyBound{Value::String("bob"), true}, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(BTreeIndexTest, MixedIntFloatKeysCompareNumerically) {
+  BTreeIndex index;
+  index.Insert(Value::Int(5), Tid(1));
+  index.Insert(Value::Float(5.0), Tid(2));
+  std::vector<TupleId> out;
+  index.Lookup(Value::Int(5), &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+struct FuzzParams {
+  uint64_t seed;
+  int operations;
+  size_t fanout;
+  int key_range;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+/// Randomized differential test: the tree must agree with a reference
+/// std::multimap under arbitrary interleavings of inserts, removals, point
+/// lookups and range scans, and its structural invariants must hold
+/// throughout.
+TEST_P(BTreeFuzzTest, MatchesReferenceMultimap) {
+  const FuzzParams params = GetParam();
+  Random rng(params.seed);
+  BTreeIndex index(params.fanout);
+  std::multimap<int64_t, uint32_t> reference;
+  uint32_t next_slot = 0;
+
+  for (int op = 0; op < params.operations; ++op) {
+    int choice = static_cast<int>(rng.Uniform(100));
+    if (choice < 50 || reference.empty()) {
+      int64_t key = rng.UniformRange(0, params.key_range);
+      uint32_t slot = next_slot++;
+      index.Insert(Value::Int(key), Tid(slot));
+      reference.emplace(key, slot);
+    } else if (choice < 80) {
+      // Remove a random existing entry.
+      size_t victim = rng.Uniform(reference.size());
+      auto it = reference.begin();
+      std::advance(it, victim);
+      ASSERT_TRUE(index.Remove(Value::Int(it->first), Tid(it->second)));
+      reference.erase(it);
+    } else if (choice < 90) {
+      int64_t key = rng.UniformRange(0, params.key_range);
+      std::vector<TupleId> got;
+      index.Lookup(Value::Int(key), &got);
+      auto range = reference.equal_range(key);
+      size_t expect = std::distance(range.first, range.second);
+      ASSERT_EQ(got.size(), expect) << "lookup key " << key;
+    } else {
+      int64_t a = rng.UniformRange(0, params.key_range);
+      int64_t b = rng.UniformRange(0, params.key_range);
+      if (a > b) std::swap(a, b);
+      bool lo_inc = rng.Bernoulli(0.5);
+      bool hi_inc = rng.Bernoulli(0.5);
+      std::vector<TupleId> got;
+      index.Scan(KeyBound{Value::Int(a), lo_inc},
+                 KeyBound{Value::Int(b), hi_inc}, &got);
+      size_t expect = 0;
+      for (const auto& [k, slot] : reference) {
+        if ((k > a || (k == a && lo_inc)) && (k < b || (k == b && hi_inc))) {
+          ++expect;
+        }
+      }
+      ASSERT_EQ(got.size(), expect)
+          << "scan [" << a << ", " << b << "] inc " << lo_inc << hi_inc;
+    }
+    ASSERT_EQ(index.size(), reference.size());
+    if (op % 64 == 0) index.CheckInvariants();
+  }
+  index.CheckInvariants();
+
+  // Drain everything; the tree must collapse back to a single empty leaf.
+  while (!reference.empty()) {
+    auto it = reference.begin();
+    ASSERT_TRUE(index.Remove(Value::Int(it->first), Tid(it->second)));
+    reference.erase(it);
+  }
+  index.CheckInvariants();
+  EXPECT_EQ(index.size(), 0u);
+  EXPECT_EQ(index.height(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeFuzzTest,
+    ::testing::Values(FuzzParams{1, 2000, 4, 50},
+                      FuzzParams{2, 2000, 4, 5000},
+                      FuzzParams{3, 3000, 8, 200},
+                      FuzzParams{4, 1500, 64, 30},
+                      FuzzParams{5, 4000, 6, 1000},
+                      FuzzParams{6, 1000, 4, 5}),
+    [](const ::testing::TestParamInfo<FuzzParams>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_fanout" +
+             std::to_string(info.param.fanout) + "_range" +
+             std::to_string(info.param.key_range);
+    });
+
+}  // namespace
+}  // namespace ariel

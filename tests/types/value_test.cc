@@ -1,0 +1,136 @@
+#include "types/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+TEST(ValueTest, TypeTags) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_TRUE(Value::Bool(true).is_bool());
+  EXPECT_TRUE(Value::Int(1).is_int());
+  EXPECT_TRUE(Value::Float(1.5).is_float());
+  EXPECT_TRUE(Value::String("x").is_string());
+  EXPECT_TRUE(Value::Int(1).is_numeric());
+  EXPECT_TRUE(Value::Float(1.0).is_numeric());
+  EXPECT_FALSE(Value::String("x").is_numeric());
+}
+
+TEST(ValueTest, IntFloatCompareNumerically) {
+  EXPECT_EQ(Value::Int(3), Value::Float(3.0));
+  EXPECT_LT(Value::Int(3), Value::Float(3.5));
+  EXPECT_GT(Value::Float(4.0), Value::Int(3));
+  EXPECT_NE(Value::Int(3), Value::Float(3.1));
+}
+
+TEST(ValueTest, CrossTypeTotalOrder) {
+  // null < bool < numeric < string
+  EXPECT_LT(Value::Null(), Value::Bool(false));
+  EXPECT_LT(Value::Bool(true), Value::Int(-100));
+  EXPECT_LT(Value::Int(1000000), Value::String(""));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, StringOrdering) {
+  EXPECT_LT(Value::String("abc"), Value::String("abd"));
+  EXPECT_LT(Value::String("ab"), Value::String("abc"));
+  EXPECT_EQ(Value::String("x"), Value::String("x"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value::Int(3).Hash(), Value::Float(3.0).Hash());
+  EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
+  // Not required, but catch degenerate hashing:
+  EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, ToStringForms) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Float(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "\"hi\"");
+}
+
+TEST(ValueTest, Truthiness) {
+  EXPECT_TRUE(Value::Bool(true).IsTruthy());
+  EXPECT_FALSE(Value::Bool(false).IsTruthy());
+  EXPECT_FALSE(Value::Null().IsTruthy());
+  EXPECT_FALSE(Value::Int(1).IsTruthy());  // predicates must be boolean
+}
+
+TEST(ValueTest, CastIntToFloat) {
+  auto r = Value::Int(7).CastTo(DataType::kFloat);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Float(7.0));
+}
+
+TEST(ValueTest, CastIntegralFloatToInt) {
+  auto r = Value::Float(8.0).CastTo(DataType::kInt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, Value::Int(8));
+  EXPECT_FALSE(Value::Float(8.5).CastTo(DataType::kInt).ok());
+}
+
+TEST(ValueTest, CastNullIsNull) {
+  auto r = Value::Null().CastTo(DataType::kInt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->is_null());
+}
+
+TEST(ValueTest, CastRejectsNonsense) {
+  EXPECT_FALSE(Value::String("3").CastTo(DataType::kInt).ok());
+  EXPECT_FALSE(Value::Int(1).CastTo(DataType::kString).ok());
+}
+
+TEST(ValueArithmeticTest, IntArithmeticStaysInt) {
+  EXPECT_EQ(*Add(Value::Int(2), Value::Int(3)), Value::Int(5));
+  EXPECT_EQ(*Subtract(Value::Int(2), Value::Int(3)), Value::Int(-1));
+  EXPECT_EQ(*Multiply(Value::Int(4), Value::Int(3)), Value::Int(12));
+  EXPECT_EQ(*Divide(Value::Int(7), Value::Int(2)), Value::Int(3));
+}
+
+TEST(ValueArithmeticTest, MixedPromotesToFloat) {
+  Value r = *Add(Value::Int(2), Value::Float(0.5));
+  EXPECT_TRUE(r.is_float());
+  EXPECT_DOUBLE_EQ(r.float_value(), 2.5);
+  EXPECT_EQ(*Multiply(Value::Float(1.1), Value::Int(2)), Value::Float(2.2));
+}
+
+TEST(ValueArithmeticTest, DivisionByZero) {
+  EXPECT_FALSE(Divide(Value::Int(1), Value::Int(0)).ok());
+  EXPECT_FALSE(Divide(Value::Float(1.0), Value::Float(0.0)).ok());
+}
+
+TEST(ValueArithmeticTest, StringConcatenation) {
+  EXPECT_EQ(*Add(Value::String("ab"), Value::String("cd")),
+            Value::String("abcd"));
+  EXPECT_FALSE(Subtract(Value::String("a"), Value::String("b")).ok());
+}
+
+TEST(ValueArithmeticTest, TypeErrors) {
+  EXPECT_FALSE(Add(Value::Int(1), Value::Bool(true)).ok());
+  EXPECT_FALSE(Multiply(Value::String("x"), Value::Int(2)).ok());
+  EXPECT_FALSE(Negate(Value::String("x")).ok());
+  EXPECT_EQ(*Negate(Value::Int(5)), Value::Int(-5));
+  EXPECT_EQ(*Negate(Value::Float(2.5)), Value::Float(-2.5));
+}
+
+TEST(DataTypeTest, FromStringAliases) {
+  EXPECT_EQ(*DataTypeFromString("int"), DataType::kInt);
+  EXPECT_EQ(*DataTypeFromString("INTEGER"), DataType::kInt);
+  EXPECT_EQ(*DataTypeFromString("float8"), DataType::kFloat);
+  EXPECT_EQ(*DataTypeFromString("real"), DataType::kFloat);
+  EXPECT_EQ(*DataTypeFromString("varchar"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromString("text"), DataType::kString);
+  EXPECT_EQ(*DataTypeFromString("bool"), DataType::kBool);
+  EXPECT_FALSE(DataTypeFromString("blob").ok());
+}
+
+TEST(ValueTest, FootprintGrowsWithStringSize) {
+  EXPECT_GE(Value::String(std::string(100, 'x')).FootprintBytes(),
+            Value::Int(1).FootprintBytes() + 100);
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,107 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/string_util.h"
+
+namespace ariel {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::ParseError("bad token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kParseError);
+  EXPECT_EQ(s.message(), "bad token");
+  EXPECT_EQ(s.ToString(), "Parse error: bad token");
+}
+
+TEST(StatusTest, HaltIsNotOkButIsHalt) {
+  Status s = Status::Halt();
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsHalt());
+  EXPECT_FALSE(Status::OK().IsHalt());
+  EXPECT_FALSE(Status::Internal("x").IsHalt());
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kHalt); ++c) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status::OK());
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+Status FailingOperation() { return Status::ExecutionError("boom"); }
+Status UsesReturnNotOk() {
+  ARIEL_RETURN_NOT_OK(FailingOperation());
+  return Status::OK();
+}
+Result<int> ProducesValue() { return 7; }
+Status UsesAssignOrReturn(int* out) {
+  ARIEL_ASSIGN_OR_RETURN(*out, ProducesValue());
+  return Status::OK();
+}
+
+TEST(ResultTest, Macros) {
+  EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kExecutionError);
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_EQ(out, 7);
+}
+
+TEST(StringUtilTest, ToLowerAndEquals) {
+  EXPECT_EQ(ToLower("EmP.SaL"), "emp.sal");
+  EXPECT_TRUE(EqualsIgnoreCase("Sales", "sALES"));
+  EXPECT_FALSE(EqualsIgnoreCase("Sales", "Sale"));
+}
+
+TEST(StringUtilTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"one"}, ","), "one");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim("abc"), "abc");
+}
+
+TEST(StringUtilTest, QuoteString) {
+  EXPECT_EQ(QuoteString("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteString("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(QuoteString("back\\slash"), "\"back\\\\slash\"");
+}
+
+}  // namespace
+}  // namespace ariel
