@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/action_exec"
+  "../bench/action_exec.pdb"
+  "CMakeFiles/action_exec.dir/action_exec.cc.o"
+  "CMakeFiles/action_exec.dir/action_exec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/action_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

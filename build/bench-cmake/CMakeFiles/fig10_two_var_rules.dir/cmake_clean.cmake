@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_two_var_rules"
+  "../bench/fig10_two_var_rules.pdb"
+  "CMakeFiles/fig10_two_var_rules.dir/fig10_two_var_rules.cc.o"
+  "CMakeFiles/fig10_two_var_rules.dir/fig10_two_var_rules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_two_var_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_three_var_rules"
+  "../bench/fig11_three_var_rules.pdb"
+  "CMakeFiles/fig11_three_var_rules.dir/fig11_three_var_rules.cc.o"
+  "CMakeFiles/fig11_three_var_rules.dir/fig11_three_var_rules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_three_var_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_one_var_rules"
+  "../bench/fig9_one_var_rules.pdb"
+  "CMakeFiles/fig9_one_var_rules.dir/fig9_one_var_rules.cc.o"
+  "CMakeFiles/fig9_one_var_rules.dir/fig9_one_var_rules.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_one_var_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

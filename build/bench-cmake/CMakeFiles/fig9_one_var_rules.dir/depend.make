@@ -1,0 +1,2 @@
+# Empty dependencies file for fig9_one_var_rules.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/isl_micro"
+  "../bench/isl_micro.pdb"
+  "CMakeFiles/isl_micro.dir/isl_micro.cc.o"
+  "CMakeFiles/isl_micro.dir/isl_micro.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isl_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/plan_caching"
+  "../bench/plan_caching.pdb"
+  "CMakeFiles/plan_caching.dir/plan_caching.cc.o"
+  "CMakeFiles/plan_caching.dir/plan_caching.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plan_caching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/selection_index"
+  "../bench/selection_index.pdb"
+  "CMakeFiles/selection_index.dir/selection_index.cc.o"
+  "CMakeFiles/selection_index.dir/selection_index.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/token_ops"
+  "../bench/token_ops.pdb"
+  "CMakeFiles/token_ops.dir/token_ops.cc.o"
+  "CMakeFiles/token_ops.dir/token_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/token_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/transition_blocks"
+  "../bench/transition_blocks.pdb"
+  "CMakeFiles/transition_blocks.dir/transition_blocks.cc.o"
+  "CMakeFiles/transition_blocks.dir/transition_blocks.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

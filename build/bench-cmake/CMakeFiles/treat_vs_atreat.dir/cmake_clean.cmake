@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/treat_vs_atreat"
+  "../bench/treat_vs_atreat.pdb"
+  "CMakeFiles/treat_vs_atreat.dir/treat_vs_atreat.cc.o"
+  "CMakeFiles/treat_vs_atreat.dir/treat_vs_atreat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treat_vs_atreat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/treat_vs_rete"
+  "../bench/treat_vs_rete.pdb"
+  "CMakeFiles/treat_vs_rete.dir/treat_vs_rete.cc.o"
+  "CMakeFiles/treat_vs_rete.dir/treat_vs_rete.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treat_vs_rete.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for treat_vs_rete.
+# This may be replaced when dependencies are built.

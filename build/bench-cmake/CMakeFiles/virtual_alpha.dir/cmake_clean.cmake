@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/virtual_alpha"
+  "../bench/virtual_alpha.pdb"
+  "CMakeFiles/virtual_alpha.dir/virtual_alpha.cc.o"
+  "CMakeFiles/virtual_alpha.dir/virtual_alpha.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_alpha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_shell.dir/ariel_shell.cpp.o"
+  "CMakeFiles/ariel_shell.dir/ariel_shell.cpp.o.d"
+  "ariel_shell"
+  "ariel_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inventory_monitor.dir/inventory_monitor.cpp.o"
+  "CMakeFiles/inventory_monitor.dir/inventory_monitor.cpp.o.d"
+  "inventory_monitor"
+  "inventory_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inventory_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

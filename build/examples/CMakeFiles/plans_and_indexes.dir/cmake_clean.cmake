@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plans_and_indexes.dir/plans_and_indexes.cpp.o"
+  "CMakeFiles/plans_and_indexes.dir/plans_and_indexes.cpp.o.d"
+  "plans_and_indexes"
+  "plans_and_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plans_and_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/salary_watch.dir/salary_watch.cpp.o"
+  "CMakeFiles/salary_watch.dir/salary_watch.cpp.o.d"
+  "salary_watch"
+  "salary_watch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/salary_watch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

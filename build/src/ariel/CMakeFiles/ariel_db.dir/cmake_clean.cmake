@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_db.dir/database.cc.o"
+  "CMakeFiles/ariel_db.dir/database.cc.o.d"
+  "libariel_db.a"
+  "libariel_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_catalog.dir/catalog.cc.o"
+  "CMakeFiles/ariel_catalog.dir/catalog.cc.o.d"
+  "libariel_catalog.a"
+  "libariel_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

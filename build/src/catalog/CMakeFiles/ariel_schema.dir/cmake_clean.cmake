@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_schema.dir/schema.cc.o"
+  "CMakeFiles/ariel_schema.dir/schema.cc.o.d"
+  "libariel_schema.a"
+  "libariel_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

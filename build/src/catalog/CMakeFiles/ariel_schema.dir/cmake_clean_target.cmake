@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libariel_schema.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_exec.dir/executor.cc.o"
+  "CMakeFiles/ariel_exec.dir/executor.cc.o.d"
+  "CMakeFiles/ariel_exec.dir/expr.cc.o"
+  "CMakeFiles/ariel_exec.dir/expr.cc.o.d"
+  "CMakeFiles/ariel_exec.dir/optimizer.cc.o"
+  "CMakeFiles/ariel_exec.dir/optimizer.cc.o.d"
+  "CMakeFiles/ariel_exec.dir/plan.cc.o"
+  "CMakeFiles/ariel_exec.dir/plan.cc.o.d"
+  "CMakeFiles/ariel_exec.dir/result_set.cc.o"
+  "CMakeFiles/ariel_exec.dir/result_set.cc.o.d"
+  "libariel_exec.a"
+  "libariel_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_isl.dir/interval.cc.o"
+  "CMakeFiles/ariel_isl.dir/interval.cc.o.d"
+  "CMakeFiles/ariel_isl.dir/interval_skip_list.cc.o"
+  "CMakeFiles/ariel_isl.dir/interval_skip_list.cc.o.d"
+  "libariel_isl.a"
+  "libariel_isl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_isl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

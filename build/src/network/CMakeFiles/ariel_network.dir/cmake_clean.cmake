@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_network.dir/discrimination_network.cc.o"
+  "CMakeFiles/ariel_network.dir/discrimination_network.cc.o.d"
+  "CMakeFiles/ariel_network.dir/pnode.cc.o"
+  "CMakeFiles/ariel_network.dir/pnode.cc.o.d"
+  "CMakeFiles/ariel_network.dir/rule_network.cc.o"
+  "CMakeFiles/ariel_network.dir/rule_network.cc.o.d"
+  "CMakeFiles/ariel_network.dir/selection_network.cc.o"
+  "CMakeFiles/ariel_network.dir/selection_network.cc.o.d"
+  "CMakeFiles/ariel_network.dir/token.cc.o"
+  "CMakeFiles/ariel_network.dir/token.cc.o.d"
+  "CMakeFiles/ariel_network.dir/transition_manager.cc.o"
+  "CMakeFiles/ariel_network.dir/transition_manager.cc.o.d"
+  "libariel_network.a"
+  "libariel_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

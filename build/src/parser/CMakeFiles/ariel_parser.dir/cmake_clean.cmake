@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_parser.dir/ast.cc.o"
+  "CMakeFiles/ariel_parser.dir/ast.cc.o.d"
+  "CMakeFiles/ariel_parser.dir/lexer.cc.o"
+  "CMakeFiles/ariel_parser.dir/lexer.cc.o.d"
+  "CMakeFiles/ariel_parser.dir/parser.cc.o"
+  "CMakeFiles/ariel_parser.dir/parser.cc.o.d"
+  "libariel_parser.a"
+  "libariel_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

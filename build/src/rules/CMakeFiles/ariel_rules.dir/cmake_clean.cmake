@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_rules.dir/rule_compiler.cc.o"
+  "CMakeFiles/ariel_rules.dir/rule_compiler.cc.o.d"
+  "CMakeFiles/ariel_rules.dir/rule_manager.cc.o"
+  "CMakeFiles/ariel_rules.dir/rule_manager.cc.o.d"
+  "CMakeFiles/ariel_rules.dir/rule_monitor.cc.o"
+  "CMakeFiles/ariel_rules.dir/rule_monitor.cc.o.d"
+  "libariel_rules.a"
+  "libariel_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/btree_index.cc" "src/storage/CMakeFiles/ariel_storage.dir/btree_index.cc.o" "gcc" "src/storage/CMakeFiles/ariel_storage.dir/btree_index.cc.o.d"
+  "/root/repo/src/storage/heap_relation.cc" "src/storage/CMakeFiles/ariel_storage.dir/heap_relation.cc.o" "gcc" "src/storage/CMakeFiles/ariel_storage.dir/heap_relation.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/ariel_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/ariel_storage.dir/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/types/CMakeFiles/ariel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ariel_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ariel_schema.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

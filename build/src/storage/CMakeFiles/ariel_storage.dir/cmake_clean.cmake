@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_storage.dir/btree_index.cc.o"
+  "CMakeFiles/ariel_storage.dir/btree_index.cc.o.d"
+  "CMakeFiles/ariel_storage.dir/heap_relation.cc.o"
+  "CMakeFiles/ariel_storage.dir/heap_relation.cc.o.d"
+  "CMakeFiles/ariel_storage.dir/tuple.cc.o"
+  "CMakeFiles/ariel_storage.dir/tuple.cc.o.d"
+  "libariel_storage.a"
+  "libariel_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_types.dir/value.cc.o"
+  "CMakeFiles/ariel_types.dir/value.cc.o.d"
+  "libariel_types.a"
+  "libariel_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libariel_types.a"
+)

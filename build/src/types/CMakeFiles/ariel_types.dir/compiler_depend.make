@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ariel_types.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariel_util.dir/status.cc.o"
+  "CMakeFiles/ariel_util.dir/status.cc.o.d"
+  "CMakeFiles/ariel_util.dir/string_util.cc.o"
+  "CMakeFiles/ariel_util.dir/string_util.cc.o.d"
+  "libariel_util.a"
+  "libariel_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariel_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

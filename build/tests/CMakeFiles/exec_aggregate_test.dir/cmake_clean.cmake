@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_aggregate_test.dir/exec/aggregate_test.cc.o"
+  "CMakeFiles/exec_aggregate_test.dir/exec/aggregate_test.cc.o.d"
+  "exec_aggregate_test"
+  "exec_aggregate_test.pdb"
+  "exec_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_optimizer_test.dir/exec/optimizer_test.cc.o"
+  "CMakeFiles/exec_optimizer_test.dir/exec/optimizer_test.cc.o.d"
+  "exec_optimizer_test"
+  "exec_optimizer_test.pdb"
+  "exec_optimizer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

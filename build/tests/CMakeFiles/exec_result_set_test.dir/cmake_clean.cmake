@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exec_result_set_test.dir/exec/result_set_test.cc.o"
+  "CMakeFiles/exec_result_set_test.dir/exec/result_set_test.cc.o.d"
+  "exec_result_set_test"
+  "exec_result_set_test.pdb"
+  "exec_result_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exec_result_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_database_test.dir/integration/database_test.cc.o"
+  "CMakeFiles/integration_database_test.dir/integration/database_test.cc.o.d"
+  "integration_database_test"
+  "integration_database_test.pdb"
+  "integration_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isl_interval_skip_list_test.dir/isl/interval_skip_list_test.cc.o"
+  "CMakeFiles/isl_interval_skip_list_test.dir/isl/interval_skip_list_test.cc.o.d"
+  "isl_interval_skip_list_test"
+  "isl_interval_skip_list_test.pdb"
+  "isl_interval_skip_list_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isl_interval_skip_list_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

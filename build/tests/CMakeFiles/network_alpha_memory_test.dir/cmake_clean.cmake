@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_alpha_memory_test.dir/network/alpha_memory_test.cc.o"
+  "CMakeFiles/network_alpha_memory_test.dir/network/alpha_memory_test.cc.o.d"
+  "network_alpha_memory_test"
+  "network_alpha_memory_test.pdb"
+  "network_alpha_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_alpha_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_delta_set_test.dir/network/delta_set_test.cc.o"
+  "CMakeFiles/network_delta_set_test.dir/network/delta_set_test.cc.o.d"
+  "network_delta_set_test"
+  "network_delta_set_test.pdb"
+  "network_delta_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_delta_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_pnode_test.dir/network/pnode_test.cc.o"
+  "CMakeFiles/network_pnode_test.dir/network/pnode_test.cc.o.d"
+  "network_pnode_test"
+  "network_pnode_test.pdb"
+  "network_pnode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_pnode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_token_test.dir/network/token_test.cc.o"
+  "CMakeFiles/network_token_test.dir/network/token_test.cc.o.d"
+  "network_token_test"
+  "network_token_test.pdb"
+  "network_token_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_token_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

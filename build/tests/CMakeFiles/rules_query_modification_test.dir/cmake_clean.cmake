@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_query_modification_test.dir/rules/query_modification_test.cc.o"
+  "CMakeFiles/rules_query_modification_test.dir/rules/query_modification_test.cc.o.d"
+  "rules_query_modification_test"
+  "rules_query_modification_test.pdb"
+  "rules_query_modification_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_query_modification_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

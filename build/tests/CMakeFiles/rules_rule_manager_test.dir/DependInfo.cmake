@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/rules/rule_manager_test.cc" "tests/CMakeFiles/rules_rule_manager_test.dir/rules/rule_manager_test.cc.o" "gcc" "tests/CMakeFiles/rules_rule_manager_test.dir/rules/rule_manager_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rules/CMakeFiles/ariel_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/network/CMakeFiles/ariel_network.dir/DependInfo.cmake"
+  "/root/repo/build/src/isl/CMakeFiles/ariel_isl.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/ariel_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/ariel_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ariel_catalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ariel_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/catalog/CMakeFiles/ariel_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/types/CMakeFiles/ariel_types.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ariel_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

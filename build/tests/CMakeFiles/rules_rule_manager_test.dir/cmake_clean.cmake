@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rules_rule_manager_test.dir/rules/rule_manager_test.cc.o"
+  "CMakeFiles/rules_rule_manager_test.dir/rules/rule_manager_test.cc.o.d"
+  "rules_rule_manager_test"
+  "rules_rule_manager_test.pdb"
+  "rules_rule_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rules_rule_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

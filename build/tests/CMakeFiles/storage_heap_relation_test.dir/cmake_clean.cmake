@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_heap_relation_test.dir/storage/heap_relation_test.cc.o"
+  "CMakeFiles/storage_heap_relation_test.dir/storage/heap_relation_test.cc.o.d"
+  "storage_heap_relation_test"
+  "storage_heap_relation_test.pdb"
+  "storage_heap_relation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_heap_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/storage_btree_index_test[1]_include.cmake")
+include("/root/repo/build/tests/isl_interval_skip_list_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_database_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_equivalence_test[1]_include.cmake")
+include("/root/repo/build/tests/util_status_test[1]_include.cmake")
+include("/root/repo/build/tests/types_value_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_heap_relation_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_expr_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_optimizer_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_executor_test[1]_include.cmake")
+include("/root/repo/build/tests/network_delta_set_test[1]_include.cmake")
+include("/root/repo/build/tests/network_alpha_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/network_selection_network_test[1]_include.cmake")
+include("/root/repo/build/tests/network_pnode_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_query_modification_test[1]_include.cmake")
+include("/root/repo/build/tests/rules_rule_manager_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/network_rule_network_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_result_set_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_soak_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_ast_roundtrip_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/network_token_test[1]_include.cmake")
