@@ -1,0 +1,231 @@
+#!/usr/bin/env python3
+"""Repo-specific lint for Ariel — rules the generic tools can't express.
+
+Rules
+-----
+  raw-new        `new` / `delete` expressions outside src/storage/ (the only
+                 layer allowed to hand-manage memory). Smart pointers and
+                 containers everywhere else. `= delete` declarations are fine.
+  const-cast     `const_cast` outside src/storage/. Casting away constness
+                 hides mutation from the plan/gateway layer; thread mutable
+                 access through the API instead.
+  include-guard  Header guards must be ARIEL_<DIR>_<FILE>_H_ derived from the
+                 path with the leading `src/` stripped, e.g.
+                 src/network/token.h -> ARIEL_NETWORK_TOKEN_H_.
+  bare-ok        Tests must not assert `EXPECT_TRUE(x.ok())` (or ASSERT_)
+                 without the Status message: use EXPECT_OK / ASSERT_OK from
+                 tests/test_util.h, which print the failing Status.
+
+A finding can be suppressed on its line with:  // ariel-lint: allow(<rule>)
+
+Exit code 0 when clean, 1 when any finding is reported. Run from anywhere;
+the repo root is located relative to this file. Registered as a ctest
+(`ariel_lint`) so every test run enforces it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SOURCE_DIRS = ("src", "tests", "bench", "examples")
+CXX_SUFFIXES = {".h", ".cc", ".cpp"}
+
+ALLOW_RE = re.compile(r"//\s*ariel-lint:\s*allow\(([\w,\s-]+)\)")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving newlines so
+    line numbers keep matching the original file."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("string", "char"):
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(" ")
+            elif c == "\n":  # unterminated; be forgiving
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        i += 1
+    return "".join(out)
+
+
+def allowed_rules(source_line: str) -> set[str]:
+    m = ALLOW_RE.search(source_line)
+    if not m:
+        return set()
+    return {r.strip() for r in m.group(1).split(",")}
+
+
+def expected_guard(path: Path) -> str:
+    rel = path.relative_to(REPO_ROOT)
+    parts = list(rel.parts)
+    if parts[0] == "src":
+        parts = parts[1:]
+    stem = "_".join(parts)
+    stem = re.sub(r"\.h$", "", stem)
+    stem = re.sub(r"[^A-Za-z0-9]", "_", stem)
+    return f"ARIEL_{stem.upper()}_H_"
+
+
+RAW_NEW_RE = re.compile(r"(?<![\w.])new\s+[\w:(<]")
+RAW_DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[\w:(*]")
+DELETED_FN_RE = re.compile(r"=\s*delete\b")
+CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+BARE_OK_RE = re.compile(
+    r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
+    re.DOTALL,
+)
+
+
+def in_storage(path: Path) -> bool:
+    rel = path.relative_to(REPO_ROOT)
+    return rel.parts[:2] == ("src", "storage")
+
+
+def lint_file(path: Path) -> list[Finding]:
+    raw = path.read_text()
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+    code_lines = code.splitlines()
+    findings: list[Finding] = []
+
+    def report(lineno: int, rule: str, message: str) -> None:
+        src = raw_lines[lineno - 1] if lineno - 1 < len(raw_lines) else ""
+        if rule in allowed_rules(src):
+            return
+        findings.append(Finding(path, lineno, rule, message))
+
+    # raw-new / const-cast: everywhere except storage internals.
+    if not in_storage(path):
+        for i, line in enumerate(code_lines, start=1):
+            if RAW_NEW_RE.search(line):
+                report(i, "raw-new",
+                       "raw `new` outside src/storage/ — use std::make_unique "
+                       "or a container")
+            stripped = DELETED_FN_RE.sub("", line)
+            if RAW_DELETE_RE.search(stripped):
+                report(i, "raw-new",
+                       "raw `delete` outside src/storage/ — use RAII")
+            if CONST_CAST_RE.search(line):
+                report(i, "const-cast",
+                       "const_cast — thread mutable access through the API")
+
+    # include-guard: headers only.
+    if path.suffix == ".h":
+        want = expected_guard(path)
+        m = re.search(r"#ifndef\s+(\S+)", code)
+        if not m:
+            report(1, "include-guard", f"missing include guard {want}")
+        elif m.group(1) != want:
+            lineno = code[: m.start()].count("\n") + 1
+            report(lineno, "include-guard",
+                   f"guard is {m.group(1)}, expected {want}")
+
+    # bare-ok: tests only.
+    rel = path.relative_to(REPO_ROOT)
+    if rel.parts[0] == "tests":
+        for m in BARE_OK_RE.finditer(code):
+            if "<<" in m.group(0):
+                continue  # streams a diagnostic; EXPECT_OK still preferred
+            lineno = code[: m.start()].count("\n") + 1
+            report(lineno, "bare-ok",
+                   "bare EXPECT_TRUE(x.ok()) loses the Status message — use "
+                   "EXPECT_OK/ASSERT_OK from tests/test_util.h")
+
+    return findings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", type=Path,
+                        help="files to lint (default: whole tree)")
+    args = parser.parse_args()
+
+    if args.paths:
+        files = [p.resolve() for p in args.paths]
+    else:
+        files = [
+            p
+            for d in SOURCE_DIRS
+            for p in sorted((REPO_ROOT / d).rglob("*"))
+            if p.suffix in CXX_SUFFIXES and p.is_file()
+        ]
+
+    findings: list[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nariel_lint: {len(findings)} finding(s) in "
+              f"{len({f.path for f in findings})} file(s)", file=sys.stderr)
+        return 1
+    print(f"ariel_lint: {len(files)} files clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -208,9 +208,31 @@ Result<CommandResult> Database::ExecuteDml(const Command& command) {
 
   // Rules get the opportunity to wake up after every transition.
   ARIEL_RETURN_NOT_OK(monitor_->RunCycle());
+#ifdef ARIEL_AUDIT
+  // Audit builds cross-check the whole network against recomputed ground
+  // truth at every quiescence point.
+  ARIEL_ASSIGN_OR_RETURN(auto audit_violations, AuditNetwork());
+  if (!audit_violations.empty()) {
+    std::string detail = audit_violations.front().ToString();
+    if (audit_violations.size() > 1) {
+      detail += " (+" + std::to_string(audit_violations.size() - 1) +
+                " more violations)";
+    }
+    return Status::Internal("A-TREAT network audit failed: " + detail);
+  }
+#endif
   // With the engine quiescent, deliver subscribed trigger output.
   DrainAlerts();
   return result;
+}
+
+Result<std::vector<AuditViolation>> Database::AuditNetwork() {
+  std::vector<const RuleNetwork*> networks;
+  for (Rule* rule : rules_->ActiveRules()) {
+    networks.push_back(rule->network.get());
+  }
+  return NetworkAuditor::AuditAtQuiescence(networks,
+                                           network_.selection_network());
 }
 
 Status Database::RefreshSystemCatalogs() {

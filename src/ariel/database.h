@@ -12,6 +12,7 @@
 #include "exec/executor.h"
 #include "exec/optimizer.h"
 #include "network/discrimination_network.h"
+#include "network/network_auditor.h"
 #include "network/transition_manager.h"
 #include "rules/rule_compiler.h"
 #include "rules/rule_manager.h"
@@ -109,6 +110,13 @@ class Database {
   Executor& executor() { return *executor_; }
   Optimizer& optimizer() { return optimizer_; }
   const DatabaseOptions& options() const { return options_; }
+
+  /// Cross-checks the discrimination network's incremental state against
+  /// ground truth recomputed from the base relations (see NetworkAuditor).
+  /// Callable in any build; when compiled with ARIEL_AUDIT the engine also
+  /// runs it automatically after every recognize-act cycle and fails the
+  /// triggering command on any violation.
+  [[nodiscard]] Result<std::vector<AuditViolation>> AuditNetwork();
 
  private:
   Result<CommandResult> ExecuteDml(const Command& command);

@@ -114,6 +114,20 @@ Result<const HeapRelation*> Executor::ResolveRelation(
                                "\"");
 }
 
+Result<HeapRelation*> Executor::ResolveRelationForWrite(
+    const std::string& name, const ExtraBindings* extra) const {
+  std::string key = ToLower(name);
+  HeapRelation* rel = catalog_->GetRelation(key);
+  if (rel != nullptr) return rel;
+  if (extra != nullptr && extra->find(key) != extra->end()) {
+    return Status::SemanticError("\"" + key +
+                                 "\" is a read-only rule binding and cannot "
+                                 "be the target of a mutation");
+  }
+  return Status::SemanticError("unknown tuple variable or relation \"" + key +
+                               "\"");
+}
+
 Result<std::vector<PlanVar>> Executor::BuildScopeVars(
     const std::vector<FromItem>& from,
     const std::vector<const Expr*>& referencing_exprs,
@@ -636,9 +650,7 @@ Result<CommandResult> Executor::ExecuteReplace(const ReplaceCommand& cmd,
     ARIEL_ASSIGN_OR_RETURN(tid_expr, CompileExpr(tid_ref, plan->scope));
   } else {
     // Non-primed: the target variable ranges directly over a relation.
-    ARIEL_ASSIGN_OR_RETURN(const HeapRelation* base,
-                           ResolveRelation(var, extra));
-    target_rel = const_cast<HeapRelation*>(base);
+    ARIEL_ASSIGN_OR_RETURN(target_rel, ResolveRelationForWrite(var, extra));
   }
 
   // Compile assignments. For primed commands the assignment attribute names

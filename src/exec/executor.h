@@ -54,13 +54,13 @@ class Executor {
   /// plan is taken from / stored into that slot instead of being rebuilt
   /// (the rule monitor passes per-action-command slots when the engine is
   /// configured with cache_action_plans).
-  Result<CommandResult> Execute(const Command& command,
+  [[nodiscard]] Result<CommandResult> Execute(const Command& command,
                                 const ExtraBindings* extra = nullptr,
                                 CachedPlan* plan_cache = nullptr);
 
   /// Builds (but does not run) the plan for the row-producing part of a DML
   /// command; used for EXPLAIN-style introspection and by tests.
-  Result<Plan> PlanFor(const Command& command,
+  [[nodiscard]] Result<Plan> PlanFor(const Command& command,
                        const ExtraBindings* extra = nullptr);
 
   /// Plan-cache effectiveness counters (see CachedPlan).
@@ -70,42 +70,49 @@ class Executor {
  private:
   /// Returns the plan to execute: the valid cached one, or a fresh plan
   /// (stored into the cache slot when given, into scratch otherwise).
-  Result<Plan*> ObtainPlan(const Command& command, const ExtraBindings* extra,
+  [[nodiscard]] Result<Plan*> ObtainPlan(const Command& command, const ExtraBindings* extra,
                            CachedPlan* plan_cache);
 
-  Result<CommandResult> ExecuteCreate(const CreateCommand& cmd);
-  Result<CommandResult> ExecuteDestroy(const DestroyCommand& cmd);
-  Result<CommandResult> ExecuteDefineIndex(const DefineIndexCommand& cmd);
-  Result<CommandResult> ExecuteRetrieve(const RetrieveCommand& cmd,
+  [[nodiscard]] Result<CommandResult> ExecuteCreate(const CreateCommand& cmd);
+  [[nodiscard]] Result<CommandResult> ExecuteDestroy(const DestroyCommand& cmd);
+  [[nodiscard]] Result<CommandResult> ExecuteDefineIndex(const DefineIndexCommand& cmd);
+  [[nodiscard]] Result<CommandResult> ExecuteRetrieve(const RetrieveCommand& cmd,
                                         const ExtraBindings* extra,
                                         CachedPlan* plan_cache);
   /// Aggregate-target form of retrieve: count/sum/avg/min/max over the
   /// qualified rows; produces exactly one result row.
-  Result<CommandResult> ExecuteAggregateRetrieve(const RetrieveCommand& cmd,
+  [[nodiscard]] Result<CommandResult> ExecuteAggregateRetrieve(const RetrieveCommand& cmd,
                                                  Plan& plan);
   /// Evaluates an all-aggregate target list over the plan's rows; one value
   /// (and inferred type) per target. Shared by retrieve and append.
-  Result<std::vector<Value>> ComputeAggregates(
+  [[nodiscard]] Result<std::vector<Value>> ComputeAggregates(
       const std::vector<Assignment>& targets, Plan& plan,
       std::vector<DataType>* types);
-  Result<CommandResult> ExecuteAppend(const AppendCommand& cmd,
+  [[nodiscard]] Result<CommandResult> ExecuteAppend(const AppendCommand& cmd,
                                       const ExtraBindings* extra,
                                       CachedPlan* plan_cache);
-  Result<CommandResult> ExecuteDelete(const DeleteCommand& cmd,
+  [[nodiscard]] Result<CommandResult> ExecuteDelete(const DeleteCommand& cmd,
                                       const ExtraBindings* extra,
                                       CachedPlan* plan_cache);
-  Result<CommandResult> ExecuteReplace(const ReplaceCommand& cmd,
+  [[nodiscard]] Result<CommandResult> ExecuteReplace(const ReplaceCommand& cmd,
                                        const ExtraBindings* extra,
                                        CachedPlan* plan_cache);
 
   /// Resolves a relation for a tuple-variable name: extra bindings first,
   /// then the catalog.
-  Result<const HeapRelation*> ResolveRelation(const std::string& name,
+  [[nodiscard]] Result<const HeapRelation*> ResolveRelation(const std::string& name,
                                               const ExtraBindings* extra) const;
+
+  /// Resolves a relation that a command is about to mutate. Only catalog
+  /// relations are writable; a name that resolves solely to an extra binding
+  /// (a read-only rule firing buffer) is a semantic error rather than a
+  /// const_cast waiting to corrupt it.
+  [[nodiscard]] Result<HeapRelation*> ResolveRelationForWrite(
+      const std::string& name, const ExtraBindings* extra) const;
 
   /// Computes the command's variable scope: explicit from-list entries plus
   /// implicit relation-name variables referenced in the given expressions.
-  Result<std::vector<PlanVar>> BuildScopeVars(
+  [[nodiscard]] Result<std::vector<PlanVar>> BuildScopeVars(
       const std::vector<FromItem>& from,
       const std::vector<const Expr*>& referencing_exprs,
       const std::vector<std::string>& extra_var_names,

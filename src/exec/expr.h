@@ -47,11 +47,11 @@ class Scope {
 class CompiledExpr {
  public:
   virtual ~CompiledExpr() = default;
-  virtual Result<Value> Eval(const Row& row) const = 0;
+  [[nodiscard]] virtual Result<Value> Eval(const Row& row) const = 0;
 
   /// Convenience for predicates: error statuses propagate, non-boolean
   /// results are an execution error, null is false.
-  Result<bool> EvalPredicate(const Row& row) const;
+  [[nodiscard]] Result<bool> EvalPredicate(const Row& row) const;
 };
 
 using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
@@ -59,12 +59,12 @@ using CompiledExprPtr = std::unique_ptr<CompiledExpr>;
 /// Resolves names in `expr` against `scope` and returns an executable tree.
 /// Fails with SemanticError on unknown variables/attributes, on `v.all`
 /// outside a target list, and on `previous v` where v has no previous data.
-Result<CompiledExprPtr> CompileExpr(const Expr& expr, const Scope& scope);
+[[nodiscard]] Result<CompiledExprPtr> CompileExpr(const Expr& expr, const Scope& scope);
 
 /// Infers the static result type of `expr` under `scope` (best effort;
 /// arithmetic over int and float yields float). Used to type P-node columns
 /// and retrieve results.
-Result<DataType> InferType(const Expr& expr, const Scope& scope);
+[[nodiscard]] Result<DataType> InferType(const Expr& expr, const Scope& scope);
 
 }  // namespace ariel
 

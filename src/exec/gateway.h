@@ -20,24 +20,24 @@ class StorageGateway {
  public:
   virtual ~StorageGateway() = default;
 
-  virtual Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) = 0;
-  virtual Status Delete(HeapRelation* relation, TupleId tid) = 0;
+  [[nodiscard]] virtual Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) = 0;
+  [[nodiscard]] virtual Status Delete(HeapRelation* relation, TupleId tid) = 0;
   /// `updated_attrs` lists the attribute names assigned by the replace
   /// command (the token's replace(target-list) event specifier).
-  virtual Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+  [[nodiscard]] virtual Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
                         const std::vector<std::string>& updated_attrs) = 0;
 };
 
 /// Gateway with no rule processing: direct storage calls.
 class DirectGateway : public StorageGateway {
  public:
-  Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override {
+  [[nodiscard]] Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override {
     return relation->Insert(std::move(tuple));
   }
-  Status Delete(HeapRelation* relation, TupleId tid) override {
+  [[nodiscard]] Status Delete(HeapRelation* relation, TupleId tid) override {
     return relation->Delete(tid);
   }
-  Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+  [[nodiscard]] Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
                 const std::vector<std::string>&) override {
     return relation->Update(tid, std::move(new_value));
   }

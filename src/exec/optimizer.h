@@ -41,7 +41,7 @@ class Optimizer {
 
   /// Builds a plan producing every binding of `vars` satisfying `qual`
   /// (null = no qualification). Scope ordinals follow `vars` order.
-  Result<Plan> BuildPlan(const std::vector<PlanVar>& vars, const Expr* qual);
+  [[nodiscard]] Result<Plan> BuildPlan(const std::vector<PlanVar>& vars, const Expr* qual);
 
   const OptimizerOptions& options() const { return options_; }
   void set_options(OptimizerOptions options) { options_ = options; }

@@ -26,7 +26,7 @@ class PlanNode {
  public:
   virtual ~PlanNode() = default;
 
-  virtual Status Execute(const RowConsumer& consume) = 0;
+  [[nodiscard]] virtual Status Execute(const RowConsumer& consume) = 0;
 
   /// One-line description of this node (operator name + arguments).
   virtual std::string Label() const = 0;
@@ -50,7 +50,7 @@ class ConstRowNode : public PlanNode {
  public:
   explicit ConstRowNode(size_t num_vars) : num_vars_(num_vars) {}
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override { return "ConstRow"; }
 
  private:
@@ -70,7 +70,7 @@ class SeqScanNode : public PlanNode {
         filter_(std::move(filter)),
         label_prefix_(std::move(label_prefix)) {}
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
@@ -97,7 +97,7 @@ class IndexScanNode : public PlanNode {
         upper_(std::move(upper)),
         filter_(std::move(residual_filter)) {}
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
@@ -117,7 +117,7 @@ class NestedLoopJoinNode : public PlanNode {
   NestedLoopJoinNode(PlanNodePtr left, PlanNodePtr right,
                      CompiledExprPtr predicate, std::string predicate_text);
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
@@ -134,7 +134,7 @@ class SortMergeJoinNode : public PlanNode {
                     CompiledExprPtr left_key, CompiledExprPtr right_key,
                     std::string predicate_text);
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
@@ -149,7 +149,7 @@ class FilterNode : public PlanNode {
   FilterNode(PlanNodePtr child, CompiledExprPtr predicate,
              std::string predicate_text);
 
-  Status Execute(const RowConsumer& consume) override;
+  [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
@@ -164,7 +164,7 @@ struct Plan {
   PlanNodePtr root;
 
   /// Runs the plan, materializing all output rows.
-  Result<std::vector<Row>> CollectRows() const;
+  [[nodiscard]] Result<std::vector<Row>> CollectRows() const;
 
   std::string ToString() const { return root ? root->ToString() : "(empty)"; }
 };

@@ -57,6 +57,13 @@ class IntervalSkipList {
   /// node ordering); aborts on violation. Used by property tests.
   void CheckInvariants() const;
 
+  /// Cross-checks Stab() against a brute-force scan of every registered
+  /// interval, probing each stored boundary value (where half-open semantics
+  /// can go wrong). Returns a description of the first inconsistency found,
+  /// or an empty string. Unlike CheckInvariants this reports instead of
+  /// aborting, so the network auditor can surface it as a violation.
+  std::string AuditStabConsistency() const;
+
  private:
   struct Node;
 

@@ -18,14 +18,14 @@ class DiscriminationNetwork {
  public:
   DiscriminationNetwork() = default;
 
-  Status AddRule(RuleNetwork* rule);
+  [[nodiscard]] Status AddRule(RuleNetwork* rule);
   void RemoveRule(RuleNetwork* rule);
 
   /// Propagates one token: the selection network finds the α-memories it
   /// reaches; each arrival updates the memory, joins (for insertions), and
   /// maintains the P-node. ProcessedMemories grows across arrivals of the
   /// same token, implementing the paper's virtual-memory self-join protocol.
-  Status ProcessToken(const Token& token);
+  [[nodiscard]] Status ProcessToken(const Token& token);
 
   /// End-of-transition housekeeping: flushes dynamic α-memories (§4.3.2).
   void OnTransitionEnd();

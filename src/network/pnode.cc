@@ -68,7 +68,7 @@ size_t PNode::RemoveByTid(size_t var_ordinal, TupleId tid) {
   for (TupleId row_id : relation_->AllTupleIds()) {
     const Tuple* t = relation_->Get(row_id);
     if (t != nullptr && t->at(tid_col).int_value() == encoded) {
-      relation_->Delete(row_id);  // cannot fail: id just enumerated
+      ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
       ++removed;
     }
   }
@@ -77,7 +77,7 @@ size_t PNode::RemoveByTid(size_t var_ordinal, TupleId tid) {
 
 void PNode::Clear() {
   for (TupleId row_id : relation_->AllTupleIds()) {
-    relation_->Delete(row_id);
+    ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
   }
 }
 
@@ -88,13 +88,13 @@ std::unique_ptr<HeapRelation> PNode::MakeFiringBuffer() const {
 
 void PNode::DrainInto(HeapRelation* dest) {
   for (TupleId row_id : dest->AllTupleIds()) {
-    dest->Delete(row_id);
+    ARIEL_IGNORE_STATUS(dest->Delete(row_id));  // id just enumerated
   }
   for (TupleId row_id : relation_->AllTupleIds()) {
     const Tuple* t = relation_->Get(row_id);
     if (t != nullptr) {
-      dest->Insert(*t).status();  // same schema: cannot fail
-      relation_->Delete(row_id);
+      ARIEL_IGNORE_STATUS(dest->Insert(*t).status());  // same schema
+      ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
     }
   }
 }
@@ -105,8 +105,8 @@ std::unique_ptr<HeapRelation> PNode::DetachSnapshot() {
   for (TupleId row_id : relation_->AllTupleIds()) {
     const Tuple* t = relation_->Get(row_id);
     if (t != nullptr) {
-      snapshot->Insert(*t).status();  // same schema: cannot fail
-      relation_->Delete(row_id);
+      ARIEL_IGNORE_STATUS(snapshot->Insert(*t).status());  // same schema
+      ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
     }
   }
   return snapshot;

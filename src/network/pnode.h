@@ -52,7 +52,7 @@ class PNode {
 
   /// Materializes one instantiation. `row` is laid out against the rule's
   /// variable order; every slot must be filled.
-  Status Insert(const Row& row);
+  [[nodiscard]] Status Insert(const Row& row);
 
   /// Removes all instantiations whose binding for variable `var_ordinal`
   /// is the tuple `tid`. Returns the number removed.

@@ -143,7 +143,7 @@ class RuleNetwork {
 
   /// Compiles predicates and builds the P-node. Must be called once before
   /// any token processing.
-  Status Init();
+  [[nodiscard]] Status Init();
 
   const std::string& rule_name() const { return rule_name_; }
   const Scope& scope() const { return scope_; }
@@ -161,7 +161,7 @@ class RuleNetwork {
   /// selection network already verified the predicate): updates the memory
   /// and either extends joins into the P-node (insertions) or deletes the
   /// affected instantiations from the P-node (deletions).
-  Status Arrive(const Token& token, size_t alpha_ordinal,
+  [[nodiscard]] Status Arrive(const Token& token, size_t alpha_ordinal,
                 const ProcessedMemories& processed);
 
   /// Flushes dynamic memories (end of transition; §4.3.2).
@@ -180,7 +180,7 @@ class RuleNetwork {
   /// (rule activation; §6 "priming"). Dynamic memories stay empty; the
   /// P-node is loaded only when no dynamic memory exists (event/transition
   /// bindings cannot predate activation).
-  Status Prime(Optimizer* optimizer);
+  [[nodiscard]] Status Prime(Optimizer* optimizer);
 
   /// The backend actually in use (kRete requests fall back to kTreat for
   /// rules with dynamic memories).
@@ -204,40 +204,40 @@ class RuleNetwork {
   /// fully-pattern rule should currently have — used by equivalence tests
   /// to validate incremental maintenance. Fails for rules with dynamic
   /// memories (their expected contents depend on transition history).
-  Result<std::vector<Row>> RecomputeInstantiations(Optimizer* optimizer) const;
+  [[nodiscard]] Result<std::vector<Row>> RecomputeInstantiations(Optimizer* optimizer) const;
 
  private:
   /// Recursively extends `row` (with `bound` variables already set) across
   /// the remaining α-memories, emitting completed instantiations into the
   /// P-node.
-  Status ExtendJoin(const Token& token, Row* row, std::vector<bool>* bound,
+  [[nodiscard]] Status ExtendJoin(const Token& token, Row* row, std::vector<bool>* bound,
                     size_t num_bound, const ProcessedMemories& processed);
 
   /// Candidate enumeration for joining into variable `j`.
-  Status ForEachCandidate(const Token& token, size_t j, const Row& row,
+  [[nodiscard]] Status ForEachCandidate(const Token& token, size_t j, const Row& row,
                           const std::vector<bool>& bound,
                           const ProcessedMemories& processed,
                           const std::function<Status(const AlphaEntry&)>& fn);
 
   /// Evaluates every join conjunct that becomes fully bound when `j` joins
   /// the bound set.
-  Result<bool> JoinConjunctsHold(size_t j, const std::vector<bool>& bound,
+  [[nodiscard]] Result<bool> JoinConjunctsHold(size_t j, const std::vector<bool>& bound,
                                  const Row& row) const;
 
   /// Records index-probe opportunities arising from equijoin conjuncts
   /// into virtual α-memories (called once per conjunct by Init).
-  Status RecordIndexJoinPaths(const Expr& conjunct);
+  [[nodiscard]] Status RecordIndexJoinPaths(const Expr& conjunct);
 
   // --- Rete backend ---
 
   /// Handles an asserting token arrival at α `i` under Rete: joins it
   /// leftward against β_{i-1} (or α_0), then cascades rightward.
-  Status ReteAssert(const Token& token, size_t alpha_ordinal,
+  [[nodiscard]] Status ReteAssert(const Token& token, size_t alpha_ordinal,
                     const ProcessedMemories& processed);
 
   /// Extends a checked partial over variables [0, level] rightward,
   /// storing it in β_level and recursing until the P-node.
-  Status ReteExtend(size_t level, Row* row, const Token& token,
+  [[nodiscard]] Status ReteExtend(size_t level, Row* row, const Token& token,
                     const ProcessedMemories& processed);
 
   /// Removes the partials binding (var, tid) from every β at or right of
@@ -247,11 +247,11 @@ class RuleNetwork {
   /// Evaluates the join conjuncts whose variables all lie in [0, level].
   /// `newly` is the variable just added (conjuncts not touching it were
   /// checked at an earlier level).
-  Result<bool> PrefixConjunctsHold(size_t level, size_t newly,
+  [[nodiscard]] Result<bool> PrefixConjunctsHold(size_t level, size_t newly,
                                    const Row& row) const;
 
   /// Rebuilds the β chain from α contents / base relations (activation).
-  Status PrimeBetas(Optimizer* optimizer);
+  [[nodiscard]] Status PrimeBetas(Optimizer* optimizer);
 
   std::string rule_name_;
   uint32_t pnode_relation_id_;

@@ -187,4 +187,33 @@ Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
   return out;
 }
 
+std::vector<std::string> SelectionNetwork::AuditIndexes() const {
+  std::vector<std::string> problems;
+  for (const auto& [rel_id, per] : relations_) {
+    const std::string where = "relation " + std::to_string(rel_id);
+    size_t indexed = 0;
+    for (const auto& [attr, isl] : per.attr_indexes) {
+      std::string problem = isl->AuditStabConsistency();
+      if (!problem.empty()) {
+        problems.push_back(where + " attr " + std::to_string(attr) + ": " +
+                           problem);
+      }
+      indexed += isl->size();
+    }
+    if (indexed + per.residual.size() != per.nodes.size()) {
+      problems.push_back(where + ": " + std::to_string(per.nodes.size()) +
+                         " conditions registered but " +
+                         std::to_string(indexed) + " indexed + " +
+                         std::to_string(per.residual.size()) + " residual");
+    }
+    for (int64_t id : per.residual) {
+      if (per.nodes.find(id) == per.nodes.end()) {
+        problems.push_back(where + ": residual id " + std::to_string(id) +
+                           " has no registered condition");
+      }
+    }
+  }
+  return problems;
+}
+
 }  // namespace ariel

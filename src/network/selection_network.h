@@ -39,18 +39,25 @@ class SelectionNetwork {
   SelectionNetwork() = default;
 
   /// Registers all α-memories of an initialized rule network.
-  Status AddRule(RuleNetwork* rule);
+  [[nodiscard]] Status AddRule(RuleNetwork* rule);
 
   /// Unregisters a rule's conditions.
   void RemoveRule(RuleNetwork* rule);
 
   /// Computes the α-memories this token reaches (admission filter plus full
   /// selection predicate), in registration order.
-  Result<std::vector<ConditionMatch>> Match(const Token& token) const;
+  [[nodiscard]] Result<std::vector<ConditionMatch>> Match(const Token& token) const;
 
   /// Diagnostics: how many conditions are interval-indexed vs. residual.
   size_t num_indexed() const { return num_indexed_; }
   size_t num_residual() const { return num_residual_; }
+
+  /// Audit support: cross-checks every attribute interval index against a
+  /// brute-force scan (IntervalSkipList::AuditStabConsistency) and verifies
+  /// the per-relation bookkeeping (each registered condition is either in
+  /// exactly one index or on the residual list). Returns one description per
+  /// inconsistency; empty means consistent.
+  std::vector<std::string> AuditIndexes() const;
 
  private:
   struct NodeInfo {
@@ -68,7 +75,7 @@ class SelectionNetwork {
     std::unordered_map<int64_t, NodeInfo> nodes;
   };
 
-  Status VerifyAndCollect(const Token& token, const NodeInfo& node,
+  [[nodiscard]] Status VerifyAndCollect(const Token& token, const NodeInfo& node,
                           std::vector<ConditionMatch>* out) const;
 
   std::unordered_map<uint32_t, PerRelation> relations_;

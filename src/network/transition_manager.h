@@ -43,13 +43,13 @@ class TransitionManager : public StorageGateway {
 
   void BeginTransition();
   /// Clears the Δ-sets and flushes dynamic α-memories.
-  Status EndTransition();
+  [[nodiscard]] Status EndTransition();
   bool in_transition() const { return in_transition_; }
 
   // StorageGateway:
-  Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override;
-  Status Delete(HeapRelation* relation, TupleId tid) override;
-  Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
+  [[nodiscard]] Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override;
+  [[nodiscard]] Status Delete(HeapRelation* relation, TupleId tid) override;
+  [[nodiscard]] Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
                 const std::vector<std::string>& updated_attrs) override;
 
   uint64_t tokens_emitted() const { return tokens_emitted_; }
@@ -60,7 +60,7 @@ class TransitionManager : public StorageGateway {
     std::vector<std::string> attrs;      // accumulated updated attributes
   };
 
-  Status Emit(Token token);
+  [[nodiscard]] Status Emit(Token token);
 
   DiscriminationNetwork* network_;
   bool in_transition_ = false;

@@ -6,6 +6,7 @@
 #include "util/string_util.h"
 
 namespace ariel {
+namespace lex {
 
 const char* TokenKindToString(TokenKind kind) {
   switch (kind) {
@@ -215,4 +216,5 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
   return tokens;
 }
 
+}  // namespace lex
 }  // namespace ariel

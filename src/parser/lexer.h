@@ -8,6 +8,10 @@
 #include "util/status.h"
 
 namespace ariel {
+// The lexer lives in its own sub-namespace: the discrimination network also
+// defines an ariel::Token (the paper's +/-/delta tokens), and the two must
+// never collide in the One Definition Rule sense.
+namespace lex {
 
 enum class TokenKind : uint8_t {
   kIdentifier,   // normalized to lower case
@@ -49,6 +53,7 @@ struct Token {
 /// names like "name" or "priority" stay usable.
 Result<std::vector<Token>> Tokenize(std::string_view input);
 
+}  // namespace lex
 }  // namespace ariel
 
 #endif  // ARIEL_PARSER_LEXER_H_

@@ -6,6 +6,11 @@
 #include "util/string_util.h"
 
 namespace ariel {
+
+using lex::Token;
+using lex::TokenKind;
+using lex::Tokenize;
+using lex::TokenKindToString;
 namespace {
 
 /// Recursive-descent parser over the token stream. Keywords are contextual:

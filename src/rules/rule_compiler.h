@@ -44,7 +44,7 @@ struct CompiledRule {
 ///   - classifies each variable's α-memory kind (Figure 5 taxonomy) using
 ///     `policy` for the stored/virtual choice,
 ///   - performs query modification on the action.
-Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
+[[nodiscard]] Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
                                  const Catalog& catalog,
                                  const AlphaMemoryPolicy& policy);
 
@@ -53,7 +53,7 @@ Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
 /// (`emp.sal` → `p.emp.sal`, `previous emp.sal` → `p.emp.previous.sal`),
 /// marks shared replace/delete targets primed, expands shared `v.all`, and
 /// drops shared variables from from-lists.
-Result<CommandPtr> QueryModifyCommand(const Command& command,
+[[nodiscard]] Result<CommandPtr> QueryModifyCommand(const Command& command,
                                       const std::vector<std::string>& shared_vars,
                                       const Catalog& catalog);
 

@@ -55,23 +55,23 @@ class RuleManager {
   RuleManager& operator=(const RuleManager&) = delete;
 
   /// Installs a rule (stores its definition). Does not activate.
-  Status DefineRule(const DefineRuleCommand& definition);
+  [[nodiscard]] Status DefineRule(const DefineRuleCommand& definition);
 
   /// Compiles, primes and registers the rule's network.
-  Status ActivateRule(const std::string& name);
+  [[nodiscard]] Status ActivateRule(const std::string& name);
 
   /// Unregisters the network; the definition stays installed.
-  Status DeactivateRule(const std::string& name);
+  [[nodiscard]] Status DeactivateRule(const std::string& name);
 
   /// Deactivates (if needed) and removes the rule entirely.
-  Status RemoveRule(const std::string& name);
+  [[nodiscard]] Status RemoveRule(const std::string& name);
 
   /// Activates every inactive rule in the named ruleset (§2.1 rulesets).
   /// Fails if the ruleset has no rules; already-active members are skipped.
-  Status ActivateRuleset(const std::string& ruleset);
+  [[nodiscard]] Status ActivateRuleset(const std::string& ruleset);
 
   /// Deactivates every active rule in the named ruleset.
-  Status DeactivateRuleset(const std::string& ruleset);
+  [[nodiscard]] Status DeactivateRuleset(const std::string& ruleset);
 
   /// Names of rules in a ruleset, in creation order.
   std::vector<std::string> RulesInRuleset(const std::string& ruleset) const;

@@ -43,7 +43,7 @@ class RuleExecutionMonitor {
 
   /// Runs the cycle to quiescence. No-op if already inside a cycle (rule
   /// actions re-enter the engine; the outermost cycle keeps control).
-  Status RunCycle();
+  [[nodiscard]] Status RunCycle();
 
   bool in_cycle() const { return in_cycle_; }
   uint64_t rules_fired() const { return rules_fired_; }
@@ -65,7 +65,7 @@ class RuleExecutionMonitor {
   Rule* SelectRule();
 
   /// Act phase for one rule.
-  Status FireRule(Rule* rule);
+  [[nodiscard]] Status FireRule(Rule* rule);
 
   RuleManager* rules_;
   Executor* executor_;

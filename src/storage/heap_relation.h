@@ -42,13 +42,13 @@ class HeapRelation {
 
   /// Inserts a tuple (must match the schema arity; type agreement is checked
   /// by the executor) and returns its id.
-  Result<TupleId> Insert(Tuple tuple);
+  [[nodiscard]] Result<TupleId> Insert(Tuple tuple);
 
   /// Deletes the tuple at `tid`. Fails if the slot is empty.
-  Status Delete(TupleId tid);
+  [[nodiscard]] Status Delete(TupleId tid);
 
   /// Replaces the tuple at `tid` wholesale.
-  Status Update(TupleId tid, Tuple tuple);
+  [[nodiscard]] Status Update(TupleId tid, Tuple tuple);
 
   /// Returns the tuple at `tid`, or nullptr if the slot is empty/invalid.
   const Tuple* Get(TupleId tid) const;
@@ -61,7 +61,7 @@ class HeapRelation {
   std::vector<TupleId> AllTupleIds() const;
 
   /// Creates a B+tree index on `attribute`; idempotent.
-  Status CreateIndex(std::string_view attribute);
+  [[nodiscard]] Status CreateIndex(std::string_view attribute);
 
   /// Returns the index on `attribute`, or nullptr.
   const BTreeIndex* GetIndex(std::string_view attribute) const;
@@ -71,7 +71,7 @@ class HeapRelation {
 
   /// Checks that the tuple has the right arity and value types coercible to
   /// the schema (coercing in place: int literals into float columns).
-  Status CoerceToSchema(Tuple* tuple) const;
+  [[nodiscard]] Status CoerceToSchema(Tuple* tuple) const;
 
  private:
   uint32_t id_;

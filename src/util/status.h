@@ -33,7 +33,12 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// The OK status carries no allocation; error statuses carry a code plus a
 /// message describing what went wrong.
-class Status {
+///
+/// The class itself is [[nodiscard]]: any call that returns a Status by value
+/// and ignores it is a compile error under -Werror=unused-result. Errors must
+/// be propagated (ARIEL_RETURN_NOT_OK), checked, or explicitly ignored via
+/// ARIEL_IGNORE_STATUS with a reason.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -41,32 +46,32 @@ class Status {
   Status(StatusCode code, std::string message)
       : code_(code), message_(std::move(message)) {}
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status ParseError(std::string msg) {
+  [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
-  static Status SemanticError(std::string msg) {
+  [[nodiscard]] static Status SemanticError(std::string msg) {
     return Status(StatusCode::kSemanticError, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status ExecutionError(std::string msg) {
+  [[nodiscard]] static Status ExecutionError(std::string msg) {
     return Status(StatusCode::kExecutionError, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status NotSupported(std::string msg) {
+  [[nodiscard]] static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
   }
-  static Status Halt() { return Status(StatusCode::kHalt, "halt executed"); }
+  [[nodiscard]] static Status Halt() { return Status(StatusCode::kHalt, "halt executed"); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsHalt() const { return code_ == StatusCode::kHalt; }
@@ -88,7 +93,7 @@ class Status {
 /// A value-or-error pair: holds T on success, a non-OK Status on failure.
 /// Mirrors arrow::Result. Accessing the value of a failed Result aborts.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit so `return value;` works in functions returning Result<T>.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -131,6 +136,15 @@ template <typename T>
 void Result<T>::CheckOk() const {
   if (!status_.ok()) internal::DieBadResultAccess(status_);
 }
+
+/// Explicitly discards a Status where ignoring the error is intentional and
+/// safe (e.g. best-effort cleanup). Grep-able, and keeps -Werror=unused-result
+/// satisfied without a bare cast.
+#define ARIEL_IGNORE_STATUS(expr)                  \
+  do {                                             \
+    ::ariel::Status _ignored_st = (expr);          \
+    (void)_ignored_st;                             \
+  } while (0)
 
 /// Propagates a non-OK Status from an expression, RocksDB-style.
 #define ARIEL_RETURN_NOT_OK(expr)                \

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "exec/gateway.h"
 #include "parser/parser.h"
 
@@ -188,15 +190,14 @@ TEST_F(ExecutorTest, PrimedDeleteThroughPnodeBinding) {
   for (TupleId tid : emp->AllTupleIds()) {
     const Tuple* t = emp->Get(tid);
     if (t->at(2) == Value::Int(1)) {
-      ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
+      ASSERT_OK(pnode.Insert(Tuple(std::vector<Value>{
                                    Value::Int(EncodeTid(tid)), t->at(0),
-                                   t->at(1), t->at(2)}))
-                      .ok());
+                                   t->at(1), t->at(2)})));
     }
   }
   ExtraBindings bindings{{"p", &pnode}};
   auto cmd = ParseCommand("delete' p.emp");
-  ASSERT_TRUE(cmd.ok());
+  ASSERT_OK(cmd);
   auto result = executor_.Execute(**cmd, &bindings);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->affected, 2u);
@@ -213,15 +214,14 @@ TEST_F(ExecutorTest, PrimedReplaceThroughPnodeBinding) {
   HeapRelation pnode(999, "pnode$test", pschema);
   for (TupleId tid : emp->AllTupleIds()) {
     const Tuple* t = emp->Get(tid);
-    ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
+    ASSERT_OK(pnode.Insert(Tuple(std::vector<Value>{
                                  Value::Int(EncodeTid(tid)), t->at(0),
-                                 t->at(1), t->at(2)}))
-                    .ok());
+                                 t->at(1), t->at(2)})));
   }
   ExtraBindings bindings{{"p", &pnode}};
   // New salary computed from the P-node copy of the old value.
   auto cmd = ParseCommand("replace' p.emp (sal = p.emp.sal + 1.0)");
-  ASSERT_TRUE(cmd.ok());
+  ASSERT_OK(cmd);
   auto result = executor_.Execute(**cmd, &bindings);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(result->affected, 3u);
@@ -235,10 +235,9 @@ TEST_F(ExecutorTest, PrimedCommandsSkipVanishedTuples) {
   Schema pschema({Attribute{"emp.tid", DataType::kInt}});
   HeapRelation pnode(999, "pnode$test", pschema);
   TupleId victim = emp->AllTupleIds()[0];
-  ASSERT_TRUE(pnode.Insert(Tuple(std::vector<Value>{
-                               Value::Int(EncodeTid(victim))}))
-                  .ok());
-  ASSERT_TRUE(emp->Delete(victim).ok());  // tuple gone before the command
+  ASSERT_OK(pnode.Insert(Tuple(std::vector<Value>{
+                               Value::Int(EncodeTid(victim))})));
+  ASSERT_OK(emp->Delete(victim));  // tuple gone before the command
   ExtraBindings bindings{{"p", &pnode}};
   auto cmd = ParseCommand("delete' p.emp");
   auto result = executor_.Execute(**cmd, &bindings);

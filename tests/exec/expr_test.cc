@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "parser/parser.h"
 
 namespace ariel {
@@ -141,7 +143,7 @@ TEST_F(ExprTest, NullComparesAsValueNotSqlNull) {
 TEST_F(ExprTest, InferTypes) {
   auto type_of = [&](const std::string& text) {
     auto expr = ParseExpression(text);
-    EXPECT_TRUE(expr.ok());
+    EXPECT_OK(expr);
     auto t = InferType(**expr, scope_);
     EXPECT_TRUE(t.ok()) << t.status().ToString();
     return *t;

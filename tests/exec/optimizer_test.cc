@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "parser/parser.h"
 
@@ -23,21 +25,18 @@ class OptimizerTest : public ::testing::Test {
         "job", Schema({Attribute{"jno", DataType::kInt},
                        Attribute{"paygrade", DataType::kInt}}));
     for (int i = 0; i < 500; ++i) {
-      ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{
+      ASSERT_OK(emp_->Insert(Tuple(std::vector<Value>{
                                    Value::String("e" + std::to_string(i)),
                                    Value::Float(1000.0 * (i % 100)),
-                                   Value::Int(i % 8), Value::Int(i % 4)}))
-                      .ok());
+                                   Value::Int(i % 8), Value::Int(i % 4)})));
     }
     for (int d = 0; d < 8; ++d) {
-      ASSERT_TRUE(dept_->Insert(Tuple(std::vector<Value>{
-                                    Value::Int(d), Value::String("d")}))
-                      .ok());
+      ASSERT_OK(dept_->Insert(Tuple(std::vector<Value>{
+                                    Value::Int(d), Value::String("d")})));
     }
     for (int j = 0; j < 4; ++j) {
-      ASSERT_TRUE(job_->Insert(Tuple(std::vector<Value>{Value::Int(j),
-                                                        Value::Int(j)}))
-                      .ok());
+      ASSERT_OK(job_->Insert(Tuple(std::vector<Value>{Value::Int(j),
+                                                        Value::Int(j)})));
     }
   }
 
@@ -75,7 +74,7 @@ TEST_F(OptimizerTest, SelectionPushdownIntoSeqScan) {
 }
 
 TEST_F(OptimizerTest, IndexScanChosenWhenIndexExists) {
-  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  ASSERT_OK(emp_->CreateIndex("sal"));
   Optimizer opt;
   Plan plan = MustPlan(&opt, {{"emp", emp_, false}},
                        "emp.sal > 97000 and emp.sal <= 99000");
@@ -84,7 +83,7 @@ TEST_F(OptimizerTest, IndexScanChosenWhenIndexExists) {
 }
 
 TEST_F(OptimizerTest, IndexScanDisabledByOption) {
-  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  ASSERT_OK(emp_->CreateIndex("sal"));
   OptimizerOptions options;
   options.enable_index_scan = false;
   Optimizer opt(options);
@@ -170,7 +169,7 @@ TEST_F(OptimizerTest, UnknownVarInQualificationFails) {
 TEST_F(OptimizerTest, SelectivityEstimates) {
   auto parse = [](const std::string& s) {
     auto e = ParseExpression(s);
-    EXPECT_TRUE(e.ok());
+    EXPECT_OK(e);
     return std::move(*e);
   };
   EXPECT_LT(EstimateSelectivity(*parse("a.x = 1")),
@@ -180,7 +179,7 @@ TEST_F(OptimizerTest, SelectivityEstimates) {
 }
 
 TEST_F(OptimizerTest, MergedIndexBoundsFromMultipleConjuncts) {
-  ASSERT_TRUE(emp_->CreateIndex("sal").ok());
+  ASSERT_OK(emp_->CreateIndex("sal"));
   Optimizer opt;
   Plan plan = MustPlan(&opt, {{"emp", emp_, false}},
                        "emp.sal >= 10000 and emp.sal < 12000 and "

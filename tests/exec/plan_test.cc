@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "parser/parser.h"
 
@@ -26,16 +28,14 @@ class PlanTest : public ::testing::Test {
 
   void FillLeft(const std::vector<std::pair<int, std::string>>& rows) {
     for (const auto& [k, tag] : rows) {
-      ASSERT_TRUE(left_->Insert(Tuple(std::vector<Value>{
-                                    Value::Int(k), Value::String(tag)}))
-                      .ok());
+      ASSERT_OK(left_->Insert(Tuple(std::vector<Value>{
+                                    Value::Int(k), Value::String(tag)})));
     }
   }
   void FillRight(const std::vector<std::pair<int, int>>& rows) {
     for (const auto& [k, v] : rows) {
-      ASSERT_TRUE(right_->Insert(Tuple(std::vector<Value>{Value::Int(k),
-                                                          Value::Int(v)}))
-                      .ok());
+      ASSERT_OK(right_->Insert(Tuple(std::vector<Value>{Value::Int(k),
+                                                          Value::Int(v)})));
     }
   }
 
@@ -117,9 +117,8 @@ TEST_F(PlanTest, SortMergeJoinMatchesNestedLoop) {
 
 TEST_F(PlanTest, SortMergeHandlesMixedIntFloatKeys) {
   FillLeft({{1, "a"}});
-  ASSERT_TRUE(right_->Insert(Tuple(std::vector<Value>{Value::Int(1),
-                                                      Value::Int(5)}))
-                  .ok());
+  ASSERT_OK(right_->Insert(Tuple(std::vector<Value>{Value::Int(1),
+                                                      Value::Int(5)})));
   // Key expressions of different numeric types compare numerically.
   SortMergeJoinNode smj(Scan(left_, 0), Scan(right_, 1),
                         Compile("l.k * 1.0"), Compile("r.k"), "");
@@ -171,7 +170,7 @@ TEST_F(PlanTest, RowMergeCombinesDisjointSlots) {
 
 TEST_F(PlanTest, IndexScanBoundsAndResidual) {
   FillLeft({{1, "a"}, {2, "b"}, {3, "a"}, {4, "b"}});
-  ASSERT_TRUE(left_->CreateIndex("k").ok());
+  ASSERT_OK(left_->CreateIndex("k"));
   IndexScanNode scan(left_, left_->GetIndex("k"), "k", 0, 2,
                      KeyBound{Value::Int(2), true},
                      KeyBound{Value::Int(4), false},

@@ -2,20 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace ariel {
 namespace {
-
-#define ASSERT_OK(expr)                                         \
-  do {                                                          \
-    auto _r = (expr);                                           \
-    ASSERT_TRUE(_r.ok()) << _r.status().ToString();             \
-  } while (0)
-
-#define EXPECT_OK(expr)                                         \
-  do {                                                          \
-    auto _r = (expr);                                           \
-    EXPECT_TRUE(_r.ok()) << _r.status().ToString();             \
-  } while (0)
 
 /// Fixture with the paper's example schema (§2.2.2):
 ///   emp(name, age, salary, dno, jno), dept(dno, name, building),

@@ -5,16 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "ariel/database.h"
 
 namespace ariel {
 namespace {
-
-#define ASSERT_OK(expr)                                         \
-  do {                                                          \
-    auto _r = (expr);                                           \
-    ASSERT_TRUE(_r.ok()) << _r.status().ToString();             \
-  } while (0)
 
 class ExtensionsTest : public ::testing::Test {
  protected:

@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "ariel/database.h"
 #include "util/random.h"
 
@@ -91,19 +93,37 @@ TEST_P(SoakTest, RandomCommandStreamKeepsInvariants) {
       ASSERT_TRUE(rule->network->pnode()->empty())
           << "rule " << rule->name << " not quiescent after: command " << i;
     }
+    // Periodic full network audit: α-memories vs. recomputed selections,
+    // P-node bindings, ISL stab consistency. (ARIEL_AUDIT builds also run
+    // this inside the engine after every command.)
+    if (i % 25 == 0) {
+      auto violations = db.AuditNetwork();
+      ASSERT_OK(violations);
+      for (const AuditViolation& v : *violations) {
+        ADD_FAILURE() << "audit violation after command " << i << ": "
+                      << v.ToString();
+      }
+    }
     // Integrity guarantees.
     auto bad_t = db.Execute("retrieve (t.x) where t.x > 50 or t.x < 0");
-    ASSERT_TRUE(bad_t.ok());
+    ASSERT_OK(bad_t);
     ASSERT_EQ(bad_t->rows->num_rows(), 0u) << "clamp violated at " << i;
     auto bad_u = db.Execute("retrieve (u.x) where u.x = 13");
-    ASSERT_TRUE(bad_u.ok());
+    ASSERT_OK(bad_u);
     ASSERT_EQ(bad_u->rows->num_rows(), 0u) << "no13 violated at " << i;
   }
 
   // The mirror rule fired once per logical append to t.
   auto audit = db.Execute("retrieve (audit.all)");
-  ASSERT_TRUE(audit.ok());
+  ASSERT_OK(audit);
   EXPECT_EQ(audit->rows->num_rows(), logical_appends);
+
+  // Final full audit of the network state the stream left behind.
+  auto final_audit = db.AuditNetwork();
+  ASSERT_OK(final_audit);
+  for (const AuditViolation& v : *final_audit) {
+    ADD_FAILURE() << "audit violation at end of stream: " << v.ToString();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "network/rule_network.h"
 #include "parser/parser.h"
@@ -161,9 +163,8 @@ TEST_F(AlphaMemoryTest, EstimatedSizeAndFootprint) {
 
   // Virtual memories estimate by base-relation size and hold no bytes.
   for (int i = 0; i < 3; ++i) {
-    ASSERT_TRUE(rel_->Insert(Tuple(std::vector<Value>{Value::Int(i),
-                                                      Value::Int(i)}))
-                    .ok());
+    ASSERT_OK(rel_->Insert(Tuple(std::vector<Value>{Value::Int(i),
+                                                      Value::Int(i)})));
   }
   AlphaMemory virt(Spec(AlphaKind::kVirtual), 0);
   EXPECT_EQ(virt.EstimatedSize(), 3u);

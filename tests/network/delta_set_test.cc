@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "network/discrimination_network.h"
 #include "network/transition_manager.h"
@@ -69,9 +71,9 @@ TEST_F(DeltaSetTest, Case1InsertThenModifies) {
   // im*: insert → (+a); each modify → (−a, +a). Net effect: insert.
   manager_.BeginTransition();
   TupleId tid = *manager_.Insert(rel_, Val(1));
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(3), {"x"}).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2), {"x"}));
+  ASSERT_OK(manager_.Update(rel_, tid, Val(3), {"x"}));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"+a[1]", "-a[1]", "+a[2]", "-a[2]",
                                       "+a[3]"}));
@@ -83,9 +85,9 @@ TEST_F(DeltaSetTest, Case2InsertModifyDelete) {
   // delete-specified token is ever emitted.
   manager_.BeginTransition();
   TupleId tid = *manager_.Insert(rel_, Val(1));
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
-  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2), {"x"}));
+  ASSERT_OK(manager_.Delete(rel_, tid));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"+a[1]", "-a[1]", "+a[2]", "-a[2]"}));
   EXPECT_EQ(rel_->size(), 0u);
@@ -98,9 +100,9 @@ TEST_F(DeltaSetTest, Case3PreexistingModified) {
   TakeTrace();
 
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(12), {"x"}).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(11), {"x"}));
+  ASSERT_OK(manager_.Update(rel_, tid, Val(12), {"x"}));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
                                       "delta-r(x)[11<-10]",
@@ -113,9 +115,9 @@ TEST_F(DeltaSetTest, Case4ModifyThenDelete) {
   TakeTrace();
 
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
-  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(11), {"x"}));
+  ASSERT_OK(manager_.Delete(rel_, tid));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
                                       "delta-r(x)[11<-10]", "-d[11]"}));
@@ -125,8 +127,8 @@ TEST_F(DeltaSetTest, PlainDeleteOfUntouchedTuple) {
   TupleId tid = *manager_.Insert(rel_, Val(10));
   TakeTrace();
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Delete(rel_, tid));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(), (std::vector<std::string>{"-d[10]"}));
 }
 
@@ -134,9 +136,9 @@ TEST_F(DeltaSetTest, UpdatedAttrsAccumulateAcrossModifies) {
   TupleId tid = *manager_.Insert(rel_, Val(1, 1));
   TakeTrace();
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2, 1), {"x"}).ok());
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2, 2), {"y"}).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2, 1), {"x"}));
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2, 2), {"y"}));
+  ASSERT_OK(manager_.EndTransition());
   // The second Δ+ carries the accumulated replace(x, y) specifier; its Δ−
   // retracts with the previous specifier (x only). The pair's old part
   // stays pinned to the transition-start original (x = 1).
@@ -152,11 +154,11 @@ TEST_F(DeltaSetTest, TransitionsAreIndependent) {
   // Two separate transitions: the second modify is again a "first modify"
   // (Δ-sets clear at transition end).
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(11), {"x"}).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(11), {"x"}));
+  ASSERT_OK(manager_.EndTransition());
   manager_.BeginTransition();
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(12), {"x"}).ok());
-  ASSERT_TRUE(manager_.EndTransition().ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(12), {"x"}));
+  ASSERT_OK(manager_.EndTransition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"-_[10]", "delta+r(x)[11<-10]",
                                       "-_[11]", "delta+r(x)[12<-11]"}));
@@ -166,7 +168,7 @@ TEST_F(DeltaSetTest, ImplicitTransactionPerOperation) {
   // Gateway calls outside a transition get an implicit one each.
   TupleId tid = *manager_.Insert(rel_, Val(1));
   EXPECT_FALSE(manager_.in_transition());
-  ASSERT_TRUE(manager_.Update(rel_, tid, Val(2), {"x"}).ok());
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2), {"x"}));
   EXPECT_FALSE(manager_.in_transition());
   EXPECT_EQ(TakeTrace(),
             (std::vector<std::string>{"+a[1]", "-_[1]", "delta+r(x)[2<-1]"}));
@@ -213,14 +215,13 @@ TEST_F(DeltaSetTest, NetEffectPropertyRandomSequences) {
     int ops = static_cast<int>(rng.Uniform(5));
     for (int i = 0; i < ops && alive; ++i) {
       if (rng.Bernoulli(0.3)) {
-        ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+        ASSERT_OK(manager_.Delete(rel_, tid));
         alive = false;
       } else {
-        ASSERT_TRUE(
-            manager_.Update(rel_, tid, Val(round, i), {"y"}).ok());
+        ASSERT_OK(manager_.Update(rel_, tid, Val(round, i), {"y"}));
       }
     }
-    ASSERT_TRUE(manager_.EndTransition().ok());
+    ASSERT_OK(manager_.EndTransition());
 
     // The memory derived from tokens sees the tuple iff it is alive.
     EXPECT_EQ(stored, alive) << "round " << round;
@@ -229,7 +230,7 @@ TEST_F(DeltaSetTest, NetEffectPropertyRandomSequences) {
     // Reset listener to the tracing default and clean up.
     network_.set_token_listener(nullptr);
     if (alive) {
-      ASSERT_TRUE(manager_.Delete(rel_, tid).ok());
+      ASSERT_OK(manager_.Delete(rel_, tid));
     }
     network_.set_token_listener(
         [this](const Token& token) { trace_.push_back(Describe(token)); });

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace ariel {
 namespace {
 
@@ -49,9 +51,9 @@ TEST_F(PNodeTest, SchemaLayout) {
 
 TEST_F(PNodeTest, InsertAndRemoveByTid) {
   PNode pnode = MakeTwoVar();
-  ASSERT_TRUE(pnode.Insert(MakeRow("a", 1.0, 1, 10, 20)).ok());
-  ASSERT_TRUE(pnode.Insert(MakeRow("b", 2.0, 1, 11, 20)).ok());
-  ASSERT_TRUE(pnode.Insert(MakeRow("a", 1.0, 2, 10, 21)).ok());
+  ASSERT_OK(pnode.Insert(MakeRow("a", 1.0, 1, 10, 20)));
+  ASSERT_OK(pnode.Insert(MakeRow("b", 2.0, 1, 11, 20)));
+  ASSERT_OK(pnode.Insert(MakeRow("a", 1.0, 2, 10, 21)));
   EXPECT_EQ(pnode.size(), 3u);
 
   // Removing emp tid (1,10) kills the two instantiations binding it.
@@ -69,7 +71,7 @@ TEST_F(PNodeTest, RowRoundTripWithPrevious) {
   Row row = MakeRow("a", 2.0, 3, 10, 20);
   row.SetPrevious(0, Tuple(std::vector<Value>{Value::String("a"),
                                               Value::Float(1.0)}));
-  ASSERT_TRUE(pnode.Insert(row).ok());
+  ASSERT_OK(pnode.Insert(row));
 
   const Tuple* stored = nullptr;
   pnode.relation().ForEach([&](TupleId, const Tuple& t) { stored = &t; });
@@ -102,8 +104,8 @@ TEST_F(PNodeTest, InsertValidatesArityAndBinding) {
 
 TEST_F(PNodeTest, ClearAndDetachSnapshot) {
   PNode pnode = MakeTwoVar();
-  ASSERT_TRUE(pnode.Insert(MakeRow("a", 1.0, 1, 10, 20)).ok());
-  ASSERT_TRUE(pnode.Insert(MakeRow("b", 2.0, 1, 11, 20)).ok());
+  ASSERT_OK(pnode.Insert(MakeRow("a", 1.0, 1, 10, 20)));
+  ASSERT_OK(pnode.Insert(MakeRow("b", 2.0, 1, 11, 20)));
 
   std::unique_ptr<HeapRelation> snapshot = pnode.DetachSnapshot();
   EXPECT_EQ(snapshot->size(), 2u);
@@ -111,7 +113,7 @@ TEST_F(PNodeTest, ClearAndDetachSnapshot) {
   EXPECT_EQ(snapshot->schema(), pnode.relation().schema());
 
   // New instantiations land in the live P-node, not the snapshot.
-  ASSERT_TRUE(pnode.Insert(MakeRow("c", 3.0, 2, 12, 21)).ok());
+  ASSERT_OK(pnode.Insert(MakeRow("c", 3.0, 2, 12, 21)));
   EXPECT_EQ(pnode.size(), 1u);
   EXPECT_EQ(snapshot->size(), 2u);
 

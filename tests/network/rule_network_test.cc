@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "parser/parser.h"
 
@@ -73,40 +75,36 @@ TEST_F(RuleNetworkTest, TwoWayJoinBuildsInstantiations) {
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("emp.dno = dept.dno"));
   RuleNetwork net("r", 7000, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
 
   // dept first: no instantiation yet (no emp).
-  ASSERT_TRUE(InsertAndArrive(&net, dept_,
+  ASSERT_OK(InsertAndArrive(&net, dept_,
                               Tuple(std::vector<Value>{Value::Int(1),
                                                        Value::String("d1")}),
-                              {1})
-                  .ok());
+                              {1}));
   EXPECT_EQ(net.pnode()->size(), 0u);
 
   // Matching emp: one instantiation.
-  ASSERT_TRUE(InsertAndArrive(&net, emp_,
+  ASSERT_OK(InsertAndArrive(&net, emp_,
                               Tuple(std::vector<Value>{Value::String("a"),
                                                        Value::Int(20),
                                                        Value::Int(1)}),
-                              {0})
-                  .ok());
+                              {0}));
   EXPECT_EQ(net.pnode()->size(), 1u);
 
   // emp in another department: no join partner.
-  ASSERT_TRUE(InsertAndArrive(&net, emp_,
+  ASSERT_OK(InsertAndArrive(&net, emp_,
                               Tuple(std::vector<Value>{Value::String("b"),
                                                        Value::Int(20),
                                                        Value::Int(9)}),
-                              {0})
-                  .ok());
+                              {0}));
   EXPECT_EQ(net.pnode()->size(), 1u);
 
   // Second dept with dno=1: joins the existing emp.
-  ASSERT_TRUE(InsertAndArrive(&net, dept_,
+  ASSERT_OK(InsertAndArrive(&net, dept_,
                               Tuple(std::vector<Value>{Value::Int(1),
                                                        Value::String("d2")}),
-                              {1})
-                  .ok());
+                              {1}));
   EXPECT_EQ(net.pnode()->size(), 2u);
 }
 
@@ -117,19 +115,17 @@ TEST_F(RuleNetworkTest, DeletionRemovesFromMemoryAndPnode) {
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("emp.dno = dept.dno"));
   RuleNetwork net("r", 7001, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
 
-  ASSERT_TRUE(InsertAndArrive(&net, dept_,
+  ASSERT_OK(InsertAndArrive(&net, dept_,
                               Tuple(std::vector<Value>{Value::Int(1),
                                                        Value::String("d")}),
-                              {1})
-                  .ok());
-  ASSERT_TRUE(InsertAndArrive(&net, emp_,
+                              {1}));
+  ASSERT_OK(InsertAndArrive(&net, emp_,
                               Tuple(std::vector<Value>{Value::String("a"),
                                                        Value::Int(20),
                                                        Value::Int(1)}),
-                              {0})
-                  .ok());
+                              {0}));
   ASSERT_EQ(net.pnode()->size(), 1u);
 
   TupleId victim = emp_->AllTupleIds()[0];
@@ -141,7 +137,7 @@ TEST_F(RuleNetworkTest, DeletionRemovesFromMemoryAndPnode) {
   minus.event = TokenEvent{EventKind::kDelete, {}};
   RuleNetwork::ProcessedMemories processed;
   processed.insert(net.alpha(0));
-  ASSERT_TRUE(net.Arrive(minus, 0, processed).ok());
+  ASSERT_OK(net.Arrive(minus, 0, processed));
   EXPECT_EQ(net.pnode()->size(), 0u);
   EXPECT_TRUE(net.alpha(0)->entries().empty());
 }
@@ -157,22 +153,20 @@ TEST_F(RuleNetworkTest, VirtualSelfJoinExactlyOnce) {
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("e1.dno = e2.dno"));
   RuleNetwork net("r", 7002, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
 
   // Pre-existing tuple x in dno 1 (insert silently, prime memories: for
   // virtual alphas priming is a no-op, so just insert into the relation).
-  ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{Value::String("x"),
+  ASSERT_OK(emp_->Insert(Tuple(std::vector<Value>{Value::String("x"),
                                                     Value::Int(5),
-                                                    Value::Int(1)}))
-                  .ok());
+                                                    Value::Int(1)})));
 
   // New tuple t in dno 1; it matches both alphas.
-  ASSERT_TRUE(InsertAndArrive(&net, emp_,
+  ASSERT_OK(InsertAndArrive(&net, emp_,
                               Tuple(std::vector<Value>{Value::String("t"),
                                                        Value::Int(7),
                                                        Value::Int(1)}),
-                              {0, 1})
-                  .ok());
+                              {0, 1}));
   // Expected new instantiations: (t,x), (x,t), (t,t) = 3. (x,x) existed
   // conceptually before t arrived and is not created by t's token.
   EXPECT_EQ(net.pnode()->size(), 3u);
@@ -185,46 +179,43 @@ TEST_F(RuleNetworkTest, StoredSelfJoinMatchesVirtualBehaviour) {
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("e1.dno = e2.dno"));
   RuleNetwork net("r", 7003, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
 
   // Pre-existing x must be in the stored memories (prime by hand).
   auto xtid = emp_->Insert(Tuple(std::vector<Value>{Value::String("x"),
                                                     Value::Int(5),
                                                     Value::Int(1)}));
-  ASSERT_TRUE(xtid.ok());
+  ASSERT_OK(xtid);
   for (size_t i = 0; i < 2; ++i) {
     net.alpha(i)->InsertEntry(
         AlphaEntry{*xtid, *emp_->Get(*xtid), Tuple()});
   }
 
-  ASSERT_TRUE(InsertAndArrive(&net, emp_,
+  ASSERT_OK(InsertAndArrive(&net, emp_,
                               Tuple(std::vector<Value>{Value::String("t"),
                                                        Value::Int(7),
                                                        Value::Int(1)}),
-                              {0, 1})
-                  .ok());
+                              {0, 1}));
   EXPECT_EQ(net.pnode()->size(), 3u);  // same (t,x), (x,t), (t,t)
 }
 
 TEST_F(RuleNetworkTest, PrimeLoadsMemoriesAndPnode) {
   for (int i = 0; i < 4; ++i) {
-    ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{
+    ASSERT_OK(emp_->Insert(Tuple(std::vector<Value>{
                                  Value::String("e"), Value::Int(10 * i),
-                                 Value::Int(1)}))
-                    .ok());
+                                 Value::Int(1)})));
   }
-  ASSERT_TRUE(dept_->Insert(Tuple(std::vector<Value>{Value::Int(1),
-                                                     Value::String("d")}))
-                  .ok());
+  ASSERT_OK(dept_->Insert(Tuple(std::vector<Value>{Value::Int(1),
+                                                     Value::String("d")})));
   std::vector<AlphaSpec> specs;
   specs.push_back(Spec("emp", emp_, AlphaKind::kStored, "emp.sal >= 20"));
   specs.push_back(Spec("dept", dept_, AlphaKind::kStored, ""));
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("emp.dno = dept.dno"));
   RuleNetwork net("r", 7004, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
   Optimizer optimizer;
-  ASSERT_TRUE(net.Prime(&optimizer).ok());
+  ASSERT_OK(net.Prime(&optimizer));
   EXPECT_EQ(net.alpha(0)->entries().size(), 2u);  // sal 20, 30
   EXPECT_EQ(net.alpha(1)->entries().size(), 1u);
   EXPECT_EQ(net.pnode()->size(), 2u);
@@ -239,11 +230,11 @@ TEST_F(RuleNetworkTest, RecomputeRejectsDynamicRules) {
   on.on_event = event;
   specs.push_back(std::move(on));
   RuleNetwork net("r", 7005, std::move(specs), {});
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
   Optimizer optimizer;
   EXPECT_FALSE(net.RecomputeInstantiations(&optimizer).ok());
   // Prime still succeeds (it just leaves the P-node empty).
-  EXPECT_TRUE(net.Prime(&optimizer).ok());
+  EXPECT_OK(net.Prime(&optimizer));
   EXPECT_EQ(net.pnode()->size(), 0u);
 }
 
@@ -284,7 +275,7 @@ TEST_F(RuleNetworkTest, FlushOnlyTouchesDynamicMemories) {
   std::vector<ExprPtr> joins;
   joins.push_back(Parse("emp.dno = dept.dno"));
   RuleNetwork net("r", 7009, std::move(specs), std::move(joins));
-  ASSERT_TRUE(net.Init().ok());
+  ASSERT_OK(net.Init());
   EXPECT_TRUE(net.has_dynamic_memories());
 
   net.alpha(0)->InsertEntry(AlphaEntry{TupleId{1, 0}, Tuple(), Tuple()});

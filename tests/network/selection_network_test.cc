@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "parser/parser.h"
 
@@ -114,8 +116,8 @@ class SelectionNetworkTest : public ::testing::Test {
     auto network = std::make_unique<RuleNetwork>(name, next_pnode_id_++,
                                                  std::move(specs),
                                                  std::vector<ExprPtr>{});
-    EXPECT_TRUE(network->Init().ok());
-    EXPECT_TRUE(selection_.AddRule(network.get()).ok());
+    EXPECT_OK(network->Init());
+    EXPECT_OK(selection_.AddRule(network.get()));
     rules_.push_back(std::move(network));
     return rules_.back().get();
   }
@@ -129,7 +131,7 @@ class SelectionNetworkTest : public ::testing::Test {
                                            Value::Float(sal)});
     token.event = TokenEvent{EventKind::kAppend, {}};
     auto matches = selection_.Match(token);
-    EXPECT_TRUE(matches.ok());
+    EXPECT_OK(matches);
     std::vector<std::string> out;
     for (const ConditionMatch& m : *matches) {
       out.push_back(m.rule->rule_name());
@@ -193,7 +195,7 @@ TEST_F(SelectionNetworkTest, TokensForOtherRelationsMatchNothing) {
   token.relation_id = 9999;
   token.value = Tuple(std::vector<Value>{Value::Int(1)});
   auto matches = selection_.Match(token);
-  ASSERT_TRUE(matches.ok());
+  ASSERT_OK(matches);
   EXPECT_TRUE(matches->empty());
 }
 

@@ -3,6 +3,11 @@
 #include <gtest/gtest.h>
 
 namespace ariel {
+
+using lex::Token;
+using lex::TokenKind;
+using lex::Tokenize;
+using lex::TokenKindToString;
 namespace {
 
 std::vector<Token> Lex(std::string_view input) {

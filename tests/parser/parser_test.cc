@@ -54,8 +54,8 @@ TEST(ParserTest, RetrieveWithTargetsFromWhere) {
 }
 
 TEST(ParserTest, AppendFormsWithAndWithoutTo) {
-  auto* a = static_cast<AppendCommand*>(
-      MustParse("append to emp (name=\"x\")").get());
+  CommandPtr with_to = MustParse("append to emp (name=\"x\")");
+  auto* a = static_cast<AppendCommand*>(with_to.get());
   EXPECT_EQ(a->relation, "emp");
   auto cmd = MustParse("append emp (name=\"x\", age=3)");
   auto* b = static_cast<AppendCommand*>(cmd.get());

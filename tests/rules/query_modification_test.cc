@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 #include "parser/parser.h"
 #include "rules/rule_compiler.h"
@@ -14,25 +16,22 @@ namespace {
 class QueryModificationTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    ASSERT_TRUE(catalog_
+    ASSERT_OK(catalog_
                     .CreateRelation(
                         "emp", Schema({Attribute{"name", DataType::kString},
                                        Attribute{"sal", DataType::kFloat},
                                        Attribute{"dno", DataType::kInt},
-                                       Attribute{"jno", DataType::kInt}}))
-                    .ok());
-    ASSERT_TRUE(catalog_
+                                       Attribute{"jno", DataType::kInt}})));
+    ASSERT_OK(catalog_
                     .CreateRelation(
                         "dept", Schema({Attribute{"dno", DataType::kInt},
-                                        Attribute{"name", DataType::kString}}))
-                    .ok());
-    ASSERT_TRUE(catalog_
+                                        Attribute{"name", DataType::kString}})));
+    ASSERT_OK(catalog_
                     .CreateRelation("salarywatch",
                                     Schema({Attribute{"name", DataType::kString},
                                             Attribute{"sal", DataType::kFloat},
                                             Attribute{"dno", DataType::kInt},
-                                            Attribute{"jno", DataType::kInt}}))
-                    .ok());
+                                            Attribute{"jno", DataType::kInt}})));
   }
 
   std::string Modify(const std::string& command,
@@ -124,16 +123,14 @@ class RuleCompilerTest : public QueryModificationTest {
  protected:
   void SetUp() override {
     QueryModificationTest::SetUp();
-    ASSERT_TRUE(catalog_
+    ASSERT_OK(catalog_
                     .CreateRelation("job",
                                     Schema({Attribute{"jno", DataType::kInt},
                                             Attribute{"paygrade",
-                                                      DataType::kInt}}))
-                    .ok());
-    ASSERT_TRUE(catalog_
+                                                      DataType::kInt}})));
+    ASSERT_OK(catalog_
                     .CreateRelation("log",
-                                    Schema({Attribute{"x", DataType::kFloat}}))
-                    .ok());
+                                    Schema({Attribute{"x", DataType::kFloat}})));
   }
 
   Result<CompiledRule> Compile(const std::string& rule_text,
@@ -157,13 +154,13 @@ TEST_F(RuleCompilerTest, SingleVariableGetsSimpleKind) {
 TEST_F(RuleCompilerTest, EventAndTransitionKinds) {
   auto on_rule = Compile(
       "define rule r on append emp then append to log (x = 1)");
-  ASSERT_TRUE(on_rule.ok());
+  ASSERT_OK(on_rule);
   EXPECT_EQ(on_rule->alphas[0].kind, AlphaKind::kSimpleOn);
 
   auto trans_rule = Compile(
       "define rule r if emp.sal > previous emp.sal then "
       "append to log (x = 1)");
-  ASSERT_TRUE(trans_rule.ok());
+  ASSERT_OK(trans_rule);
   EXPECT_EQ(trans_rule->alphas[0].kind, AlphaKind::kSimpleTrans);
   EXPECT_TRUE(trans_rule->alphas[0].has_previous);
 
@@ -194,10 +191,9 @@ TEST_F(RuleCompilerTest, AdaptivePolicyUsesEstimates) {
   // Populate emp so the estimate has a base cardinality.
   HeapRelation* emp = catalog_.GetRelation("emp");
   for (int i = 0; i < 100; ++i) {
-    ASSERT_TRUE(emp->Insert(Tuple(std::vector<Value>{
+    ASSERT_OK(emp->Insert(Tuple(std::vector<Value>{
                                 Value::String("e"), Value::Float(i),
-                                Value::Int(1), Value::Int(1)}))
-                    .ok());
+                                Value::Int(1), Value::Int(1)})));
   }
   AlphaMemoryPolicy adaptive;
   adaptive.mode = AlphaMemoryPolicy::Mode::kAdaptive;
@@ -221,7 +217,7 @@ TEST_F(RuleCompilerTest, ConjunctClassification) {
       "define rule r if emp.sal > 10 and emp.dno = dept.dno and "
       "dept.name = \"Toy\" and emp.jno = job.jno "
       "then append to log (x = 1)");
-  ASSERT_TRUE(compiled.ok());
+  ASSERT_OK(compiled);
   ASSERT_EQ(compiled->alphas.size(), 3u);
   EXPECT_NE(compiled->alphas[0].selection, nullptr);  // emp.sal > 10
   EXPECT_NE(compiled->alphas[1].selection, nullptr);  // dept.name = Toy
@@ -261,7 +257,7 @@ TEST_F(RuleCompilerTest, ActionModifiedWithRuleVars) {
   auto compiled = Compile(
       "define rule r if emp.sal > 30000 and emp.jno = job.jno "
       "then replace emp (sal = 30000.0)");
-  ASSERT_TRUE(compiled.ok());
+  ASSERT_OK(compiled);
   EXPECT_EQ(compiled->modified_action[0]->ToString(),
             "replace' p.emp (sal = 30000)");
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "parser/parser.h"
 
 namespace ariel {
@@ -34,44 +36,41 @@ class RuleManagerTest : public ::testing::Test {
 };
 
 TEST_F(RuleManagerTest, DefineActivateDeactivateRemove) {
-  ASSERT_TRUE(Define("define rule r1 if emp.sal > 10 then "
-                     "append to log (x = emp.sal)")
-                  .ok());
+  ASSERT_OK(Define("define rule r1 if emp.sal > 10 then "
+                     "append to log (x = emp.sal)"));
   Rule* rule = manager_.GetRule("r1");
   ASSERT_NE(rule, nullptr);
   EXPECT_FALSE(rule->active);
   EXPECT_EQ(rule->ruleset, "default_rules");
   EXPECT_EQ(manager_.ActiveRules().size(), 0u);
 
-  ASSERT_TRUE(manager_.ActivateRule("R1").ok());  // case-insensitive
+  ASSERT_OK(manager_.ActivateRule("R1"));  // case-insensitive
   EXPECT_TRUE(rule->active);
   ASSERT_NE(rule->network, nullptr);
   EXPECT_EQ(manager_.ActiveRules().size(), 1u);
   EXPECT_FALSE(manager_.ActivateRule("r1").ok());  // double activation
 
-  ASSERT_TRUE(manager_.DeactivateRule("r1").ok());
+  ASSERT_OK(manager_.DeactivateRule("r1"));
   EXPECT_FALSE(rule->active);
   EXPECT_EQ(rule->network, nullptr);
   EXPECT_FALSE(manager_.DeactivateRule("r1").ok());
 
-  ASSERT_TRUE(manager_.RemoveRule("r1").ok());
+  ASSERT_OK(manager_.RemoveRule("r1"));
   EXPECT_EQ(manager_.GetRule("r1"), nullptr);
   EXPECT_FALSE(manager_.RemoveRule("r1").ok());
 }
 
 TEST_F(RuleManagerTest, RemoveWhileActiveDeactivatesFirst) {
-  ASSERT_TRUE(Define("define rule r if emp.sal > 10 then "
-                     "append to log (x = 1)")
-                  .ok());
-  ASSERT_TRUE(manager_.ActivateRule("r").ok());
-  ASSERT_TRUE(manager_.RemoveRule("r").ok());
+  ASSERT_OK(Define("define rule r if emp.sal > 10 then "
+                     "append to log (x = 1)"));
+  ASSERT_OK(manager_.ActivateRule("r"));
+  ASSERT_OK(manager_.RemoveRule("r"));
   EXPECT_EQ(manager_.num_rules(), 0u);
 }
 
 TEST_F(RuleManagerTest, DuplicateNamesRejected) {
-  ASSERT_TRUE(Define("define rule r if emp.sal > 10 then "
-                     "append to log (x = 1)")
-                  .ok());
+  ASSERT_OK(Define("define rule r if emp.sal > 10 then "
+                     "append to log (x = 1)"));
   EXPECT_EQ(Define("define rule R if emp.sal > 20 then "
                    "append to log (x = 2)")
                 .code(),
@@ -86,35 +85,32 @@ TEST_F(RuleManagerTest, InstallValidatesEagerly) {
 
 TEST_F(RuleManagerTest, ActivationPrimesFromExistingData) {
   for (int i = 0; i < 5; ++i) {
-    ASSERT_TRUE(emp_->Insert(Tuple(std::vector<Value>{
+    ASSERT_OK(emp_->Insert(Tuple(std::vector<Value>{
                                  Value::String("e"),
-                                 Value::Float(10.0 * i)}))
-                    .ok());
+                                 Value::Float(10.0 * i)})));
   }
-  ASSERT_TRUE(Define("define rule r if emp.sal >= 20 then "
-                     "append to log (x = emp.sal)")
-                  .ok());
-  ASSERT_TRUE(manager_.ActivateRule("r").ok());
+  ASSERT_OK(Define("define rule r if emp.sal >= 20 then "
+                     "append to log (x = emp.sal)"));
+  ASSERT_OK(manager_.ActivateRule("r"));
   // sal in {20, 30, 40} matches.
   EXPECT_EQ(manager_.GetRule("r")->network->pnode()->size(), 3u);
 }
 
 TEST_F(RuleManagerTest, PrioritiesAndRulesets) {
-  ASSERT_TRUE(Define("define rule r1 in audit priority 5 "
-                     "if emp.sal > 10 then append to log (x = 1)")
-                  .ok());
+  ASSERT_OK(Define("define rule r1 in audit priority 5 "
+                     "if emp.sal > 10 then append to log (x = 1)"));
   Rule* rule = manager_.GetRule("r1");
   EXPECT_EQ(rule->ruleset, "audit");
   EXPECT_DOUBLE_EQ(rule->priority, 5.0);
 }
 
 TEST_F(RuleManagerTest, ActiveRulesInCreationOrder) {
-  ASSERT_TRUE(Define("define rule z if emp.sal > 1 then "
-                     "append to log (x = 1)").ok());
-  ASSERT_TRUE(Define("define rule a if emp.sal > 2 then "
-                     "append to log (x = 2)").ok());
-  ASSERT_TRUE(manager_.ActivateRule("z").ok());
-  ASSERT_TRUE(manager_.ActivateRule("a").ok());
+  ASSERT_OK(Define("define rule z if emp.sal > 1 then "
+                     "append to log (x = 1)"));
+  ASSERT_OK(Define("define rule a if emp.sal > 2 then "
+                     "append to log (x = 2)"));
+  ASSERT_OK(manager_.ActivateRule("z"));
+  ASSERT_OK(manager_.ActivateRule("a"));
   auto active = manager_.ActiveRules();
   ASSERT_EQ(active.size(), 2u);
   EXPECT_EQ(active[0]->name, "z");  // creation order, not name order
@@ -122,9 +118,8 @@ TEST_F(RuleManagerTest, ActiveRulesInCreationOrder) {
 }
 
 TEST_F(RuleManagerTest, AnyRuleReferences) {
-  ASSERT_TRUE(Define("define rule r on append emp then "
-                     "append to log (x = 1)")
-                  .ok());
+  ASSERT_OK(Define("define rule r on append emp then "
+                     "append to log (x = 1)"));
   EXPECT_TRUE(manager_.AnyRuleReferences("emp"));
   EXPECT_TRUE(manager_.AnyRuleReferences("EMP"));
   EXPECT_FALSE(manager_.AnyRuleReferences("dept"));
@@ -134,10 +129,9 @@ TEST_F(RuleManagerTest, PolicyChangeTakesEffectOnNextActivation) {
   AlphaMemoryPolicy policy;
   policy.mode = AlphaMemoryPolicy::Mode::kAllVirtual;
   manager_.set_policy(policy);
-  ASSERT_TRUE(Define("define rule r if emp.sal > 10 and emp.sal < log.x "
-                     "then append to log (x = 1)")
-                  .ok());
-  ASSERT_TRUE(manager_.ActivateRule("r").ok());
+  ASSERT_OK(Define("define rule r if emp.sal > 10 and emp.sal < log.x "
+                     "then append to log (x = 1)"));
+  ASSERT_OK(manager_.ActivateRule("r"));
   EXPECT_EQ(manager_.GetRule("r")->network->alpha(0)->kind(),
             AlphaKind::kVirtual);
 }

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "catalog/catalog.h"
 
 namespace ariel {
@@ -21,12 +23,12 @@ Tuple Emp(const std::string& name, double sal, int64_t dno) {
 TEST(HeapRelationTest, InsertGetDelete) {
   HeapRelation rel(1, "emp", EmpSchema());
   auto tid = rel.Insert(Emp("a", 10.0, 1));
-  ASSERT_TRUE(tid.ok());
+  ASSERT_OK(tid);
   ASSERT_NE(rel.Get(*tid), nullptr);
   EXPECT_EQ(rel.Get(*tid)->at(0), Value::String("a"));
   EXPECT_EQ(rel.size(), 1u);
 
-  ASSERT_TRUE(rel.Delete(*tid).ok());
+  ASSERT_OK(rel.Delete(*tid));
   EXPECT_EQ(rel.Get(*tid), nullptr);
   EXPECT_EQ(rel.size(), 0u);
   EXPECT_FALSE(rel.Delete(*tid).ok());  // double delete rejected
@@ -37,9 +39,9 @@ TEST(HeapRelationTest, TidsStableAcrossUnrelatedMutations) {
   TupleId a = *rel.Insert(Emp("a", 1.0, 1));
   TupleId b = *rel.Insert(Emp("b", 2.0, 1));
   TupleId c = *rel.Insert(Emp("c", 3.0, 1));
-  ASSERT_TRUE(rel.Delete(b).ok());
+  ASSERT_OK(rel.Delete(b));
   for (int i = 0; i < 10; ++i) {
-    ASSERT_TRUE(rel.Insert(Emp("x", 9.0, 2)).ok());
+    ASSERT_OK(rel.Insert(Emp("x", 9.0, 2)));
   }
   // a and c still resolve to their original tuples.
   EXPECT_EQ(rel.Get(a)->at(0), Value::String("a"));
@@ -49,7 +51,7 @@ TEST(HeapRelationTest, TidsStableAcrossUnrelatedMutations) {
 TEST(HeapRelationTest, FreeSlotsAreReused) {
   HeapRelation rel(1, "emp", EmpSchema());
   TupleId a = *rel.Insert(Emp("a", 1.0, 1));
-  ASSERT_TRUE(rel.Delete(a).ok());
+  ASSERT_OK(rel.Delete(a));
   TupleId b = *rel.Insert(Emp("b", 2.0, 1));
   EXPECT_EQ(a.slot, b.slot);  // slot recycled
   EXPECT_EQ(rel.Get(b)->at(0), Value::String("b"));
@@ -58,7 +60,7 @@ TEST(HeapRelationTest, FreeSlotsAreReused) {
 TEST(HeapRelationTest, UpdateInPlace) {
   HeapRelation rel(1, "emp", EmpSchema());
   TupleId a = *rel.Insert(Emp("a", 1.0, 1));
-  ASSERT_TRUE(rel.Update(a, Emp("a", 99.0, 2)).ok());
+  ASSERT_OK(rel.Update(a, Emp("a", 99.0, 2)));
   EXPECT_EQ(rel.Get(a)->at(1), Value::Float(99.0));
   EXPECT_FALSE(rel.Update(TupleId{1, 999}, Emp("x", 0.0, 0)).ok());
 }
@@ -69,7 +71,7 @@ TEST(HeapRelationTest, SchemaCoercionAndErrors) {
   Tuple t(std::vector<Value>{Value::String("a"), Value::Int(5),
                              Value::Int(1)});
   auto tid = rel.Insert(std::move(t));
-  ASSERT_TRUE(tid.ok());
+  ASSERT_OK(tid);
   EXPECT_EQ(rel.Get(*tid)->at(1), Value::Float(5.0));
 
   // Wrong arity rejected.
@@ -80,16 +82,15 @@ TEST(HeapRelationTest, SchemaCoercionAndErrors) {
                               Value::Int(1)}))
                    .ok());
   // Nulls are allowed in any column.
-  EXPECT_TRUE(rel.Insert(Tuple(std::vector<Value>{
-                             Value::Null(), Value::Null(), Value::Null()}))
-                  .ok());
+  EXPECT_OK(rel.Insert(Tuple(std::vector<Value>{
+                             Value::Null(), Value::Null(), Value::Null()})));
 }
 
 TEST(HeapRelationTest, ForEachVisitsLiveTuplesOnly) {
   HeapRelation rel(1, "emp", EmpSchema());
   TupleId a = *rel.Insert(Emp("a", 1.0, 1));
-  ASSERT_TRUE(rel.Insert(Emp("b", 2.0, 1)).ok());
-  ASSERT_TRUE(rel.Delete(a).ok());
+  ASSERT_OK(rel.Insert(Emp("b", 2.0, 1)));
+  ASSERT_OK(rel.Delete(a));
   size_t count = 0;
   rel.ForEach([&](TupleId, const Tuple& t) {
     EXPECT_EQ(t.at(0), Value::String("b"));
@@ -102,7 +103,7 @@ TEST(HeapRelationTest, ForEachVisitsLiveTuplesOnly) {
 TEST(HeapRelationTest, IndexMaintainedByMutations) {
   HeapRelation rel(1, "emp", EmpSchema());
   TupleId a = *rel.Insert(Emp("a", 10.0, 1));
-  ASSERT_TRUE(rel.CreateIndex("sal").ok());  // built over existing data
+  ASSERT_OK(rel.CreateIndex("sal"));  // built over existing data
   const BTreeIndex* index = rel.GetIndex("sal");
   ASSERT_NE(index, nullptr);
   EXPECT_EQ(index->size(), 1u);
@@ -110,14 +111,14 @@ TEST(HeapRelationTest, IndexMaintainedByMutations) {
   TupleId b = *rel.Insert(Emp("b", 20.0, 1));
   EXPECT_EQ(index->size(), 2u);
 
-  ASSERT_TRUE(rel.Update(b, Emp("b", 30.0, 1)).ok());
+  ASSERT_OK(rel.Update(b, Emp("b", 30.0, 1)));
   std::vector<TupleId> out;
   index->Lookup(Value::Float(20.0), &out);
   EXPECT_TRUE(out.empty());
   index->Lookup(Value::Float(30.0), &out);
   EXPECT_EQ(out.size(), 1u);
 
-  ASSERT_TRUE(rel.Delete(a).ok());
+  ASSERT_OK(rel.Delete(a));
   EXPECT_EQ(index->size(), 1u);
 
   EXPECT_EQ(rel.GetIndex("name"), nullptr);
@@ -129,7 +130,7 @@ TEST(SchemaTest, LookupIsCaseInsensitive) {
   Schema schema = EmpSchema();
   EXPECT_EQ(schema.IndexOf("SAL"), 1);
   EXPECT_EQ(schema.IndexOf("nope"), -1);
-  ASSERT_TRUE(schema.Find("dno").ok());
+  ASSERT_OK(schema.Find("dno"));
   EXPECT_EQ(*schema.Find("dno"), 2u);
   EXPECT_FALSE(schema.Find("nope").ok());
 }
@@ -141,21 +142,21 @@ TEST(SchemaTest, ToStringRendersTypes) {
 TEST(CatalogTest, CreateLookupDrop) {
   Catalog catalog;
   auto rel = catalog.CreateRelation("Emp", EmpSchema());
-  ASSERT_TRUE(rel.ok());
+  ASSERT_OK(rel);
   EXPECT_EQ((*rel)->name(), "emp");
   EXPECT_NE(catalog.GetRelation("EMP"), nullptr);
   EXPECT_EQ(catalog.GetRelationById((*rel)->id()), *rel);
 
   EXPECT_FALSE(catalog.CreateRelation("emp", EmpSchema()).ok());
-  ASSERT_TRUE(catalog.DropRelation("emp").ok());
+  ASSERT_OK(catalog.DropRelation("emp"));
   EXPECT_EQ(catalog.GetRelation("emp"), nullptr);
   EXPECT_FALSE(catalog.DropRelation("emp").ok());
 }
 
 TEST(CatalogTest, RelationNamesSorted) {
   Catalog catalog;
-  ASSERT_TRUE(catalog.CreateRelation("zeta", EmpSchema()).ok());
-  ASSERT_TRUE(catalog.CreateRelation("alpha", EmpSchema()).ok());
+  ASSERT_OK(catalog.CreateRelation("zeta", EmpSchema()));
+  ASSERT_OK(catalog.CreateRelation("alpha", EmpSchema()));
   EXPECT_EQ(catalog.RelationNames(),
             (std::vector<std::string>{"alpha", "zeta"}));
   EXPECT_EQ(catalog.num_relations(), 2u);

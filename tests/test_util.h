@@ -1,0 +1,46 @@
+#ifndef ARIEL_TESTS_TEST_UTIL_H_
+#define ARIEL_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+
+// Macros for testing fallible Ariel APIs (Status / Result<T>), in the style
+// of tensorflow's status_test_util.h. On failure they print the full
+// "<code>: <message>" text instead of the useless `x.ok() evaluates to false`
+// a bare EXPECT_TRUE gives you; ariel_lint's `bare-ok` rule enforces their
+// use across the test tree.
+
+namespace ariel {
+namespace testing_internal {
+
+/// Adapts both Status and Result<T> to a Status for the macros below.
+inline const Status& ToStatus(const Status& status) { return status; }
+
+template <typename T>
+const Status& ToStatus(const Result<T>& result) {
+  return result.status();
+}
+
+}  // namespace testing_internal
+}  // namespace ariel
+
+#define ARIEL_EXPECT_OK_IMPL(gtest_macro, expr)             \
+  do {                                                      \
+    const auto& _st_or = (expr);                            \
+    gtest_macro(::ariel::testing_internal::ToStatus(_st_or).ok()) \
+        << "Expected OK, got: "                             \
+        << ::ariel::testing_internal::ToStatus(_st_or).ToString(); \
+  } while (0)
+
+#define EXPECT_OK(expr) ARIEL_EXPECT_OK_IMPL(EXPECT_TRUE, expr)
+#define ASSERT_OK(expr) ARIEL_EXPECT_OK_IMPL(ASSERT_TRUE, expr)
+
+/// Asserts `expr` (Status or Result) failed. For asserting *which* error,
+/// prefer EXPECT_EQ on .code() or matching on .message().
+#define EXPECT_NOT_OK(expr) \
+  EXPECT_FALSE(::ariel::testing_internal::ToStatus((expr)).ok())
+#define ASSERT_NOT_OK(expr) \
+  ASSERT_FALSE(::ariel::testing_internal::ToStatus((expr)).ok())
+
+#endif  // ARIEL_TESTS_TEST_UTIL_H_

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 namespace ariel {
 namespace {
 
@@ -61,20 +63,20 @@ TEST(ValueTest, Truthiness) {
 
 TEST(ValueTest, CastIntToFloat) {
   auto r = Value::Int(7).CastTo(DataType::kFloat);
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(*r, Value::Float(7.0));
 }
 
 TEST(ValueTest, CastIntegralFloatToInt) {
   auto r = Value::Float(8.0).CastTo(DataType::kInt);
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(*r, Value::Int(8));
   EXPECT_FALSE(Value::Float(8.5).CastTo(DataType::kInt).ok());
 }
 
 TEST(ValueTest, CastNullIsNull) {
   auto r = Value::Null().CastTo(DataType::kInt);
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_TRUE(r->is_null());
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "test_util.h"
+
 #include "util/string_util.h"
 
 namespace ariel {
@@ -9,7 +11,7 @@ namespace {
 
 TEST(StatusTest, DefaultIsOk) {
   Status s;
-  EXPECT_TRUE(s.ok());
+  EXPECT_OK(s);
   EXPECT_EQ(s.code(), StatusCode::kOk);
   EXPECT_EQ(s.ToString(), "OK");
 }
@@ -44,7 +46,7 @@ TEST(StatusTest, Equality) {
 
 TEST(ResultTest, HoldsValue) {
   Result<int> r = 42;
-  ASSERT_TRUE(r.ok());
+  ASSERT_OK(r);
   EXPECT_EQ(r.value(), 42);
   EXPECT_EQ(*r, 42);
 }
@@ -75,7 +77,7 @@ Status UsesAssignOrReturn(int* out) {
 TEST(ResultTest, Macros) {
   EXPECT_EQ(UsesReturnNotOk().code(), StatusCode::kExecutionError);
   int out = 0;
-  EXPECT_TRUE(UsesAssignOrReturn(&out).ok());
+  EXPECT_OK(UsesAssignOrReturn(&out));
   EXPECT_EQ(out, 7);
 }
 
