@@ -9,6 +9,7 @@
 // storage gateway (no cycle), then time monitor().RunCycle() — exactly the
 // act phase.
 
+#include "bench/bench_report.h"
 #include "bench/paper_workload.h"
 
 namespace {
@@ -50,6 +51,7 @@ double TimeActionExecution(int rule_type) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("action_exec");
   std::printf("=== §6 in-text: rule-action execution time ===\n");
   std::printf("(paper: ~0.06 s for type 1, 2 and 3 rules alike — the act\n");
   std::printf(" phase cost is independent of the number of tuple variables)\n");

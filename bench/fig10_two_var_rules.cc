@@ -4,15 +4,21 @@
 // α-memories and loads the P-node through a join, and each matching token
 // joins against the dept memory.
 
+#include "bench/bench_report.h"
 #include "bench/paper_workload.h"
 
 int main() {
   using namespace ariel;
   using namespace ariel::bench;
 
+  BenchReporter reporter("fig10_two_var_rules");
+  const bool smoke = SmokeMode();
+  const int max_rules = smoke ? 25 : 200;
+  const int trials = smoke ? 1 : 3;
   std::vector<FigureRow> rows;
-  for (int n = 25; n <= 200; n += 25) {
-    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/2, n, DatabaseOptions{}));
+  for (int n = 25; n <= max_rules; n += 25) {
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/2, n,
+                                           DatabaseOptions{}, trials));
   }
   PrintFigureTable(
       "Figure 10",

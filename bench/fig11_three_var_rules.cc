@@ -1,15 +1,21 @@
 // Reproduces Figure 11 of the paper: install/activate/token-test times for
 // three-tuple-variable rules (emp selection + dept join + job join).
 
+#include "bench/bench_report.h"
 #include "bench/paper_workload.h"
 
 int main() {
   using namespace ariel;
   using namespace ariel::bench;
 
+  BenchReporter reporter("fig11_three_var_rules");
+  const bool smoke = SmokeMode();
+  const int max_rules = smoke ? 25 : 200;
+  const int trials = smoke ? 1 : 3;
   std::vector<FigureRow> rows;
-  for (int n = 25; n <= 200; n += 25) {
-    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/3, n, DatabaseOptions{}));
+  for (int n = 25; n <= max_rules; n += 25) {
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/3, n,
+                                           DatabaseOptions{}, trials));
   }
   PrintFigureTable("Figure 11",
                    "three-tuple-variable rules (emp selection + dept join + "

@@ -6,15 +6,21 @@
 // linearly with the number of rules; token-test time stays small and nearly
 // flat thanks to the selection-predicate index.
 
+#include "bench/bench_report.h"
 #include "bench/paper_workload.h"
 
 int main() {
   using namespace ariel;
   using namespace ariel::bench;
 
+  BenchReporter reporter("fig9_one_var_rules");
+  const bool smoke = SmokeMode();
+  const int max_rules = smoke ? 25 : 200;
+  const int trials = smoke ? 1 : 3;
   std::vector<FigureRow> rows;
-  for (int n = 25; n <= 200; n += 25) {
-    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/1, n, DatabaseOptions{}));
+  for (int n = 25; n <= max_rules; n += 25) {
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/1, n,
+                                           DatabaseOptions{}, trials));
   }
   PrintFigureTable("Figure 9",
                    "one-tuple-variable rules (C1 < emp.sal <= C2)", rows);

@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_report.h"
 #include "isl/interval_skip_list.h"
 #include "util/random.h"
 
@@ -80,4 +81,14 @@ BENCHMARK(BM_IslStabPoints)->Arg(1000)->Arg(100000);
 }  // namespace
 }  // namespace ariel
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run is wrapped in a BenchReporter
+// scope: the report captures the engine counters the microbenchmarks drive
+// (isl_node_visits) alongside wall time.
+int main(int argc, char** argv) {
+  ariel::bench::BenchReporter reporter("isl_micro");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

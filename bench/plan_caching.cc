@@ -5,6 +5,7 @@
 // from plan execution for action-shaped commands of increasing join depth,
 // quantifying the ceiling a plan cache could gain.
 
+#include "bench/bench_report.h"
 #include <string>
 
 #include "bench/paper_workload.h"
@@ -91,6 +92,7 @@ double TimeFirings(bool cache_plans, int firings) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("plan_caching");
   using namespace ariel;
   using namespace ariel::bench;
 

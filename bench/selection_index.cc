@@ -5,6 +5,7 @@
 // related systems without such an index test every rule's predicate per
 // token. This bench quantifies both.
 
+#include "bench/bench_report.h"
 #include <vector>
 
 #include "bench/paper_workload.h"
@@ -81,6 +82,7 @@ double BruteForceTokenTestMicros(int num_rules) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("selection_index");
   std::printf("=== Ablation: selection-predicate index vs brute force ===\n");
   std::printf("(per-token condition-testing cost; §4.1, §6 scaling claim)\n");
   std::printf("%-12s %-26s %-26s\n", "no. of rules", "A-TREAT indexed (us)",

@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "bench/bench_report.h"
 #include "bench/paper_workload.h"
 
 namespace {
@@ -69,13 +70,17 @@ Sample Run(int rule_type, int num_rules) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("token_ops");
+  const bool smoke = ariel::bench::SmokeMode();
+  const int max_rule_type = smoke ? 1 : 3;
+  const int num_rules = smoke ? 25 : 100;
   std::printf("=== Extension: token-test cost by operation type ===\n");
-  std::printf("(the paper's Figures 9-11 time inserts only; 100 rules "
-              "active)\n\n");
+  std::printf("(the paper's Figures 9-11 time inserts only; %d rules "
+              "active)\n\n", num_rules);
   std::printf("%-10s %-14s %-14s %-14s\n", "rule type", "insert (us)",
               "replace (us)", "delete (us)");
-  for (int rule_type = 1; rule_type <= 3; ++rule_type) {
-    Sample s = Run(rule_type, 100);
+  for (int rule_type = 1; rule_type <= max_rule_type; ++rule_type) {
+    Sample s = Run(rule_type, num_rules);
     std::printf("%-10d %-14.2f %-14.2f %-14.2f\n", rule_type, s.insert_us,
                 s.replace_us, s.delete_us);
   }

@@ -8,6 +8,7 @@
 // update. Block: the k updates form one transition, one logical modify,
 // one firing.
 
+#include "bench/bench_report.h"
 #include <string>
 
 #include "bench/paper_workload.h"
@@ -56,6 +57,7 @@ Sample Run(bool use_block, int updates_per_round, int rounds) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("transition_blocks");
   std::printf("=== Ablation: do…end blocks vs per-command transitions ===\n");
   std::printf("k salary updates to one employee per round, on-replace audit "
               "rule active (20 rounds)\n\n");

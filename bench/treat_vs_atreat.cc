@@ -5,6 +5,7 @@
 // on token-test speed while saving most of the memory the unselective
 // rules would otherwise materialize.
 
+#include "bench/bench_report.h"
 #include <string>
 
 #include "bench/paper_workload.h"
@@ -97,6 +98,7 @@ Sample RunPolicy(AlphaMemoryPolicy policy, int emp_size) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("treat_vs_atreat");
   std::printf("=== Ablation: TREAT (all stored) vs A-TREAT policies ===\n");
   std::printf("50 rules (40 selective + 10 unselective), emp token test\n\n");
   std::printf("%-10s %-12s %-14s %-16s %-16s\n", "emp size", "policy",

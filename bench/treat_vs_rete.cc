@@ -9,6 +9,7 @@
 //     Rete must also shed partials from every β level,
 //   - memory: Rete pays for materialized β chains.
 
+#include "bench/bench_report.h"
 #include <string>
 
 #include "bench/paper_workload.h"
@@ -113,6 +114,7 @@ Sample Run(JoinBackend backend, int emp_size) {
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("treat_vs_rete");
   std::printf("=== Ablation: TREAT vs Rete join networks ===\n");
   std::printf("chain rule emp ⋈ dept ⋈ job; 10 depts, 10 jobs\n\n");
   std::printf("%-10s %-8s %-16s %-16s %-14s %-12s\n", "emp size", "backend",

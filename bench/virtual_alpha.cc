@@ -9,6 +9,7 @@
 // that joins through the emp memory (an insert into dept), and the time to
 // test a token arriving at the emp memory itself (an insert into emp).
 
+#include "bench/bench_report.h"
 #include <string>
 
 #include "bench/paper_workload.h"
@@ -98,6 +99,7 @@ Sample RunPolicy(AlphaMemoryPolicy::Mode mode, int emp_size,
 }  // namespace
 
 int main() {
+  ariel::bench::BenchReporter reporter("virtual_alpha");
   std::printf("=== Ablation: virtual vs stored α-memories (§4.2) ===\n");
   std::printf("rule: emp.sal > 30000 (90%% selective) joined to dept\n\n");
   std::printf("%-10s %-10s %-14s %-20s %-18s\n", "emp size", "policy",

@@ -104,7 +104,9 @@ int main() {
       buffer.clear();
       continue;
     }
-    if (result->rows.has_value()) {
+    if (!result->message.empty()) {
+      std::printf("%s", result->message.c_str());
+    } else if (result->rows.has_value()) {
       std::printf("%s(%zu rows)\n", result->rows->ToString().c_str(),
                   result->rows->num_rows());
     } else if (result->affected > 0) {

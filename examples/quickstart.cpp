@@ -62,6 +62,24 @@ int main() {
                    "where emp.dno = dept.dno and dept.name = \"Sales\"");
   std::printf("%s\n", result.rows->ToString().c_str());
 
+  // A two-variable rule: its per-variable conditions go through the
+  // selection network and matching tuples are stored in α-memories, joined
+  // on arrival (TREAT).
+  Run(db, "create bigsal (name = string)");
+  Run(db, "define rule SalesBigSal "
+          "if emp.dno = dept.dno and dept.name = \"Sales\" and "
+          "emp.sal > 60000.0 "
+          "then append bigsal (name = emp.name)");
+  Run(db, "append emp (name=\"Carol\", age=35, sal=70000.0, dno=1, jno=2)");
+  result = Run(db, "retrieve (bigsal.name)");
+  std::printf("%s\n", result.rows->ToString().c_str());
+
+  // Engine observability: per-rule network shape and global counters.
+  result = Run(db, "explain rule SalesBigSal");
+  std::printf("%s", result.message.c_str());
+  result = Run(db, "show stats");
+  std::printf("%s", result.message.c_str());
+
   std::printf("quickstart OK\n");
   return 0;
 }

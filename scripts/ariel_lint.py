@@ -15,6 +15,12 @@ Rules
   bare-ok        Tests must not assert `EXPECT_TRUE(x.ok())` (or ASSERT_)
                  without the Status message: use EXPECT_OK / ASSERT_OK from
                  tests/test_util.h, which print the failing Status.
+  metric-keyed   Engine hot paths (src/network, src/exec, src/isl,
+                 src/storage, src/rules) must not call
+                 RegisterCounter/RegisterGauge/RegisterHistogram: a string-
+                 keyed registry lookup per event defeats the handle design.
+                 Update pre-registered EngineMetrics handles (Metrics().x)
+                 instead; registration belongs in src/util/metrics.cc.
 
 A finding can be suppressed on its line with:  // ariel-lint: allow(<rule>)
 
@@ -133,6 +139,14 @@ RAW_NEW_RE = re.compile(r"(?<![\w.])new\s+[\w:(<]")
 RAW_DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[\w:(*]")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
 CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
+METRIC_REGISTER_RE = re.compile(r"\bRegister(Counter|Gauge|Histogram)\s*\(")
+HOT_PATH_DIRS = (
+    ("src", "network"),
+    ("src", "exec"),
+    ("src", "isl"),
+    ("src", "storage"),
+    ("src", "rules"),
+)
 BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
@@ -171,6 +185,15 @@ def lint_file(path: Path) -> list[Finding]:
             if CONST_CAST_RE.search(line):
                 report(i, "const-cast",
                        "const_cast — thread mutable access through the API")
+
+    # metric-keyed: engine hot paths must use pre-registered handles.
+    rel_parts = path.relative_to(REPO_ROOT).parts[:2]
+    if rel_parts in HOT_PATH_DIRS:
+        for i, line in enumerate(code_lines, start=1):
+            if METRIC_REGISTER_RE.search(line):
+                report(i, "metric-keyed",
+                       "string-keyed metric registration in an engine hot "
+                       "path — update a pre-registered Metrics() handle")
 
     # include-guard: headers only.
     if path.suffix == ".h":

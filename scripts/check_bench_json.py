@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Validates BENCH_<name>.json reports emitted by bench/bench_report.h.
+
+Usage: check_bench_json.py FILE [FILE...]
+
+Each report must be valid JSON with:
+  - "bench": non-empty string matching the BENCH_<name>.json filename
+  - "schema_version": integer
+  - "wall_time_seconds": non-negative number
+  - "counters": object with at least MIN_COUNTERS integer entries
+
+Exits 1 on the first malformed report; CI runs this over the smoke-mode
+bench artifacts so a bench that stops reporting fails the build.
+"""
+
+import json
+import os
+import sys
+
+MIN_COUNTERS = 6
+
+
+def fail(path: str, message: str) -> None:
+    print(f"check_bench_json: {path}: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(path: str) -> None:
+    try:
+        with open(path, encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(path, f"unreadable or invalid JSON: {e}")
+
+    if not isinstance(report, dict):
+        fail(path, "top level is not an object")
+
+    bench = report.get("bench")
+    if not isinstance(bench, str) or not bench:
+        fail(path, '"bench" missing or not a non-empty string')
+    expected = f"BENCH_{bench}.json"
+    if os.path.basename(path) != expected:
+        fail(path, f'filename does not match "bench" field (want {expected})')
+
+    if not isinstance(report.get("schema_version"), int):
+        fail(path, '"schema_version" missing or not an integer')
+
+    wall = report.get("wall_time_seconds")
+    if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
+        fail(path, '"wall_time_seconds" missing or not a non-negative number')
+
+    counters = report.get("counters")
+    if not isinstance(counters, dict):
+        fail(path, '"counters" missing or not an object')
+    bad = [k for k, v in counters.items()
+           if not isinstance(v, int) or isinstance(v, bool) or v < 0]
+    if bad:
+        fail(path, f"non-integer counter values: {', '.join(sorted(bad))}")
+    if len(counters) < MIN_COUNTERS:
+        fail(path,
+             f"only {len(counters)} counters reported (need >= {MIN_COUNTERS})")
+
+    print(f"check_bench_json: {path}: ok "
+          f"({len(counters)} counters, {wall:.3f}s)")
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    for path in argv[1:]:
+        check(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

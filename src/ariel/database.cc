@@ -1,8 +1,10 @@
 #include "ariel/database.h"
 
 #include <algorithm>
+#include <sstream>
 
 #include "parser/parser.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
@@ -171,6 +173,61 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
     case CommandKind::kHalt:
       // Top-level halt is a no-op; halt matters inside rule actions.
       return CommandResult{};
+
+    case CommandKind::kShowStats: {
+      // Read-only diagnostic: no transition, no recognize-act cycle.
+      const auto& cmd = static_cast<const ShowStatsCommand&>(command);
+      EngineMetrics& m = Metrics();
+      std::ostringstream os;
+      os << "engine statistics:\n" << m.registry.Render();
+      const uint64_t total = m.firing_trace.total_recorded();
+      if (total > 0) {
+        std::vector<FiringTraceEntry> recent = m.firing_trace.Recent(10);
+        os << "recent rule firings (" << recent.size() << " of " << total
+           << " recorded):\n";
+        for (const FiringTraceEntry& entry : recent) {
+          os << "  " << entry.ToString() << "\n";
+        }
+      }
+      if (cmd.reset) {
+        m.registry.Reset();
+        m.firing_trace.Clear();
+        os << "(statistics reset)\n";
+      }
+      CommandResult result;
+      result.message = os.str();
+      return result;
+    }
+
+    case CommandKind::kExplainRule: {
+      const auto& cmd = static_cast<const ExplainRuleCommand&>(command);
+      const Rule* rule = rules_->GetRule(cmd.rule_name);
+      if (rule == nullptr) {
+        return Status::NotFound("no rule named \"" + cmd.rule_name + "\"");
+      }
+      std::ostringstream os;
+      os << "rule " << rule->name << " (priority " << rule->priority
+         << ", " << (rule->active ? "active" : "inactive") << ", fired "
+         << rule->times_fired << " time" << (rule->times_fired == 1 ? "" : "s")
+         << ")\n";
+      if (rule->network == nullptr) {
+        os << "  (inactive: no discrimination network installed)\n";
+      } else {
+        const SelectionNetwork& selection = network_.selection_network();
+        os << "selection layer (engine-wide: " << selection.num_indexed()
+           << " indexed / " << selection.num_residual()
+           << " residual conditions):\n"
+           << selection.DescribeRule(rule->network.get());
+        os << "join network:\n" << rule->network->ToString();
+        const PNode* pnode = rule->network->pnode();
+        os << "P-node: " << pnode->size() << " pending instantiation"
+           << (pnode->size() == 1 ? "" : "s") << ", "
+           << pnode->lifetime_insertions() << " created over its lifetime\n";
+      }
+      CommandResult result;
+      result.message = os.str();
+      return result;
+    }
   }
   return Status::Internal("unhandled command kind");
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
@@ -275,10 +276,12 @@ Result<Plan*> Executor::ObtainPlan(const Command& command,
   if (plan_cache != nullptr && plan_cache->plan.has_value() &&
       plan_cache->catalog_version == catalog_->version()) {
     ++plan_cache_hits_;
+    Metrics().plan_cache_hits.Increment();
     return &*plan_cache->plan;
   }
   ARIEL_ASSIGN_OR_RETURN(Plan built, PlanFor(command, extra));
   ++plans_built_;
+  Metrics().plans_built.Increment();
   if (plan_cache != nullptr) {
     plan_cache->catalog_version = catalog_->version();
     plan_cache->plan = std::move(built);

@@ -20,6 +20,8 @@ namespace ariel {
 struct CommandResult {
   std::optional<ResultSet> rows;
   size_t affected = 0;
+  /// Pre-rendered text for diagnostic commands (show stats, explain rule).
+  std::string message;
 };
 
 /// Extra tuple-variable → relation bindings consulted before the catalog.

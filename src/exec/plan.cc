@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace ariel {
 
 std::string PlanNode::ToString(int indent) const {
@@ -22,6 +24,7 @@ Status SeqScanNode::Execute(const RowConsumer& consume) {
   // Materialize tuple ids first so consumers that mutate the relation
   // (through a pipeline-breaking parent) cannot invalidate the iteration.
   std::vector<TupleId> tids = relation_->AllTupleIds();
+  Metrics().tuples_scanned.Increment(tids.size());
   Row row(num_vars_);
   for (TupleId tid : tids) {
     const Tuple* tuple = relation_->Get(tid);
@@ -45,6 +48,7 @@ std::string SeqScanNode::Label() const {
 Status IndexScanNode::Execute(const RowConsumer& consume) {
   std::vector<TupleId> tids;
   index_->Scan(lower_, upper_, &tids);
+  Metrics().tuples_scanned.Increment(tids.size());
   Row row(num_vars_);
   for (TupleId tid : tids) {
     const Tuple* tuple = relation_->Get(tid);

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "util/metrics.h"
+
 namespace ariel {
 
 namespace {
@@ -266,18 +268,22 @@ void IntervalSkipList::Stab(const Value& v, std::vector<int64_t>* out) const {
   // Skip-list descent: at each level the final edge is the unique edge
   // spanning v, so every bounded interval containing v is seen either there
   // or in the eq set of the node whose key equals v.
+  uint64_t visits = 0;
   const Node* x = header_;
   for (int l = max_height_ - 1; l >= 0; --l) {
     while (x->forward[l] != nullptr && x->forward[l]->key < v) {
       x = x->forward[l];
+      ++visits;
     }
     const Node* y = x->forward[l];
     if (y == nullptr) continue;
+    ++visits;
     for (int64_t id : x->edge_markers[l]) consider(id);
     if (y->key == v) {
       for (int64_t id : y->eq_markers) consider(id);
     }
   }
+  Metrics().isl_node_visits.Increment(visits);
 
   // (-inf, b): all entries with b >= v (closedness checked by consider).
   for (auto it = lo_unbounded_.lower_bound(v); it != lo_unbounded_.end();

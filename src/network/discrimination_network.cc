@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
+
 namespace ariel {
 
 Status DiscriminationNetwork::AddRule(RuleNetwork* rule) {
@@ -19,6 +21,7 @@ void DiscriminationNetwork::RemoveRule(RuleNetwork* rule) {
 }
 
 Status DiscriminationNetwork::ProcessToken(const Token& token) {
+  ScopedTimer timer(Metrics().token_process_ns);
   ++tokens_processed_;
   if (token_listener_) token_listener_(token);
   ARIEL_ASSIGN_OR_RETURN(std::vector<ConditionMatch> matches,
@@ -30,6 +33,7 @@ Status DiscriminationNetwork::ProcessToken(const Token& token) {
     // α-memories produce each pairing exactly once.
     processed.insert(match.rule->alpha(match.alpha_ordinal));
     ++arrivals_;
+    Metrics().alpha_arrivals.Increment();
     if (match.rule->has_dynamic_memories() && !match.rule->dirty_dynamic()) {
       match.rule->set_dirty_dynamic(true);
       dirty_dynamic_rules_.push_back(match.rule);

@@ -2,6 +2,8 @@
 
 #include <atomic>
 
+#include "util/metrics.h"
+
 namespace ariel {
 
 namespace {
@@ -58,6 +60,8 @@ Status PNode::Insert(const Row& row) {
     }
   }
   last_insert_stamp_ = ++g_match_clock;
+  Metrics().pnode_bindings_created.Increment();
+  ++lifetime_insertions_;
   return relation_->Insert(std::move(out)).status();
 }
 
@@ -72,6 +76,7 @@ size_t PNode::RemoveByTid(size_t var_ordinal, TupleId tid) {
       ++removed;
     }
   }
+  Metrics().pnode_bindings_removed.Increment(removed);
   return removed;
 }
 
@@ -90,25 +95,31 @@ void PNode::DrainInto(HeapRelation* dest) {
   for (TupleId row_id : dest->AllTupleIds()) {
     ARIEL_IGNORE_STATUS(dest->Delete(row_id));  // id just enumerated
   }
+  size_t drained = 0;
   for (TupleId row_id : relation_->AllTupleIds()) {
     const Tuple* t = relation_->Get(row_id);
     if (t != nullptr) {
       ARIEL_IGNORE_STATUS(dest->Insert(*t).status());  // same schema
       ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
+      ++drained;
     }
   }
+  Metrics().pnode_bindings_consumed.Increment(drained);
 }
 
 std::unique_ptr<HeapRelation> PNode::DetachSnapshot() {
   auto snapshot = std::make_unique<HeapRelation>(
       relation_->id(), relation_->name() + "$firing", relation_->schema());
+  size_t drained = 0;
   for (TupleId row_id : relation_->AllTupleIds()) {
     const Tuple* t = relation_->Get(row_id);
     if (t != nullptr) {
       ARIEL_IGNORE_STATUS(snapshot->Insert(*t).status());  // same schema
       ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
+      ++drained;
     }
   }
+  Metrics().pnode_bindings_consumed.Increment(drained);
   return snapshot;
 }
 

@@ -50,6 +50,10 @@ class PNode {
   /// prefers the rule whose conflict-set entry is freshest.
   uint64_t last_insert_stamp() const { return last_insert_stamp_; }
 
+  /// Lifetime count of instantiations ever inserted (observability; shown
+  /// by `explain rule`).
+  uint64_t lifetime_insertions() const { return lifetime_insertions_; }
+
   /// Materializes one instantiation. `row` is laid out against the rule's
   /// variable order; every slot must be filled.
   [[nodiscard]] Status Insert(const Row& row);
@@ -86,6 +90,7 @@ class PNode {
   std::vector<size_t> var_offset_;
   std::unique_ptr<HeapRelation> relation_;
   uint64_t last_insert_stamp_ = 0;
+  uint64_t lifetime_insertions_ = 0;
 };
 
 }  // namespace ariel

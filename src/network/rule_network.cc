@@ -50,6 +50,7 @@ bool AlphaMemory::RemoveEntry(TupleId tid) {
   for (auto it = entries_.begin(); it != entries_.end(); ++it) {
     if (it->tid == tid) {
       entries_.erase(it);
+      Metrics().alpha_removals.Increment();
       return true;
     }
   }
@@ -202,6 +203,8 @@ Status RuleNetwork::Arrive(const Token& token, size_t alpha_ordinal,
                            const ProcessedMemories& processed) {
   AlphaMemory* alpha = alphas_[alpha_ordinal].get();
   const size_t n = alphas_.size();
+  last_trigger_ =
+      LastTrigger{true, token.kind, token.relation_id, token.tid};
 
   // Does this token assert a binding here, or retract one? Insertion
   // tokens assert; deletion tokens retract — except at on-delete
@@ -450,6 +453,7 @@ Status RuleNetwork::ForEachCandidate(
   if (alpha->stores_tuples()) {
     // Iterate over a snapshot index range: fn never mutates α-memories.
     const auto& entries = alpha->entries();
+    Metrics().join_probes.Increment(entries.size());
     for (size_t i = 0; i < entries.size(); ++i) {
       ARIEL_RETURN_NOT_OK(fn(entries[i]));
     }
@@ -505,11 +509,16 @@ Status RuleNetwork::ForEachCandidate(
     ARIEL_ASSIGN_OR_RETURN(Value key, chosen->key_expr->Eval(row));
     std::vector<TupleId> tids;
     index->Lookup(key, &tids);
+    Metrics().join_index_probes.Increment(tids.size());
+    Metrics().join_probes.Increment(tids.size());
     for (TupleId tid : tids) {
       ARIEL_RETURN_NOT_OK(emit(tid));
     }
   } else {
-    for (TupleId tid : relation->AllTupleIds()) {
+    std::vector<TupleId> tids = relation->AllTupleIds();
+    Metrics().virtual_alpha_scans.Increment();
+    Metrics().join_probes.Increment(tids.size());
+    for (TupleId tid : tids) {
       ARIEL_RETURN_NOT_OK(emit(tid));
     }
   }

@@ -13,6 +13,7 @@
 #include "network/pnode.h"
 #include "network/token.h"
 #include "parser/ast.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 namespace ariel {
@@ -88,7 +89,10 @@ class AlphaMemory {
   bool AcceptsToken(const Token& token) const;
 
   const std::vector<AlphaEntry>& entries() const { return entries_; }
-  void InsertEntry(AlphaEntry entry) { entries_.push_back(std::move(entry)); }
+  void InsertEntry(AlphaEntry entry) {
+    Metrics().alpha_insertions.Increment();
+    entries_.push_back(std::move(entry));
+  }
   /// Removes the entry with this tid (if present). Returns true if removed.
   bool RemoveEntry(TupleId tid);
   void Flush() { entries_.clear(); }
@@ -200,6 +204,17 @@ class RuleNetwork {
   /// conjuncts, and the current P-node cardinality.
   std::string ToString() const;
 
+  /// The last token that arrived at this rule's network, recorded as a
+  /// cheap POD in Arrive and rendered lazily by the firing trace (a rule
+  /// fires orders of magnitude less often than tokens arrive).
+  struct LastTrigger {
+    bool valid = false;
+    TokenKind kind = TokenKind::kPlus;
+    uint32_t relation_id = 0;
+    TupleId tid;
+  };
+  const LastTrigger& last_trigger() const { return last_trigger_; }
+
   /// Recomputes, from base relations only, the set of instantiations a
   /// fully-pattern rule should currently have — used by equivalence tests
   /// to validate incremental maintenance. Fails for rules with dynamic
@@ -289,6 +304,7 @@ class RuleNetwork {
   bool initialized_ = false;
   bool has_dynamic_ = false;
   bool dirty_dynamic_ = false;
+  LastTrigger last_trigger_;
 };
 
 }  // namespace ariel

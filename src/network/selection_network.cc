@@ -1,7 +1,9 @@
 #include "network/selection_network.h"
 
 #include <algorithm>
+#include <sstream>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
@@ -111,6 +113,7 @@ Status SelectionNetwork::AddRule(RuleNetwork* rule) {
                               &attr_pos, &interval)) {
       node.indexed = true;
       node.anchor_attr = attr_pos;
+      node.interval = interval;
       auto& index = per_rel.attr_indexes[attr_pos];
       if (index == nullptr) index = std::make_unique<IntervalSkipList>();
       index->Insert(node.id, interval);
@@ -148,10 +151,12 @@ void SelectionNetwork::RemoveRule(RuleNetwork* rule) {
 Status SelectionNetwork::VerifyAndCollect(
     const Token& token, const NodeInfo& node,
     std::vector<ConditionMatch>* out) const {
+  ++node.tested;
   const AlphaMemory* alpha = node.rule->alpha(node.alpha_ordinal);
   if (!alpha->AcceptsToken(token)) return Status::OK();
   const CompiledExpr* selection = alpha->compiled_selection();
   if (selection != nullptr) {
+    Metrics().selection_predicate_evals.Increment();
     Row scratch(node.rule->num_vars());
     scratch.Set(node.alpha_ordinal, token.value, token.tid);
     if (alpha->is_transition()) {
@@ -160,6 +165,8 @@ Status SelectionNetwork::VerifyAndCollect(
     ARIEL_ASSIGN_OR_RETURN(bool ok, selection->EvalPredicate(scratch));
     if (!ok) return Status::OK();
   }
+  ++node.matched;
+  Metrics().selection_matches.Increment();
   out->push_back(ConditionMatch{node.rule, node.alpha_ordinal});
   return Status::OK();
 }
@@ -170,12 +177,16 @@ Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
   auto rel_it = relations_.find(token.relation_id);
   if (rel_it == relations_.end()) return out;
   const PerRelation& per_rel = rel_it->second;
+  EngineMetrics& m = Metrics();
+  m.selection_tokens.Increment();
+  m.selection_residual_checks.Increment(per_rel.residual.size());
 
   // Candidate ids from the attribute interval indexes plus the residuals;
   // verified in registration-id order for deterministic arrival order.
   std::vector<int64_t> candidates = per_rel.residual;
   for (const auto& [attr_pos, index] : per_rel.attr_indexes) {
     if (attr_pos < token.value.size()) {
+      m.selection_stabs.Increment();
       index->Stab(token.value.at(attr_pos), &candidates);
     }
   }
@@ -185,6 +196,38 @@ Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
     ARIEL_RETURN_NOT_OK(VerifyAndCollect(token, per_rel.nodes.at(id), &out));
   }
   return out;
+}
+
+std::string SelectionNetwork::DescribeRule(const RuleNetwork* rule) const {
+  // Collect this rule's nodes across all relations, in condition order.
+  std::vector<const NodeInfo*> nodes;
+  for (const auto& [relation_id, per_rel] : relations_) {
+    for (const auto& [id, node] : per_rel.nodes) {
+      if (node.rule == rule) nodes.push_back(&node);
+    }
+  }
+  std::sort(nodes.begin(), nodes.end(),
+            [](const NodeInfo* a, const NodeInfo* b) {
+              return a->alpha_ordinal < b->alpha_ordinal;
+            });
+
+  std::ostringstream os;
+  for (const NodeInfo* node : nodes) {
+    const AlphaSpec& spec = node->rule->alpha(node->alpha_ordinal)->spec();
+    os << "  condition " << node->alpha_ordinal << " (" << spec.var_name
+       << " in " << spec.relation->name() << "): ";
+    if (node->indexed) {
+      const Schema& schema = spec.relation->schema();
+      os << "indexed on " << schema.attribute(node->anchor_attr).name << " "
+         << node->interval.ToString();
+    } else {
+      os << "residual (verified on every " << spec.relation->name()
+         << " token)";
+    }
+    os << ", tested " << node->tested << ", matched " << node->matched
+       << "\n";
+  }
+  return os.str();
 }
 
 std::vector<std::string> SelectionNetwork::AuditIndexes() const {

@@ -52,6 +52,11 @@ class SelectionNetwork {
   size_t num_indexed() const { return num_indexed_; }
   size_t num_residual() const { return num_residual_; }
 
+  /// Renders the selection-layer view of one rule's conditions: indexed
+  /// (anchor attribute + interval) vs. residual, with lifetime
+  /// tested/matched counters per condition. Backs `explain rule`.
+  std::string DescribeRule(const RuleNetwork* rule) const;
+
   /// Audit support: cross-checks every attribute interval index against a
   /// brute-force scan (IntervalSkipList::AuditStabConsistency) and verifies
   /// the per-relation bookkeeping (each registered condition is either in
@@ -66,6 +71,10 @@ class SelectionNetwork {
     size_t alpha_ordinal;
     bool indexed;
     size_t anchor_attr = 0;  // attribute position when indexed
+    Interval interval;       // anchor interval when indexed
+    // Lifetime observability counters; mutable because Match is const.
+    mutable uint64_t tested = 0;   // tokens verified against this condition
+    mutable uint64_t matched = 0;  // tokens admitted to the α-memory
   };
 
   struct PerRelation {

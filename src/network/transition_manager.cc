@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
@@ -23,6 +24,8 @@ void MergeAttrs(std::vector<std::string>* acc,
 
 void TransitionManager::BeginTransition() {
   in_transition_ = true;
+  ++transition_seq_;
+  Metrics().transitions.Increment();
   inserted_.clear();
   modified_.clear();
 }
@@ -37,6 +40,22 @@ Status TransitionManager::EndTransition() {
 
 Status TransitionManager::Emit(Token token) {
   ++tokens_emitted_;
+  EngineMetrics& m = Metrics();
+  m.tokens_emitted.Increment();
+  switch (token.kind) {
+    case TokenKind::kPlus:
+      m.tokens_plus.Increment();
+      break;
+    case TokenKind::kMinus:
+      m.tokens_minus.Increment();
+      break;
+    case TokenKind::kDeltaPlus:
+      m.tokens_delta_plus.Increment();
+      break;
+    case TokenKind::kDeltaMinus:
+      m.tokens_delta_minus.Increment();
+      break;
+  }
   return network_->ProcessToken(token);
 }
 
@@ -77,6 +96,7 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
   Status status = Status::OK();
   if (inserted_.contains(tid)) {
     // Case 2 (im*d): retract the insertion; net effect nothing.
+    Metrics().delta_case2_net_nothing.Increment();
     Token minus;
     minus.kind = TokenKind::kMinus;
     minus.relation_id = relation->id();
@@ -89,6 +109,7 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
     auto mod = modified_.find(tid);
     if (mod != modified_.end()) {
       // Case 4 tail: retract the transition pair first.
+      Metrics().delta_case4_modified_delete.Increment();
       Token delta_minus;
       delta_minus.kind = TokenKind::kDeltaMinus;
       delta_minus.relation_id = relation->id();
@@ -135,6 +156,7 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
 
   if (status.ok() && inserted_.contains(tid)) {
     // Case 1 (im*): the insertion is re-expressed with the new value.
+    Metrics().delta_case1_reexpressed.Increment();
     Token minus;
     minus.kind = TokenKind::kMinus;
     minus.relation_id = relation->id();
@@ -154,6 +176,7 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
   } else if (status.ok()) {
     auto mod = modified_.find(tid);
     if (mod == modified_.end()) {
+      Metrics().delta_case3_first_modify.Increment();
       // Case 3 head (first modification of a pre-existing tuple): a
       // specifier-less − removes the old value from pattern memories
       // without waking on-delete rules, then a Δ+ introduces the pair.
@@ -182,6 +205,7 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
     } else {
       // Case 3 tail: replace the old pair with the updated one. The old
       // value of the pair stays the transition-start original.
+      Metrics().delta_case3_later_modify.Increment();
       Token delta_minus;
       delta_minus.kind = TokenKind::kDeltaMinus;
       delta_minus.relation_id = relation->id();

@@ -54,6 +54,10 @@ class TransitionManager : public StorageGateway {
 
   uint64_t tokens_emitted() const { return tokens_emitted_; }
 
+  /// Monotonic id of the current (or most recent) transition; used by the
+  /// firing trace to tie a rule firing back to the transition that woke it.
+  uint64_t transition_seq() const { return transition_seq_; }
+
  private:
   struct ModifiedEntry {
     Tuple original;                       // value at transition start
@@ -67,6 +71,7 @@ class TransitionManager : public StorageGateway {
   std::unordered_set<TupleId, TupleIdHash> inserted_;
   std::unordered_map<TupleId, ModifiedEntry, TupleIdHash> modified_;
   uint64_t tokens_emitted_ = 0;
+  uint64_t transition_seq_ = 0;
 };
 
 }  // namespace ariel

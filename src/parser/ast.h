@@ -185,6 +185,7 @@ enum class CommandKind : uint8_t {
   kRetrieve, kAppend, kDelete, kReplace,
   kBlock, kDefineRule, kActivateRule, kDeactivateRule, kRemoveRule,
   kHalt,
+  kShowStats, kExplainRule,
 };
 
 struct Command {
@@ -359,6 +360,35 @@ struct HaltCommand : Command {
     return std::make_unique<HaltCommand>();
   }
   std::string ToString() const override { return "halt"; }
+};
+
+/// `show stats [reset]` — dumps the engine metrics registry and the recent
+/// rule-firing trace; with `reset`, zeroes them after rendering.
+struct ShowStatsCommand : Command {
+  ShowStatsCommand() : Command(CommandKind::kShowStats) {}
+  bool reset = false;
+  CommandPtr Clone() const override {
+    auto clone = std::make_unique<ShowStatsCommand>();
+    clone->reset = reset;
+    return clone;
+  }
+  std::string ToString() const override {
+    return reset ? "show stats reset" : "show stats";
+  }
+};
+
+/// `explain rule <name>` — renders the rule's A-TREAT network plus the
+/// selection layer's indexed/residual classification and per-node lifetime
+/// counters.
+struct ExplainRuleCommand : Command {
+  ExplainRuleCommand() : Command(CommandKind::kExplainRule) {}
+  std::string rule_name;
+  CommandPtr Clone() const override {
+    auto clone = std::make_unique<ExplainRuleCommand>();
+    clone->rule_name = rule_name;
+    return clone;
+  }
+  std::string ToString() const override { return "explain rule " + rule_name; }
 };
 
 // ---------------------------------------------------------------------------

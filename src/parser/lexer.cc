@@ -1,6 +1,8 @@
 #include "parser/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
 
 #include "util/string_util.h"
@@ -126,12 +128,33 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
       t.offset = start;
       t.line = line;
       t.text = text;
+      // strtod/strtoll report problems only through errno and the end
+      // pointer; without these checks 1e999 silently becomes inf and an
+      // over-wide integer clamps to INT64_MAX.
+      char* end = nullptr;
+      errno = 0;
       if (is_float) {
         t.kind = TokenKind::kFloat;
-        t.float_value = std::strtod(text.c_str(), nullptr);
+        t.float_value = std::strtod(text.c_str(), &end);
+        if (errno == ERANGE && std::isinf(t.float_value)) {
+          // Overflow only: literals too small for a double legitimately
+          // underflow to (±)0 or a denormal.
+          return Status::ParseError("float literal \"" + text +
+                                    "\" out of range at line " +
+                                    std::to_string(line));
+        }
       } else {
         t.kind = TokenKind::kInteger;
-        t.int_value = std::strtoll(text.c_str(), nullptr, 10);
+        t.int_value = std::strtoll(text.c_str(), &end, 10);
+        if (errno == ERANGE) {
+          return Status::ParseError("integer literal \"" + text +
+                                    "\" out of range at line " +
+                                    std::to_string(line));
+        }
+      }
+      if (end != text.c_str() + text.size()) {
+        return Status::ParseError("malformed numeric literal \"" + text +
+                                  "\" at line " + std::to_string(line));
       }
       tokens.push_back(std::move(t));
       continue;

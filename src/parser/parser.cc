@@ -124,6 +124,20 @@ class Parser {
       Advance();
       return CommandPtr(std::make_unique<HaltCommand>());
     }
+    if (t.text == "show") {
+      Advance();
+      ARIEL_RETURN_NOT_OK(ExpectWord("stats"));
+      auto cmd = std::make_unique<ShowStatsCommand>();
+      cmd->reset = MatchWord("reset");
+      return CommandPtr(std::move(cmd));
+    }
+    if (t.text == "explain") {
+      Advance();
+      ARIEL_RETURN_NOT_OK(ExpectWord("rule"));
+      auto cmd = std::make_unique<ExplainRuleCommand>();
+      ARIEL_ASSIGN_OR_RETURN(cmd->rule_name, ExpectIdentifier("rule name"));
+      return CommandPtr(std::move(cmd));
+    }
     return Unexpected("a command");
   }
 

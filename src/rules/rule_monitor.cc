@@ -1,6 +1,26 @@
 #include "rules/rule_monitor.h"
 
+#include <chrono>
+
+#include "util/metrics.h"
+
 namespace ariel {
+
+namespace {
+
+/// Renders a rule network's last-arrived token for the firing trace.
+std::string DescribeTrigger(const RuleNetwork& network) {
+  const RuleNetwork::LastTrigger& t = network.last_trigger();
+  if (!t.valid) return "(primed data)";
+  std::string out = TokenKindToString(t.kind);
+  out += " token, relation ";
+  out += std::to_string(t.relation_id);
+  out += ", tuple ";
+  out += t.tid.ToString();
+  return out;
+}
+
+}  // namespace
 
 Rule* RuleExecutionMonitor::SelectRule() {
   Rule* best = nullptr;
@@ -25,6 +45,31 @@ Rule* RuleExecutionMonitor::SelectRule() {
 }
 
 Status RuleExecutionMonitor::FireRule(Rule* rule) {
+  // Capture the trigger context before the action runs: the action opens
+  // its own transitions and routes fresh tokens through the network, which
+  // would overwrite both the transition id and the last-trigger record.
+  FiringTraceEntry entry;
+  entry.rule = rule->name;
+  entry.trigger = DescribeTrigger(*rule->network);
+  entry.transition_id = transitions_->transition_seq();
+
+  const auto start = std::chrono::steady_clock::now();
+  Status status = FireRuleInner(rule);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  const uint64_t ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count());
+
+  EngineMetrics& m = Metrics();
+  m.rules_fired.Increment();
+  m.rule_firing_ns.Observe(ns);
+  entry.wall_ms = static_cast<double>(ns) / 1e6;
+  entry.instantiations =
+      rule->firing_buffer != nullptr ? rule->firing_buffer->size() : 0;
+  m.firing_trace.Push(std::move(entry));
+  return status;
+}
+
+Status RuleExecutionMonitor::FireRuleInner(Rule* rule) {
   // Bind the data matching the condition at fire time (§5): the P-node
   // contents drain into the rule's firing buffer; instantiations created
   // *by* the action accumulate in the live P-node for later cycle
@@ -86,6 +131,7 @@ Status RuleExecutionMonitor::FireRule(Rule* rule) {
 Status RuleExecutionMonitor::RunCycle() {
   if (in_cycle_) return Status::OK();
   in_cycle_ = true;
+  Metrics().cycles_run.Increment();
   size_t fired = 0;
   Status result = Status::OK();
   while (true) {

@@ -64,8 +64,10 @@ class RuleExecutionMonitor {
   /// Conflict resolution: the eligible rule to fire, or null.
   Rule* SelectRule();
 
-  /// Act phase for one rule.
+  /// Act phase for one rule: timing + firing-trace wrapper around
+  /// FireRuleInner.
   [[nodiscard]] Status FireRule(Rule* rule);
+  [[nodiscard]] Status FireRuleInner(Rule* rule);
 
   RuleManager* rules_;
   Executor* executor_;

@@ -115,17 +115,20 @@ size_t Value::Hash() const {
       return 0x9E3779B9;
     case DataType::kBool:
       return bool_value() ? 0x85EBCA6B : 0xC2B2AE35;
-    case DataType::kInt: {
-      // Hash ints through double when exactly representable so that
-      // Value::Int(3) and Value::Float(3.0), which compare equal, hash
-      // equally too.
-      int64_t v = int_value();
-      double d = static_cast<double>(v);
-      if (static_cast<int64_t>(d) == v) return std::hash<double>()(d);
-      return std::hash<int64_t>()(v);
+    case DataType::kInt:
+    case DataType::kFloat: {
+      // Numeric comparisons coerce int <-> float (Compare above goes
+      // through AsDouble), so the hash must too: both kinds hash the
+      // widened double. Hashing kInt through int64_t would split
+      // coerced-equal values like Int(2^63-1) and Float(2^63) across hash
+      // buckets, and the old round-trip check `int64_t(double(v)) == v`
+      // was UB for INT64_MAX. Distinct huge ints that collapse to the same
+      // double now collide, which is just a hash collision — Compare still
+      // distinguishes them.
+      double d = AsDouble();
+      if (d == 0.0) d = 0.0;  // fold -0.0 into +0.0 (they compare equal)
+      return std::hash<double>()(d);
     }
-    case DataType::kFloat:
-      return std::hash<double>()(float_value());
     case DataType::kString:
       return std::hash<std::string>()(string_value());
   }

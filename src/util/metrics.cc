@@ -1,0 +1,233 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace ariel {
+
+uint64_t HistogramData::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count));
+  if (rank >= count) rank = count - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets.size(); ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      // Upper bound of bucket b: 0 for b == 0, else 2^b - 1.
+      return b == 0 ? 0 : (uint64_t{1} << std::min<size_t>(b, 63)) - 1;
+    }
+  }
+  return ~uint64_t{0};
+}
+
+Counter MetricsRegistry::RegisterCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counter_index_.find(name);
+  if (it != counter_index_.end()) return Counter(it->second);
+  counters_.emplace_back();
+  counters_.back().name = name;
+  counter_index_.emplace(name, &counters_.back());
+  return Counter(&counters_.back());
+}
+
+Gauge MetricsRegistry::RegisterGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauge_index_.find(name);
+  if (it != gauge_index_.end()) return Gauge(it->second);
+  gauges_.emplace_back();
+  gauges_.back().name = name;
+  gauge_index_.emplace(name, &gauges_.back());
+  return Gauge(&gauges_.back());
+}
+
+Histogram MetricsRegistry::RegisterHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histogram_index_.find(name);
+  if (it != histogram_index_.end()) return Histogram(it->second);
+  histograms_.emplace_back();
+  histograms_.back().name = name;
+  histogram_index_.emplace(name, &histograms_.back());
+  return Histogram(&histograms_.back());
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& c : counters_) c.value.store(0, std::memory_order_relaxed);
+  for (auto& g : gauges_) g.value.store(0, std::memory_order_relaxed);
+  for (auto& h : histograms_) {
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+  }
+}
+
+HistogramData Histogram::Snapshot() const {
+  HistogramData data;
+  if (cell_ == nullptr) return data;
+  data.count = cell_->count.load(std::memory_order_relaxed);
+  data.sum = cell_->sum.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < data.buckets.size(); ++b) {
+    data.buckets[b] = cell_->buckets[b].load(std::memory_order_relaxed);
+  }
+  return data;
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, uint64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    out.emplace_back(c.name, c.value.load(std::memory_order_relaxed));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    out.emplace_back(g.name, g.value.load(std::memory_order_relaxed));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramData>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramData>> out;
+  out.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramData data;
+    data.count = h.count.load(std::memory_order_relaxed);
+    data.sum = h.sum.load(std::memory_order_relaxed);
+    for (size_t b = 0; b < data.buckets.size(); ++b) {
+      data.buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+    }
+    out.emplace_back(h.name, data);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::ostringstream os;
+  os << "counters:\n";
+  size_t shown = 0;
+  for (const auto& [name, value] : Counters()) {
+    if (value == 0) continue;
+    os << "  " << name << " = " << value << "\n";
+    ++shown;
+  }
+  for (const auto& [name, value] : Gauges()) {
+    if (value == 0) continue;
+    os << "  " << name << " = " << value << "\n";
+    ++shown;
+  }
+  if (shown == 0) os << "  (all zero)\n";
+  bool header = false;
+  for (const auto& [name, data] : Histograms()) {
+    if (data.count == 0) continue;
+    if (!header) {
+      os << "timers:\n";
+      header = true;
+    }
+    os << "  " << name << ": count=" << data.count
+       << " mean=" << static_cast<uint64_t>(data.Mean())
+       << " p50<=" << data.ApproxQuantile(0.5)
+       << " p99<=" << data.ApproxQuantile(0.99) << "\n";
+  }
+  return os.str();
+}
+
+std::string FiringTraceEntry::ToString() const {
+  std::ostringstream os;
+  os << "#" << seq << " " << rule << " <- " << trigger << " (transition "
+     << transition_id << ", " << wall_ms << " ms, " << instantiations
+     << " instantiation" << (instantiations == 1 ? "" : "s") << ")";
+  return os.str();
+}
+
+void FiringTraceRing::Push(FiringTraceEntry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entry.seq = next_seq_++;
+  entries_.push_back(std::move(entry));
+  while (entries_.size() > capacity_) entries_.pop_front();
+}
+
+std::vector<FiringTraceEntry> FiringTraceRing::Recent(size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t take = std::min(n, entries_.size());
+  return std::vector<FiringTraceEntry>(entries_.end() - take, entries_.end());
+}
+
+uint64_t FiringTraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+void FiringTraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  next_seq_ = 1;
+}
+
+EngineMetrics::EngineMetrics()
+    : tokens_emitted(registry.RegisterCounter("tokens_emitted")),
+      tokens_plus(registry.RegisterCounter("tokens_plus")),
+      tokens_minus(registry.RegisterCounter("tokens_minus")),
+      tokens_delta_plus(registry.RegisterCounter("tokens_delta_plus")),
+      tokens_delta_minus(registry.RegisterCounter("tokens_delta_minus")),
+      delta_case1_reexpressed(
+          registry.RegisterCounter("delta_case1_reexpressed")),
+      delta_case2_net_nothing(
+          registry.RegisterCounter("delta_case2_net_nothing")),
+      delta_case3_first_modify(
+          registry.RegisterCounter("delta_case3_first_modify")),
+      delta_case3_later_modify(
+          registry.RegisterCounter("delta_case3_later_modify")),
+      delta_case4_modified_delete(
+          registry.RegisterCounter("delta_case4_modified_delete")),
+      transitions(registry.RegisterCounter("transitions")),
+      selection_tokens(registry.RegisterCounter("selection_tokens")),
+      selection_stabs(registry.RegisterCounter("selection_stabs")),
+      selection_residual_checks(
+          registry.RegisterCounter("selection_residual_checks")),
+      selection_predicate_evals(
+          registry.RegisterCounter("selection_predicate_evals")),
+      selection_matches(registry.RegisterCounter("selection_matches")),
+      isl_node_visits(registry.RegisterCounter("isl_node_visits")),
+      alpha_arrivals(registry.RegisterCounter("alpha_arrivals")),
+      alpha_insertions(registry.RegisterCounter("alpha_insertions")),
+      alpha_removals(registry.RegisterCounter("alpha_removals")),
+      virtual_alpha_scans(registry.RegisterCounter("virtual_alpha_scans")),
+      join_probes(registry.RegisterCounter("join_probes")),
+      join_index_probes(registry.RegisterCounter("join_index_probes")),
+      pnode_bindings_created(
+          registry.RegisterCounter("pnode_bindings_created")),
+      pnode_bindings_removed(
+          registry.RegisterCounter("pnode_bindings_removed")),
+      pnode_bindings_consumed(
+          registry.RegisterCounter("pnode_bindings_consumed")),
+      plans_built(registry.RegisterCounter("plans_built")),
+      plan_cache_hits(registry.RegisterCounter("plan_cache_hits")),
+      tuples_scanned(registry.RegisterCounter("tuples_scanned")),
+      rules_fired(registry.RegisterCounter("rules_fired")),
+      cycles_run(registry.RegisterCounter("cycles_run")),
+      token_process_ns(registry.RegisterHistogram("token_process_ns")),
+      rule_firing_ns(registry.RegisterHistogram("rule_firing_ns")) {}
+
+EngineMetrics& Metrics() {
+  // Intentionally leaked: handles embedded across the engine hold raw cell
+  // pointers, so the registry must outlive every other static destructor.
+  static EngineMetrics* metrics = new EngineMetrics();  // ariel-lint: allow(raw-new)
+  return *metrics;
+}
+
+}  // namespace ariel

@@ -148,6 +148,27 @@ TEST_F(DeltaSetTest, UpdatedAttrsAccumulateAcrossModifies) {
                                       "delta+r(xy)[2<-1]"}));
 }
 
+TEST_F(DeltaSetTest, RepeatedUpdatesToSameAttributeDontDuplicateSpecifier) {
+  // Case 3 (m+) with the same attribute modified repeatedly, in mixed
+  // case: ModifiedEntry::attrs must stay deduplicated or every later Δ
+  // token's replace specifier would list x once per update, inflating the
+  // specifier and re-matching on-replace(x) filters spuriously.
+  TupleId tid = *manager_.Insert(rel_, Val(1, 1));
+  TakeTrace();
+  manager_.BeginTransition();
+  ASSERT_OK(manager_.Update(rel_, tid, Val(2, 1), {"x"}));
+  ASSERT_OK(manager_.Update(rel_, tid, Val(3, 1), {"X"}));
+  ASSERT_OK(manager_.Update(rel_, tid, Val(4, 2), {"x", "y", "X"}));
+  ASSERT_OK(manager_.EndTransition());
+  // Every replace specifier renders each attribute exactly once: r(x) for
+  // the x-only updates, r(xy) once y joins the accumulated set.
+  EXPECT_EQ(TakeTrace(),
+            (std::vector<std::string>{"-_[1]", "delta+r(x)[2<-1]",
+                                      "delta-r(x)[2<-1]", "delta+r(x)[3<-1]",
+                                      "delta-r(x)[3<-1]",
+                                      "delta+r(xy)[4<-1]"}));
+}
+
 TEST_F(DeltaSetTest, TransitionsAreIndependent) {
   TupleId tid = *manager_.Insert(rel_, Val(10));
   TakeTrace();

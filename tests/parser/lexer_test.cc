@@ -100,6 +100,36 @@ TEST(LexerTest, RejectsUnknownCharacters) {
   EXPECT_FALSE(Tokenize("a ! b").ok());  // bare ! (not !=)
 }
 
+TEST(LexerTest, OutOfRangeFloatLiteralFails) {
+  // Regression: strtod was called without errno/end-pointer checks, so
+  // 1e999 silently lexed as inf.
+  auto result = Tokenize("1e999");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("1e999"), std::string::npos);
+  EXPECT_FALSE(Tokenize("append t (x = 1e999)").ok());
+  EXPECT_FALSE(Tokenize("2.5e308").ok());
+}
+
+TEST(LexerTest, TinyFloatLiteralUnderflowsQuietly) {
+  // Underflow is not an error: 1e-999 is legitimately (approximately) 0.
+  auto tokens = Lex("1e-999");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_TRUE(tokens[0].Is(TokenKind::kFloat));
+  EXPECT_EQ(tokens[0].float_value, 0.0);
+}
+
+TEST(LexerTest, OutOfRangeIntegerLiteralFails) {
+  // Regression: strtoll silently clamped over-wide integers to INT64_MAX.
+  auto result = Tokenize("99999999999999999999999");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().ToString().find("out of range"),
+            std::string::npos);
+  // INT64_MAX itself is fine.
+  auto tokens = Lex("9223372036854775807");
+  ASSERT_GE(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].int_value, 9223372036854775807LL);
+}
+
 TEST(LexerTest, IsWordHelper) {
   auto tokens = Lex("Define \"define\"");
   EXPECT_TRUE(tokens[0].IsWord("define"));

@@ -1,5 +1,7 @@
 #include "types/value.h"
 
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -44,6 +46,30 @@ TEST(ValueTest, HashConsistentWithEquality) {
   EXPECT_EQ(Value::String("abc").Hash(), Value::String("abc").Hash());
   // Not required, but catch degenerate hashing:
   EXPECT_NE(Value::Int(1).Hash(), Value::Int(2).Hash());
+}
+
+TEST(ValueTest, HashConsistentForNonRepresentableInts) {
+  // Regression: kInt hashed through int64_t whenever the double round-trip
+  // changed the value, but Compare coerces through double — so
+  // Int(INT64_MAX) and Float(2^63) compared equal yet hashed differently
+  // (and the round-trip cast itself was UB for INT64_MAX).
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  Value big_int = Value::Int(kMax);
+  Value big_float = Value::Float(9223372036854775808.0);  // 2^63
+  ASSERT_EQ(big_int.Compare(big_float), 0);
+  EXPECT_EQ(big_int.Hash(), big_float.Hash());
+
+  // Same story away from the boundary: 2^62 + 1 is not double-representable.
+  Value odd_int = Value::Int((int64_t{1} << 62) + 1);
+  Value near_float = Value::Float(static_cast<double>((int64_t{1} << 62) + 1));
+  ASSERT_EQ(odd_int.Compare(near_float), 0);
+  EXPECT_EQ(odd_int.Hash(), near_float.Hash());
+}
+
+TEST(ValueTest, HashConsistentForSignedZero) {
+  ASSERT_EQ(Value::Float(-0.0).Compare(Value::Float(0.0)), 0);
+  EXPECT_EQ(Value::Float(-0.0).Hash(), Value::Float(0.0).Hash());
+  EXPECT_EQ(Value::Float(-0.0).Hash(), Value::Int(0).Hash());
 }
 
 TEST(ValueTest, ToStringForms) {

@@ -1,0 +1,240 @@
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+TEST(MetricsRegistryTest, CounterBasics) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("widgets");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(c.value(), 42u);
+#else
+  EXPECT_EQ(c.value(), 0u);
+#endif
+}
+
+TEST(MetricsRegistryTest, DefaultConstructedHandlesAreInertNoops) {
+  Counter c;
+  Gauge g;
+  Histogram h;
+  c.Increment();
+  g.Set(7);
+  h.Observe(100);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(MetricsRegistryTest, SameNameSharesOneCell) {
+  MetricsRegistry registry;
+  Counter a = registry.RegisterCounter("shared");
+  Counter b = registry.RegisterCounter("shared");
+  a.Increment(3);
+  b.Increment(4);
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(a.value(), 7u);
+  EXPECT_EQ(b.value(), 7u);
+#endif
+  // Only one registration is visible.
+  EXPECT_EQ(registry.Counters().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, HandlesOutliveLaterRegistrations) {
+  // Cells live in a deque: registering many more metrics must not move the
+  // cell behind an existing handle.
+  MetricsRegistry registry;
+  Counter first = registry.RegisterCounter("first");
+  first.Increment();
+  for (int i = 0; i < 1000; ++i) {
+    registry.RegisterCounter("filler_" + std::to_string(i)).Increment();
+  }
+  first.Increment();
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(first.value(), 2u);
+#endif
+  EXPECT_EQ(registry.Counters().size(), 1001u);
+}
+
+TEST(MetricsRegistryTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge g = registry.RegisterGauge("depth");
+  g.Set(10);
+  g.Add(-3);
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(g.value(), 7);
+#endif
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndStats) {
+  MetricsRegistry registry;
+  Histogram h = registry.RegisterHistogram("latency");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(1);   // bucket 1: [1, 2)
+  h.Observe(5);   // bucket 3: [4, 8)
+  h.Observe(100);  // bucket 7: [64, 128)
+  HistogramData data = h.Snapshot();
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(data.count, 5u);
+  EXPECT_EQ(data.sum, 107u);
+  EXPECT_EQ(data.buckets[0], 1u);  // the 0 sample
+  EXPECT_EQ(data.buckets[1], 2u);
+  EXPECT_EQ(data.buckets[3], 1u);
+  EXPECT_EQ(data.buckets[7], 1u);
+  EXPECT_DOUBLE_EQ(data.Mean(), 107.0 / 5);
+  // Median lands in bucket 1 → upper bound 1; p99 in bucket 7 → 127.
+  EXPECT_EQ(data.ApproxQuantile(0.5), 1u);
+  EXPECT_EQ(data.ApproxQuantile(0.99), 127u);
+#else
+  EXPECT_EQ(data.count, 0u);
+#endif
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsHandles) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("c");
+  Gauge g = registry.RegisterGauge("g");
+  Histogram h = registry.RegisterHistogram("h");
+  c.Increment(5);
+  g.Set(5);
+  h.Observe(5);
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+  EXPECT_EQ(h.Snapshot().sum, 0u);
+  // Handles stay wired to their (zeroed) cells.
+  c.Increment();
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(c.value(), 1u);
+#endif
+  EXPECT_EQ(registry.Counters().size(), 1u);
+}
+
+TEST(MetricsRegistryTest, EnumerationIsNameSorted) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("zebra").Increment();
+  registry.RegisterCounter("apple").Increment(2);
+  auto counters = registry.Counters();
+  ASSERT_EQ(counters.size(), 2u);
+  EXPECT_EQ(counters[0].first, "apple");
+  EXPECT_EQ(counters[1].first, "zebra");
+}
+
+TEST(MetricsRegistryTest, RenderShowsNonzeroOnly) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("silent");
+  registry.RegisterCounter("loud").Increment(9);
+  std::string rendered = registry.Render();
+#ifndef ARIEL_NO_METRICS
+  EXPECT_NE(rendered.find("loud = 9"), std::string::npos);
+  EXPECT_EQ(rendered.find("silent"), std::string::npos);
+#endif
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsDontLoseUpdates) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("contended");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+#endif
+}
+
+TEST(ScopedTimerTest, ObservesOnceOnScopeExit) {
+  MetricsRegistry registry;
+  Histogram h = registry.RegisterHistogram("scope_ns");
+  {
+    ScopedTimer timer(h);
+  }
+  {
+    ScopedTimer timer(h);
+  }
+#ifndef ARIEL_NO_METRICS
+  EXPECT_EQ(h.Snapshot().count, 2u);
+#endif
+}
+
+TEST(FiringTraceRingTest, KeepsMostRecentUpToCapacity) {
+  FiringTraceRing ring(3);
+  for (int i = 1; i <= 5; ++i) {
+    FiringTraceEntry entry;
+    entry.rule = "r" + std::to_string(i);
+    ring.Push(std::move(entry));
+  }
+  EXPECT_EQ(ring.total_recorded(), 5u);
+  std::vector<FiringTraceEntry> recent = ring.Recent(10);
+  ASSERT_EQ(recent.size(), 3u);  // capacity bound
+  EXPECT_EQ(recent[0].rule, "r3");
+  EXPECT_EQ(recent[2].rule, "r5");
+  // Sequence numbers are assigned by the ring, monotonic and 1-based.
+  EXPECT_EQ(recent[0].seq, 3u);
+  EXPECT_EQ(recent[2].seq, 5u);
+  // Recent(n) with small n returns the n newest, oldest first.
+  std::vector<FiringTraceEntry> last_two = ring.Recent(2);
+  ASSERT_EQ(last_two.size(), 2u);
+  EXPECT_EQ(last_two[0].rule, "r4");
+}
+
+TEST(FiringTraceRingTest, ClearRestartsSequence) {
+  FiringTraceRing ring(8);
+  ring.Push(FiringTraceEntry{});
+  ring.Clear();
+  EXPECT_EQ(ring.total_recorded(), 0u);
+  EXPECT_TRUE(ring.Recent(5).empty());
+  ring.Push(FiringTraceEntry{});
+  EXPECT_EQ(ring.Recent(1)[0].seq, 1u);
+}
+
+TEST(FiringTraceRingTest, EntryToStringMentionsRuleAndTrigger) {
+  FiringTraceEntry entry;
+  entry.seq = 7;
+  entry.rule = "raise_alarm";
+  entry.trigger = "+ token, relation 3, tuple 3:12";
+  entry.transition_id = 42;
+  entry.instantiations = 2;
+  std::string text = entry.ToString();
+  EXPECT_NE(text.find("raise_alarm"), std::string::npos);
+  EXPECT_NE(text.find("+ token, relation 3, tuple 3:12"), std::string::npos);
+  EXPECT_NE(text.find("transition 42"), std::string::npos);
+  EXPECT_NE(text.find("2 instantiations"), std::string::npos);
+}
+
+TEST(EngineMetricsTest, SingletonPreRegistersEngineCounters) {
+  EngineMetrics& m = Metrics();
+  EXPECT_EQ(&m, &Metrics());
+  // A healthy sample of the token-lifecycle counters must be registered.
+  auto counters = m.registry.Counters();
+  auto has = [&](const std::string& name) {
+    for (const auto& [n, v] : counters) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has("tokens_emitted"));
+  EXPECT_TRUE(has("selection_stabs"));
+  EXPECT_TRUE(has("alpha_insertions"));
+  EXPECT_TRUE(has("join_probes"));
+  EXPECT_TRUE(has("pnode_bindings_created"));
+  EXPECT_TRUE(has("rules_fired"));
+  EXPECT_GE(counters.size(), 30u);
+}
+
+}  // namespace
+}  // namespace ariel
