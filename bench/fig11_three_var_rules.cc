@@ -8,18 +8,32 @@ int main() {
   using namespace ariel;
   using namespace ariel::bench;
 
-  BenchReporter reporter("fig11_three_var_rules");
+  BenchReporter reporter(JoinHashEnabled() ? "fig11_three_var_rules"
+                                           : "fig11_three_var_rules_scan");
   const bool smoke = SmokeMode();
   const int max_rules = smoke ? 25 : 200;
   const int trials = smoke ? 1 : 3;
+  DatabaseOptions options;
+  options.join_hash_indexes = JoinHashEnabled();
   std::vector<FigureRow> rows;
   for (int n = 25; n <= max_rules; n += 25) {
-    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/3, n,
-                                           DatabaseOptions{}, trials));
+    rows.push_back(RunFigureProtocolMedian(/*rule_type=*/3, n, options,
+                                           trials));
   }
   PrintFigureTable("Figure 11",
                    "three-tuple-variable rules (emp selection + dept join + "
                    "job join)",
                    rows);
+
+  // Beyond the paper: sweep |dept| = |job| to expose the probe-vs-scan
+  // separation the 7/5-tuple paper relations cannot show (see Figure 10's
+  // extension; the three-variable chain doubles the per-token probe work).
+  std::vector<ScalingRow> scaling;
+  for (int size : smoke ? std::vector<int>{7}
+                        : std::vector<int>{7, 70, 700}) {
+    scaling.push_back(RunJoinScalingPoint(/*rule_type=*/3, /*num_rules=*/25,
+                                          size, smoke ? 1 : 3));
+  }
+  PrintScalingTable("Figure 11 extension", scaling);
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ariel/database.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 namespace ariel::bench {
@@ -88,6 +89,15 @@ inline std::string PaperRuleText(int rule_type, int i) {
   if (rule_type >= 3) cond += " and emp.jno = job.jno";
   return "define rule " + name + " if " + cond +
          " then append to bench_log (name = emp.name)";
+}
+
+/// Hash join indexing knob for A/B runs: ARIEL_JOIN_HASH=0 forces the scan
+/// fallback in every join memory, anything else (or unset) leaves the
+/// default hash path on. The same binary thus emits both the indexed and
+/// the forced-scan BENCH json.
+inline bool JoinHashEnabled() {
+  const char* v = std::getenv("ARIEL_JOIN_HASH");
+  return v == nullptr || v[0] == '\0' || v[0] != '0';
 }
 
 /// Median of a sample vector (destructive).
@@ -182,6 +192,151 @@ inline FigureRow RunFigureProtocolMedian(int rule_type, int num_rules,
   row.activate_seconds = Median(&activate);
   row.token_test_ms = Median(&token);
   return row;
+}
+
+/// One row of the relation-size scaling sweep the join figures add on top
+/// of the paper tables: the paper fixes dept at 7 and job at 5 tuples,
+/// which caps how much an O(1) probe can save; sweeping the joined-relation
+/// cardinality shows the probe-vs-scan separation directly.
+struct ScalingRow {
+  int relation_size;
+  double token_test_ms;
+  uint64_t join_probes;
+  uint64_t join_hash_probes;
+  uint64_t join_scan_fallbacks;
+};
+
+inline uint64_t CounterValue(const char* name) {
+  for (const auto& [n, v] : Metrics().registry.Counters()) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+/// Token-tests `num_rules` type-2 (or type-3) rules against dept (and job)
+/// scaled to `relation_size` tuples. α-memories are forced stored: the
+/// adaptive policy would turn the scaled memories virtual, and the point of
+/// the sweep is the stored-memory probe path. emp keys spread across the
+/// whole scaled key range so bucket sizes stay ~1.
+inline ScalingRow RunJoinScalingPoint(int rule_type, int num_rules,
+                                      int relation_size, int trials) {
+  DatabaseOptions options;
+  options.alpha_policy.mode = AlphaMemoryPolicy::Mode::kAllStored;
+  options.auto_activate_rules = false;
+  options.join_hash_indexes = JoinHashEnabled();
+  Database db(options);
+
+  CheckOk(db.Execute("create emp (name = string, age = int, sal = float, "
+                     "dno = int, jno = int)")
+              .status(),
+          "create emp");
+  CheckOk(db.Execute("create dept (dno = int, name = string, "
+                     "building = string)")
+              .status(),
+          "create dept");
+  CheckOk(db.Execute("create job (jno = int, title = string, "
+                     "paygrade = int, description = string)")
+              .status(),
+          "create job");
+  CheckOk(db.Execute("create bench_log (name = string)").status(),
+          "create bench_log");
+
+  HeapRelation* dept = db.catalog().GetRelation("dept");
+  HeapRelation* job = db.catalog().GetRelation("job");
+  HeapRelation* emp = db.catalog().GetRelation("emp");
+  for (int d = 0; d < relation_size; ++d) {
+    CheckOk(db.transitions()
+                .Insert(dept, Tuple(std::vector<Value>{
+                                  Value::Int(d + 1),
+                                  Value::String("d" + std::to_string(d)),
+                                  Value::String("B1")}))
+                .status(),
+            "populate scaled dept");
+  }
+  if (rule_type >= 3) {
+    for (int j = 0; j < relation_size; ++j) {
+      CheckOk(db.transitions()
+                  .Insert(job, Tuple(std::vector<Value>{
+                                    Value::Int(j + 1), Value::String("t"),
+                                    Value::Int(j % 9 + 1),
+                                    Value::String("desc")}))
+                  .status(),
+              "populate scaled job");
+    }
+  }
+  for (int e = 0; e < 25; ++e) {
+    CheckOk(db.transitions()
+                .Insert(emp, Tuple(std::vector<Value>{
+                                  Value::String("emp" + std::to_string(e)),
+                                  Value::Int(25 + e % 30),
+                                  Value::Float(10000.0 + e * 1000),
+                                  Value::Int(e % relation_size + 1),
+                                  Value::Int(e % relation_size + 1)}))
+                .status(),
+            "populate emp");
+  }
+
+  for (int i = 0; i < num_rules; ++i) {
+    CheckOk(db.Execute(PaperRuleText(rule_type, i)).status(), "define rule");
+    std::string name = "bench_rule_" + std::to_string(rule_type) + "_" +
+                       std::to_string(i);
+    CheckOk(db.rules().ActivateRule(name), "activate rule");
+  }
+
+  ScalingRow row;
+  row.relation_size = relation_size;
+  const uint64_t probes_before = CounterValue("join_probes");
+  const uint64_t hash_before = CounterValue("join_hash_probes");
+  const uint64_t scans_before = CounterValue("join_scan_fallbacks");
+
+  Timer timer;
+  const int kTokensPerTrial = 50;
+  std::vector<double> samples;
+  for (int trial = 0; trial < trials; ++trial) {
+    timer.Reset();
+    for (int t = 0; t < kTokensPerTrial; ++t) {
+      Tuple tuple(std::vector<Value>{
+          Value::String("probe"), Value::Int(30),
+          Value::Float(10500.0 + (t % 5) * 1000),
+          Value::Int(t * (relation_size / kTokensPerTrial + 1) %
+                         relation_size +
+                     1),
+          Value::Int(t * (relation_size / kTokensPerTrial + 1) %
+                         relation_size +
+                     1)});
+      CheckOk(db.transitions().Insert(emp, std::move(tuple)).status(),
+              "token test insert");
+    }
+    samples.push_back(timer.ElapsedMillis() / kTokensPerTrial);
+    for (TupleId tid : emp->AllTupleIds()) {
+      const Tuple* t = emp->Get(tid);
+      if (t != nullptr && t->at(0) == Value::String("probe")) {
+        CheckOk(db.transitions().Delete(emp, tid), "token test cleanup");
+      }
+    }
+  }
+  row.token_test_ms = Median(&samples);
+  row.join_probes = CounterValue("join_probes") - probes_before;
+  row.join_hash_probes = CounterValue("join_hash_probes") - hash_before;
+  row.join_scan_fallbacks = CounterValue("join_scan_fallbacks") - scans_before;
+  return row;
+}
+
+inline void PrintScalingTable(const char* figure,
+                              const std::vector<ScalingRow>& rows) {
+  std::printf("=== %s: joined-relation scaling (stored memories, %s) ===\n",
+              figure, JoinHashEnabled() ? "hash probes" : "forced scan");
+  std::printf("%-14s %-16s %-14s %-16s %-16s\n", "relation size",
+              "token test(ms)", "join_probes", "join_hash_probes",
+              "join_scan_fallbacks");
+  for (const ScalingRow& row : rows) {
+    std::printf("%-14d %-16.4f %-14llu %-16llu %-16llu\n", row.relation_size,
+                row.token_test_ms,
+                static_cast<unsigned long long>(row.join_probes),
+                static_cast<unsigned long long>(row.join_hash_probes),
+                static_cast<unsigned long long>(row.join_scan_fallbacks));
+  }
+  std::printf("\n");
 }
 
 /// Prints a Figure 9/10/11-style table.

@@ -17,6 +17,7 @@ Database::Database(DatabaseOptions options)
   rules_ = std::make_unique<RuleManager>(&catalog_, &network_, &optimizer_);
   rules_->set_policy(options.alpha_policy);
   rules_->set_join_backend(options.join_backend);
+  rules_->set_join_hash_indexes(options.join_hash_indexes);
   monitor_ = std::make_unique<RuleExecutionMonitor>(rules_.get(),
                                                     executor_.get(),
                                                     transitions_.get());

@@ -39,6 +39,11 @@ struct DatabaseOptions {
   /// Join-network algorithm for pattern rules: the paper's TREAT (default)
   /// or classic Rete with β-memories (§8's combined-network direction).
   JoinBackend join_backend = JoinBackend::kTreat;
+  /// Hash join indexes over stored α-memories and Rete β-levels: equijoin
+  /// probes become O(1 + matches) bucket lookups instead of entry scans.
+  /// Off forces the scan fallback everywhere (A/B comparison; the §4.2
+  /// index-vs-scan knob).
+  bool join_hash_indexes = true;
   /// Equal-priority tie-break: deterministic definition order (default) or
   /// OPS5-style recency.
   ConflictStrategy conflict_strategy = ConflictStrategy::kDefinitionOrder;

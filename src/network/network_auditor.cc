@@ -21,6 +21,8 @@ const char* AuditViolationKindToString(AuditViolationKind kind) {
     case AuditViolationKind::kPnodeDangling: return "pnode-dangling";
     case AuditViolationKind::kPnodeStale: return "pnode-stale";
     case AuditViolationKind::kIslInconsistent: return "isl-inconsistent";
+    case AuditViolationKind::kJoinIndexInconsistent:
+      return "join-index-inconsistent";
   }
   return "unknown";
 }
@@ -160,6 +162,12 @@ Status NetworkAuditor::AuditRule(const RuleNetwork& rule,
                                  std::vector<AuditViolation>* out) {
   for (size_t i = 0; i < rule.num_vars(); ++i) {
     ARIEL_RETURN_NOT_OK(AuditAlphaMemory(rule, *rule.alpha(i), out));
+  }
+  // Hash join indexes and TID→slot retraction maps must mirror the entry
+  // vectors they accelerate (membership both ways).
+  for (std::string& problem : rule.AuditJoinIndexes()) {
+    Report(out, AuditViolationKind::kJoinIndexInconsistent, rule.rule_name(),
+           std::move(problem));
   }
   AuditPnode(rule, out);
   return Status::OK();

@@ -21,6 +21,7 @@ enum class AuditViolationKind : uint8_t {
   kPnodeDangling,     // P-node instantiation binds a tid no longer live
   kPnodeStale,        // P-node instantiation's values disagree with the base
   kIslInconsistent,   // interval index disagrees with a brute-force stab
+  kJoinIndexInconsistent,  // hash join index / retraction map ⇎ entry vector
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);

@@ -32,6 +32,7 @@ PNode::PNode(uint32_t relation_id, const std::string& rule_name,
   }
   relation_ = std::make_unique<HeapRelation>(
       relation_id, "pnode$" + rule_name, std::move(schema));
+  postings_.resize(vars_.size());
 }
 
 Status PNode::Insert(const Row& row) {
@@ -59,31 +60,49 @@ Status PNode::Insert(const Row& row) {
       for (size_t i = 0; i < arity; ++i) out.Append(row.previous[v].at(i));
     }
   }
+  ARIEL_ASSIGN_OR_RETURN(TupleId rid, relation_->Insert(std::move(out)));
+  for (size_t v = 0; v < vars_.size(); ++v) {
+    postings_[v][EncodeTid(row.tids[v])].push_back(rid);
+  }
   last_insert_stamp_ = ++g_match_clock;
   Metrics().pnode_bindings_created.Increment();
   ++lifetime_insertions_;
-  return relation_->Insert(std::move(out)).status();
+  return Status::OK();
 }
 
 size_t PNode::RemoveByTid(size_t var_ordinal, TupleId tid) {
   const size_t tid_col = var_offset_[var_ordinal];
   const int64_t encoded = EncodeTid(tid);
   size_t removed = 0;
-  for (TupleId row_id : relation_->AllTupleIds()) {
-    const Tuple* t = relation_->Get(row_id);
-    if (t != nullptr && t->at(tid_col).int_value() == encoded) {
-      ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
-      ++removed;
+  auto it = postings_[var_ordinal].find(encoded);
+  if (it != postings_[var_ordinal].end()) {
+    std::vector<TupleId> rids = std::move(it->second);
+    postings_[var_ordinal].erase(it);
+    for (TupleId rid : rids) {
+      // A posting can be stale (row already removed via another variable,
+      // slot recycled by a later insert): act only when the slot still
+      // holds a row binding (var, tid) — which is by definition a row
+      // RemoveByTid must delete.
+      const Tuple* t = relation_->Get(rid);
+      if (t != nullptr && t->at(tid_col).int_value() == encoded) {
+        ARIEL_IGNORE_STATUS(relation_->Delete(rid));  // id just checked
+        ++removed;
+      }
     }
   }
   Metrics().pnode_bindings_removed.Increment(removed);
   return removed;
 }
 
+void PNode::ClearPostings() {
+  for (auto& map : postings_) map.clear();
+}
+
 void PNode::Clear() {
   for (TupleId row_id : relation_->AllTupleIds()) {
     ARIEL_IGNORE_STATUS(relation_->Delete(row_id));  // id just enumerated
   }
+  ClearPostings();
 }
 
 std::unique_ptr<HeapRelation> PNode::MakeFiringBuffer() const {
@@ -104,6 +123,7 @@ void PNode::DrainInto(HeapRelation* dest) {
       ++drained;
     }
   }
+  ClearPostings();
   Metrics().pnode_bindings_consumed.Increment(drained);
 }
 
@@ -119,6 +139,7 @@ std::unique_ptr<HeapRelation> PNode::DetachSnapshot() {
       ++drained;
     }
   }
+  ClearPostings();
   Metrics().pnode_bindings_consumed.Increment(drained);
   return snapshot;
 }

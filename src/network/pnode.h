@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -59,7 +60,8 @@ class PNode {
   [[nodiscard]] Status Insert(const Row& row);
 
   /// Removes all instantiations whose binding for variable `var_ordinal`
-  /// is the tuple `tid`. Returns the number removed.
+  /// is the tuple `tid` — O(affected) via the per-variable postings rather
+  /// than a relation scan. Returns the number removed.
   size_t RemoveByTid(size_t var_ordinal, TupleId tid);
 
   /// Consumes all instantiations (rule firing / deactivation).
@@ -85,9 +87,16 @@ class PNode {
   Row ToRow(const Tuple& pnode_tuple) const;
 
  private:
+  void ClearPostings();
+
   std::vector<PnodeVar> vars_;
   /// Per variable: column offset of its tid column (attr values follow).
   std::vector<size_t> var_offset_;
+  /// postings_[var][EncodeTid(base tid)] = P-node row ids that bound it at
+  /// insert time. Entries go stale when a row is removed through another
+  /// variable's binding (or its slot is recycled); consumers verify the
+  /// row's tid column before acting, so stale entries drop out lazily.
+  std::vector<std::unordered_map<int64_t, std::vector<TupleId>>> postings_;
   std::unique_ptr<HeapRelation> relation_;
   uint64_t last_insert_stamp_ = 0;
   uint64_t lifetime_insertions_ = 0;

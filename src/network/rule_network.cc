@@ -46,15 +46,89 @@ bool AlphaMemory::AcceptsToken(const Token& token) const {
   return true;
 }
 
+void AlphaMemory::ConfigureJoinIndex(size_t num_vars,
+                                     std::vector<JoinKeySpec> specs) {
+  num_vars_ = num_vars;
+  scratch_row_ = Row(num_vars);
+  join_index_.Configure(num_vars, std::move(specs));
+}
+
+void AlphaMemory::InsertEntry(AlphaEntry entry) {
+  Metrics().alpha_insertions.Increment();
+  const uint32_t slot = static_cast<uint32_t>(entries_.size());
+  slot_of_[EncodeTid(entry.tid)] = slot;
+  if (join_index_.has_specs()) {
+    // Key the entry without copying its tuple: lend the value to the
+    // scratch row for evaluation, then take it back.
+    scratch_row_.Set(var_ordinal_, std::move(entry.value), entry.tid);
+    join_index_.AppendSlot(slot, scratch_row_);
+    entry.value = std::move(scratch_row_.current[var_ordinal_]);
+  }
+  entries_.push_back(std::move(entry));
+}
+
 bool AlphaMemory::RemoveEntry(TupleId tid) {
-  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
-    if (it->tid == tid) {
-      entries_.erase(it);
-      Metrics().alpha_removals.Increment();
-      return true;
+  if (entries_.empty()) return false;
+  size_t slot;
+  auto it = slot_of_.find(EncodeTid(tid));
+  if (it != slot_of_.end()) {
+    slot = it->second;
+    slot_of_.erase(it);
+  } else {
+    // The map keeps one slot per tid; an entry shadowed by a duplicate
+    // insert (test-driven only) is still found by scanning.
+    size_t i = 0;
+    while (i < entries_.size() && !(entries_[i].tid == tid)) ++i;
+    if (i == entries_.size()) return false;
+    slot = i;
+  }
+  const size_t last = entries_.size() - 1;
+  join_index_.RemoveSlot(slot, last);
+  if (slot != last) {
+    entries_[slot] = std::move(entries_[last]);
+    slot_of_[EncodeTid(entries_[slot].tid)] = static_cast<uint32_t>(slot);
+  }
+  entries_.pop_back();
+  Metrics().alpha_removals.Increment();
+  return true;
+}
+
+void AlphaMemory::Flush() {
+  entries_.clear();
+  slot_of_.clear();
+  join_index_.Clear();
+}
+
+std::vector<std::string> AlphaMemory::AuditIncrementalState() const {
+  std::vector<std::string> problems;
+  // TID→slot map ⇔ entries. Every entry's tid must resolve through the map
+  // to a slot holding that tid (for duplicate tids, to *a* matching slot),
+  // and every map entry must point in-range at a matching entry.
+  for (size_t s = 0; s < entries_.size(); ++s) {
+    auto it = slot_of_.find(EncodeTid(entries_[s].tid));
+    if (it == slot_of_.end() ||
+        it->second >= entries_.size() ||
+        !(entries_[it->second].tid == entries_[s].tid)) {
+      problems.push_back("tid-slot map does not resolve tid " +
+                         entries_[s].tid.ToString() + " (slot " +
+                         std::to_string(s) + ")");
     }
   }
-  return false;
+  for (const auto& [enc, slot] : slot_of_) {
+    if (slot >= entries_.size() ||
+        EncodeTid(entries_[slot].tid) != enc) {
+      problems.push_back("tid-slot map points tid " +
+                         DecodeTid(enc).ToString() + " at slot " +
+                         std::to_string(slot) +
+                         " which holds a different entry");
+    }
+  }
+  std::vector<std::string> index_problems = join_index_.Audit(
+      entries_.size(), [&](size_t slot, Row* scratch) {
+        scratch->Set(var_ordinal_, entries_[slot].value, entries_[slot].tid);
+      });
+  for (std::string& p : index_problems) problems.push_back(std::move(p));
+  return problems;
 }
 
 size_t AlphaMemory::EstimatedSize() const {
@@ -146,6 +220,9 @@ Status RuleNetwork::Init() {
     ARIEL_RETURN_NOT_OK(RecordIndexJoinPaths(*expr));
     join_conjuncts_.push_back(std::move(cc));
   }
+  if (join_hash_indexes_) {
+    ARIEL_RETURN_NOT_OK(ConfigureAlphaJoinIndexes());
+  }
 
   for (const auto& alpha : alphas_) {
     if (alpha->is_dynamic()) has_dynamic_ = true;
@@ -157,9 +234,125 @@ Status RuleNetwork::Init() {
     backend_ = JoinBackend::kTreat;
   }
   if (backend_ == JoinBackend::kRete) {
-    beta_.assign(n, {});  // levels 1..n-2 used
+    ARIEL_RETURN_NOT_OK(ConfigureBetas());  // levels 1..n-2 used
   }
   initialized_ = true;
+  return Status::OK();
+}
+
+namespace {
+
+/// True when `attrs` (compiler-lowercased) contains `attr`.
+bool AttrListed(const std::vector<std::string>& attrs,
+                const std::string& attr) {
+  for (const std::string& a : attrs) {
+    if (EqualsIgnoreCase(a, attr)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status RuleNetwork::ConfigureAlphaJoinIndexes() {
+  const size_t n = alphas_.size();
+  std::vector<std::vector<JoinKeySpec>> specs(n);
+  for (const ExprPtr& expr : join_exprs_) {
+    if (expr->kind != ExprKind::kBinary) continue;
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op != BinaryOp::kEq) continue;
+    for (bool flip : {false, true}) {
+      const Expr* entry_side = flip ? bin.rhs.get() : bin.lhs.get();
+      const Expr* probe_side = flip ? bin.lhs.get() : bin.rhs.get();
+      if (entry_side->kind != ExprKind::kColumnRef) continue;
+      const auto& ref = static_cast<const ColumnRefExpr&>(*entry_side);
+      if (ref.previous || ref.is_all()) continue;
+      int var = scope_.IndexOf(ref.tuple_var);
+      if (var < 0) continue;
+      if (!alphas_[var]->stores_tuples()) continue;
+      // The compiler only flags attributes it derived as equijoin keys;
+      // hand-built specs without metadata stay on the scan path.
+      if (!AttrListed(alphas_[var]->spec().equijoin_attrs, ref.attribute)) {
+        continue;
+      }
+      JoinKeySpec spec;
+      bool self_reference = false;
+      for (const std::string& kv : CollectTupleVars(*probe_side)) {
+        int idx = scope_.IndexOf(kv);
+        if (idx < 0 || idx == var) {
+          self_reference = true;
+          break;
+        }
+        spec.probe_vars.push_back(static_cast<size_t>(idx));
+      }
+      if (self_reference || spec.probe_vars.empty()) continue;
+      ARIEL_ASSIGN_OR_RETURN(spec.entry_expr,
+                             CompileExpr(*entry_side, scope_));
+      ARIEL_ASSIGN_OR_RETURN(spec.probe_expr,
+                             CompileExpr(*probe_side, scope_));
+      spec.description = entry_side->ToString() + " = " +
+                         probe_side->ToString();
+      specs[var].push_back(std::move(spec));
+    }
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!specs[v].empty()) {
+      alphas_[v]->ConfigureJoinIndex(n, std::move(specs[v]));
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<JoinKeySpec>> RuleNetwork::DeriveBetaKeySpecs(
+    size_t level) const {
+  std::vector<JoinKeySpec> specs;
+  if (!join_hash_indexes_) return specs;
+  const size_t arriving = level + 1;
+  for (const ExprPtr& expr : join_exprs_) {
+    if (expr->kind != ExprKind::kBinary) continue;
+    const auto& bin = static_cast<const BinaryExpr&>(*expr);
+    if (bin.op != BinaryOp::kEq) continue;
+    for (bool flip : {false, true}) {
+      const Expr* entry_side = flip ? bin.rhs.get() : bin.lhs.get();
+      const Expr* probe_side = flip ? bin.lhs.get() : bin.rhs.get();
+      // Entry side: evaluable over the stored prefix [0, level]; probe
+      // side: evaluable over the arriving token alone.
+      bool entry_ok = true;
+      bool entry_nonempty = false;
+      for (const std::string& ev : CollectTupleVars(*entry_side)) {
+        int idx = scope_.IndexOf(ev);
+        if (idx < 0 || static_cast<size_t>(idx) > level) entry_ok = false;
+        entry_nonempty = true;
+      }
+      if (!entry_ok || !entry_nonempty) continue;
+      JoinKeySpec spec;
+      bool probe_ok = true;
+      for (const std::string& pv : CollectTupleVars(*probe_side)) {
+        int idx = scope_.IndexOf(pv);
+        if (idx < 0 || static_cast<size_t>(idx) != arriving) probe_ok = false;
+        spec.probe_vars.push_back(static_cast<size_t>(idx));
+      }
+      if (!probe_ok || spec.probe_vars.empty()) continue;
+      ARIEL_ASSIGN_OR_RETURN(spec.entry_expr,
+                             CompileExpr(*entry_side, scope_));
+      ARIEL_ASSIGN_OR_RETURN(spec.probe_expr,
+                             CompileExpr(*probe_side, scope_));
+      spec.description = entry_side->ToString() + " = " +
+                         probe_side->ToString();
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+Status RuleNetwork::ConfigureBetas() {
+  const size_t n = alphas_.size();
+  beta_.clear();
+  beta_.resize(n);
+  for (size_t level = 1; level + 1 < n; ++level) {
+    ARIEL_ASSIGN_OR_RETURN(std::vector<JoinKeySpec> specs,
+                           DeriveBetaKeySpecs(level));
+    beta_[level].Configure(n, std::move(specs));
+  }
   return Status::OK();
 }
 
@@ -280,7 +473,7 @@ Status RuleNetwork::ReteExtend(size_t level, Row* row, const Token& token,
                                const ProcessedMemories& processed) {
   const size_t n = alphas_.size();
   if (level == n - 1) return pnode_->Insert(*row);
-  if (level >= 1) beta_[level].push_back(*row);
+  if (level >= 1) beta_[level].Add(*row);
 
   const size_t next = level + 1;
   std::vector<bool> bound(n, false);
@@ -338,36 +531,59 @@ Status RuleNetwork::ReteAssert(const Token& token, size_t alpha_ordinal,
   }
 
   // i >= 2: join against the stored β_{i-1} partials. ReteExtend only
-  // appends to β levels >= i, so iterating by index is safe.
-  const std::vector<Row>& lefts = beta_[i - 1];
-  for (size_t idx = 0; idx < lefts.size(); ++idx) {
-    Row combined = lefts[idx];
+  // appends to β levels >= i, so indexing into the level is safe. When an
+  // equijoin key between the prefix and the arriving variable exists, the
+  // token's key selects the matching partials directly instead of
+  // iterating the whole level.
+  const BetaMemory& left = beta_[i - 1];
+  const std::vector<Row>& lefts = left.rows();
+
+  auto extend = [&](const Row& partial) -> Status {
+    Row combined = partial;
     combined.MergeFrom(row);
     ARIEL_ASSIGN_OR_RETURN(bool ok, PrefixConjunctsHold(i, i, combined));
-    if (!ok) continue;
-    ARIEL_RETURN_NOT_OK(ReteExtend(i, &combined, token, processed));
+    if (!ok) return Status::OK();
+    return ReteExtend(i, &combined, token, processed);
+  };
+
+  if (left.index().has_specs()) {
+    int spec = left.index().FindUsableSpec(row.filled);
+    if (spec >= 0) {
+      const std::vector<uint32_t>* slots =
+          left.Probe(static_cast<size_t>(spec), row);
+      if (slots != nullptr) {
+        Metrics().join_hash_probes.Increment();
+        Metrics().join_hash_hits.Increment(slots->size());
+        Metrics().join_probes.Increment(slots->size());
+        for (uint32_t s : *slots) {
+          ARIEL_RETURN_NOT_OK(extend(lefts[s]));
+        }
+        return Status::OK();
+      }
+    }
+  }
+  Metrics().join_scan_fallbacks.Increment();
+  Metrics().join_probes.Increment(lefts.size());
+  for (size_t idx = 0; idx < lefts.size(); ++idx) {
+    ARIEL_RETURN_NOT_OK(extend(lefts[idx]));
   }
   return Status::OK();
 }
 
 void RuleNetwork::ReteRetract(size_t var, TupleId tid) {
+  // The per-level postings map (var, tid) → slots, so retraction touches
+  // only the affected partials instead of scanning each level.
   for (size_t level = std::max<size_t>(var, 1); level + 1 < alphas_.size();
        ++level) {
     if (level >= beta_.size()) break;
-    auto& partials = beta_[level];
-    partials.erase(std::remove_if(partials.begin(), partials.end(),
-                                  [&](const Row& row) {
-                                    return row.filled[var] &&
-                                           row.tids[var] == tid;
-                                  }),
-                   partials.end());
+    beta_[level].RemoveBindings(var, tid);
   }
 }
 
 Status RuleNetwork::PrimeBetas(Optimizer* optimizer) {
   const size_t n = alphas_.size();
   if (backend_ != JoinBackend::kRete) return Status::OK();
-  beta_.assign(n, {});
+  ARIEL_RETURN_NOT_OK(ConfigureBetas());
   for (size_t level = 1; level + 1 < n; ++level) {
     // Plan the prefix join over variables [0, level] using their
     // selections plus the join conjuncts fully contained in the prefix.
@@ -396,7 +612,7 @@ Status RuleNetwork::PrimeBetas(Optimizer* optimizer) {
       for (size_t v = 0; v <= level; ++v) {
         widened.Set(v, prefix_row.current[v], prefix_row.tids[v]);
       }
-      beta_[level].push_back(std::move(widened));
+      beta_[level].Add(std::move(widened));
     }
   }
   return Status::OK();
@@ -444,20 +660,49 @@ Status RuleNetwork::ExtendJoin(const Token& token, Row* row,
   return status;
 }
 
+template <typename Fn>
 Status RuleNetwork::ForEachCandidate(
     const Token& token, size_t j, const Row& row,
     const std::vector<bool>& bound, const ProcessedMemories& processed,
-    const std::function<Status(const AlphaEntry&)>& fn) {
+    Fn&& fn) {
   AlphaMemory* alpha = alphas_[j].get();
 
   if (alpha->stores_tuples()) {
     // Iterate over a snapshot index range: fn never mutates α-memories.
     const auto& entries = alpha->entries();
-    Metrics().join_probes.Increment(entries.size());
-    for (size_t i = 0; i < entries.size(); ++i) {
-      ARIEL_RETURN_NOT_OK(fn(entries[i]));
+    // Keyed path: when an equijoin key into this memory is fully bound,
+    // evaluate it once against the partial row and emit only the bucket —
+    // O(1 + matches) instead of O(|α|). Residual conjuncts are still
+    // verified per candidate by the caller.
+    const JoinKeyIndex& jidx = alpha->join_index();
+    if (jidx.has_specs()) {
+      int spec = jidx.FindUsableSpec(bound);
+      if (spec >= 0) {
+        const std::vector<uint32_t>* slots =
+            jidx.Probe(static_cast<size_t>(spec), row);
+        if (slots != nullptr) {
+          Metrics().join_hash_probes.Increment();
+          Metrics().join_hash_hits.Increment(slots->size());
+          Metrics().join_probes.Increment(slots->size());
+          for (uint32_t s : *slots) {
+            ARIEL_RETURN_NOT_OK(fn(entries[s]));
+          }
+          return Status::OK();
+        }
+      }
     }
-    return Status::OK();
+    // Scan fallback (non-equi conjunct, unbound key, or disabled spec).
+    // join_probes counts the candidates actually handed to fn.
+    Metrics().join_scan_fallbacks.Increment();
+    size_t emitted = 0;
+    Status status = Status::OK();
+    for (size_t i = 0; i < entries.size(); ++i) {
+      ++emitted;
+      status = fn(entries[i]);
+      if (!status.ok()) break;
+    }
+    Metrics().join_probes.Increment(emitted);
+    return status;
   }
 
   if (!alpha->is_virtual()) {
@@ -473,6 +718,9 @@ Status RuleNetwork::ForEachCandidate(
   const CompiledExpr* selection = alpha->compiled_selection();
   Row scratch(alphas_.size());
 
+  // join_probes / join_index_probes count the candidates actually emitted
+  // to fn — after the self-skip, liveness, and selection filters.
+  bool via_index = false;
   auto emit = [&](TupleId tid) -> Status {
     if (tid == token.tid) return Status::OK();
     const Tuple* tuple = relation->Get(tid);
@@ -482,6 +730,8 @@ Status RuleNetwork::ForEachCandidate(
       ARIEL_ASSIGN_OR_RETURN(bool keep, selection->EvalPredicate(scratch));
       if (!keep) return Status::OK();
     }
+    Metrics().join_probes.Increment();
+    if (via_index) Metrics().join_index_probes.Increment();
     return fn(AlphaEntry{tid, *tuple, Tuple()});
   };
 
@@ -506,18 +756,17 @@ Status RuleNetwork::ForEachCandidate(
   }
 
   if (chosen != nullptr) {
+    via_index = true;
     ARIEL_ASSIGN_OR_RETURN(Value key, chosen->key_expr->Eval(row));
     std::vector<TupleId> tids;
     index->Lookup(key, &tids);
-    Metrics().join_index_probes.Increment(tids.size());
-    Metrics().join_probes.Increment(tids.size());
     for (TupleId tid : tids) {
       ARIEL_RETURN_NOT_OK(emit(tid));
     }
+    via_index = false;
   } else {
     std::vector<TupleId> tids = relation->AllTupleIds();
     Metrics().virtual_alpha_scans.Increment();
-    Metrics().join_probes.Increment(tids.size());
     for (TupleId tid : tids) {
       ARIEL_RETURN_NOT_OK(emit(tid));
     }
@@ -621,6 +870,23 @@ Result<std::vector<Row>> RuleNetwork::RecomputeInstantiations(
   return plan.CollectRows();
 }
 
+std::vector<std::string> RuleNetwork::AuditJoinIndexes() const {
+  std::vector<std::string> problems;
+  for (const auto& alpha : alphas_) {
+    for (std::string& p : alpha->AuditIncrementalState()) {
+      problems.push_back("var " + alpha->spec().var_name + ": " +
+                         std::move(p));
+    }
+  }
+  for (size_t level = 1; level + 1 < beta_.size(); ++level) {
+    for (std::string& p : beta_[level].AuditIndexes()) {
+      problems.push_back("beta[" + std::to_string(level) + "]: " +
+                         std::move(p));
+    }
+  }
+  return problems;
+}
+
 size_t RuleNetwork::AlphaFootprintBytes() const {
   size_t bytes = 0;
   for (const auto& alpha : alphas_) bytes += alpha->FootprintBytes();
@@ -630,8 +896,8 @@ size_t RuleNetwork::AlphaFootprintBytes() const {
 size_t RuleNetwork::BetaFootprintBytes() const {
   size_t bytes = 0;
   for (const auto& level : beta_) {
-    bytes += level.capacity() * sizeof(Row);
-    for (const Row& row : level) {
+    bytes += level.rows().capacity() * sizeof(Row);
+    for (const Row& row : level.rows()) {
       for (const Tuple& t : row.current) bytes += t.FootprintBytes();
     }
   }
@@ -641,7 +907,7 @@ size_t RuleNetwork::BetaFootprintBytes() const {
 std::vector<size_t> RuleNetwork::BetaSizes() const {
   std::vector<size_t> sizes;
   for (size_t level = 1; level + 1 < beta_.size(); ++level) {
-    sizes.push_back(beta_[level].size());
+    sizes.push_back(beta_[level].rows().size());
   }
   return sizes;
 }
@@ -671,6 +937,14 @@ std::string RuleNetwork::ToString() const {
   for (const IndexJoinPath& path : index_join_paths_) {
     out += "  index probe available: " + scope_.var(path.var).name + "." +
            path.attr_name + " = " + "<bound key>\n";
+  }
+  for (const auto& alpha : alphas_) {
+    const JoinKeyIndex& jidx = alpha->join_index();
+    for (size_t i = 0; i < jidx.num_specs(); ++i) {
+      out += "  hash index on " + alpha->spec().var_name + ": " +
+             jidx.spec(i).description +
+             (jidx.spec_enabled(i) ? "" : " [disabled]") + "\n";
+    }
   }
   out += "  P(" + rule_name_ + "): " + std::to_string(pnode_->size()) +
          " instantiations\n";

@@ -5,11 +5,13 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "catalog/catalog.h"
 #include "exec/expr.h"
 #include "exec/optimizer.h"
+#include "network/join_index.h"
 #include "network/pnode.h"
 #include "network/token.h"
 #include "parser/ast.h"
@@ -47,6 +49,11 @@ struct AlphaSpec {
   /// True when the condition references `previous var`: the memory stores
   /// (new, old) pairs and only transition (Δ) tokens reach it.
   bool has_previous = false;
+  /// Key metadata handed down by the rule compiler: attributes of this
+  /// variable that appear as a bare column reference in an equality join
+  /// conjunct whose other side does not touch the variable. The network
+  /// builds hash join indexes (and B+tree probe paths) only on these.
+  std::vector<std::string> equijoin_attrs;
 };
 
 /// One entry of a stored/dynamic α-memory.
@@ -89,13 +96,26 @@ class AlphaMemory {
   bool AcceptsToken(const Token& token) const;
 
   const std::vector<AlphaEntry>& entries() const { return entries_; }
-  void InsertEntry(AlphaEntry entry) {
-    Metrics().alpha_insertions.Increment();
-    entries_.push_back(std::move(entry));
-  }
-  /// Removes the entry with this tid (if present). Returns true if removed.
+  /// Appends an entry, maintaining the TID→slot map and hash join indexes.
+  void InsertEntry(AlphaEntry entry);
+  /// Removes the entry with this tid (if present) in O(1) via the TID→slot
+  /// map and swap-and-pop (entry order is not stable). Returns true if
+  /// removed.
   bool RemoveEntry(TupleId tid);
-  void Flush() { entries_.clear(); }
+  void Flush();
+
+  /// Hash join indexes over the entries (configured by RuleNetwork::Init
+  /// from the rule's equijoin conjuncts; empty for unkeyed memories).
+  const JoinKeyIndex& join_index() const { return join_index_; }
+  JoinKeyIndex* mutable_join_index() { return &join_index_; }
+
+  /// Installs the hash key specs. `num_vars` is the rule's variable count
+  /// (key expressions are compiled against the whole rule scope).
+  void ConfigureJoinIndex(size_t num_vars, std::vector<JoinKeySpec> specs);
+
+  /// Cross-checks the TID→slot map and the hash join indexes against the
+  /// entry vector (auditor support). Returns problems (empty = consistent).
+  std::vector<std::string> AuditIncrementalState() const;
 
   /// Estimated candidate count for join ordering.
   size_t EstimatedSize() const;
@@ -116,6 +136,14 @@ class AlphaMemory {
   size_t var_ordinal_;
   CompiledExprPtr compiled_selection_;  // against the rule scope; may be null
   std::vector<AlphaEntry> entries_;
+  /// Slot of each entry keyed by encoded tid, for O(1) RemoveEntry. Holds
+  /// one slot per tid; a duplicate-tid insert (test-driven only) shadows
+  /// the earlier slot, and removal falls back to a scan for shadowed
+  /// entries.
+  std::unordered_map<int64_t, uint32_t> slot_of_;
+  JoinKeyIndex join_index_;
+  size_t num_vars_ = 1;   // rule scope width, set by ConfigureJoinIndex
+  Row scratch_row_;       // reused by InsertEntry for key evaluation
 };
 
 /// Which join-network algorithm a rule's condition is tested with.
@@ -148,6 +176,12 @@ class RuleNetwork {
   /// Compiles predicates and builds the P-node. Must be called once before
   /// any token processing.
   [[nodiscard]] Status Init();
+
+  /// Enables/disables hash join indexing over stored α-memories and Rete
+  /// β-levels. Must be set before Init; off forces the scan fallback
+  /// everywhere (A/B comparison and the forced-scan test path).
+  void set_join_hash_indexes(bool on) { join_hash_indexes_ = on; }
+  bool join_hash_indexes() const { return join_hash_indexes_; }
 
   const std::string& rule_name() const { return rule_name_; }
   const Scope& scope() const { return scope_; }
@@ -221,6 +255,11 @@ class RuleNetwork {
   /// memories (their expected contents depend on transition history).
   [[nodiscard]] Result<std::vector<Row>> RecomputeInstantiations(Optimizer* optimizer) const;
 
+  /// Cross-checks every hash join index (α and β) and retraction map
+  /// against its backing entry storage. Returns human-readable problems
+  /// (empty = consistent); used by NetworkAuditor under ARIEL_AUDIT.
+  std::vector<std::string> AuditJoinIndexes() const;
+
  private:
   /// Recursively extends `row` (with `bound` variables already set) across
   /// the remaining α-memories, emitting completed instantiations into the
@@ -228,11 +267,15 @@ class RuleNetwork {
   [[nodiscard]] Status ExtendJoin(const Token& token, Row* row, std::vector<bool>* bound,
                     size_t num_bound, const ProcessedMemories& processed);
 
-  /// Candidate enumeration for joining into variable `j`.
+  /// Candidate enumeration for joining into variable `j`: a hash-bucket
+  /// lookup when an equijoin key is fully bound, a B+tree probe or base
+  /// scan for virtual memories, an entry scan otherwise. `fn` is a template
+  /// parameter (not std::function) to keep type-erasure overhead off the
+  /// hottest loop; all instantiations live in rule_network.cc.
+  template <typename Fn>
   [[nodiscard]] Status ForEachCandidate(const Token& token, size_t j, const Row& row,
                           const std::vector<bool>& bound,
-                          const ProcessedMemories& processed,
-                          const std::function<Status(const AlphaEntry&)>& fn);
+                          const ProcessedMemories& processed, Fn&& fn);
 
   /// Evaluates every join conjunct that becomes fully bound when `j` joins
   /// the bound set.
@@ -242,6 +285,21 @@ class RuleNetwork {
   /// Records index-probe opportunities arising from equijoin conjuncts
   /// into virtual α-memories (called once per conjunct by Init).
   [[nodiscard]] Status RecordIndexJoinPaths(const Expr& conjunct);
+
+  /// Derives and installs the hash key specs for every stored α-memory
+  /// from the rule's equijoin conjuncts, gated on the compiler's
+  /// AlphaSpec::equijoin_attrs metadata (called once by Init).
+  [[nodiscard]] Status ConfigureAlphaJoinIndexes();
+
+  /// Key specs usable to probe β_level with a token bound at variable
+  /// level + 1: equality conjuncts whose one side reads only variables in
+  /// the prefix [0, level] and whose other side reads only the arriving
+  /// variable.
+  [[nodiscard]] Result<std::vector<JoinKeySpec>> DeriveBetaKeySpecs(size_t level) const;
+
+  /// (Re)creates the β chain with configured key specs and postings
+  /// (Init and PrimeBetas).
+  [[nodiscard]] Status ConfigureBetas();
 
   // --- Rete backend ---
 
@@ -299,8 +357,10 @@ class RuleNetwork {
   JoinBackend backend_;
   /// Rete: beta_[L] holds partials over variables [0, L], for
   /// L in [1, n-2]; β_0 is the first α-memory itself and the final join
-  /// result lands in the P-node.
-  std::vector<std::vector<Row>> beta_;
+  /// result lands in the P-node. Each level carries keyed partial-match
+  /// lookup and TID→slot postings (see BetaMemory).
+  std::vector<BetaMemory> beta_;
+  bool join_hash_indexes_ = true;
   bool initialized_ = false;
   bool has_dynamic_ = false;
   bool dirty_dynamic_ = false;

@@ -282,6 +282,7 @@ Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
     std::string name;
     const HeapRelation* relation = nullptr;
     std::vector<ExprPtr> selections;
+    std::set<std::string> equijoin_attrs;
     bool has_previous = false;
     bool is_event = false;
   };
@@ -364,6 +365,33 @@ Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
     }
   }
 
+  // Equijoin key metadata for the network's hash join indexes: for each
+  // equality join conjunct with a bare column reference on one side whose
+  // other side does not touch that variable, flag the attribute on the
+  // variable's α-memory spec. The network derives both hash key specs and
+  // B+tree probe paths only from flagged attributes.
+  for (const ExprPtr& conjunct : join_conjuncts) {
+    if (conjunct->kind != ExprKind::kBinary) continue;
+    const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+    if (bin.op != BinaryOp::kEq) continue;
+    for (bool flip : {false, true}) {
+      const Expr* ref_side = flip ? bin.rhs.get() : bin.lhs.get();
+      const Expr* key_side = flip ? bin.lhs.get() : bin.rhs.get();
+      if (ref_side->kind != ExprKind::kColumnRef) continue;
+      const auto& ref = static_cast<const ColumnRefExpr&>(*ref_side);
+      if (ref.previous || ref.is_all()) continue;
+      VarInfo* v = find_var(ref.tuple_var);
+      if (v == nullptr) continue;
+      std::vector<std::string> key_vars = CollectTupleVars(*key_side);
+      bool self_reference = key_vars.empty();
+      for (const std::string& kv : key_vars) {
+        if (kv == v->name) self_reference = true;
+      }
+      if (self_reference) continue;
+      v->equijoin_attrs.insert(ToLower(ref.attribute));
+    }
+  }
+
   // Validate `previous` in the action: only transition variables carry old
   // values into the P-node.
   {
@@ -413,6 +441,8 @@ Result<CompiledRule> CompileRule(const DefineRuleCommand& rule,
     spec.var_name = v.name;
     spec.relation = v.relation;
     spec.has_previous = v.has_previous;
+    spec.equijoin_attrs.assign(v.equijoin_attrs.begin(),
+                               v.equijoin_attrs.end());
     if (v.is_event) {
       spec.on_event = *rule.event;
       // Normalize attribute names for case-insensitive matching.

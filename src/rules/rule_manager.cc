@@ -52,6 +52,7 @@ Status RuleManager::ActivateRule(const std::string& raw_name) {
   auto network = std::make_unique<RuleNetwork>(
       name, next_pnode_id_++, std::move(compiled.alphas),
       std::move(compiled.join_conjuncts), join_backend_);
+  network->set_join_hash_indexes(join_hash_indexes_);
   ARIEL_RETURN_NOT_OK(network->Init());
   ARIEL_RETURN_NOT_OK(network->Prime(optimizer_));
   ARIEL_RETURN_NOT_OK(network_->AddRule(network.get()));

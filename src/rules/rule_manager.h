@@ -98,12 +98,18 @@ class RuleManager {
   JoinBackend join_backend() const { return join_backend_; }
   void set_join_backend(JoinBackend backend) { join_backend_ = backend; }
 
+  /// Hash join indexes over stored α-memories / Rete β-levels for
+  /// subsequently activated rules. Off forces the scan fallback.
+  bool join_hash_indexes() const { return join_hash_indexes_; }
+  void set_join_hash_indexes(bool on) { join_hash_indexes_ = on; }
+
  private:
   Catalog* catalog_;
   DiscriminationNetwork* network_;
   Optimizer* optimizer_;
   AlphaMemoryPolicy policy_;
   JoinBackend join_backend_ = JoinBackend::kTreat;
+  bool join_hash_indexes_ = true;
 
   uint64_t next_rule_id_ = 1;
   /// P-node relation ids come from a reserved range far above catalog ids.

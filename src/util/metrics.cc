@@ -209,6 +209,9 @@ EngineMetrics::EngineMetrics()
       virtual_alpha_scans(registry.RegisterCounter("virtual_alpha_scans")),
       join_probes(registry.RegisterCounter("join_probes")),
       join_index_probes(registry.RegisterCounter("join_index_probes")),
+      join_hash_probes(registry.RegisterCounter("join_hash_probes")),
+      join_hash_hits(registry.RegisterCounter("join_hash_hits")),
+      join_scan_fallbacks(registry.RegisterCounter("join_scan_fallbacks")),
       pnode_bindings_created(
           registry.RegisterCounter("pnode_bindings_created")),
       pnode_bindings_removed(

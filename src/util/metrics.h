@@ -299,6 +299,9 @@ struct EngineMetrics {
   Counter virtual_alpha_scans;  // base-relation recomputations of virtual α
   Counter join_probes;         // join candidates enumerated
   Counter join_index_probes;   // candidates found via B+tree equijoin paths
+  Counter join_hash_probes;    // keyed lookups into join hash indexes
+  Counter join_hash_hits;      // candidates returned by those lookups
+  Counter join_scan_fallbacks;  // memory probes that had to scan entries
 
   // P-nodes (conflict set).
   Counter pnode_bindings_created;   // instantiations inserted

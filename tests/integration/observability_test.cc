@@ -117,14 +117,74 @@ TEST_F(ObservabilityTest, JoinRuleCountsAlphaMemoryAndJoinProbes) {
   EXPECT_EQ(Count("join_probes"), 0u);  // emp α-memory is still empty
   EXPECT_EQ(Count("rules_fired"), 0u);
 
+  // The dept token probed emp's (empty) memory through its hash index:
+  // a keyed lookup that found nothing, not a scan.
+  EXPECT_EQ(Count("join_hash_probes"), 1u);
+  EXPECT_EQ(Count("join_hash_hits"), 0u);
+  EXPECT_EQ(Count("join_scan_fallbacks"), 0u);
+
   // The emp token matches its indexed condition, is stored, and probes the
   // one dept entry; the join binds and the rule fires once.
   ASSERT_OK(Exec("append emp (name = \"ann\", sal = 200.0, dno = 1)"));
   EXPECT_EQ(Count("alpha_insertions"), 2u);
   EXPECT_EQ(Count("join_probes"), 1u);
+  EXPECT_EQ(Count("join_hash_probes"), 2u);
+  EXPECT_EQ(Count("join_hash_hits"), 1u);
+  EXPECT_EQ(Count("join_scan_fallbacks"), 0u);
   EXPECT_EQ(Count("pnode_bindings_created"), 1u);
   EXPECT_EQ(Count("pnode_bindings_consumed"), 1u);
   EXPECT_EQ(Count("rules_fired"), 1u);
+}
+
+TEST_F(ObservabilityTest, ForcedScanFallbackCountsScansNotHashProbes) {
+  // join_hash_indexes = false is the A/B switch: the same script must
+  // produce identical firings with every probe downgraded to an entry scan.
+  DatabaseOptions options = MakeOptions();
+  options.join_hash_indexes = false;
+  Database scan_db(options);
+  Metrics().registry.Reset();
+  auto exec = [&](const std::string& s) { return scan_db.Execute(s).status(); };
+  ASSERT_OK(exec("create emp (name = string, sal = float, dno = int)"));
+  ASSERT_OK(exec("create dept (dno = int, dname = string)"));
+  ASSERT_OK(exec("create out (v = int)"));
+  ASSERT_OK(exec("define rule pay if emp.dno = dept.dno and "
+                 "emp.sal > 100.0 then append out (v = 1)"));
+  ASSERT_OK(exec("append dept (dno = 1, dname = \"sales\")"));
+  ASSERT_OK(exec("append emp (name = \"ann\", sal = 200.0, dno = 1)"));
+
+  EXPECT_EQ(Count("join_hash_probes"), 0u);
+  EXPECT_EQ(Count("join_hash_hits"), 0u);
+  EXPECT_EQ(Count("join_scan_fallbacks"), 2u);  // one per token's probe
+  EXPECT_EQ(Count("join_probes"), 1u);          // candidates seen, not entries
+  EXPECT_EQ(Count("rules_fired"), 1u);
+}
+
+TEST_F(ObservabilityTest, VirtualMemoryProbesCountOnlyEmittedCandidates) {
+  // Regression for the join_probes over-count: a virtual-memory scan counts
+  // candidates actually emitted past the selection filter, not every base
+  // tuple inspected.
+  DatabaseOptions options;
+  options.alpha_policy.mode = AlphaMemoryPolicy::Mode::kAllVirtual;
+  Database vdb(options);
+  Metrics().registry.Reset();
+  auto exec = [&](const std::string& s) { return vdb.Execute(s).status(); };
+  ASSERT_OK(exec("create emp (name = string, sal = float, dno = int)"));
+  ASSERT_OK(exec("create dept (dno = int, dname = string)"));
+  ASSERT_OK(exec("create out (v = int)"));
+  ASSERT_OK(exec("define rule pay if emp.sal > 100.0 and "
+                 "emp.dno = dept.dno then append out (v = 1)"));
+  ASSERT_OK(exec("append emp (name = \"lo\", sal = 50.0, dno = 1)"));
+  ASSERT_OK(exec("append emp (name = \"ann\", sal = 200.0, dno = 1)"));
+  ASSERT_OK(exec("append emp (name = \"bob\", sal = 300.0, dno = 1)"));
+  ASSERT_OK(exec("append dept (dno = 1, dname = \"sales\")"));
+
+  // The dept token scanned three emp base tuples but only the two passing
+  // emp.sal > 100.0 are join candidates. Both instantiations land in one
+  // cycle, so the rule fires once over both.
+  EXPECT_EQ(Count("join_probes"), 2u);
+  EXPECT_EQ(Count("pnode_bindings_created"), 2u);
+  EXPECT_EQ(Count("rules_fired"), 1u);
+  EXPECT_GT(Count("virtual_alpha_scans"), 0u);
 }
 
 TEST_F(ObservabilityTest, DeltaCaseCountersForModifySequences) {

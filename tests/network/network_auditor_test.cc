@@ -153,6 +153,19 @@ TEST_F(NetworkAuditorTest, DetectsUnflushedDynamicMemory) {
                         "at quiescence");
 }
 
+TEST_F(NetworkAuditorTest, DetectsPlantedJoinIndexBucketEntry) {
+  // The equijoin u.y = t.x keys t's stored memory; a bucket entry planted
+  // under the wrong key simulates a missed maintenance update and must
+  // surface as exactly one join-index violation.
+  AlphaMemory* alpha_t = FindAlpha("pair", "t");
+  ASSERT_NE(alpha_t, nullptr);
+  ASSERT_TRUE(alpha_t->join_index().has_specs());
+  alpha_t->mutable_join_index()->PlantBucketEntryForTesting(0, Value::Int(123),
+                                                            0);
+  ExpectSingleViolation(AuditViolationKind::kJoinIndexInconsistent,
+                        "hash index");
+}
+
 TEST_F(NetworkAuditorTest, DetectsDanglingPnodeBinding) {
   Rule* rule = db_->rules().GetRule("pair");
   ASSERT_NE(rule, nullptr);

@@ -4,6 +4,7 @@
 
 #include "network/rule_network.h"
 
+#include <algorithm>
 #include <gtest/gtest.h>
 
 #include "test_util.h"
@@ -261,6 +262,68 @@ TEST_F(RuleNetworkTest, InitRejectsMalformedNetworks) {
     RuleNetwork net("r", 7008, std::move(specs), {});
     EXPECT_FALSE(net.Init().ok());
   }
+}
+
+TEST_F(RuleNetworkTest, InterleavedInsertRemoveKeepsMapAndIndexConsistent) {
+  // Regression for the O(1) RemoveEntry path: interleaved insertions and
+  // removals hitting front, middle, and back slots must keep entries(), the
+  // TID→slot map, and the hash join index in agreement at every step.
+  std::vector<AlphaSpec> specs;
+  AlphaSpec e = Spec("emp", emp_, AlphaKind::kStored, "");
+  e.equijoin_attrs = {"dno"};
+  specs.push_back(std::move(e));
+  AlphaSpec d = Spec("dept", dept_, AlphaKind::kStored, "");
+  d.equijoin_attrs = {"dno"};
+  specs.push_back(std::move(d));
+  std::vector<ExprPtr> joins;
+  joins.push_back(Parse("emp.dno = dept.dno"));
+  RuleNetwork net("r", 7010, std::move(specs), std::move(joins));
+  ASSERT_OK(net.Init());
+  AlphaMemory* mem = net.alpha(0);
+  ASSERT_TRUE(mem->join_index().has_specs());  // the metadata gate engaged
+
+  auto entry = [](uint32_t slot, int64_t dno) {
+    return AlphaEntry{TupleId{1, slot},
+                      Tuple(std::vector<Value>{Value::String("e"),
+                                               Value::Int(10),
+                                               Value::Int(dno)}),
+                      Tuple()};
+  };
+  auto expect_state = [&](std::vector<uint32_t> expected_slots) {
+    std::vector<uint32_t> got;
+    for (const AlphaEntry& en : mem->entries()) got.push_back(en.tid.slot);
+    std::sort(got.begin(), got.end());
+    std::sort(expected_slots.begin(), expected_slots.end());
+    EXPECT_EQ(got, expected_slots);
+    for (const std::string& p : mem->AuditIncrementalState()) {
+      ADD_FAILURE() << p;
+    }
+  };
+
+  mem->InsertEntry(entry(0, 1));
+  mem->InsertEntry(entry(1, 2));
+  mem->InsertEntry(entry(2, 1));
+  expect_state({0, 1, 2});
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 0}));  // front: swap-pop moves 2
+  expect_state({1, 2});
+  mem->InsertEntry(entry(3, 3));
+  mem->InsertEntry(entry(4, 2));
+  expect_state({1, 2, 3, 4});
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 3}));  // middle
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 1}));
+  expect_state({2, 4});
+  mem->InsertEntry(entry(0, 5));  // re-insert a previously removed tid
+  expect_state({0, 2, 4});
+  EXPECT_FALSE(mem->RemoveEntry(TupleId{1, 9}));  // absent tid: no-op
+  expect_state({0, 2, 4});
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 4}));  // back: no swap move
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 2}));
+  EXPECT_TRUE(mem->RemoveEntry(TupleId{1, 0}));
+  expect_state({});
+
+  mem->InsertEntry(entry(6, 1));
+  mem->Flush();
+  expect_state({});
 }
 
 TEST_F(RuleNetworkTest, FlushOnlyTouchesDynamicMemories) {
