@@ -21,6 +21,18 @@ Rules
                  keyed registry lookup per event defeats the handle design.
                  Update pre-registered EngineMetrics handles (Metrics().x)
                  instead; registration belongs in src/util/metrics.cc.
+                 src/util/thread_pool.* additionally must not call the
+                 string-keyed enumeration API (Counters/Gauges/Histograms/
+                 Render): those take the registry mutex, and pool code runs
+                 on worker threads inside the match stage.
+  atomic-order   Atomic operations in the concurrency-critical util files
+                 (src/util/metrics.*, src/util/thread_pool.*) must name an
+                 explicit std::memory_order. Metric handles are updated from
+                 match-stage worker threads; a defaulted seq_cst there is
+                 either an accidental fence on the hot path or, worse, a
+                 sign someone is relying on metric atomics for
+                 synchronization. Cross-thread handoff belongs to mutexes /
+                 condition variables, with atomics relaxed throughout.
 
 A finding can be suppressed on its line with:  // ariel-lint: allow(<rule>)
 
@@ -140,6 +152,8 @@ RAW_DELETE_RE = re.compile(r"(?<![\w.])delete(\[\])?\s+[\w:(*]")
 DELETED_FN_RE = re.compile(r"=\s*delete\b")
 CONST_CAST_RE = re.compile(r"\bconst_cast\s*<")
 METRIC_REGISTER_RE = re.compile(r"\bRegister(Counter|Gauge|Histogram)\s*\(")
+METRIC_ENUMERATE_RE = re.compile(
+    r"\.\s*(Counters|Gauges|Histograms|Render)\s*\(")
 HOT_PATH_DIRS = (
     ("src", "network"),
     ("src", "exec"),
@@ -147,6 +161,13 @@ HOT_PATH_DIRS = (
     ("src", "storage"),
     ("src", "rules"),
 )
+# Files whose atomics run on (or synchronize with) match-stage worker
+# threads; every atomic op there must spell out its memory order.
+ATOMIC_ORDER_FILES = ("metrics.h", "metrics.cc", "thread_pool.h",
+                      "thread_pool.cc")
+ATOMIC_OP_RE = re.compile(
+    r"\.\s*(fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|exchange|"
+    r"compare_exchange_weak|compare_exchange_strong|load|store)\s*\(")
 BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
@@ -194,6 +215,43 @@ def lint_file(path: Path) -> list[Finding]:
                 report(i, "metric-keyed",
                        "string-keyed metric registration in an engine hot "
                        "path — update a pre-registered Metrics() handle")
+
+    # metric-keyed, worker-thread flavour: thread-pool code runs on match
+    # workers, so even the mutex-guarded string-keyed enumeration API is
+    # off-limits there.
+    if rel_parts == ("src", "util") and path.name.startswith("thread_pool"):
+        for i, line in enumerate(code_lines, start=1):
+            if METRIC_REGISTER_RE.search(line) or \
+                    METRIC_ENUMERATE_RE.search(line):
+                report(i, "metric-keyed",
+                       "string-keyed registry call in thread-pool code — "
+                       "workers must only touch relaxed atomic handles")
+
+    # atomic-order: concurrency-critical util files must spell out the
+    # memory order on every atomic operation.
+    if rel_parts == ("src", "util") and path.name in ATOMIC_ORDER_FILES:
+        for m in ATOMIC_OP_RE.finditer(code):
+            # Walk the balanced argument list; any named memory_order inside
+            # satisfies the rule.
+            depth = 0
+            j = m.end() - 1  # the opening paren
+            end = j
+            while end < len(code):
+                if code[end] == "(":
+                    depth += 1
+                elif code[end] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                end += 1
+            args = code[j:end + 1]
+            if "memory_order" in args:
+                continue
+            lineno = code[: m.start()].count("\n") + 1
+            report(lineno, "atomic-order",
+                   f"atomic {m.group(1)} without an explicit "
+                   "std::memory_order — metric/pool atomics are relaxed by "
+                   "design; synchronization belongs to mutexes")
 
     # include-guard: headers only.
     if path.suffix == ".h":

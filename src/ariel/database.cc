@@ -1,6 +1,7 @@
 #include "ariel/database.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <sstream>
 
 #include "parser/parser.h"
@@ -9,9 +10,32 @@
 
 namespace ariel {
 
+namespace {
+
+/// Environment override for the batch-pipeline knobs (A/B comparisons
+/// without recompiling callers). Malformed values are ignored.
+size_t EnvSizeOr(const char* name, size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(raw, &end, 10);
+  if (end == raw || *end != '\0') return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace
+
 Database::Database(DatabaseOptions options)
     : options_(options), optimizer_(options.optimizer) {
+  options_.batch_tokens = EnvSizeOr("ARIEL_BATCH_TOKENS", options_.batch_tokens);
+  options_.match_threads =
+      EnvSizeOr("ARIEL_MATCH_THREADS", options_.match_threads);
+  if (options_.match_threads > 0) {
+    match_pool_ = std::make_unique<ThreadPool>(options_.match_threads);
+    network_.ConfigureBatching(match_pool_.get());
+  }
   transitions_ = std::make_unique<TransitionManager>(&network_);
+  transitions_->set_batch_tokens(options_.batch_tokens);
   executor_ = std::make_unique<Executor>(&catalog_, transitions_.get(),
                                          &optimizer_);
   rules_ = std::make_unique<RuleManager>(&catalog_, &network_, &optimizer_);
@@ -181,6 +205,10 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
       EngineMetrics& m = Metrics();
       std::ostringstream os;
       os << "engine statistics:\n" << m.registry.Render();
+      os << "batch pipeline: batch_tokens=" << options_.batch_tokens
+         << ", match_threads=" << options_.match_threads
+         << (options_.batch_tokens == 0 ? " (per-token propagation)" : "")
+         << "\n";
       const uint64_t total = m.firing_trace.total_recorded();
       if (total > 0) {
         std::vector<FiringTraceEntry> recent = m.firing_trace.Recent(10);
@@ -289,8 +317,18 @@ Result<std::vector<AuditViolation>> Database::AuditNetwork() {
   for (Rule* rule : rules_->ActiveRules()) {
     networks.push_back(rule->network.get());
   }
-  return NetworkAuditor::AuditAtQuiescence(networks,
-                                           network_.selection_network());
+  ARIEL_ASSIGN_OR_RETURN(std::vector<AuditViolation> violations,
+                         NetworkAuditor::AuditAtQuiescence(
+                             networks, network_.selection_network()));
+  // A flushed batch must leave nothing behind: no deferred tokens in the
+  // transition manager, no rule still staging P-node deltas.
+  if (transitions_->pending_batch_tokens() > 0) {
+    violations.push_back(AuditViolation{
+        AuditViolationKind::kStagedDeltasPending, "transition-manager",
+        std::to_string(transitions_->pending_batch_tokens()) +
+            " token(s) still deferred in the batch at quiescence"});
+  }
+  return violations;
 }
 
 Status Database::RefreshSystemCatalogs() {

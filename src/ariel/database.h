@@ -47,6 +47,16 @@ struct DatabaseOptions {
   /// Equal-priority tie-break: deterministic definition order (default) or
   /// OPS5-style recency.
   ConflictStrategy conflict_strategy = ConflictStrategy::kDefinitionOrder;
+  /// Δ-set batching: accumulate up to this many tokens per transition and
+  /// propagate them as one selection-network pass plus per-rule match stage.
+  /// 0 (default) = per-token propagation, byte-for-byte the paper's
+  /// behaviour. Overridable with the ARIEL_BATCH_TOKENS env var.
+  size_t batch_tokens = 0;
+  /// Worker threads for the parallel per-rule match stage of a batch flush
+  /// (the calling thread also participates). 0 = serial matching. Only
+  /// meaningful with batch_tokens > 0; results are byte-identical at every
+  /// thread count. Overridable with the ARIEL_MATCH_THREADS env var.
+  size_t match_threads = 0;
 };
 
 /// The Ariel active DBMS: a relational engine whose update processing is
@@ -145,6 +155,10 @@ class Database {
   std::vector<PendingAlert> pending_alerts_;
   Catalog catalog_;
   Optimizer optimizer_;
+  /// Workers for the batch-propagation match stage; null when
+  /// match_threads = 0. Declared before network_ so the pool outlives the
+  /// network that dispatches onto it.
+  std::unique_ptr<ThreadPool> match_pool_;
   DiscriminationNetwork network_;
   std::unique_ptr<TransitionManager> transitions_;
   std::unique_ptr<Executor> executor_;

@@ -1,6 +1,7 @@
 #include "network/discrimination_network.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "util/metrics.h"
 
@@ -9,6 +10,11 @@ namespace ariel {
 Status DiscriminationNetwork::AddRule(RuleNetwork* rule) {
   ARIEL_RETURN_NOT_OK(selection_.AddRule(rule));
   rules_.push_back(rule);
+  for (size_t i = 0; i < rule->num_vars(); ++i) {
+    if (rule->alpha(i)->is_virtual()) {
+      ++virtual_scan_relations_[rule->alpha(i)->spec().relation->id()];
+    }
+  }
   return Status::OK();
 }
 
@@ -18,6 +24,24 @@ void DiscriminationNetwork::RemoveRule(RuleNetwork* rule) {
   dirty_dynamic_rules_.erase(std::remove(dirty_dynamic_rules_.begin(),
                                          dirty_dynamic_rules_.end(), rule),
                              dirty_dynamic_rules_.end());
+  for (size_t i = 0; i < rule->num_vars(); ++i) {
+    if (rule->alpha(i)->is_virtual()) {
+      auto it = virtual_scan_relations_.find(
+          rule->alpha(i)->spec().relation->id());
+      if (it != virtual_scan_relations_.end() && --it->second == 0) {
+        virtual_scan_relations_.erase(it);
+      }
+    }
+  }
+}
+
+void DiscriminationNetwork::NoteArrival(RuleNetwork* rule) {
+  ++arrivals_;
+  Metrics().alpha_arrivals.Increment();
+  if (rule->has_dynamic_memories() && !rule->dirty_dynamic()) {
+    rule->set_dirty_dynamic(true);
+    dirty_dynamic_rules_.push_back(rule);
+  }
 }
 
 Status DiscriminationNetwork::ProcessToken(const Token& token) {
@@ -32,15 +56,159 @@ Status DiscriminationNetwork::ProcessToken(const Token& token) {
     // its joins run (§4.2) — this is what makes self-joins through virtual
     // α-memories produce each pairing exactly once.
     processed.insert(match.rule->alpha(match.alpha_ordinal));
-    ++arrivals_;
-    Metrics().alpha_arrivals.Increment();
-    if (match.rule->has_dynamic_memories() && !match.rule->dirty_dynamic()) {
-      match.rule->set_dirty_dynamic(true);
-      dirty_dynamic_rules_.push_back(match.rule);
-    }
+    NoteArrival(match.rule);
     ARIEL_RETURN_NOT_OK(
         match.rule->Arrive(token, match.alpha_ordinal, processed));
   }
+  return Status::OK();
+}
+
+Status DiscriminationNetwork::ProcessBatch(const std::vector<Token>& tokens) {
+  if (tokens.empty()) return Status::OK();
+  EngineMetrics& m = Metrics();
+  m.batch_flushes.Increment();
+  m.batch_tokens_per_flush.Observe(tokens.size());
+
+  // Stage 1: classify the whole batch through the selection network, then
+  // run the listener and arrival bookkeeping in token order — the same
+  // observable order per-token propagation produces.
+  std::vector<std::vector<ConditionMatch>> matches;
+  {
+    ScopedTimer timer(m.batch_select_ns);
+    ARIEL_ASSIGN_OR_RETURN(matches, selection_.MatchBatch(tokens));
+  }
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    ++tokens_processed_;
+    if (token_listener_) token_listener_(tokens[i]);
+    for (const ConditionMatch& match : matches[i]) NoteArrival(match.rule);
+  }
+
+  if (pool_ == nullptr) {
+    // Serial drain: exactly the per-token Arrive loop. ProcessedMemories
+    // resets per token and accumulates across that token's matches.
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      RuleNetwork::ProcessedMemories processed;
+      for (const ConditionMatch& match : matches[i]) {
+        processed.insert(match.rule->alpha(match.alpha_ordinal));
+        ARIEL_RETURN_NOT_OK(
+            match.rule->Arrive(tokens[i], match.alpha_ordinal, processed));
+      }
+    }
+    return Status::OK();
+  }
+
+  // Stage 2: route each rule's share of the batch to one task. Rules own
+  // disjoint α/β-memories and P-nodes, so tasks touch no shared mutable
+  // state beyond relaxed metric counters; base relations are read-only for
+  // the whole flush (the hazard flush in TransitionManager guarantees it).
+  // Serial ProcessedMemories behaviour survives the split because Arrive
+  // only ever tests membership of the rule's own memories.
+  struct Item {
+    uint32_t token_seq;
+    size_t alpha_ordinal;
+  };
+  struct RuleWork {
+    RuleNetwork* rule = nullptr;
+    std::vector<Item> items;
+    std::vector<RuleNetwork::StagedDelta> staged;
+    Status status = Status::OK();
+    uint32_t failed_token = std::numeric_limits<uint32_t>::max();
+  };
+  // Selection matches come out in registration-id order and a rule's
+  // conditions are registered contiguously, so iterating rules_ (the same
+  // registration order) later replays inter-rule order exactly.
+  std::unordered_map<const RuleNetwork*, size_t> work_of;
+  std::vector<RuleWork> works;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    for (const ConditionMatch& match : matches[i]) {
+      auto [it, fresh] = work_of.try_emplace(match.rule, works.size());
+      if (fresh) {
+        works.emplace_back();
+        works.back().rule = match.rule;
+      }
+      works[it->second].items.push_back(
+          Item{static_cast<uint32_t>(i), match.alpha_ordinal});
+    }
+  }
+  std::unordered_map<const RuleNetwork*, size_t> registration_index;
+  registration_index.reserve(rules_.size());
+  for (size_t r = 0; r < rules_.size(); ++r) registration_index[rules_[r]] = r;
+  std::sort(works.begin(), works.end(),
+            [&registration_index](const RuleWork& a, const RuleWork& b) {
+              return registration_index.at(a.rule) <
+                     registration_index.at(b.rule);
+            });
+
+  m.match_tasks.Increment(works.size());
+  const uint64_t steals_before = pool_->steals();
+  {
+    ScopedTimer timer(m.batch_match_ns);
+    std::vector<ThreadPool::Task> tasks;
+    tasks.reserve(works.size());
+    for (RuleWork& work : works) {
+      tasks.push_back([&work, &tokens] {
+        RuleNetwork* rule = work.rule;
+        rule->BeginStagedDeltas(&work.staged);
+        RuleNetwork::ProcessedMemories processed;
+        uint32_t current = std::numeric_limits<uint32_t>::max();
+        for (const Item& item : work.items) {
+          if (item.token_seq != current) {
+            processed.clear();
+            current = item.token_seq;
+          }
+          rule->set_staged_token_seq(item.token_seq);
+          processed.insert(rule->alpha(item.alpha_ordinal));
+          Status status = rule->Arrive(tokens[item.token_seq],
+                                       item.alpha_ordinal, processed);
+          if (!status.ok()) {
+            work.status = std::move(status);
+            work.failed_token = item.token_seq;
+            break;
+          }
+        }
+        rule->EndStagedDeltas();
+      });
+    }
+    pool_->RunAll(std::move(tasks));
+  }
+  m.match_steal_count.Increment(pool_->steals() - steals_before);
+
+  // Stage 3: deterministic merge. Works are in rule-registration order and
+  // each buffer is in token order, so a stable sort by token_seq recreates
+  // the serial P-node mutation order (token, then rule, then within-rule
+  // discovery order) exactly — including match-clock stamp assignment.
+  ScopedTimer timer(m.batch_merge_ns);
+  struct MergeOp {
+    RuleNetwork* rule;
+    const RuleNetwork::StagedDelta* delta;
+  };
+  std::vector<MergeOp> ops;
+  for (RuleWork& work : works) {
+    ops.reserve(ops.size() + work.staged.size());
+    for (const RuleNetwork::StagedDelta& delta : work.staged) {
+      ops.push_back(MergeOp{work.rule, &delta});
+    }
+  }
+  std::stable_sort(ops.begin(), ops.end(),
+                   [](const MergeOp& a, const MergeOp& b) {
+                     return a.delta->token_seq < b.delta->token_seq;
+                   });
+  for (const MergeOp& op : ops) {
+    ARIEL_RETURN_NOT_OK(op.rule->ApplyStagedDelta(*op.delta));
+  }
+
+  // Error precedence mirrors serial propagation: the failure triggered by
+  // the earliest token (rule order breaking ties, because works are already
+  // rule-ordered) is the one a per-token run would have hit first.
+  const RuleWork* first_failure = nullptr;
+  for (const RuleWork& work : works) {
+    if (work.status.ok()) continue;
+    if (first_failure == nullptr ||
+        work.failed_token < first_failure->failed_token) {
+      first_failure = &work;
+    }
+  }
+  if (first_failure != nullptr) return first_failure->status;
   return Status::OK();
 }
 

@@ -2,12 +2,14 @@
 #define ARIEL_NETWORK_DISCRIMINATION_NETWORK_H_
 
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "network/selection_network.h"
 #include "network/rule_network.h"
 #include "network/token.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ariel {
 
@@ -27,6 +29,32 @@ class DiscriminationNetwork {
   /// same token, implementing the paper's virtual-memory self-join protocol.
   [[nodiscard]] Status ProcessToken(const Token& token);
 
+  /// Propagates a whole token batch (a TransitionManager flush):
+  ///   stage 1 — the selection network classifies every token in one pass
+  ///             (MatchBatch; one ISL descent per distinct constant
+  ///             partition);
+  ///   stage 2 — per-rule join/α-memory work, serial without a pool,
+  ///             otherwise fanned out as one task per matched rule, each
+  ///             staging its P-node deltas locally;
+  ///   stage 3 — the staged deltas are applied on the calling thread in
+  ///             (token_seq, rule registration) order.
+  /// The result is byte-identical to calling ProcessToken per token: rules
+  /// own disjoint memories, each rule sees its arrivals in token order, and
+  /// the merge replays P-node mutations in exactly serial order.
+  [[nodiscard]] Status ProcessBatch(const std::vector<Token>& tokens);
+
+  /// Installs the worker pool for stage 2 (nullptr = serial matching).
+  void ConfigureBatching(ThreadPool* pool) { pool_ = pool; }
+
+  /// True when an active rule joins through a virtual α-memory over this
+  /// relation: propagation then scans the base relation at match time, so
+  /// deferred tokens must be flushed before the relation mutates again
+  /// (TransitionManager's hazard flush).
+  bool HasVirtualScanOn(uint32_t relation_id) const {
+    auto it = virtual_scan_relations_.find(relation_id);
+    return it != virtual_scan_relations_.end() && it->second > 0;
+  }
+
   /// End-of-transition housekeeping: flushes dynamic α-memories (§4.3.2).
   void OnTransitionEnd();
 
@@ -43,10 +71,17 @@ class DiscriminationNetwork {
   }
 
  private:
+  /// Bookkeeping shared by ProcessToken and ProcessBatch: arrival counters
+  /// and the dirty-dynamic-rule set.
+  void NoteArrival(RuleNetwork* rule);
+
   TokenListener token_listener_;
   SelectionNetwork selection_;
+  ThreadPool* pool_ = nullptr;
   std::vector<RuleNetwork*> rules_;
   std::vector<RuleNetwork*> dirty_dynamic_rules_;
+  /// relation id → number of active virtual α-memories scanning it.
+  std::unordered_map<uint32_t, size_t> virtual_scan_relations_;
   uint64_t tokens_processed_ = 0;
   uint64_t arrivals_ = 0;
 };

@@ -22,6 +22,7 @@ enum class AuditViolationKind : uint8_t {
   kPnodeStale,        // P-node instantiation's values disagree with the base
   kIslInconsistent,   // interval index disagrees with a brute-force stab
   kJoinIndexInconsistent,  // hash join index / retraction map ⇎ entry vector
+  kStagedDeltasPending,    // batch pipeline left staged/deferred work behind
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);

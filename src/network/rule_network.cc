@@ -30,7 +30,7 @@ bool AlphaMemory::AcceptsToken(const Token& token) const {
         !spec_.on_event->attributes.empty()) {
       bool touched = false;
       for (const std::string& want : spec_.on_event->attributes) {
-        for (const std::string& got : token.event->updated_attrs) {
+        for (const std::string& got : token.event->updated_attrs()) {
           if (EqualsIgnoreCase(want, got)) {
             touched = true;
             break;
@@ -419,7 +419,7 @@ Status RuleNetwork::Arrive(const Token& token, size_t alpha_ordinal,
     if (backend_ == JoinBackend::kRete) {
       ReteRetract(alpha_ordinal, token.tid);
     }
-    pnode_->RemoveByTid(alpha_ordinal, token.tid);
+    RetractInstantiations(alpha_ordinal, token.tid);
     return Status::OK();
   }
 
@@ -428,7 +428,7 @@ Status RuleNetwork::Arrive(const Token& token, size_t alpha_ordinal,
     Row row(1);
     row.Set(0, token.value, token.tid);
     if (alpha->is_transition()) row.SetPrevious(0, token.previous);
-    return pnode_->Insert(row);
+    return EmitInstantiation(row);
   }
 
   if (alpha->stores_tuples()) {
@@ -472,7 +472,7 @@ Result<bool> RuleNetwork::PrefixConjunctsHold(size_t level, size_t newly,
 Status RuleNetwork::ReteExtend(size_t level, Row* row, const Token& token,
                                const ProcessedMemories& processed) {
   const size_t n = alphas_.size();
-  if (level == n - 1) return pnode_->Insert(*row);
+  if (level == n - 1) return EmitInstantiation(*row);
   if (level >= 1) beta_[level].Add(*row);
 
   const size_t next = level + 1;
@@ -622,7 +622,7 @@ Status RuleNetwork::ExtendJoin(const Token& token, Row* row,
                                std::vector<bool>* bound, size_t num_bound,
                                const ProcessedMemories& processed) {
   const size_t n = alphas_.size();
-  if (num_bound == n) return pnode_->Insert(*row);
+  if (num_bound == n) return EmitInstantiation(*row);
 
   // Join-order heuristic: prefer a variable connected to the bound set by
   // some join conjunct; among those, the smallest memory.
@@ -798,6 +798,34 @@ Result<bool> RuleNetwork::JoinConjunctsHold(size_t j,
     if (!ok) return false;
   }
   return true;
+}
+
+Status RuleNetwork::EmitInstantiation(const Row& row) {
+  if (staged_sink_ == nullptr) return pnode_->Insert(row);
+  StagedDelta delta;
+  delta.token_seq = staged_token_seq_;
+  delta.is_insert = true;
+  delta.row = row;
+  staged_sink_->push_back(std::move(delta));
+  return Status::OK();
+}
+
+void RuleNetwork::RetractInstantiations(size_t var_ordinal, TupleId tid) {
+  if (staged_sink_ == nullptr) {
+    pnode_->RemoveByTid(var_ordinal, tid);
+    return;
+  }
+  StagedDelta delta;
+  delta.token_seq = staged_token_seq_;
+  delta.var_ordinal = var_ordinal;
+  delta.tid = tid;
+  staged_sink_->push_back(std::move(delta));
+}
+
+Status RuleNetwork::ApplyStagedDelta(const StagedDelta& delta) {
+  if (delta.is_insert) return pnode_->Insert(delta.row);
+  pnode_->RemoveByTid(delta.var_ordinal, delta.tid);
+  return Status::OK();
 }
 
 void RuleNetwork::FlushDynamicMemories() {

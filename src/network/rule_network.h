@@ -202,6 +202,37 @@ class RuleNetwork {
   [[nodiscard]] Status Arrive(const Token& token, size_t alpha_ordinal,
                 const ProcessedMemories& processed);
 
+  // --- Staged P-node deltas (batch propagation) ---
+  //
+  // During the parallel match stage of DiscriminationNetwork::ProcessBatch
+  // each rule runs as an independent task: α/β-memories are per-rule and
+  // mutated directly, but P-node mutations are redirected into a local
+  // buffer. The merge stage replays all buffers on one thread in serial
+  // (token_seq, rule registration) order, so P-node contents — including
+  // the recency stamps drawn from the process-wide match clock — are
+  // byte-identical to per-token propagation.
+  struct StagedDelta {
+    uint32_t token_seq = 0;  // position of the triggering token in the batch
+    bool is_insert = false;
+    Row row;                 // instantiation payload (insert only)
+    size_t var_ordinal = 0;  // retraction: variable whose binding died
+    TupleId tid;             // retraction: the dead tuple
+  };
+
+  /// Redirects P-node mutations into `sink` until EndStagedDeltas.
+  void BeginStagedDeltas(std::vector<StagedDelta>* sink) {
+    staged_sink_ = sink;
+    staged_token_seq_ = 0;
+  }
+  void EndStagedDeltas() { staged_sink_ = nullptr; }
+  /// Batch position of the token about to Arrive (stamped onto deltas).
+  void set_staged_token_seq(uint32_t seq) { staged_token_seq_ = seq; }
+  /// True between Begin/EndStagedDeltas — must never be observed at a
+  /// quiescence point (NetworkAuditor checks).
+  bool staging_active() const { return staged_sink_ != nullptr; }
+  /// Applies one staged delta to the P-node (merge stage, main thread).
+  [[nodiscard]] Status ApplyStagedDelta(const StagedDelta& delta);
+
   /// Flushes dynamic memories (end of transition; §4.3.2).
   void FlushDynamicMemories();
 
@@ -261,6 +292,11 @@ class RuleNetwork {
   std::vector<std::string> AuditJoinIndexes() const;
 
  private:
+  /// P-node write funnel: stages into the delta buffer when batching,
+  /// otherwise mutates the P-node directly.
+  [[nodiscard]] Status EmitInstantiation(const Row& row);
+  void RetractInstantiations(size_t var_ordinal, TupleId tid);
+
   /// Recursively extends `row` (with `bound` variables already set) across
   /// the remaining α-memories, emitting completed instantiations into the
   /// P-node.
@@ -360,6 +396,8 @@ class RuleNetwork {
   /// result lands in the P-node. Each level carries keyed partial-match
   /// lookup and TID→slot postings (see BetaMemory).
   std::vector<BetaMemory> beta_;
+  std::vector<StagedDelta>* staged_sink_ = nullptr;
+  uint32_t staged_token_seq_ = 0;
   bool join_hash_indexes_ = true;
   bool initialized_ = false;
   bool has_dynamic_ = false;

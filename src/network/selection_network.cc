@@ -198,6 +198,52 @@ Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
   return out;
 }
 
+Result<std::vector<std::vector<ConditionMatch>>> SelectionNetwork::MatchBatch(
+    const std::vector<Token>& tokens) const {
+  std::vector<std::vector<ConditionMatch>> out(tokens.size());
+  EngineMetrics& m = Metrics();
+
+  // Stab cache per interval index: tokens sharing an attribute value form a
+  // constant-partition and descend the skip list once. The indexes cannot
+  // change mid-batch (rule DDL never runs inside a transition), so cached id
+  // sets stay valid for the whole batch.
+  std::unordered_map<const IntervalSkipList*,
+                     std::unordered_map<Value, std::vector<int64_t>, ValueHash>>
+      stab_cache;
+
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    const Token& token = tokens[i];
+    auto rel_it = relations_.find(token.relation_id);
+    if (rel_it == relations_.end()) continue;
+    const PerRelation& per_rel = rel_it->second;
+    m.selection_tokens.Increment();
+    m.selection_residual_checks.Increment(per_rel.residual.size());
+
+    std::vector<int64_t> candidates = per_rel.residual;
+    for (const auto& [attr_pos, index] : per_rel.attr_indexes) {
+      if (attr_pos >= token.value.size()) continue;
+      const Value& v = token.value.at(attr_pos);
+      auto& per_index = stab_cache[index.get()];
+      auto hit = per_index.find(v);
+      if (hit == per_index.end()) {
+        m.selection_stabs.Increment();
+        std::vector<int64_t> ids;
+        index->Stab(v, &ids);
+        hit = per_index.emplace(v, std::move(ids)).first;
+      }
+      candidates.insert(candidates.end(), hit->second.begin(),
+                        hit->second.end());
+    }
+    std::sort(candidates.begin(), candidates.end());
+
+    for (int64_t id : candidates) {
+      ARIEL_RETURN_NOT_OK(
+          VerifyAndCollect(token, per_rel.nodes.at(id), &out[i]));
+    }
+  }
+  return out;
+}
+
 std::string SelectionNetwork::DescribeRule(const RuleNetwork* rule) const {
   // Collect this rule's nodes across all relations, in condition order.
   std::vector<const NodeInfo*> nodes;

@@ -48,6 +48,14 @@ class SelectionNetwork {
   /// selection predicate), in registration order.
   [[nodiscard]] Result<std::vector<ConditionMatch>> Match(const Token& token) const;
 
+  /// Batch classification (stage 1 of ProcessBatch): per-token results are
+  /// identical to Match, but each attribute interval index descends once per
+  /// distinct attribute value in the batch instead of once per token —
+  /// duplicate constant-partitions reuse the cached stab result. Residual
+  /// checks and predicate verification remain per token.
+  [[nodiscard]] Result<std::vector<std::vector<ConditionMatch>>> MatchBatch(
+      const std::vector<Token>& tokens) const;
+
   /// Diagnostics: how many conditions are interval-indexed vs. residual.
   size_t num_indexed() const { return num_indexed_; }
   size_t num_residual() const { return num_residual_; }

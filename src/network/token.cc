@@ -4,6 +4,25 @@
 
 namespace ariel {
 
+TokenEvent::TokenEvent(EventKind kind, std::vector<std::string> attrs)
+    : kind(kind) {
+  if (!attrs.empty()) {
+    attrs_ = std::make_shared<const std::vector<std::string>>(std::move(attrs));
+  }
+}
+
+TokenEvent TokenEvent::WithShared(EventKind kind, AttrList attrs) {
+  TokenEvent event;
+  event.kind = kind;
+  event.attrs_ = std::move(attrs);
+  return event;
+}
+
+const std::vector<std::string>& TokenEvent::updated_attrs() const {
+  static const std::vector<std::string> kEmpty;
+  return attrs_ != nullptr ? *attrs_ : kEmpty;
+}
+
 const char* TokenKindToString(TokenKind kind) {
   switch (kind) {
     case TokenKind::kPlus: return "+";
@@ -27,8 +46,8 @@ std::string Token::ToString() const {
   if (event.has_value()) {
     out += " on=";
     out += EventKindToString(event->kind);
-    if (!event->updated_attrs.empty()) {
-      out += "(" + Join(event->updated_attrs, ",") + ")";
+    if (!event->updated_attrs().empty()) {
+      out += "(" + Join(event->updated_attrs(), ",") + ")";
     }
   }
   return out;

@@ -1,6 +1,7 @@
 #ifndef ARIEL_NETWORK_TOKEN_H_
 #define ARIEL_NETWORK_TOKEN_H_
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -26,10 +27,27 @@ const char* TokenKindToString(TokenKind kind);
 /// consumers (§4.3.1). A token may carry no specifier at all — the paper's
 /// "simple − token" emitted for the first modification of a pre-existing
 /// tuple, which must not wake on-delete rules.
-struct TokenEvent {
+class TokenEvent {
+ public:
+  /// Immutable, shareable attribute list. A bulk replace touches the same
+  /// attributes for every tuple, so the Δ-set bookkeeping interns one list
+  /// and every token of the command aliases it (no per-token allocation).
+  using AttrList = std::shared_ptr<const std::vector<std::string>>;
+
+  TokenEvent() = default;
+  TokenEvent(EventKind kind, std::vector<std::string> attrs);
+
+  /// Builds an event aliasing an already-interned attribute list.
+  static TokenEvent WithShared(EventKind kind, AttrList attrs);
+
   EventKind kind = EventKind::kAppend;
-  /// For replace: which attributes the command assigned.
-  std::vector<std::string> updated_attrs;
+
+  /// For replace: which attributes the command assigned (empty otherwise).
+  const std::vector<std::string>& updated_attrs() const;
+  const AttrList& shared_attrs() const { return attrs_; }
+
+ private:
+  AttrList attrs_;
 };
 
 /// One unit of change flowing through the discrimination network.

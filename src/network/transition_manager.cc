@@ -7,21 +7,6 @@
 
 namespace ariel {
 
-namespace {
-
-/// Merges attribute names case-insensitively, preserving first-seen order.
-void MergeAttrs(std::vector<std::string>* acc,
-                const std::vector<std::string>& add) {
-  for (const std::string& attr : add) {
-    std::string lower = ToLower(attr);
-    if (std::find(acc->begin(), acc->end(), lower) == acc->end()) {
-      acc->push_back(lower);
-    }
-  }
-}
-
-}  // namespace
-
 void TransitionManager::BeginTransition() {
   in_transition_ = true;
   ++transition_seq_;
@@ -31,11 +16,64 @@ void TransitionManager::BeginTransition() {
 }
 
 Status TransitionManager::EndTransition() {
+  // Flush before OnTransitionEnd: deferred tokens may still have to reach
+  // dynamic α-memories that the end-of-transition housekeeping flushes.
+  Status status = FlushTokenBatch();
   in_transition_ = false;
   inserted_.clear();
   modified_.clear();
   network_->OnTransitionEnd();
-  return Status::OK();
+  return status;
+}
+
+Status TransitionManager::FlushTokenBatch() {
+  if (batch_.empty()) return Status::OK();
+  std::vector<Token> draining;
+  draining.swap(batch_);
+  return network_->ProcessBatch(draining);
+}
+
+Status TransitionManager::MaybeFlushBeforeMutation(
+    const HeapRelation& relation) {
+  if (batch_.empty() || !network_->HasVirtualScanOn(relation.id())) {
+    return Status::OK();
+  }
+  return FlushTokenBatch();
+}
+
+TokenEvent::AttrList TransitionManager::InternAttrs(
+    const std::vector<std::string>& attrs) {
+  std::vector<std::string> normalized;
+  normalized.reserve(attrs.size());
+  for (const std::string& attr : attrs) {
+    std::string lower = ToLower(attr);
+    if (std::find(normalized.begin(), normalized.end(), lower) ==
+        normalized.end()) {
+      normalized.push_back(std::move(lower));
+    }
+  }
+  if (last_interned_ != nullptr && *last_interned_ == normalized) {
+    return last_interned_;
+  }
+  last_interned_ = std::make_shared<const std::vector<std::string>>(
+      std::move(normalized));
+  return last_interned_;
+}
+
+TokenEvent::AttrList TransitionManager::MergedAttrs(
+    const TokenEvent::AttrList& acc, const std::vector<std::string>& add) {
+  std::vector<std::string> fresh;
+  for (const std::string& attr : add) {
+    std::string lower = ToLower(attr);
+    if (std::find(acc->begin(), acc->end(), lower) == acc->end() &&
+        std::find(fresh.begin(), fresh.end(), lower) == fresh.end()) {
+      fresh.push_back(std::move(lower));
+    }
+  }
+  if (fresh.empty()) return acc;
+  auto merged = std::make_shared<std::vector<std::string>>(*acc);
+  for (std::string& lower : fresh) merged->push_back(std::move(lower));
+  return merged;
 }
 
 Status TransitionManager::Emit(Token token) {
@@ -56,7 +94,10 @@ Status TransitionManager::Emit(Token token) {
       m.tokens_delta_minus.Increment();
       break;
   }
-  return network_->ProcessToken(token);
+  if (batch_tokens_ == 0) return network_->ProcessToken(token);
+  batch_.push_back(std::move(token));
+  if (batch_.size() >= batch_tokens_) return FlushTokenBatch();
+  return Status::OK();
 }
 
 Result<TupleId> TransitionManager::Insert(HeapRelation* relation,
@@ -64,16 +105,24 @@ Result<TupleId> TransitionManager::Insert(HeapRelation* relation,
   const bool implicit = !in_transition_;
   if (implicit) BeginTransition();
 
-  ARIEL_ASSIGN_OR_RETURN(TupleId tid, relation->Insert(std::move(tuple)));
-  inserted_.insert(tid);
-
-  Token token;
-  token.kind = TokenKind::kPlus;
-  token.relation_id = relation->id();
-  token.tid = tid;
-  token.value = *relation->Get(tid);
-  token.event = TokenEvent{EventKind::kAppend, {}};
-  Status status = Emit(std::move(token));
+  Status status = MaybeFlushBeforeMutation(*relation);
+  TupleId tid;
+  if (status.ok()) {
+    Result<TupleId> inserted = relation->Insert(std::move(tuple));
+    if (inserted.ok()) {
+      tid = *inserted;
+      inserted_.insert(tid);
+      Token token;
+      token.kind = TokenKind::kPlus;
+      token.relation_id = relation->id();
+      token.tid = tid;
+      token.value = *relation->Get(tid);
+      token.event = TokenEvent{EventKind::kAppend, {}};
+      status = Emit(std::move(token));
+    } else {
+      status = inserted.status();
+    }
+  }
 
   if (implicit) {
     Status end = EndTransition();
@@ -91,21 +140,23 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
   }
   const bool implicit = !in_transition_;
   if (implicit) BeginTransition();
+  // Pending tokens must see the relation as it stood when they were
+  // emitted; flush before this delete becomes visible to virtual scans.
+  Status status = MaybeFlushBeforeMutation(*relation);
   Tuple old_value = *current;
 
-  Status status = Status::OK();
-  if (inserted_.contains(tid)) {
+  if (status.ok() && inserted_.contains(tid)) {
     // Case 2 (im*d): retract the insertion; net effect nothing.
     Metrics().delta_case2_net_nothing.Increment();
     Token minus;
     minus.kind = TokenKind::kMinus;
     minus.relation_id = relation->id();
     minus.tid = tid;
-    minus.value = old_value;
+    minus.value = std::move(old_value);
     minus.event = TokenEvent{EventKind::kAppend, {}};
     status = Emit(std::move(minus));
     inserted_.erase(tid);
-  } else {
+  } else if (status.ok()) {
     auto mod = modified_.find(tid);
     if (mod != modified_.end()) {
       // Case 4 tail: retract the transition pair first.
@@ -115,8 +166,9 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
       delta_minus.relation_id = relation->id();
       delta_minus.tid = tid;
       delta_minus.value = old_value;  // the pair's new part
-      delta_minus.previous = mod->second.original;
-      delta_minus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+      delta_minus.previous = std::move(mod->second.original);
+      delta_minus.event =
+          TokenEvent::WithShared(EventKind::kReplace, mod->second.attrs);
       status = Emit(std::move(delta_minus));
       modified_.erase(mod);
     }
@@ -125,7 +177,7 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
       minus.kind = TokenKind::kMinus;
       minus.relation_id = relation->id();
       minus.tid = tid;
-      minus.value = old_value;
+      minus.value = std::move(old_value);
       minus.event = TokenEvent{EventKind::kDelete, {}};
       status = Emit(std::move(minus));
     }
@@ -149,9 +201,10 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
   }
   const bool implicit = !in_transition_;
   if (implicit) BeginTransition();
+  Status status = MaybeFlushBeforeMutation(*relation);
   Tuple old_value = *current;
 
-  Status status = relation->Update(tid, std::move(new_value));
+  if (status.ok()) status = relation->Update(tid, std::move(new_value));
   Tuple updated = status.ok() ? *relation->Get(tid) : Tuple();
 
   if (status.ok() && inserted_.contains(tid)) {
@@ -161,7 +214,7 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
     minus.kind = TokenKind::kMinus;
     minus.relation_id = relation->id();
     minus.tid = tid;
-    minus.value = old_value;
+    minus.value = std::move(old_value);
     minus.event = TokenEvent{EventKind::kAppend, {}};
     status = Emit(std::move(minus));
     if (status.ok()) {
@@ -169,7 +222,7 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
       plus.kind = TokenKind::kPlus;
       plus.relation_id = relation->id();
       plus.tid = tid;
-      plus.value = updated;
+      plus.value = std::move(updated);
       plus.event = TokenEvent{EventKind::kAppend, {}};
       status = Emit(std::move(plus));
     }
@@ -182,13 +235,13 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
       // without waking on-delete rules, then a Δ+ introduces the pair.
       ModifiedEntry entry;
       entry.original = old_value;
-      MergeAttrs(&entry.attrs, updated_attrs);
+      entry.attrs = InternAttrs(updated_attrs);
 
       Token minus;
       minus.kind = TokenKind::kMinus;
       minus.relation_id = relation->id();
       minus.tid = tid;
-      minus.value = old_value;
+      minus.value = std::move(old_value);
       // no event specifier
       status = Emit(std::move(minus));
       if (status.ok()) {
@@ -196,9 +249,10 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
         delta_plus.kind = TokenKind::kDeltaPlus;
         delta_plus.relation_id = relation->id();
         delta_plus.tid = tid;
-        delta_plus.value = updated;
+        delta_plus.value = std::move(updated);
         delta_plus.previous = entry.original;
-        delta_plus.event = TokenEvent{EventKind::kReplace, entry.attrs};
+        delta_plus.event =
+            TokenEvent::WithShared(EventKind::kReplace, entry.attrs);
         status = Emit(std::move(delta_plus));
       }
       modified_.emplace(tid, std::move(entry));
@@ -210,19 +264,21 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
       delta_minus.kind = TokenKind::kDeltaMinus;
       delta_minus.relation_id = relation->id();
       delta_minus.tid = tid;
-      delta_minus.value = old_value;
+      delta_minus.value = std::move(old_value);
       delta_minus.previous = mod->second.original;
-      delta_minus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+      delta_minus.event =
+          TokenEvent::WithShared(EventKind::kReplace, mod->second.attrs);
       status = Emit(std::move(delta_minus));
       if (status.ok()) {
-        MergeAttrs(&mod->second.attrs, updated_attrs);
+        mod->second.attrs = MergedAttrs(mod->second.attrs, updated_attrs);
         Token delta_plus;
         delta_plus.kind = TokenKind::kDeltaPlus;
         delta_plus.relation_id = relation->id();
         delta_plus.tid = tid;
-        delta_plus.value = updated;
+        delta_plus.value = std::move(updated);
         delta_plus.previous = mod->second.original;
-        delta_plus.event = TokenEvent{EventKind::kReplace, mod->second.attrs};
+        delta_plus.event =
+            TokenEvent::WithShared(EventKind::kReplace, mod->second.attrs);
         status = Emit(std::move(delta_plus));
       }
     }

@@ -1,6 +1,8 @@
 #ifndef ARIEL_NETWORK_TRANSITION_MANAGER_H_
 #define ARIEL_NETWORK_TRANSITION_MANAGER_H_
 
+#include <memory>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -36,13 +38,24 @@ namespace ariel {
 /// do…end block. Gateway calls outside a transition get an implicit
 /// single-operation transition (without the engine-level recognize-act
 /// cycle, which only the engine runs).
+///
+/// Batched propagation (set_batch_tokens > 0): instead of walking each
+/// token through the network at Emit time, tokens accumulate in emission
+/// order and flush as one DiscriminationNetwork::ProcessBatch call — when
+/// the batch fills, at end of transition, and before any mutation of a
+/// relation some active rule virtually scans (a deferred token joining
+/// through a virtual α-memory must see the base relation exactly as it
+/// stood at the token's serial propagation point). Flush scope is therefore
+/// always within one transition, and observable behaviour is identical to
+/// per-token propagation.
 class TransitionManager : public StorageGateway {
  public:
   explicit TransitionManager(DiscriminationNetwork* network)
       : network_(network) {}
 
   void BeginTransition();
-  /// Clears the Δ-sets and flushes dynamic α-memories.
+  /// Flushes any pending token batch, clears the Δ-sets, and flushes
+  /// dynamic α-memories.
   [[nodiscard]] Status EndTransition();
   bool in_transition() const { return in_transition_; }
 
@@ -58,13 +71,42 @@ class TransitionManager : public StorageGateway {
   /// firing trace to tie a rule firing back to the transition that woke it.
   uint64_t transition_seq() const { return transition_seq_; }
 
+  /// Δ-set batching knob: accumulate up to `n` tokens before propagating
+  /// them as one batch. 0 (default) propagates per token — the paper's
+  /// behaviour, byte-for-byte.
+  void set_batch_tokens(size_t n) { batch_tokens_ = n; }
+  size_t batch_tokens() const { return batch_tokens_; }
+
+  /// Tokens currently deferred (0 at every quiescence point; the auditor
+  /// checks this).
+  size_t pending_batch_tokens() const { return batch_.size(); }
+
+  /// Propagates the pending batch now. Public for the engine's extra flush
+  /// points; EndTransition always calls it.
+  [[nodiscard]] Status FlushTokenBatch();
+
  private:
   struct ModifiedEntry {
-    Tuple original;                       // value at transition start
-    std::vector<std::string> attrs;      // accumulated updated attributes
+    Tuple original;               // value at transition start
+    TokenEvent::AttrList attrs;   // accumulated updated attributes, interned
   };
 
   [[nodiscard]] Status Emit(Token token);
+
+  /// Hazard flush: propagate pending tokens before `relation` changes if
+  /// any active rule joins through a virtual α-memory over it.
+  [[nodiscard]] Status MaybeFlushBeforeMutation(const HeapRelation& relation);
+
+  /// Lowercases, dedups, and interns an updated-attribute list. A bulk
+  /// replace passes the identical list for every tuple, so the one-entry
+  /// cache turns per-tuple allocations into one per command.
+  TokenEvent::AttrList InternAttrs(const std::vector<std::string>& attrs);
+
+  /// Copy-on-write merge: returns `acc` itself when `add` brings nothing
+  /// new, otherwise a fresh interned list. Never mutates `*acc` — tokens
+  /// already emitted (possibly deferred in the batch) alias it.
+  static TokenEvent::AttrList MergedAttrs(
+      const TokenEvent::AttrList& acc, const std::vector<std::string>& add);
 
   DiscriminationNetwork* network_;
   bool in_transition_ = false;
@@ -72,6 +114,10 @@ class TransitionManager : public StorageGateway {
   std::unordered_map<TupleId, ModifiedEntry, TupleIdHash> modified_;
   uint64_t tokens_emitted_ = 0;
   uint64_t transition_seq_ = 0;
+
+  size_t batch_tokens_ = 0;
+  std::vector<Token> batch_;
+  TokenEvent::AttrList last_interned_;  // InternAttrs single-entry cache
 };
 
 }  // namespace ariel

@@ -223,8 +223,16 @@ EngineMetrics::EngineMetrics()
       tuples_scanned(registry.RegisterCounter("tuples_scanned")),
       rules_fired(registry.RegisterCounter("rules_fired")),
       cycles_run(registry.RegisterCounter("cycles_run")),
+      batch_flushes(registry.RegisterCounter("batch_flushes")),
+      match_tasks(registry.RegisterCounter("match_tasks")),
+      match_steal_count(registry.RegisterCounter("match_steal_count")),
       token_process_ns(registry.RegisterHistogram("token_process_ns")),
-      rule_firing_ns(registry.RegisterHistogram("rule_firing_ns")) {}
+      rule_firing_ns(registry.RegisterHistogram("rule_firing_ns")),
+      batch_tokens_per_flush(
+          registry.RegisterHistogram("batch_tokens_per_flush")),
+      batch_select_ns(registry.RegisterHistogram("batch_select_ns")),
+      batch_match_ns(registry.RegisterHistogram("batch_match_ns")),
+      batch_merge_ns(registry.RegisterHistogram("batch_merge_ns")) {}
 
 EngineMetrics& Metrics() {
   // Intentionally leaked: handles embedded across the engine hold raw cell

@@ -317,8 +317,18 @@ struct EngineMetrics {
   Counter rules_fired;
   Counter cycles_run;
 
+  // Batch propagation pipeline (TransitionManager token batching + the
+  // parallel rule-matching stage; 0 everywhere when batch_tokens = 0).
+  Counter batch_flushes;      // token batches propagated
+  Counter match_tasks;        // per-rule match tasks dispatched to the pool
+  Counter match_steal_count;  // cross-deque steals inside those batches
+
   Histogram token_process_ns;  // DiscriminationNetwork::ProcessToken
   Histogram rule_firing_ns;    // RuleExecutionMonitor::FireRule
+  Histogram batch_tokens_per_flush;  // tokens carried by each flushed batch
+  Histogram batch_select_ns;  // batch stage 1: selection-network classify
+  Histogram batch_match_ns;   // batch stage 2: per-rule join/α-memory work
+  Histogram batch_merge_ns;   // batch stage 3: deterministic delta merge
 
   FiringTraceRing firing_trace;
 

@@ -1,0 +1,234 @@
+// Determinism of batched Δ-set propagation: for every thread count, join
+// backend, and join-index setting, a run with token batching (and the
+// parallel match stage) must be byte-identical to the per-token serial run —
+// same firing trace, same P-node contents in storage order, same final
+// relation contents. The batch pipeline reorders *work*, never *effects*:
+// staged P-node deltas merge in (token, rule-registration) order, which is
+// exactly the serial mutation order.
+//
+// The runs use recency conflict resolution on purpose: firing order then
+// depends on P-node match-clock stamps, so trace equality also proves the
+// merge reproduces serial stamp assignment, not just final contents.
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "ariel/database.h"
+#include "util/metrics.h"
+
+namespace ariel {
+namespace {
+
+struct BatchParams {
+  const char* name;
+  size_t threads;
+  JoinBackend backend;
+  bool hash;
+};
+
+struct RunCapture {
+  std::vector<std::string> trace;
+  std::map<std::string, std::vector<std::string>> pnodes;
+  std::map<std::string, std::vector<std::string>> relations;
+  uint64_t batch_flushes = 0;
+  uint64_t match_tasks = 0;
+};
+
+class BatchDeterminismTest : public ::testing::TestWithParam<BatchParams> {
+ protected:
+  static uint64_t CounterValue(const char* name) {
+    for (const auto& [n, v] : Metrics().registry.Counters()) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+
+  /// One fixed deterministic workload: cases 1-4 inside do…end blocks, bulk
+  /// replaces/deletes (many tokens per transition), rule cascades, a
+  /// self-join, and an on-replace rule that rewrites its own trigger.
+  static void Drive(Database& db) {
+    auto Exec = [&db](const std::string& script) {
+      SCOPED_TRACE(script);
+      ASSERT_OK(db.Execute(script).status());
+    };
+
+    Exec("create emp (name = string, sal = int, dno = int)");
+    Exec("create dept (dno = int, budget = int)");
+    Exec("create log (msg = string)");
+    Exec("create sink (x = int)");
+
+    Exec("define rule audit_hire on append emp if emp.sal > 50 "
+         "then append to log (msg = \"hire\")");
+    Exec("define rule pay_join priority 3 if emp.dno = dept.dno and "
+         "emp.sal > dept.budget then append to sink (x = emp.sal)");
+    Exec("define rule peer_gap priority 5 if e1.dno = e2.dno and "
+         "e1.sal > e2.sal + 40 from e1 in emp, e2 in emp "
+         "then append to log (msg = \"gap\")");
+    Exec("define rule clamp priority 8 on replace emp(sal) "
+         "if emp.sal > 90 then replace emp (sal = 90)");
+    Exec("define rule obit on delete emp "
+         "then append to log (msg = \"bye\")");
+
+    for (int d = 1; d <= 4; ++d) {
+      Exec("append dept (dno = " + std::to_string(d) + ", budget = " +
+           std::to_string(20 * d) + ")");
+    }
+    for (int i = 0; i < 12; ++i) {
+      Exec("append emp (name = \"e" + std::to_string(i) + "\", sal = " +
+           std::to_string((i * 17) % 80) + ", dno = " +
+           std::to_string(i % 4 + 1) + ")");
+    }
+
+    // Cases 1-4 in one transition: insert+modify (1), insert+delete (2),
+    // modify+modify (3 head/tail), modify+delete (4).
+    Exec("do\n"
+         "  append emp (name = \"t1\", sal = 10, dno = 1)\n"
+         "  replace emp (sal = 60) where emp.name = \"t1\"\n"
+         "  append emp (name = \"t2\", sal = 70, dno = 2)\n"
+         "  delete emp where emp.name = \"t2\"\n"
+         "  replace emp (sal = emp.sal + 5) where emp.name = \"e3\"\n"
+         "  replace emp (dno = 3) where emp.name = \"e3\"\n"
+         "  replace emp (sal = 33) where emp.name = \"e5\"\n"
+         "  delete emp where emp.name = \"e5\"\n"
+         "end");
+
+    // Bulk transitions: one command, many tokens.
+    Exec("replace emp (sal = emp.sal + 7) where emp.dno = 2");
+    Exec("replace emp (sal = emp.sal + 25, dno = 1) where emp.sal > 55");
+    Exec("delete emp where emp.sal < 15");
+    Exec("replace dept (budget = dept.budget + 11) where dept.dno < 3");
+
+    for (int i = 12; i < 18; ++i) {
+      Exec("append emp (name = \"e" + std::to_string(i) + "\", sal = " +
+           std::to_string((i * 29) % 120) + ", dno = " +
+           std::to_string(i % 4 + 1) + ")");
+    }
+  }
+
+  static RunCapture Run(const BatchParams& p, size_t batch_tokens,
+                        AlphaMemoryPolicy::Mode mode) {
+    Metrics().registry.Reset();
+    Metrics().firing_trace.Clear();
+
+    DatabaseOptions options;
+    options.alpha_policy.mode = mode;
+    options.join_backend = p.backend;
+    options.join_hash_indexes = p.hash;
+    options.conflict_strategy = ConflictStrategy::kRecency;
+    options.batch_tokens = batch_tokens;
+    options.match_threads = batch_tokens == 0 ? 0 : p.threads;
+    Database db(options);
+    Drive(db);
+
+    RunCapture capture;
+    for (const FiringTraceEntry& e :
+         Metrics().firing_trace.Recent(Metrics().firing_trace.total_recorded())) {
+      capture.trace.push_back(e.rule + "|" + e.trigger + "|" +
+                              std::to_string(e.transition_id) + "|" +
+                              std::to_string(e.instantiations));
+    }
+    for (const Rule* rule : db.rules().ActiveRules()) {
+      std::vector<std::string>& rows =
+          capture.pnodes[rule->network->rule_name()];
+      rule->network->pnode()->relation().ForEach(
+          [&](TupleId, const Tuple& t) {
+            Row row = rule->network->pnode()->ToRow(t);
+            std::string key;
+            for (size_t v = 0; v < row.num_vars(); ++v) {
+              key += row.tids[v].ToString() + "=" +
+                     row.current[v].ToString() + "|";
+            }
+            rows.push_back(std::move(key));
+          });
+    }
+    for (const char* name : {"emp", "dept", "log", "sink"}) {
+      const HeapRelation* rel = db.catalog().GetRelation(name);
+      std::vector<std::string>& rows = capture.relations[name];
+      for (TupleId tid : rel->AllTupleIds()) {
+        rows.push_back(tid.ToString() + "=" + rel->Get(tid)->ToString());
+      }
+    }
+    capture.batch_flushes = CounterValue("batch_flushes");
+    capture.match_tasks = CounterValue("match_tasks");
+    return capture;
+  }
+};
+
+TEST_P(BatchDeterminismTest, BatchedRunIsByteIdenticalToSerial) {
+  const BatchParams p = GetParam();
+  for (AlphaMemoryPolicy::Mode mode :
+       {AlphaMemoryPolicy::Mode::kAllStored,
+        AlphaMemoryPolicy::Mode::kAllVirtual}) {
+    SCOPED_TRACE(mode == AlphaMemoryPolicy::Mode::kAllStored ? "all-stored"
+                                                             : "all-virtual");
+    RunCapture serial = Run(p, /*batch_tokens=*/0, mode);
+    RunCapture batched = Run(p, /*batch_tokens=*/7, mode);
+
+    EXPECT_EQ(serial.batch_flushes, 0u);
+    EXPECT_GT(batched.batch_flushes, 0u);
+    if (p.threads > 0) {
+      EXPECT_GT(batched.match_tasks, 0u);
+    }
+
+    EXPECT_EQ(batched.trace, serial.trace);
+    EXPECT_EQ(batched.pnodes, serial.pnodes);
+    EXPECT_EQ(batched.relations, serial.relations);
+
+    // The workload is non-trivial: rules actually fired and matched.
+    EXPECT_FALSE(serial.trace.empty());
+    EXPECT_FALSE(serial.relations.at("log").empty());
+    EXPECT_FALSE(serial.relations.at("sink").empty());
+  }
+}
+
+TEST(BatchOptionsTest, EnvVarsOverrideDefaults) {
+  setenv("ARIEL_BATCH_TOKENS", "5", 1);
+  setenv("ARIEL_MATCH_THREADS", "2", 1);
+  {
+    Database db;
+    EXPECT_EQ(db.options().batch_tokens, 5u);
+    EXPECT_EQ(db.options().match_threads, 2u);
+  }
+  setenv("ARIEL_BATCH_TOKENS", "bogus", 1);
+  unsetenv("ARIEL_MATCH_THREADS");
+  {
+    DatabaseOptions options;
+    options.match_threads = 3;
+    Database db(options);
+    EXPECT_EQ(db.options().batch_tokens, 0u);  // malformed env is ignored
+    EXPECT_EQ(db.options().match_threads, 3u);
+  }
+  unsetenv("ARIEL_BATCH_TOKENS");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, BatchDeterminismTest,
+    ::testing::Values(
+        BatchParams{"t0_treat_hash", 0, JoinBackend::kTreat, true},
+        BatchParams{"t0_treat_scan", 0, JoinBackend::kTreat, false},
+        BatchParams{"t0_rete_hash", 0, JoinBackend::kRete, true},
+        BatchParams{"t0_rete_scan", 0, JoinBackend::kRete, false},
+        BatchParams{"t1_treat_hash", 1, JoinBackend::kTreat, true},
+        BatchParams{"t1_treat_scan", 1, JoinBackend::kTreat, false},
+        BatchParams{"t1_rete_hash", 1, JoinBackend::kRete, true},
+        BatchParams{"t1_rete_scan", 1, JoinBackend::kRete, false},
+        BatchParams{"t2_treat_hash", 2, JoinBackend::kTreat, true},
+        BatchParams{"t2_treat_scan", 2, JoinBackend::kTreat, false},
+        BatchParams{"t2_rete_hash", 2, JoinBackend::kRete, true},
+        BatchParams{"t2_rete_scan", 2, JoinBackend::kRete, false},
+        BatchParams{"t8_treat_hash", 8, JoinBackend::kTreat, true},
+        BatchParams{"t8_treat_scan", 8, JoinBackend::kTreat, false},
+        BatchParams{"t8_rete_hash", 8, JoinBackend::kRete, true},
+        BatchParams{"t8_rete_scan", 8, JoinBackend::kRete, false}),
+    [](const ::testing::TestParamInfo<BatchParams>& info) {
+      return std::string(info.param.name);
+    });
+
+}  // namespace
+}  // namespace ariel

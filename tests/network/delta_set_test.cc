@@ -36,7 +36,7 @@ class DeltaSetTest : public ::testing::Test {
         case EventKind::kDelete: out += "d"; break;
         case EventKind::kReplace: {
           out += "r(";
-          for (const std::string& a : token.event->updated_attrs) out += a;
+          for (const std::string& a : token.event->updated_attrs()) out += a;
           out += ")";
           break;
         }

@@ -204,6 +204,41 @@ TEST_F(NetworkAuditorTest, DetectsStalePnodeBinding) {
       << violations[0].ToString();
 }
 
+TEST_F(NetworkAuditorTest, StagingActiveAtQuiescenceReported) {
+  Rule* rule = db_->rules().GetRule("pair");
+  ASSERT_NE(rule, nullptr);
+  // Simulate a batch flush that never ran its merge: staging left enabled.
+  std::vector<RuleNetwork::StagedDelta> sink;
+  rule->network->BeginStagedDeltas(&sink);
+  ExpectSingleViolation(AuditViolationKind::kStagedDeltasPending, "staging");
+  rule->network->EndStagedDeltas();
+  EXPECT_TRUE(Audit().empty());
+}
+
+TEST_F(NetworkAuditorTest, DeferredBatchTokensAtQuiescenceReported) {
+  // Open a transition by hand and defer a token in the batch; the engine
+  // never audits in this state (every flush point precedes quiescence), so
+  // the auditor must flag it. Other violations (the α-memories haven't seen
+  // the deferred insert) are expected alongside.
+  db_->transitions().set_batch_tokens(100);
+  db_->transitions().BeginTransition();
+  HeapRelation* t = db_->catalog().GetRelation("t");
+  ASSERT_OK(db_->transitions().Insert(t, Tuple(std::vector<Value>{
+                                             Value::Int(30)})).status());
+  EXPECT_GT(db_->transitions().pending_batch_tokens(), 0u);
+  bool found = false;
+  for (const AuditViolation& v : Audit()) {
+    if (v.kind == AuditViolationKind::kStagedDeltasPending) {
+      found = true;
+      EXPECT_EQ(v.rule, "transition-manager");
+    }
+  }
+  EXPECT_TRUE(found) << "deferred batch tokens not reported";
+  ASSERT_OK(db_->transitions().EndTransition());
+  db_->transitions().set_batch_tokens(0);
+  EXPECT_TRUE(Audit().empty());
+}
+
 TEST(IntervalSkipListAuditTest, PopulatedListAuditsConsistent) {
   IntervalSkipList isl;
   isl.Insert(1, Interval::Range(Value::Int(0), true, Value::Int(50), true));

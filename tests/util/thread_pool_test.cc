@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ariel {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < 1000; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1000);
+}
+
+TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1u);
+  std::atomic<int> ran{0};
+  std::vector<ThreadPool::Task> tasks;
+  tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossBatches) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    std::vector<ThreadPool::Task> tasks;
+    for (int i = 0; i < 50; ++i) {
+      tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.RunAll(std::move(tasks));
+    EXPECT_EQ(ran.load(std::memory_order_relaxed), (batch + 1) * 50);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyBatchIsANoop) {
+  ThreadPool pool(2);
+  pool.RunAll({});
+  pool.RunAll({});
+  SUCCEED();
+}
+
+// The calling thread participates: a pool with N workers must be able to
+// run N+1 tasks that all rendezvous before any of them returns.
+TEST(ThreadPoolTest, CallerParticipatesInBatch) {
+  constexpr int kWorkers = 3;
+  constexpr int kTasks = kWorkers + 1;
+  ThreadPool pool(kWorkers);
+  std::atomic<int> arrived{0};
+  std::vector<ThreadPool::Task> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&arrived] {
+      arrived.fetch_add(1, std::memory_order_relaxed);
+      while (arrived.load(std::memory_order_relaxed) < kTasks) {
+        std::this_thread::yield();
+      }
+    });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(arrived.load(std::memory_order_relaxed), kTasks);
+}
+
+// An idle thread must steal from a loaded deque: one long task pins its
+// owner while the rest of that deque's work is taken by the others.
+TEST(ThreadPoolTest, IdleThreadsStealQueuedWork) {
+  ThreadPool pool(2);
+  const uint64_t steals_before = pool.steals();
+  std::atomic<int> ran{0};
+  std::vector<ThreadPool::Task> tasks;
+  tasks.push_back([&ran] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  for (int i = 1; i < 60; ++i) {
+    tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.RunAll(std::move(tasks));
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 60);
+  EXPECT_GT(pool.steals(), steals_before);
+}
+
+// Regression: a straggler worker still scanning the deques from batch N can
+// pop a batch-N+1 task the moment RunAll pushes it. RunAll must publish the
+// outstanding count before the push, or that early completion underflows the
+// counter, gets overwritten, and the batch never drains (observed as a
+// deadlock under TSan's scheduler). Tiny back-to-back batches maximize the
+// straggler window; the assertion is simply that every batch terminates.
+TEST(ThreadPoolTest, BackToBackBatchesDoNotLoseCompletions) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  for (int batch = 0; batch < 500; ++batch) {
+    std::vector<ThreadPool::Task> tasks;
+    for (int i = 0; i < 3; ++i) {
+      tasks.push_back([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.RunAll(std::move(tasks));
+  }
+  EXPECT_EQ(ran.load(std::memory_order_relaxed), 1500);
+}
+
+TEST(ThreadPoolTest, ManyConcurrentMutationsStayConsistent) {
+  ThreadPool pool(4);
+  std::vector<int> cells(256, 0);
+  std::vector<ThreadPool::Task> tasks;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    // Disjoint writes, mirroring per-rule match tasks owning disjoint state.
+    tasks.push_back([&cells, i] { cells[i] = static_cast<int>(i) + 1; });
+  }
+  pool.RunAll(std::move(tasks));
+  for (size_t i = 0; i < cells.size(); ++i) {
+    EXPECT_EQ(cells[i], static_cast<int>(i) + 1);
+  }
+}
+
+}  // namespace
+}  // namespace ariel
