@@ -25,6 +25,16 @@ Rules
                  string-keyed enumeration API (Counters/Gauges/Histograms/
                  Render): those take the registry mutex, and pool code runs
                  on worker threads inside the match stage.
+  gateway-mutation
+                 Direct Insert/InsertAt/Delete/Update calls on relations in
+                 src/ outside the storage layer, the transaction layer, and
+                 the gateway implementations. Every tuple mutation must flow
+                 through a StorageGateway so undo records are appended and
+                 discrimination-network tokens are generated; a direct call
+                 silently bypasses both. Engine-internal relations that are
+                 not base data (a P-node's backing relation, the system-
+                 catalog snapshot rebuild) carry an allow() with a one-line
+                 justification.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -168,6 +178,30 @@ ATOMIC_ORDER_FILES = ("metrics.h", "metrics.cc", "thread_pool.h",
 ATOMIC_OP_RE = re.compile(
     r"\.\s*(fetch_add|fetch_sub|fetch_and|fetch_or|fetch_xor|exchange|"
     r"compare_exchange_weak|compare_exchange_strong|load|store)\s*\(")
+# gateway-mutation: relation mutations outside the layers allowed to touch
+# storage directly. The receiver is captured so calls already on the
+# sanctioned path (a gateway or the transition manager) and calls on P-node
+# conflict sets (network state, not base data) pass without annotation.
+MUTATION_CALL_RE = re.compile(
+    r"(\w+)?\s*(->|\.)\s*(Insert|InsertAt|Delete|Update)\s*\(")
+GATEWAY_RECEIVER_RE = re.compile(r"gateway|transitions|inner_|pnode")
+# Layers that ARE the mutation path: storage itself, the undo/replay layer,
+# and the gateway implementations (DirectGateway, FailpointGateway, the
+# TransitionManager).
+GATEWAY_EXEMPT = (
+    ("src", "storage"),
+    ("src", "txn"),
+)
+GATEWAY_EXEMPT_FILES = (
+    ("src", "exec", "gateway.h"),
+    ("src", "exec", "failpoint_gateway.h"),
+    ("src", "network", "transition_manager.h"),
+    ("src", "network", "transition_manager.cc"),
+    # The P-node's backing relation is private network state (conflict-set
+    # rows, not base tuples): its maintenance is what the gateway's tokens
+    # ultimately drive, so it sits below the gateway by construction.
+    ("src", "network", "pnode.cc"),
+)
 BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
@@ -252,6 +286,23 @@ def lint_file(path: Path) -> list[Finding]:
                    f"atomic {m.group(1)} without an explicit "
                    "std::memory_order — metric/pool atomics are relaxed by "
                    "design; synchronization belongs to mutexes")
+
+    # gateway-mutation: tuple mutations in engine code must go through a
+    # StorageGateway (undo records + network tokens); direct relation calls
+    # are confined to the storage/txn/gateway layers.
+    rel_all = path.relative_to(REPO_ROOT).parts
+    if (rel_all[0] == "src" and rel_all[:2] not in GATEWAY_EXEMPT
+            and rel_all not in GATEWAY_EXEMPT_FILES):
+        for m in MUTATION_CALL_RE.finditer(code):
+            receiver = m.group(1) or ""
+            if GATEWAY_RECEIVER_RE.search(receiver):
+                continue
+            lineno = code[: m.start(2)].count("\n") + 1
+            report(lineno, "gateway-mutation",
+                   f"direct {m.group(3)}() on a relation outside the "
+                   "storage/txn/gateway layers — route the mutation through "
+                   "a StorageGateway (or annotate why this relation is not "
+                   "base data)")
 
     # include-guard: headers only.
     if path.suffix == ".h":

@@ -36,8 +36,17 @@ Database::Database(DatabaseOptions options)
   }
   transitions_ = std::make_unique<TransitionManager>(&network_);
   transitions_->set_batch_tokens(options_.batch_tokens);
-  executor_ = std::make_unique<Executor>(&catalog_, transitions_.get(),
+  // The base conversion must happen here (inside Database), where the
+  // private TransactionHooks base is accessible.
+  txn_ = std::make_unique<TransactionContext>(
+      static_cast<TransactionHooks*>(this));
+  transitions_->set_undo_log(&txn_->undo_log());
+  failpoint_ = std::make_unique<FailpointGateway>(transitions_.get());
+  options_.failpoint_at = EnvSizeOr("ARIEL_FAILPOINT", options_.failpoint_at);
+  if (options_.failpoint_at > 0) failpoint_->Arm(options_.failpoint_at);
+  executor_ = std::make_unique<Executor>(&catalog_, failpoint_.get(),
                                          &optimizer_);
+  executor_->set_undo_log(&txn_->undo_log());
   rules_ = std::make_unique<RuleManager>(&catalog_, &network_, &optimizer_);
   rules_->set_policy(options.alpha_policy);
   rules_->set_join_backend(options.join_backend);
@@ -48,6 +57,14 @@ Database::Database(DatabaseOptions options)
   monitor_->set_max_firings_per_cycle(options.max_rule_firings_per_cycle);
   monitor_->set_cache_action_plans(options.cache_action_plans);
   monitor_->set_conflict_strategy(options.conflict_strategy);
+  if (const char* policy = std::getenv("ARIEL_ON_ACTION_ERROR");
+      policy != nullptr && *policy != '\0') {
+    Result<ActionErrorPolicy> parsed = ActionErrorPolicyFromString(policy);
+    // Malformed values are ignored, like the other env knobs.
+    if (parsed.ok()) options_.on_action_error = *parsed;
+  }
+  monitor_->set_txn(txn_.get());
+  monitor_->set_on_action_error(options_.on_action_error);
   network_.set_token_listener(
       [this](const Token& token) { ObserveToken(token); });
 }
@@ -123,7 +140,7 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
   switch (command.kind) {
     case CommandKind::kCreate:
     case CommandKind::kDefineIndex:
-      return executor_->Execute(command);
+      return ExecuteTransacted(command, /*ddl=*/true);
 
     case CommandKind::kDestroy: {
       const auto& cmd = static_cast<const DestroyCommand&>(command);
@@ -132,7 +149,7 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
             "cannot destroy relation \"" + cmd.relation +
             "\": it is referenced by an installed rule");
       }
-      return executor_->Execute(command);
+      return ExecuteTransacted(command, /*ddl=*/true);
     }
 
     case CommandKind::kRetrieve: {
@@ -157,7 +174,7 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
       // Plain retrieve is read-only: no transition bookkeeping or rule
       // wake-ups. retrieve-into materializes a relation and is a mutation.
       if (!cmd.into.empty()) {
-        return ExecuteDml(command);
+        return ExecuteTransacted(command, /*ddl=*/false);
       }
       return executor_->Execute(command);
     }
@@ -166,7 +183,7 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
     case CommandKind::kDelete:
     case CommandKind::kReplace:
     case CommandKind::kBlock:
-      return ExecuteDml(command);
+      return ExecuteTransacted(command, /*ddl=*/false);
 
     case CommandKind::kDefineRule: {
       const auto& cmd = static_cast<const DefineRuleCommand&>(command);
@@ -199,6 +216,20 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
       // Top-level halt is a no-op; halt matters inside rule actions.
       return CommandResult{};
 
+    case CommandKind::kBeginTxn:
+      ARIEL_RETURN_NOT_OK(txn_->BeginExplicit());
+      return CommandResult{};
+    case CommandKind::kCommitTxn:
+      ARIEL_RETURN_NOT_OK(txn_->CommitExplicit());
+      return CommandResult{};
+    case CommandKind::kAbortTxn: {
+      ARIEL_RETURN_NOT_OK(txn_->AbortExplicit());
+#ifdef ARIEL_AUDIT
+      ARIEL_RETURN_NOT_OK(AuditOrFail("after abort"));
+#endif
+      return CommandResult{};
+    }
+
     case CommandKind::kShowStats: {
       // Read-only diagnostic: no transition, no recognize-act cycle.
       const auto& cmd = static_cast<const ShowStatsCommand&>(command);
@@ -208,6 +239,13 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
       os << "batch pipeline: batch_tokens=" << options_.batch_tokens
          << ", match_threads=" << options_.match_threads
          << (options_.batch_tokens == 0 ? " (per-token propagation)" : "")
+         << "\n";
+      os << "transactions: on_action_error="
+         << ActionErrorPolicyToString(options_.on_action_error)
+         << ", open_frames=" << txn_->open_frames()
+         << ", undo_records=" << txn_->undo_log().size()
+         << ", rollbacks=" << txn_->rollbacks()
+         << (txn_->in_explicit() ? " (explicit transaction open)" : "")
          << "\n";
       const uint64_t total = m.firing_trace.total_recorded();
       if (total > 0) {
@@ -267,9 +305,18 @@ Result<CommandResult> Database::ExecuteDml(const Command& command) {
   transitions_->BeginTransition();
   Status status;
   CommandResult result;
+  bool halted = false;
   if (command.kind == CommandKind::kBlock) {
     const auto& block = static_cast<const BlockCommand&>(command);
     for (const CommandPtr& inner : block.commands) {
+      if (inner->kind == CommandKind::kHalt) {
+        // halt inside a block stops the block and suppresses the
+        // recognize-act cycle for this transition — the same "stop the
+        // whole cycle" semantics it has inside a rule action (Figure 1),
+        // not an error.
+        halted = true;
+        break;
+      }
       auto inner_result = executor_->Execute(*inner);
       if (!inner_result.ok()) {
         status = inner_result.status();
@@ -292,24 +339,49 @@ Result<CommandResult> Database::ExecuteDml(const Command& command) {
   if (status.ok()) status = end;
   ARIEL_RETURN_NOT_OK(status);
 
-  // Rules get the opportunity to wake up after every transition.
-  ARIEL_RETURN_NOT_OK(monitor_->RunCycle());
+  // Rules get the opportunity to wake up after every transition (unless a
+  // top-level halt suppressed this cycle).
+  if (!halted) {
+    ARIEL_RETURN_NOT_OK(monitor_->RunCycle());
+  }
+  return result;
+}
+
+Result<CommandResult> Database::ExecuteTransacted(const Command& command,
+                                                  bool ddl) {
+  ARIEL_RETURN_NOT_OK(txn_->BeginCommand());
+  Result<CommandResult> result =
+      ddl ? executor_->Execute(command) : ExecuteDml(command);
+  if (result.ok()) {
+    ARIEL_RETURN_NOT_OK(txn_->CommitCommand());
+  } else {
+    // Roll the command and its whole recognize-act cascade back before the
+    // error surfaces; the engine returns to its pre-command state.
+    ARIEL_RETURN_NOT_OK(txn_->AbortCommand());
+  }
 #ifdef ARIEL_AUDIT
   // Audit builds cross-check the whole network against recomputed ground
-  // truth at every quiescence point.
-  ARIEL_ASSIGN_OR_RETURN(auto audit_violations, AuditNetwork());
-  if (!audit_violations.empty()) {
-    std::string detail = audit_violations.front().ToString();
-    if (audit_violations.size() > 1) {
-      detail += " (+" + std::to_string(audit_violations.size() - 1) +
-                " more violations)";
-    }
-    return Status::Internal("A-TREAT network audit failed: " + detail);
-  }
+  // truth at every quiescence point — including post-rollback state.
+  ARIEL_RETURN_NOT_OK(
+      AuditOrFail(result.ok() ? "at quiescence" : "after rollback"));
 #endif
-  // With the engine quiescent, deliver subscribed trigger output.
-  DrainAlerts();
+  // With the engine quiescent, deliver subscribed trigger output (alerts
+  // queued by an aborted command were truncated by the rollback).
+  if (result.ok()) DrainAlerts();
   return result;
+}
+
+Status Database::AuditOrFail(const char* when) {
+  ARIEL_ASSIGN_OR_RETURN(std::vector<AuditViolation> violations,
+                         AuditNetwork());
+  if (violations.empty()) return Status::OK();
+  std::string detail = violations.front().ToString();
+  if (violations.size() > 1) {
+    detail +=
+        " (+" + std::to_string(violations.size() - 1) + " more violations)";
+  }
+  return Status::Internal(std::string("A-TREAT network audit failed ") +
+                          when + ": " + detail);
 }
 
 Result<std::vector<AuditViolation>> Database::AuditNetwork() {
@@ -328,6 +400,15 @@ Result<std::vector<AuditViolation>> Database::AuditNetwork() {
         std::to_string(transitions_->pending_batch_tokens()) +
             " token(s) still deferred in the batch at quiescence"});
   }
+  // At quiescence the undo layer must be clean: no command or firing frame
+  // still open, and no undo records outside an explicit transaction.
+  if (txn_ != nullptr && txn_->HasResidueAtQuiescence()) {
+    violations.push_back(AuditViolation{
+        AuditViolationKind::kUndoResidue, "transaction-context",
+        std::to_string(txn_->open_frames()) + " open frame(s) and " +
+            std::to_string(txn_->undo_log().size()) +
+            " undo record(s) at quiescence"});
+  }
   return violations;
 }
 
@@ -341,7 +422,8 @@ Status Database::RefreshSystemCatalogs() {
       ARIEL_ASSIGN_OR_RETURN(rel, catalog_.CreateRelation(name, schema));
     }
     for (TupleId tid : rel->AllTupleIds()) {
-      ARIEL_RETURN_NOT_OK(rel->Delete(tid));
+      // Snapshot rebuild, not base data.
+      ARIEL_RETURN_NOT_OK(rel->Delete(tid));  // ariel-lint: allow(gateway-mutation)
     }
     return rel;
   };
@@ -355,7 +437,8 @@ Status Database::RefreshSystemCatalogs() {
     const HeapRelation* rel = catalog_.GetRelation(name);
     ARIEL_RETURN_NOT_OK(
         relations
-            ->Insert(Tuple(std::vector<Value>{
+            ->Insert(  // ariel-lint: allow(gateway-mutation) snapshot
+                Tuple(std::vector<Value>{
                 Value::String(name),
                 Value::Int(static_cast<int64_t>(
                     name == kSysRelations || name == kSysRules
@@ -377,7 +460,8 @@ Status Database::RefreshSystemCatalogs() {
     const Rule* rule = rules_->GetRule(name);
     ARIEL_RETURN_NOT_OK(
         rules
-            ->Insert(Tuple(std::vector<Value>{
+            ->Insert(  // ariel-lint: allow(gateway-mutation) snapshot
+                Tuple(std::vector<Value>{
                 Value::String(rule->name), Value::String(rule->ruleset),
                 Value::Float(rule->priority),
                 Value::Int(rule->active ? 1 : 0),
@@ -391,6 +475,177 @@ Result<std::string> Database::ExplainPlan(std::string_view command_text) {
   ARIEL_ASSIGN_OR_RETURN(CommandPtr command, ParseCommand(command_text));
   ARIEL_ASSIGN_OR_RETURN(Plan plan, executor_->PlanFor(*command));
   return plan.ToString();
+}
+
+// --- TransactionHooks ------------------------------------------------------
+
+namespace {
+
+/// The history-dependent engine state a savepoint captures: conflict sets
+/// (drained instantiations cannot be recomputed from base relations) plus
+/// the pending-alert queue length (undo tokens carry no event specifier, so
+/// rollback cannot cancel queued alerts the way an in-transition retraction
+/// does).
+struct EngineSnapshot : EngineStateSnapshot {
+  std::vector<std::pair<std::string, PNode::State>> pnodes;  // by rule name
+  size_t pending_alert_count = 0;
+};
+
+}  // namespace
+
+Status Database::ApplyUndo(UndoRecord* record) {
+  switch (record->kind) {
+    case UndoKind::kInsert: {
+      HeapRelation* rel = catalog_.GetRelationById(record->relation_id);
+      if (rel == nullptr) {
+        return Status::Internal("undo of insert: relation id " +
+                                std::to_string(record->relation_id) +
+                                " no longer exists");
+      }
+      return transitions_->CompensateInsert(rel, record->tid);
+    }
+    case UndoKind::kDelete: {
+      HeapRelation* rel = catalog_.GetRelationById(record->relation_id);
+      if (rel == nullptr) {
+        return Status::Internal("undo of delete: relation id " +
+                                std::to_string(record->relation_id) +
+                                " no longer exists");
+      }
+      return transitions_->CompensateDelete(rel, record->tid, record->before);
+    }
+    case UndoKind::kUpdate: {
+      HeapRelation* rel = catalog_.GetRelationById(record->relation_id);
+      if (rel == nullptr) {
+        return Status::Internal("undo of update: relation id " +
+                                std::to_string(record->relation_id) +
+                                " no longer exists");
+      }
+      return transitions_->CompensateUpdate(rel, record->tid, record->before);
+    }
+    case UndoKind::kCreateRelation:
+      // Tuple records for anything inserted into the new relation sit above
+      // this one and were already compensated; the relation is empty.
+      return catalog_.DropRelation(record->name);
+    case UndoKind::kDropRelation:
+      return catalog_.Adopt(std::move(record->detached));
+    case UndoKind::kCreateIndex: {
+      HeapRelation* rel = catalog_.GetRelationById(record->relation_id);
+      if (rel == nullptr) {
+        return Status::Internal("undo of define index: relation id " +
+                                std::to_string(record->relation_id) +
+                                " no longer exists");
+      }
+      ARIEL_RETURN_NOT_OK(rel->DropIndex(record->name));
+      catalog_.BumpVersion();
+      return Status::OK();
+    }
+    case UndoKind::kRuleFired: {
+      Rule* rule = rules_->GetRule(record->name);
+      if (rule != nullptr) rule->times_fired = record->prev_count;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled undo record kind");
+}
+
+Result<std::unique_ptr<EngineStateSnapshot>> Database::CaptureEngineState() {
+  auto snapshot = std::make_unique<EngineSnapshot>();
+  for (Rule* rule : rules_->ActiveRules()) {
+    snapshot->pnodes.emplace_back(rule->name,
+                                  rule->network->pnode()->CaptureState());
+  }
+  snapshot->pending_alert_count = pending_alerts_.size();
+  return std::unique_ptr<EngineStateSnapshot>(std::move(snapshot));
+}
+
+Status Database::RestoreEngineState(const EngineStateSnapshot& snapshot) {
+  const auto& snap = static_cast<const EngineSnapshot&>(snapshot);
+  for (const auto& [name, state] : snap.pnodes) {
+    Rule* rule = rules_->GetRule(name);
+    // A rule deactivated/removed since the snapshot has no conflict set to
+    // restore (rule administration is not undoable; see DESIGN.md §9).
+    if (rule == nullptr || rule->network == nullptr) continue;
+    ARIEL_RETURN_NOT_OK(rule->network->pnode()->RestoreState(state));
+  }
+  if (pending_alerts_.size() > snap.pending_alert_count) {
+    pending_alerts_.resize(snap.pending_alert_count);
+  }
+  return Status::OK();
+}
+
+void Database::BeginCompensation() { transitions_->BeginCompensation(); }
+
+void Database::EndCompensation() { transitions_->EndCompensation(); }
+
+std::string Database::DebugDumpState() {
+  std::ostringstream os;
+  for (const std::string& name : catalog_.RelationNames()) {
+    const HeapRelation* rel = catalog_.GetRelation(name);
+    os << "relation " << name << " (" << rel->size() << " tuples)\n";
+    for (TupleId tid : rel->AllTupleIds()) {
+      const Tuple* t = rel->Get(tid);
+      os << "  " << tid.ToString() << " " << t->ToString() << "\n";
+    }
+    std::vector<std::string> indexed = rel->IndexedAttributes();
+    std::sort(indexed.begin(), indexed.end());
+    for (const std::string& attr : indexed) os << "  index " << attr << "\n";
+  }
+  for (const std::string& name : rules_->RuleNames()) {
+    const Rule* rule = rules_->GetRule(name);
+    os << "rule " << name << " (" << (rule->active ? "active" : "inactive")
+       << ", fired " << rule->times_fired << ")\n";
+    if (rule->network == nullptr) continue;
+    const RuleNetwork& network = *rule->network;
+    for (size_t i = 0; i < network.num_vars(); ++i) {
+      const AlphaMemory& alpha = *network.alpha(i);
+      if (!alpha.stores_tuples()) continue;
+      std::vector<std::string> entries;
+      for (const AlphaEntry& entry : alpha.entries()) {
+        std::string line = entry.tid.ToString() + " " + entry.value.ToString();
+        if (alpha.is_transition()) line += " prev " + entry.previous.ToString();
+        entries.push_back(std::move(line));
+      }
+      std::sort(entries.begin(), entries.end());
+      os << "  alpha[" << i << "] (" << entries.size() << " entries)\n";
+      for (const std::string& line : entries) os << "    " << line << "\n";
+    }
+    for (size_t level = 0; level < network.beta_memories().size(); ++level) {
+      const BetaMemory& beta = network.beta_memories()[level];
+      std::vector<std::string> rows;
+      for (const Row& row : beta.rows()) {
+        std::string line;
+        for (size_t v = 0; v < row.num_vars(); ++v) {
+          if (!row.filled[v]) continue;
+          line += row.tids[v].ToString() + "=" + row.current[v].ToString() +
+                  " ";
+        }
+        rows.push_back(std::move(line));
+      }
+      std::sort(rows.begin(), rows.end());
+      os << "  beta[" << level << "] (" << rows.size() << " rows)\n";
+      for (const std::string& line : rows) os << "    " << line << "\n";
+    }
+    const PNode* pnode = network.pnode();
+    os << "  pnode (" << pnode->size() << " instantiations, "
+       << pnode->lifetime_insertions() << " lifetime)\n";
+    const HeapRelation& prel = pnode->relation();
+    for (TupleId tid : prel.AllTupleIds()) {
+      os << "    " << tid.ToString() << " " << prel.Get(tid)->ToString()
+         << "\n";
+    }
+  }
+  os << "firing trace (" << Metrics().firing_trace.total_recorded()
+     << " recorded)\n";
+  for (const FiringTraceEntry& entry : Metrics().firing_trace.Recent(256)) {
+    // wall_ms and transition ids are excluded: both advance even for work
+    // that is later rolled back, and neither is logical engine state.
+    os << "  " << entry.rule << " <- " << entry.trigger << " ("
+       << entry.instantiations << " instantiations)\n";
+  }
+  os << "pending alerts: " << pending_alerts_.size() << "\n";
+  os << "txn: open_frames=" << txn_->open_frames()
+     << " undo_records=" << txn_->undo_log().size() << "\n";
+  return os.str();
 }
 
 }  // namespace ariel

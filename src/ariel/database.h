@@ -10,6 +10,7 @@
 
 #include "catalog/catalog.h"
 #include "exec/executor.h"
+#include "exec/failpoint_gateway.h"
 #include "exec/optimizer.h"
 #include "network/discrimination_network.h"
 #include "network/network_auditor.h"
@@ -17,6 +18,7 @@
 #include "rules/rule_compiler.h"
 #include "rules/rule_manager.h"
 #include "rules/rule_monitor.h"
+#include "txn/txn_context.h"
 #include "util/status.h"
 
 namespace ariel {
@@ -57,6 +59,17 @@ struct DatabaseOptions {
   /// meaningful with batch_tokens > 0; results are byte-identical at every
   /// thread count. Overridable with the ARIEL_MATCH_THREADS env var.
   size_t match_threads = 0;
+  /// What a failing rule action does to the enclosing top-level command:
+  /// roll the whole command and its cascade back (default), roll back just
+  /// the failing firing's savepoint and keep cascading, or keep the partial
+  /// effects and keep cascading. Overridable with the ARIEL_ON_ACTION_ERROR
+  /// env var (abort_command | abort_rule | ignore).
+  ActionErrorPolicy on_action_error = ActionErrorPolicy::kAbortCommand;
+  /// Fault injection: fail the Nth tuple mutation the executor issues
+  /// (1-based; 0 = off). The rollback-equivalence tests sweep this to prove
+  /// aborted commands leave no trace. Overridable with the ARIEL_FAILPOINT
+  /// env var.
+  size_t failpoint_at = 0;
 };
 
 /// The Ariel active DBMS: a relational engine whose update processing is
@@ -75,7 +88,7 @@ struct DatabaseOptions {
 /// as a transition (a do…end block is a single transition), and after every
 /// mutating command runs the recognize-act cycle until no rule is eligible
 /// or a rule executes halt.
-class Database {
+class Database : private TransactionHooks {
  public:
   explicit Database(DatabaseOptions options = {});
   ~Database();
@@ -126,6 +139,22 @@ class Database {
   Optimizer& optimizer() { return optimizer_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// The transaction spine: open frames, the undo log, rollback counters.
+  TransactionContext& txn() { return *txn_; }
+
+  /// Fault-injection wrapper sitting between the executor and the
+  /// transition manager; the rollback-equivalence tests arm it to fail the
+  /// Nth mutation of a command. Rollback never passes through it.
+  FailpointGateway& failpoint() { return *failpoint_; }
+
+  /// Canonical rendering of the engine's observable state: relations (tids
+  /// and values), rule firing counters, α-memory entries, Rete β-memories,
+  /// P-node conflict sets, the firing trace, and pending alerts — all in
+  /// deterministic order, excluding wall-clock and cumulative metrics. Two
+  /// engines in the same logical state render byte-identically; the
+  /// rollback-equivalence tests diff this across abort boundaries.
+  std::string DebugDumpState();
+
   /// Cross-checks the discrimination network's incremental state against
   /// ground truth recomputed from the base relations (see NetworkAuditor).
   /// Callable in any build; when compiled with ARIEL_AUDIT the engine also
@@ -135,6 +164,23 @@ class Database {
 
  private:
   Result<CommandResult> ExecuteDml(const Command& command);
+
+  /// Brackets one top-level command (DDL executes directly, DML via
+  /// ExecuteDml) in a command transaction frame: success commits, failure
+  /// rolls the command and its entire cascade back before the error
+  /// propagates.
+  Result<CommandResult> ExecuteTransacted(const Command& command, bool ddl);
+
+  /// Runs AuditNetwork and converts any violation into an Internal error
+  /// (ARIEL_AUDIT builds call this at every quiescence point).
+  Status AuditOrFail(const char* when);
+
+  // TransactionHooks (rollback services for txn_):
+  Status ApplyUndo(UndoRecord* record) override;
+  Result<std::unique_ptr<EngineStateSnapshot>> CaptureEngineState() override;
+  Status RestoreEngineState(const EngineStateSnapshot& snapshot) override;
+  void BeginCompensation() override;
+  void EndCompensation() override;
 
   /// Rebuilds the system-catalog snapshot relations.
   Status RefreshSystemCatalogs();
@@ -161,9 +207,12 @@ class Database {
   std::unique_ptr<ThreadPool> match_pool_;
   DiscriminationNetwork network_;
   std::unique_ptr<TransitionManager> transitions_;
+  std::unique_ptr<FailpointGateway> failpoint_;
   std::unique_ptr<Executor> executor_;
   std::unique_ptr<RuleManager> rules_;
   std::unique_ptr<RuleExecutionMonitor> monitor_;
+  /// Declared last: its rollback hooks reach every component above.
+  std::unique_ptr<TransactionContext> txn_;
 };
 
 }  // namespace ariel

@@ -33,6 +33,36 @@ Status Catalog::DropRelation(std::string_view name) {
   return Status::OK();
 }
 
+Result<std::unique_ptr<HeapRelation>> Catalog::Detach(std::string_view name) {
+  std::string key = ToLower(name);
+  auto it = by_name_.find(key);
+  if (it == by_name_.end()) {
+    return Status::NotFound("relation \"" + key + "\" does not exist");
+  }
+  std::unique_ptr<HeapRelation> relation = std::move(it->second);
+  by_id_.erase(relation->id());
+  by_name_.erase(it);
+  ++version_;
+  return relation;
+}
+
+Status Catalog::Adopt(std::unique_ptr<HeapRelation> relation) {
+  const std::string& key = relation->name();
+  if (by_name_.contains(key)) {
+    return Status::AlreadyExists("relation \"" + key + "\" already exists");
+  }
+  if (by_id_.contains(relation->id())) {
+    return Status::AlreadyExists("relation id " +
+                                 std::to_string(relation->id()) +
+                                 " already exists");
+  }
+  HeapRelation* ptr = relation.get();
+  by_id_.emplace(ptr->id(), ptr);
+  by_name_.emplace(key, std::move(relation));
+  ++version_;
+  return Status::OK();
+}
+
 HeapRelation* Catalog::GetRelation(std::string_view name) const {
   auto it = by_name_.find(ToLower(name));
   return it == by_name_.end() ? nullptr : it->second.get();

@@ -28,6 +28,16 @@ class Catalog {
   /// Destroys a relation and all its tuples and indexes.
   Status DropRelation(std::string_view name);
 
+  /// Removes a relation from the catalog *without* destroying it, handing
+  /// ownership to the caller. The undoable form of destroy: the detached
+  /// relation (tuples, indexes, and id intact) parks in the undo log so an
+  /// abort can Adopt it back with every captured TupleId still valid.
+  Result<std::unique_ptr<HeapRelation>> Detach(std::string_view name);
+
+  /// Re-registers a previously Detach()ed relation under its own name and
+  /// id. Fails with AlreadyExists if either is now taken.
+  Status Adopt(std::unique_ptr<HeapRelation> relation);
+
   /// Lookup by name (case-insensitive). Null if absent.
   HeapRelation* GetRelation(std::string_view name) const;
 

@@ -89,6 +89,26 @@ Result<std::vector<CompiledTarget>> CompileTargets(
   return out;
 }
 
+/// Shared tail of the mutation commands (append, delete, replace). By the
+/// time it runs, the row-producing plan has been fully materialized into
+/// `items` (pipeline breaker — the source may scan the relation being
+/// mutated), so each entry is resolved to its destination relation
+/// (`resolve` returns null when the target vanished since planning, e.g.
+/// deleted by an earlier entry of the same command) and applied through the
+/// storage gateway so the rule system observes every mutation.
+template <typename Item, typename ResolveFn, typename ApplyFn>
+Result<size_t> ApplyThroughGateway(std::vector<Item>& items, ResolveFn resolve,
+                                   ApplyFn apply) {
+  size_t affected = 0;
+  for (Item& item : items) {
+    HeapRelation* rel = resolve(item);
+    if (rel == nullptr) continue;
+    ARIEL_RETURN_NOT_OK(apply(rel, item));
+    ++affected;
+  }
+  return affected;
+}
+
 /// Derives a result-column name for an unnamed retrieve target.
 std::string DeriveTargetName(const Expr& expr, size_t ordinal) {
   if (expr.kind == ExprKind::kColumnRef) {
@@ -208,11 +228,20 @@ Result<CommandResult> Executor::ExecuteCreate(const CreateCommand& cmd) {
   ARIEL_RETURN_NOT_OK(
       catalog_->CreateRelation(cmd.relation, Schema(std::move(attrs)))
           .status());
+  if (undo_ != nullptr) undo_->AppendCreateRelation(cmd.relation);
   return CommandResult{};
 }
 
 Result<CommandResult> Executor::ExecuteDestroy(const DestroyCommand& cmd) {
-  ARIEL_RETURN_NOT_OK(catalog_->DropRelation(cmd.relation));
+  if (undo_ != nullptr && undo_->enabled()) {
+    // Detach instead of drop: the record keeps the relation (tuples,
+    // indexes, id) alive so an abort can re-adopt it wholesale.
+    ARIEL_ASSIGN_OR_RETURN(std::unique_ptr<HeapRelation> detached,
+                           catalog_->Detach(cmd.relation));
+    undo_->AppendDropRelation(std::move(detached));
+  } else {
+    ARIEL_RETURN_NOT_OK(catalog_->DropRelation(cmd.relation));
+  }
   return CommandResult{};
 }
 
@@ -220,7 +249,14 @@ Result<CommandResult> Executor::ExecuteDefineIndex(
     const DefineIndexCommand& cmd) {
   ARIEL_ASSIGN_OR_RETURN(HeapRelation * rel,
                          catalog_->FindRelation(cmd.relation));
+  // CreateIndex is idempotent; only a genuinely new index is undoable
+  // (dropping a pre-existing one on abort would lose state the command
+  // never created).
+  const bool existed = rel->GetIndex(cmd.attribute) != nullptr;
   ARIEL_RETURN_NOT_OK(rel->CreateIndex(cmd.attribute));
+  if (!existed && undo_ != nullptr) {
+    undo_->AppendCreateIndex(rel->id(), std::string(cmd.attribute));
+  }
   // A new index changes what the optimizer would choose: invalidate
   // cached plans.
   catalog_->BumpVersion();
@@ -362,6 +398,7 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
   if (!cmd.into.empty()) {
     ARIEL_ASSIGN_OR_RETURN(HeapRelation * dest,
                            catalog_->CreateRelation(cmd.into, result.schema));
+    if (undo_ != nullptr) undo_->AppendCreateRelation(cmd.into);
     for (Tuple& row : result.rows) {
       ARIEL_RETURN_NOT_OK(gateway_->Insert(dest, std::move(row)).status());
     }
@@ -562,11 +599,14 @@ Result<CommandResult> Executor::ExecuteAppend(const AppendCommand& cmd,
     return Status::OK();
   }));
 
-  for (Tuple& t : new_tuples) {
-    ARIEL_RETURN_NOT_OK(gateway_->Insert(dest, std::move(t)).status());
-  }
   CommandResult cr;
-  cr.affected = new_tuples.size();
+  ARIEL_ASSIGN_OR_RETURN(
+      cr.affected,
+      ApplyThroughGateway(
+          new_tuples, [&](Tuple&) { return dest; },
+          [&](HeapRelation* rel, Tuple& t) {
+            return gateway_->Insert(rel, std::move(t)).status();
+          }));
   return cr;
 }
 
@@ -615,15 +655,19 @@ Result<CommandResult> Executor::ExecuteDelete(const DeleteCommand& cmd,
     }));
   }
 
-  size_t deleted = 0;
-  for (TupleId tid : victims) {
-    HeapRelation* rel = catalog_->GetRelationById(tid.relation_id);
-    if (rel == nullptr || rel->Get(tid) == nullptr) continue;  // already gone
-    ARIEL_RETURN_NOT_OK(gateway_->Delete(rel, tid));
-    ++deleted;
-  }
   CommandResult cr;
-  cr.affected = deleted;
+  ARIEL_ASSIGN_OR_RETURN(
+      cr.affected,
+      ApplyThroughGateway(
+          victims,
+          [&](TupleId tid) -> HeapRelation* {
+            HeapRelation* rel = catalog_->GetRelationById(tid.relation_id);
+            if (rel == nullptr || rel->Get(tid) == nullptr) return nullptr;
+            return rel;
+          },
+          [&](HeapRelation* rel, TupleId tid) {
+            return gateway_->Delete(rel, tid);
+          }));
   return cr;
 }
 
@@ -696,25 +740,31 @@ Result<CommandResult> Executor::ExecuteReplace(const ReplaceCommand& cmd,
     return Status::OK();
   }));
 
-  size_t affected = 0;
-  for (const PendingUpdate& u : updates) {
-    HeapRelation* rel =
-        cmd.primed ? catalog_->GetRelationById(u.tid.relation_id) : target_rel;
-    if (rel == nullptr) continue;
-    const Tuple* current = rel->Get(u.tid);
-    if (current == nullptr) continue;  // deleted since planning
-    Tuple next = *current;
-    for (size_t i = 0; i < assigns.size(); ++i) {
-      ARIEL_ASSIGN_OR_RETURN(size_t pos,
-                             rel->schema().Find(assigns[i].attr_name));
-      next.at(pos) = u.values[i];
-    }
-    ARIEL_RETURN_NOT_OK(
-        gateway_->Update(rel, u.tid, std::move(next), updated_attrs));
-    ++affected;
-  }
   CommandResult cr;
-  cr.affected = affected;
+  ARIEL_ASSIGN_OR_RETURN(
+      cr.affected,
+      ApplyThroughGateway(
+          updates,
+          [&](PendingUpdate& u) -> HeapRelation* {
+            HeapRelation* rel = cmd.primed
+                                    ? catalog_->GetRelationById(
+                                          u.tid.relation_id)
+                                    : target_rel;
+            if (rel == nullptr || rel->Get(u.tid) == nullptr) return nullptr;
+            return rel;
+          },
+          [&](HeapRelation* rel, PendingUpdate& u) -> Status {
+            // The new tuple is built from the *current* value at apply time:
+            // an earlier entry of this command may have already updated it.
+            Tuple next = *rel->Get(u.tid);
+            for (size_t i = 0; i < assigns.size(); ++i) {
+              ARIEL_ASSIGN_OR_RETURN(size_t pos,
+                                     rel->schema().Find(assigns[i].attr_name));
+              next.at(pos) = u.values[i];
+            }
+            return gateway_->Update(rel, u.tid, std::move(next),
+                                    updated_attrs);
+          }));
   return cr;
 }
 

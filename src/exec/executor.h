@@ -69,6 +69,13 @@ class Executor {
   uint64_t plan_cache_hits() const { return plan_cache_hits_; }
   uint64_t plans_built() const { return plans_built_; }
 
+  /// Undo log receiving one record per DDL operation (null = no logging).
+  /// Tuple mutations are logged by the gateway; the executor only logs the
+  /// catalog ops it performs directly: create → drop on undo, destroy →
+  /// detach (relation kept alive inside the record) → re-adopt on undo,
+  /// define index → drop index on undo.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
  private:
   /// Returns the plan to execute: the valid cached one, or a fresh plan
   /// (stored into the cache slot when given, into scratch otherwise).
@@ -123,6 +130,7 @@ class Executor {
   Catalog* catalog_;
   StorageGateway* gateway_;
   Optimizer* optimizer_;
+  UndoLog* undo_ = nullptr;
   Plan scratch_plan_;  // holds the plan of the current uncached execution
   uint64_t plan_cache_hits_ = 0;
   uint64_t plans_built_ = 0;

@@ -1,0 +1,73 @@
+#ifndef ARIEL_EXEC_FAILPOINT_GATEWAY_H_
+#define ARIEL_EXEC_FAILPOINT_GATEWAY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/gateway.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Fault-injection wrapper for the rollback-equivalence suite: counts every
+/// mutation that reaches it and fails the Nth one with an ExecutionError
+/// *before* forwarding, so the inner gateway never applies the failed op
+/// (exactly the contract a crashed storage call would present). Armed via
+/// Arm(n), DatabaseOptions.failpoint_at, or the ARIEL_FAILPOINT env var;
+/// disarmed (the default) it forwards with one counter increment of
+/// overhead. Rollback never passes through this wrapper — compensation
+/// calls the TransitionManager directly — so an abort is immune to the
+/// failpoint that triggered it.
+class FailpointGateway : public StorageGateway {
+ public:
+  explicit FailpointGateway(StorageGateway* inner) : inner_(inner) {}
+
+  /// Fail the `nth` mutation from now (1-based). 0 disarms.
+  void Arm(uint64_t nth) {
+    fail_at_ = nth;
+    mutations_seen_ = 0;
+  }
+  void Disarm() { fail_at_ = 0; }
+  bool armed() const { return fail_at_ != 0; }
+
+  /// Mutations observed since the last Arm (failed ones included).
+  uint64_t mutations_seen() const { return mutations_seen_; }
+
+  [[nodiscard]] Result<TupleId> Insert(HeapRelation* relation,
+                                       Tuple tuple) override {
+    ARIEL_RETURN_NOT_OK(CheckFailpoint("insert", relation));
+    return inner_->Insert(relation, std::move(tuple));
+  }
+  [[nodiscard]] Status Delete(HeapRelation* relation, TupleId tid) override {
+    ARIEL_RETURN_NOT_OK(CheckFailpoint("delete", relation));
+    return inner_->Delete(relation, tid);
+  }
+  [[nodiscard]] Status Update(
+      HeapRelation* relation, TupleId tid, Tuple new_value,
+      const std::vector<std::string>& updated_attrs) override {
+    ARIEL_RETURN_NOT_OK(CheckFailpoint("update", relation));
+    return inner_->Update(relation, tid, std::move(new_value), updated_attrs);
+  }
+
+ private:
+  [[nodiscard]] Status CheckFailpoint(const char* op,
+                                      const HeapRelation* relation) {
+    ++mutations_seen_;
+    if (fail_at_ != 0 && mutations_seen_ == fail_at_) {
+      return Status::ExecutionError(
+          "failpoint: injected failure at mutation " +
+          std::to_string(mutations_seen_) + " (" + op + " into \"" +
+          relation->name() + "\")");
+    }
+    return Status::OK();
+  }
+
+  StorageGateway* inner_;
+  uint64_t fail_at_ = 0;
+  uint64_t mutations_seen_ = 0;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_EXEC_FAILPOINT_GATEWAY_H_

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "storage/heap_relation.h"
+#include "txn/undo_log.h"
 #include "util/status.h"
 
 namespace ariel {
@@ -16,6 +17,12 @@ namespace ariel {
 /// propagated through the network *before* the tuple reaches the base
 /// relation, which is what makes virtual α-memory self-joins come out right
 /// (§4.2).
+///
+/// Transactional contract: every implementation appends one undo record per
+/// applied mutation to its attached UndoLog (no-op while the log is
+/// disarmed), so a TransactionContext can replay the records in reverse and
+/// restore the exact pre-command state — through the gateway again, which
+/// is what lets compensating tokens heal the discrimination network.
 class StorageGateway {
  public:
   virtual ~StorageGateway() = default;
@@ -28,19 +35,41 @@ class StorageGateway {
                         const std::vector<std::string>& updated_attrs) = 0;
 };
 
-/// Gateway with no rule processing: direct storage calls.
+/// Gateway with no rule processing: direct storage calls plus undo records.
 class DirectGateway : public StorageGateway {
  public:
+  DirectGateway() = default;
+  explicit DirectGateway(UndoLog* undo) : undo_(undo) {}
+
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
   [[nodiscard]] Result<TupleId> Insert(HeapRelation* relation, Tuple tuple) override {
-    return relation->Insert(std::move(tuple));
+    ARIEL_ASSIGN_OR_RETURN(TupleId tid, relation->Insert(std::move(tuple)));
+    if (undo_ != nullptr) undo_->AppendInsert(relation->id(), tid);
+    return tid;
   }
   [[nodiscard]] Status Delete(HeapRelation* relation, TupleId tid) override {
+    if (undo_ != nullptr && undo_->enabled()) {
+      const Tuple* current = relation->Get(tid);
+      if (current != nullptr) {
+        undo_->AppendDelete(relation->id(), tid, *current);
+      }
+    }
     return relation->Delete(tid);
   }
   [[nodiscard]] Status Update(HeapRelation* relation, TupleId tid, Tuple new_value,
-                const std::vector<std::string>&) override {
-    return relation->Update(tid, std::move(new_value));
+                const std::vector<std::string>& updated_attrs) override {
+    if (undo_ != nullptr && undo_->enabled()) {
+      const Tuple* current = relation->Get(tid);
+      if (current != nullptr) {
+        undo_->AppendUpdate(relation->id(), tid, *current, updated_attrs);
+      }
+    }
+    return relation->Update(tid, std::move(new_value), &updated_attrs);
   }
+
+ private:
+  UndoLog* undo_ = nullptr;
 };
 
 }  // namespace ariel

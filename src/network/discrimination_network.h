@@ -58,6 +58,14 @@ class DiscriminationNetwork {
   /// End-of-transition housekeeping: flushes dynamic α-memories (§4.3.2).
   void OnTransitionEnd();
 
+  /// Toggles compensation mode on every registered rule network (see
+  /// RuleNetwork::set_compensating): rollback replays compensating tokens
+  /// that heal α-memories, join indexes, and Rete β-memories but leave
+  /// P-nodes untouched — conflict sets are restored from snapshots.
+  void SetCompensationMode(bool on) {
+    for (RuleNetwork* rule : rules_) rule->set_compensating(on);
+  }
+
   const SelectionNetwork& selection_network() const { return selection_; }
 
   uint64_t tokens_processed() const { return tokens_processed_; }

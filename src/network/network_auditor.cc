@@ -25,6 +25,8 @@ const char* AuditViolationKindToString(AuditViolationKind kind) {
       return "join-index-inconsistent";
     case AuditViolationKind::kStagedDeltasPending:
       return "staged-deltas-pending";
+    case AuditViolationKind::kUndoResidue:
+      return "undo-residue";
   }
   return "unknown";
 }

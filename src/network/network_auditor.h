@@ -23,6 +23,7 @@ enum class AuditViolationKind : uint8_t {
   kIslInconsistent,   // interval index disagrees with a brute-force stab
   kJoinIndexInconsistent,  // hash join index / retraction map ⇎ entry vector
   kStagedDeltasPending,    // batch pipeline left staged/deferred work behind
+  kUndoResidue,            // undo log non-empty / savepoints open at quiescence
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);

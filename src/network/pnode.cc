@@ -144,6 +144,32 @@ std::unique_ptr<HeapRelation> PNode::DetachSnapshot() {
   return snapshot;
 }
 
+PNode::State PNode::CaptureState() const {
+  State state;
+  for (TupleId row_id : relation_->AllTupleIds()) {
+    const Tuple* t = relation_->Get(row_id);
+    if (t != nullptr) state.rows.emplace_back(row_id, *t);
+  }
+  state.last_insert_stamp = last_insert_stamp_;
+  state.lifetime_insertions = lifetime_insertions_;
+  return state;
+}
+
+Status PNode::RestoreState(const State& state) {
+  Clear();
+  for (const auto& [rid, row] : state.rows) {
+    // InsertAt keeps each row at its captured slot, so P-node row ids (and
+    // hence scan order) survive the rollback exactly.
+    ARIEL_RETURN_NOT_OK(relation_->InsertAt(rid, Tuple(row)));
+    for (size_t v = 0; v < vars_.size(); ++v) {
+      postings_[v][row.at(var_offset_[v]).int_value()].push_back(rid);
+    }
+  }
+  last_insert_stamp_ = state.last_insert_stamp;
+  lifetime_insertions_ = state.lifetime_insertions;
+  return Status::OK();
+}
+
 Row PNode::ToRow(const Tuple& pnode_tuple) const {
   Row row(vars_.size());
   for (size_t v = 0; v < vars_.size(); ++v) {

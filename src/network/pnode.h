@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "catalog/schema.h"
@@ -85,6 +86,22 @@ class PNode {
   /// Rebuilds a Row (rule-variable layout) from one stored P-node tuple;
   /// used by tests and by the equivalence checker.
   Row ToRow(const Tuple& pnode_tuple) const;
+
+  /// Point-in-time conflict-set snapshot for transaction savepoints. The
+  /// conflict set is history-dependent (fired instantiations are drained,
+  /// so it cannot be recomputed from base relations) — rollback restores it
+  /// from these rather than replaying joins.
+  struct State {
+    std::vector<std::pair<TupleId, Tuple>> rows;  // row id → stored tuple
+    uint64_t last_insert_stamp = 0;
+    uint64_t lifetime_insertions = 0;
+  };
+  State CaptureState() const;
+
+  /// Replaces the live contents with `state` (postings rebuilt from the
+  /// stored tid columns). Bypasses the match clock and binding metrics —
+  /// a restore is not new match activity.
+  [[nodiscard]] Status RestoreState(const State& state);
 
  private:
   void ClearPostings();

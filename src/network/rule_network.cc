@@ -432,14 +432,24 @@ Status RuleNetwork::Arrive(const Token& token, size_t alpha_ordinal,
   }
 
   if (alpha->stores_tuples()) {
+    // Compensating + tokens must be idempotent against partially-applied
+    // forward retractions: remove any surviving entry before re-inserting.
+    if (compensating_) alpha->RemoveEntry(token.tid);
     alpha->InsertEntry(AlphaEntry{token.tid, token.value,
                                   alpha->is_transition() ? token.previous
                                                          : Tuple()});
   }
 
   if (backend_ == JoinBackend::kRete) {
+    // Same idempotence for β chains: shed any partials the forward
+    // retraction left behind before re-deriving them.
+    if (compensating_) ReteRetract(alpha_ordinal, token.tid);
     return ReteAssert(token, alpha_ordinal, processed);
   }
+
+  // TREAT joins exist only to feed the P-node; in compensation mode the
+  // conflict set is snapshot-restored, so the whole walk is skipped.
+  if (compensating_) return Status::OK();
 
   Row row(n);
   row.Set(alpha_ordinal, token.value, token.tid);
@@ -801,6 +811,7 @@ Result<bool> RuleNetwork::JoinConjunctsHold(size_t j,
 }
 
 Status RuleNetwork::EmitInstantiation(const Row& row) {
+  if (compensating_) return Status::OK();
   if (staged_sink_ == nullptr) return pnode_->Insert(row);
   StagedDelta delta;
   delta.token_seq = staged_token_seq_;
@@ -811,6 +822,7 @@ Status RuleNetwork::EmitInstantiation(const Row& row) {
 }
 
 void RuleNetwork::RetractInstantiations(size_t var_ordinal, TupleId tid) {
+  if (compensating_) return;
   if (staged_sink_ == nullptr) {
     pnode_->RemoveByTid(var_ordinal, tid);
     return;

@@ -233,6 +233,19 @@ class RuleNetwork {
   /// Applies one staged delta to the P-node (merge stage, main thread).
   [[nodiscard]] Status ApplyStagedDelta(const StagedDelta& delta);
 
+  /// Compensation mode (transaction rollback; toggled network-wide through
+  /// DiscriminationNetwork::SetCompensationMode). Compensating tokens keep
+  /// α-memories, TID→slot maps, hash join buckets, and Rete β-memories
+  /// exact — idempotently, so partially-propagated forward tokens are
+  /// healed too — but never touch the conflict set: P-nodes are
+  /// history-dependent (drained instantiations must stay drained) and are
+  /// restored from savepoint snapshots instead, which also keeps rollback
+  /// joins from manufacturing spurious refires. Under TREAT the join walk
+  /// is skipped entirely (it exists only to feed the P-node); under Rete
+  /// ReteAssert still runs so β partials stay complete.
+  void set_compensating(bool on) { compensating_ = on; }
+  bool compensating() const { return compensating_; }
+
   /// Flushes dynamic memories (end of transition; §4.3.2).
   void FlushDynamicMemories();
 
@@ -263,6 +276,10 @@ class RuleNetwork {
 
   /// Partial-instantiation counts per β level (Rete; empty under TREAT).
   std::vector<size_t> BetaSizes() const;
+
+  /// Rete β-memories (empty under TREAT); read-only introspection for the
+  /// engine-state dump the rollback-equivalence tests compare.
+  const std::vector<BetaMemory>& beta_memories() const { return beta_; }
 
   /// Renders the network structure in the style of the paper's Figures 3-4:
   /// per-variable selection predicates and α-memory kinds, the join
@@ -398,6 +415,7 @@ class RuleNetwork {
   std::vector<BetaMemory> beta_;
   std::vector<StagedDelta>* staged_sink_ = nullptr;
   uint32_t staged_token_seq_ = 0;
+  bool compensating_ = false;
   bool join_hash_indexes_ = true;
   bool initialized_ = false;
   bool has_dynamic_ = false;

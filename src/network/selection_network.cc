@@ -116,7 +116,8 @@ Status SelectionNetwork::AddRule(RuleNetwork* rule) {
       node.interval = interval;
       auto& index = per_rel.attr_indexes[attr_pos];
       if (index == nullptr) index = std::make_unique<IntervalSkipList>();
-      index->Insert(node.id, interval);
+      // An interval-skip-list stab index, not a relation.
+      index->Insert(node.id, interval);  // ariel-lint: allow(gateway-mutation)
       ++num_indexed_;
     } else {
       per_rel.residual.push_back(node.id);

@@ -76,7 +76,7 @@ TokenEvent::AttrList TransitionManager::MergedAttrs(
   return merged;
 }
 
-Status TransitionManager::Emit(Token token) {
+void TransitionManager::CountToken(const Token& token) {
   ++tokens_emitted_;
   EngineMetrics& m = Metrics();
   m.tokens_emitted.Increment();
@@ -94,10 +94,19 @@ Status TransitionManager::Emit(Token token) {
       m.tokens_delta_minus.Increment();
       break;
   }
+}
+
+Status TransitionManager::Emit(Token token) {
+  CountToken(token);
   if (batch_tokens_ == 0) return network_->ProcessToken(token);
   batch_.push_back(std::move(token));
   if (batch_.size() >= batch_tokens_) return FlushTokenBatch();
   return Status::OK();
+}
+
+Status TransitionManager::EmitCompensating(Token token) {
+  CountToken(token);
+  return network_->ProcessToken(token);
 }
 
 Result<TupleId> TransitionManager::Insert(HeapRelation* relation,
@@ -111,6 +120,7 @@ Result<TupleId> TransitionManager::Insert(HeapRelation* relation,
     Result<TupleId> inserted = relation->Insert(std::move(tuple));
     if (inserted.ok()) {
       tid = *inserted;
+      if (undo_ != nullptr) undo_->AppendInsert(relation->id(), tid);
       inserted_.insert(tid);
       Token token;
       token.kind = TokenKind::kPlus;
@@ -144,6 +154,13 @@ Status TransitionManager::Delete(HeapRelation* relation, TupleId tid) {
   // emitted; flush before this delete becomes visible to virtual scans.
   Status status = MaybeFlushBeforeMutation(*relation);
   Tuple old_value = *current;
+  // Logged before the token emissions: the storage delete runs last, so a
+  // mid-propagation failure leaves partially-healed memories that rollback
+  // must still compensate (CompensateDelete skips the storage step when the
+  // tuple is still live).
+  if (status.ok() && undo_ != nullptr && undo_->enabled()) {
+    undo_->AppendDelete(relation->id(), tid, old_value);
+  }
 
   if (status.ok() && inserted_.contains(tid)) {
     // Case 2 (im*d): retract the insertion; net effect nothing.
@@ -204,7 +221,12 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
   Status status = MaybeFlushBeforeMutation(*relation);
   Tuple old_value = *current;
 
-  if (status.ok()) status = relation->Update(tid, std::move(new_value));
+  if (status.ok()) {
+    status = relation->Update(tid, std::move(new_value), &updated_attrs);
+  }
+  if (status.ok() && undo_ != nullptr && undo_->enabled()) {
+    undo_->AppendUpdate(relation->id(), tid, old_value, updated_attrs);
+  }
   Tuple updated = status.ok() ? *relation->Get(tid) : Tuple();
 
   if (status.ok() && inserted_.contains(tid)) {
@@ -289,6 +311,74 @@ Status TransitionManager::Update(HeapRelation* relation, TupleId tid,
     if (status.ok()) status = end;
   }
   return status;
+}
+
+void TransitionManager::BeginCompensation() {
+  network_->SetCompensationMode(true);
+}
+
+void TransitionManager::EndCompensation() {
+  network_->SetCompensationMode(false);
+  // Compensating tokens never enter dynamic (event/transition) memories —
+  // they carry no specifier and are not Δ tokens — but run the
+  // end-of-transition housekeeping anyway so the flushed-at-quiescence
+  // invariant holds by construction.
+  network_->OnTransitionEnd();
+}
+
+Status TransitionManager::CompensateInsert(HeapRelation* relation,
+                                           TupleId tid) {
+  const Tuple* current = relation->Get(tid);
+  if (current == nullptr) return Status::OK();  // insert never reached storage
+  Token minus;
+  minus.kind = TokenKind::kMinus;
+  minus.relation_id = relation->id();
+  minus.tid = tid;
+  minus.value = *current;
+  // no event specifier
+  ARIEL_RETURN_NOT_OK(EmitCompensating(std::move(minus)));
+  return relation->Delete(tid);
+}
+
+Status TransitionManager::CompensateDelete(HeapRelation* relation, TupleId tid,
+                                           const Tuple& before) {
+  if (relation->Get(tid) == nullptr) {
+    ARIEL_RETURN_NOT_OK(relation->InsertAt(tid, before));
+  }
+  // else: the delete failed between logging and the storage op — the tuple
+  // is still live with its pre-delete value; just heal the memories.
+  Token plus;
+  plus.kind = TokenKind::kPlus;
+  plus.relation_id = relation->id();
+  plus.tid = tid;
+  plus.value = *relation->Get(tid);
+  // no event specifier
+  return EmitCompensating(std::move(plus));
+}
+
+Status TransitionManager::CompensateUpdate(HeapRelation* relation, TupleId tid,
+                                           const Tuple& before) {
+  const Tuple* current = relation->Get(tid);
+  if (current == nullptr) {
+    return Status::Internal("update undo finds tuple " + tid.ToString() +
+                            " missing from \"" + relation->name() + "\"");
+  }
+  Tuple after = *current;
+  ARIEL_RETURN_NOT_OK(relation->Update(tid, before));
+  Token minus;
+  minus.kind = TokenKind::kMinus;
+  minus.relation_id = relation->id();
+  minus.tid = tid;
+  minus.value = std::move(after);
+  // no event specifier
+  ARIEL_RETURN_NOT_OK(EmitCompensating(std::move(minus)));
+  Token plus;
+  plus.kind = TokenKind::kPlus;
+  plus.relation_id = relation->id();
+  plus.tid = tid;
+  plus.value = *relation->Get(tid);
+  // no event specifier
+  return EmitCompensating(std::move(plus));
 }
 
 }  // namespace ariel

@@ -85,6 +85,34 @@ class TransitionManager : public StorageGateway {
   /// points; EndTransition always calls it.
   [[nodiscard]] Status FlushTokenBatch();
 
+  /// Undo log receiving one record per applied mutation (null = no
+  /// logging). Armed/disarmed by the owning TransactionContext.
+  void set_undo_log(UndoLog* undo) { undo_ = undo; }
+
+  // --- rollback compensation (driven by the engine's TransactionContext
+  // hooks; never re-enters the gateway interface, so fault injection
+  // wrappers cannot fail a rollback) ---
+
+  /// Brackets an undo replay: every rule memory enters compensation mode —
+  /// α-memories, TID→slot maps, join-index buckets, and Rete β-memories
+  /// are maintained by the compensating tokens below, but P-node mutation
+  /// is suppressed (conflict sets are history-dependent and are restored
+  /// from engine snapshots instead; joining would also refire rules).
+  void BeginCompensation();
+  void EndCompensation();
+
+  /// Reverse one logged mutation. Compensating tokens carry *no* event
+  /// specifier (like the paper's case-3 simple − token), so they pass
+  /// selection predicates and heal pattern memories without ever waking an
+  /// on-event condition. Each is tolerant of the forward mutation having
+  /// never reached storage (a mid-propagation failure logs before the
+  /// storage op): the storage step is skipped, the network still heals.
+  [[nodiscard]] Status CompensateInsert(HeapRelation* relation, TupleId tid);
+  [[nodiscard]] Status CompensateDelete(HeapRelation* relation, TupleId tid,
+                                        const Tuple& before);
+  [[nodiscard]] Status CompensateUpdate(HeapRelation* relation, TupleId tid,
+                                        const Tuple& before);
+
  private:
   struct ModifiedEntry {
     Tuple original;               // value at transition start
@@ -92,6 +120,13 @@ class TransitionManager : public StorageGateway {
   };
 
   [[nodiscard]] Status Emit(Token token);
+
+  /// Emits a compensating token: straight through the network, bypassing
+  /// the batch pipeline (the batch is empty during rollback — every exit
+  /// path flushes — and compensation must not interleave with it).
+  [[nodiscard]] Status EmitCompensating(Token token);
+
+  void CountToken(const Token& token);
 
   /// Hazard flush: propagate pending tokens before `relation` changes if
   /// any active rule joins through a virtual α-memory over it.
@@ -109,6 +144,7 @@ class TransitionManager : public StorageGateway {
       const TokenEvent::AttrList& acc, const std::vector<std::string>& add);
 
   DiscriminationNetwork* network_;
+  UndoLog* undo_ = nullptr;
   bool in_transition_ = false;
   std::unordered_set<TupleId, TupleIdHash> inserted_;
   std::unordered_map<TupleId, ModifiedEntry, TupleIdHash> modified_;

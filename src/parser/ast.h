@@ -185,6 +185,7 @@ enum class CommandKind : uint8_t {
   kRetrieve, kAppend, kDelete, kReplace,
   kBlock, kDefineRule, kActivateRule, kDeactivateRule, kRemoveRule,
   kHalt,
+  kBeginTxn, kCommitTxn, kAbortTxn,
   kShowStats, kExplainRule,
 };
 
@@ -360,6 +361,37 @@ struct HaltCommand : Command {
     return std::make_unique<HaltCommand>();
   }
   std::string ToString() const override { return "halt"; }
+};
+
+/// `begin` — opens an explicit transaction: subsequent commands (and their
+/// rule cascades) accumulate in one undo scope until `commit` discards it
+/// or `abort` replays it. Transactions do not nest.
+struct BeginTxnCommand : Command {
+  BeginTxnCommand() : Command(CommandKind::kBeginTxn) {}
+  CommandPtr Clone() const override {
+    return std::make_unique<BeginTxnCommand>();
+  }
+  std::string ToString() const override { return "begin"; }
+};
+
+/// `commit` — closes the open explicit transaction, keeping its effects.
+struct CommitTxnCommand : Command {
+  CommitTxnCommand() : Command(CommandKind::kCommitTxn) {}
+  CommandPtr Clone() const override {
+    return std::make_unique<CommitTxnCommand>();
+  }
+  std::string ToString() const override { return "commit"; }
+};
+
+/// `abort` — rolls the open explicit transaction back: storage, catalog,
+/// α-memories, join indexes, conflict sets, and rule firing counters return
+/// to their state at `begin`.
+struct AbortTxnCommand : Command {
+  AbortTxnCommand() : Command(CommandKind::kAbortTxn) {}
+  CommandPtr Clone() const override {
+    return std::make_unique<AbortTxnCommand>();
+  }
+  std::string ToString() const override { return "abort"; }
 };
 
 /// `show stats [reset]` — dumps the engine metrics registry and the recent

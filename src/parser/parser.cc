@@ -124,6 +124,18 @@ class Parser {
       Advance();
       return CommandPtr(std::make_unique<HaltCommand>());
     }
+    if (t.text == "begin") {
+      Advance();
+      return CommandPtr(std::make_unique<BeginTxnCommand>());
+    }
+    if (t.text == "commit") {
+      Advance();
+      return CommandPtr(std::make_unique<CommitTxnCommand>());
+    }
+    if (t.text == "abort") {
+      Advance();
+      return CommandPtr(std::make_unique<AbortTxnCommand>());
+    }
     if (t.text == "show") {
       Advance();
       ARIEL_RETURN_NOT_OK(ExpectWord("stats"));

@@ -82,8 +82,27 @@ Status RuleExecutionMonitor::FireRuleInner(Rule* rule) {
   ExtraBindings bindings;
   bindings.emplace("p", rule->firing_buffer.get());
 
+  // The kRuleFired record goes *below* the savepoint opened next: a rule
+  // whose action aborts under abort_rule did fire (its counter increment
+  // survives the firing rollback), while a whole-command abort rewinds it.
+  if (txn_ != nullptr) {
+    txn_->undo_log().AppendRuleFired(rule->name, rule->times_fired);
+  }
   ++rule->times_fired;
   ++rules_fired_;
+
+  // Per-firing savepoint: opened after the drain, so its engine snapshot
+  // already shows this rule's instantiations consumed — rolling the firing
+  // back cannot make the same failing instantiations eligible again. Only
+  // the abort_rule policy ever rolls back to it, so only that policy pays
+  // for the snapshot.
+  uint64_t savepoint = 0;
+  const bool have_savepoint =
+      txn_ != nullptr && on_action_error_ == ActionErrorPolicy::kAbortRule;
+  if (have_savepoint) {
+    ARIEL_ASSIGN_OR_RETURN(savepoint,
+                           txn_->OpenSavepoint(/*capture_engine_state=*/true));
+  }
 
   // Flattened per-command index into the rule's stored-plan slots.
   size_t plan_slot = 0;
@@ -95,9 +114,11 @@ Status RuleExecutionMonitor::FireRuleInner(Rule* rule) {
     return &rule->action_plans[plan_slot++];
   };
 
+  Status action_status = Status::OK();
   for (const CommandPtr& command : rule->modified_action) {
     if (command->kind == CommandKind::kHalt) {
-      return Status::Halt();
+      action_status = Status::Halt();
+      break;
     }
     // Each command (a do…end block counts as one command) is a transition.
     transitions_->BeginTransition();
@@ -120,12 +141,29 @@ Status RuleExecutionMonitor::FireRuleInner(Rule* rule) {
     Status end = transitions_->EndTransition();
     if (status.ok()) status = end;
     if (!status.ok()) {
-      if (status.IsHalt()) return status;
-      return Status::ExecutionError("action of rule \"" + rule->name +
-                                    "\" failed: " + status.ToString());
+      action_status = std::move(status);
+      break;
     }
   }
-  return Status::OK();
+
+  // halt is a control-flow signal, not a failure: the firing's effects
+  // stand (its savepoint is released) and the cycle stops.
+  if (action_status.ok() || action_status.IsHalt()) {
+    if (have_savepoint) ARIEL_RETURN_NOT_OK(txn_->ReleaseSavepoint(savepoint));
+    return action_status;
+  }
+
+  if (have_savepoint) {  // policy abort_rule with a transaction to roll back
+    ARIEL_RETURN_NOT_OK(txn_->RollbackToSavepoint(savepoint));
+    Metrics().txn_rule_aborts.Increment();
+    return Status::OK();
+  }
+  if (on_action_error_ == ActionErrorPolicy::kIgnore) {
+    Metrics().txn_ignored_action_errors.Increment();
+    return Status::OK();
+  }
+  return Status::ExecutionError("action of rule \"" + rule->name +
+                                "\" failed: " + action_status.ToString());
 }
 
 Status RuleExecutionMonitor::RunCycle() {

@@ -6,6 +6,7 @@
 #include "exec/executor.h"
 #include "network/transition_manager.h"
 #include "rules/rule_manager.h"
+#include "txn/txn_context.h"
 #include "util/status.h"
 
 namespace ariel {
@@ -60,6 +61,20 @@ class RuleExecutionMonitor {
   ConflictStrategy conflict_strategy() const { return conflict_strategy_; }
   void set_conflict_strategy(ConflictStrategy s) { conflict_strategy_ = s; }
 
+  /// Transaction context bracketing the cycle (null = untransacted). When
+  /// set, every firing logs a kRuleFired undo record and — under the
+  /// abort_rule policy — runs inside its own savepoint.
+  void set_txn(TransactionContext* txn) { txn_ = txn; }
+
+  /// What a failing rule action does to the enclosing command:
+  ///   abort_command — the error propagates; the engine rolls the whole
+  ///                   top-level command (and its cascade) back. Default.
+  ///   abort_rule    — only this firing's savepoint rolls back; the cycle
+  ///                   continues with the next eligible rule.
+  ///   ignore        — keep the action's partial effects, continue.
+  ActionErrorPolicy on_action_error() const { return on_action_error_; }
+  void set_on_action_error(ActionErrorPolicy p) { on_action_error_ = p; }
+
  private:
   /// Conflict resolution: the eligible rule to fire, or null.
   Rule* SelectRule();
@@ -72,6 +87,8 @@ class RuleExecutionMonitor {
   RuleManager* rules_;
   Executor* executor_;
   TransitionManager* transitions_;
+  TransactionContext* txn_ = nullptr;
+  ActionErrorPolicy on_action_error_ = ActionErrorPolicy::kAbortCommand;
   bool in_cycle_ = false;
   bool cache_action_plans_ = false;
   ConflictStrategy conflict_strategy_ = ConflictStrategy::kDefinitionOrder;

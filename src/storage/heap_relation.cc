@@ -1,5 +1,7 @@
 #include "storage/heap_relation.h"
 
+#include <algorithm>
+
 #include "util/string_util.h"
 
 namespace ariel {
@@ -48,6 +50,45 @@ Result<TupleId> HeapRelation::Insert(Tuple tuple) {
   return tid;
 }
 
+Status HeapRelation::InsertAt(TupleId tid, Tuple tuple) {
+  if (tid.relation_id != id_) {
+    return Status::ExecutionError("InsertAt of " + tid.ToString() +
+                                  " into foreign relation \"" + name_ + "\"");
+  }
+  ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
+  if (tid.slot < slots_.size()) {
+    if (slots_[tid.slot].has_value()) {
+      return Status::ExecutionError("InsertAt into occupied slot " +
+                                    tid.ToString() + " of \"" + name_ + "\"");
+    }
+    if (!free_slots_.empty() && free_slots_.back() == tid.slot) {
+      free_slots_.pop_back();
+    } else {
+      auto it = std::find(free_slots_.begin(), free_slots_.end(), tid.slot);
+      if (it == free_slots_.end()) {
+        return Status::Internal("empty slot " + tid.ToString() + " of \"" +
+                                name_ + "\" is missing from the free list");
+      }
+      free_slots_.erase(it);
+    }
+    slots_[tid.slot] = std::move(tuple);
+  } else {
+    // Restoring past the end re-grows the heap; any intermediate slots the
+    // growth creates become free (cannot happen during rollback, where the
+    // slot existed at forward-mutation time, but keeps the call total).
+    while (slots_.size() < tid.slot) {
+      free_slots_.push_back(static_cast<uint32_t>(slots_.size()));
+      slots_.emplace_back();
+    }
+    slots_.push_back(std::move(tuple));
+  }
+  ++live_count_;
+  for (auto& [attr_pos, index] : indexes_) {
+    index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+  }
+  return Status::OK();
+}
+
 Status HeapRelation::Delete(TupleId tid) {
   if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
       !slots_[tid.slot].has_value()) {
@@ -63,19 +104,43 @@ Status HeapRelation::Delete(TupleId tid) {
   return Status::OK();
 }
 
-Status HeapRelation::Update(TupleId tid, Tuple tuple) {
+Status HeapRelation::Update(TupleId tid, Tuple tuple,
+                            const std::vector<std::string>* updated_attrs) {
   if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
       !slots_[tid.slot].has_value()) {
     return Status::ExecutionError("update of nonexistent tuple " +
                                   tid.ToString() + " in \"" + name_ + "\"");
   }
   ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
+  if (updated_attrs == nullptr || updated_attrs->empty()) {
+    for (auto& [attr_pos, index] : indexes_) {
+      index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+    }
+    slots_[tid.slot] = std::move(tuple);
+    for (auto& [attr_pos, index] : indexes_) {
+      index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+    }
+    return Status::OK();
+  }
+  std::vector<bool> listed(schema_.num_attributes(), false);
+  for (const std::string& attr : *updated_attrs) {
+    ARIEL_ASSIGN_OR_RETURN(size_t pos, schema_.Find(attr));
+    listed[pos] = true;
+  }
+  const Tuple& current = *slots_[tid.slot];
+  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+    if (listed[i] || current.at(i) == tuple.at(i)) continue;
+    return Status::ExecutionError(
+        "update of \"" + name_ + "\" changes attribute \"" +
+        schema_.attribute(i).name + "\" (" + current.at(i).ToString() +
+        " -> " + tuple.at(i).ToString() + ") not named in its target list");
+  }
   for (auto& [attr_pos, index] : indexes_) {
-    index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+    if (listed[attr_pos]) index->Remove(current.at(attr_pos), tid);
   }
   slots_[tid.slot] = std::move(tuple);
   for (auto& [attr_pos, index] : indexes_) {
-    index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+    if (listed[attr_pos]) index->Insert(slots_[tid.slot]->at(attr_pos), tid);
   }
   return Status::OK();
 }
@@ -116,6 +181,12 @@ Status HeapRelation::CreateIndex(std::string_view attribute) {
     }
   }
   indexes_.emplace(pos, std::move(index));
+  return Status::OK();
+}
+
+Status HeapRelation::DropIndex(std::string_view attribute) {
+  ARIEL_ASSIGN_OR_RETURN(size_t pos, schema_.Find(attribute));
+  indexes_.erase(pos);
   return Status::OK();
 }
 

@@ -44,11 +44,25 @@ class HeapRelation {
   /// by the executor) and returns its id.
   [[nodiscard]] Result<TupleId> Insert(Tuple tuple);
 
+  /// Re-inserts a tuple under a specific id (transaction rollback restoring
+  /// a deleted tuple with its original TupleId, which P-nodes and primed
+  /// commands captured). The slot must currently be free; undo replays in
+  /// reverse mutation order, so the slot is normally on top of the LIFO
+  /// free list and even the free-list order is restored exactly.
+  [[nodiscard]] Status InsertAt(TupleId tid, Tuple tuple);
+
   /// Deletes the tuple at `tid`. Fails if the slot is empty.
   [[nodiscard]] Status Delete(TupleId tid);
 
-  /// Replaces the tuple at `tid` wholesale.
-  [[nodiscard]] Status Update(TupleId tid, Tuple tuple);
+  /// Replaces the tuple at `tid`. When `updated_attrs` is non-null and
+  /// non-empty it is the replace command's target list: every attribute
+  /// *not* listed must be unchanged (ExecutionError otherwise — the rule
+  /// and non-rule mutation paths must agree on what a replace touched),
+  /// and only indexes over listed attributes are re-keyed. A null or empty
+  /// list means "unspecified": wholesale replace, every index re-keyed.
+  [[nodiscard]] Status Update(TupleId tid, Tuple tuple,
+                              const std::vector<std::string>* updated_attrs =
+                                  nullptr);
 
   /// Returns the tuple at `tid`, or nullptr if the slot is empty/invalid.
   const Tuple* Get(TupleId tid) const;
@@ -62,6 +76,10 @@ class HeapRelation {
 
   /// Creates a B+tree index on `attribute`; idempotent.
   [[nodiscard]] Status CreateIndex(std::string_view attribute);
+
+  /// Drops the B+tree index on `attribute` (undo of CreateIndex);
+  /// idempotent.
+  [[nodiscard]] Status DropIndex(std::string_view attribute);
 
   /// Returns the index on `attribute`, or nullptr.
   const BTreeIndex* GetIndex(std::string_view attribute) const;

@@ -172,6 +172,14 @@ uint64_t FiringTraceRing::total_recorded() const {
   return next_seq_ - 1;
 }
 
+void FiringTraceRing::TruncateTo(uint64_t total_mark) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!entries_.empty() && entries_.back().seq > total_mark) {
+    entries_.pop_back();
+  }
+  if (next_seq_ > total_mark + 1) next_seq_ = total_mark + 1;
+}
+
 void FiringTraceRing::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
@@ -226,13 +234,21 @@ EngineMetrics::EngineMetrics()
       batch_flushes(registry.RegisterCounter("batch_flushes")),
       match_tasks(registry.RegisterCounter("match_tasks")),
       match_steal_count(registry.RegisterCounter("match_steal_count")),
+      txn_undo_records(registry.RegisterCounter("txn_undo_records")),
+      txn_rollbacks(registry.RegisterCounter("txn_rollbacks")),
+      txn_rule_aborts(registry.RegisterCounter("txn_rule_aborts")),
+      txn_ignored_action_errors(
+          registry.RegisterCounter("txn_ignored_action_errors")),
+      txn_active_savepoints(
+          registry.RegisterGauge("txn_active_savepoints")),
       token_process_ns(registry.RegisterHistogram("token_process_ns")),
       rule_firing_ns(registry.RegisterHistogram("rule_firing_ns")),
       batch_tokens_per_flush(
           registry.RegisterHistogram("batch_tokens_per_flush")),
       batch_select_ns(registry.RegisterHistogram("batch_select_ns")),
       batch_match_ns(registry.RegisterHistogram("batch_match_ns")),
-      batch_merge_ns(registry.RegisterHistogram("batch_merge_ns")) {}
+      batch_merge_ns(registry.RegisterHistogram("batch_merge_ns")),
+      txn_rollback_ns(registry.RegisterHistogram("txn_rollback_ns")) {}
 
 EngineMetrics& Metrics() {
   // Intentionally leaked: handles embedded across the engine hold raw cell

@@ -255,6 +255,12 @@ class FiringTraceRing {
   /// Total firings recorded since the last Clear (>= entries retained).
   uint64_t total_recorded() const;
 
+  /// Forgets every entry recorded after the first `total_mark` firings and
+  /// rewinds the sequence counter, so firings undone by a transaction
+  /// rollback leave no trace (the mark comes from total_recorded() at
+  /// savepoint time). A mark at or beyond the current total is a no-op.
+  void TruncateTo(uint64_t total_mark);
+
   void Clear();
 
  private:
@@ -323,12 +329,20 @@ struct EngineMetrics {
   Counter match_tasks;        // per-rule match tasks dispatched to the pool
   Counter match_steal_count;  // cross-deque steals inside those batches
 
+  // Transaction / undo layer (src/txn).
+  Counter txn_undo_records;   // undo records appended to armed logs
+  Counter txn_rollbacks;      // savepoint/command/explicit rollbacks replayed
+  Counter txn_rule_aborts;    // rule firings undone by on_action_error=abort_rule
+  Counter txn_ignored_action_errors;  // action errors dropped by =ignore
+  Gauge txn_active_savepoints;  // open transaction frames right now
+
   Histogram token_process_ns;  // DiscriminationNetwork::ProcessToken
   Histogram rule_firing_ns;    // RuleExecutionMonitor::FireRule
   Histogram batch_tokens_per_flush;  // tokens carried by each flushed batch
   Histogram batch_select_ns;  // batch stage 1: selection-network classify
   Histogram batch_match_ns;   // batch stage 2: per-rule join/α-memory work
   Histogram batch_merge_ns;   // batch stage 3: deterministic delta merge
+  Histogram txn_rollback_ns;  // undo replay + engine-state restore per rollback
 
   FiringTraceRing firing_trace;
 

@@ -25,12 +25,14 @@ const Status& ToStatus(const Result<T>& result) {
 }  // namespace testing_internal
 }  // namespace ariel
 
+// Copies the Status out of the (possibly temporary) expression inside one
+// full-expression: binding a reference here would dangle when `expr` is a
+// temporary Result<T>, since .status() refers into it.
 #define ARIEL_EXPECT_OK_IMPL(gtest_macro, expr)             \
   do {                                                      \
-    const auto& _st_or = (expr);                            \
-    gtest_macro(::ariel::testing_internal::ToStatus(_st_or).ok()) \
-        << "Expected OK, got: "                             \
-        << ::ariel::testing_internal::ToStatus(_st_or).ToString(); \
+    const ::ariel::Status _st =                             \
+        ::ariel::testing_internal::ToStatus((expr));        \
+    gtest_macro(_st.ok()) << "Expected OK, got: " << _st.ToString(); \
   } while (0)
 
 #define EXPECT_OK(expr) ARIEL_EXPECT_OK_IMPL(EXPECT_TRUE, expr)
