@@ -35,6 +35,14 @@ Rules
                  not base data (a P-node's backing relation, the system-
                  catalog snapshot rebuild) carry an allow() with a one-line
                  justification.
+  compiler-internals
+                 `#include "rules/rule_compiler.h"` outside src/rules/ and
+                 src/analysis/. CompiledRule/AlphaSpec are the rule
+                 compiler's private contract with the network builder and
+                 the static analyzer; everything else configures the engine
+                 through rules/alpha_policy.h or the RuleManager API. Tests
+                 that deliberately exercise compiler internals carry an
+                 allow() with a justification.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -202,6 +210,15 @@ GATEWAY_EXEMPT_FILES = (
     # ultimately drive, so it sits below the gateway by construction.
     ("src", "network", "pnode.cc"),
 )
+# compiler-internals: the only sanctioned consumers of the compiled-rule
+# structures. Matched against raw lines (includes are string literals, which
+# strip_comments_and_strings blanks out).
+COMPILER_INTERNALS_RE = re.compile(
+    r'#\s*include\s+"rules/rule_compiler\.h"')
+COMPILER_INTERNALS_OK = (
+    ("src", "rules"),
+    ("src", "analysis"),
+)
 BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
@@ -303,6 +320,16 @@ def lint_file(path: Path) -> list[Finding]:
                    "storage/txn/gateway layers — route the mutation through "
                    "a StorageGateway (or annotate why this relation is not "
                    "base data)")
+
+    # compiler-internals: compiled-rule structures stay inside the rule
+    # compiler's two sanctioned consumers.
+    if rel_all[:2] not in COMPILER_INTERNALS_OK:
+        for i, line in enumerate(raw_lines, start=1):
+            if COMPILER_INTERNALS_RE.search(line):
+                report(i, "compiler-internals",
+                       "rule_compiler.h included outside src/rules/ and "
+                       "src/analysis/ — use rules/alpha_policy.h or the "
+                       "RuleManager API instead")
 
     # include-guard: headers only.
     if path.suffix == ".h":

@@ -2,6 +2,7 @@
 """Validates BENCH_<name>.json reports emitted by bench/bench_report.h.
 
 Usage: check_bench_json.py FILE [FILE...]
+       check_bench_json.py --check-experiments [REPO_ROOT]
 
 Each report must be valid JSON with:
   - "bench": non-empty string matching the BENCH_<name>.json filename
@@ -11,13 +12,23 @@ Each report must be valid JSON with:
 
 Exits 1 on the first malformed report; CI runs this over the smoke-mode
 bench artifacts so a bench that stops reporting fails the build.
+
+--check-experiments cross-checks EXPERIMENTS.md instead: every
+`bench/<name>` reference in the prose must correspond to an actual
+bench/<name>.cc source, so renaming or deleting a bench without updating
+the experiment log fails the build.
 """
 
 import json
 import os
+import re
 import sys
 
 MIN_COUNTERS = 6
+
+# `bench/<name>` where the path ends at the name (excludes directories
+# like bench/results/... via the trailing-slash lookahead).
+BENCH_REF_RE = re.compile(r"\bbench/([A-Za-z0-9_]+)(?![A-Za-z0-9_/])")
 
 
 def fail(path: str, message: str) -> None:
@@ -64,10 +75,36 @@ def check(path: str) -> None:
           f"({len(counters)} counters, {wall:.3f}s)")
 
 
+def check_experiments(root: str) -> int:
+    experiments = os.path.join(root, "EXPERIMENTS.md")
+    try:
+        with open(experiments, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as e:
+        print(f"check_bench_json: {experiments}: {e}", file=sys.stderr)
+        return 1
+
+    names = sorted(set(BENCH_REF_RE.findall(text)))
+    missing = [n for n in names
+               if not os.path.exists(os.path.join(root, "bench", f"{n}.cc"))]
+    if missing:
+        for name in missing:
+            print(f"check_bench_json: EXPERIMENTS.md references bench/{name} "
+                  f"but bench/{name}.cc does not exist", file=sys.stderr)
+        return 1
+    print(f"check_bench_json: EXPERIMENTS.md: ok "
+          f"({len(names)} bench references, all sources present)")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     if len(argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    if argv[1] == "--check-experiments":
+        default_root = os.path.dirname(os.path.dirname(os.path.abspath(
+            argv[0])))
+        return check_experiments(argv[2] if len(argv) > 2 else default_root)
     for path in argv[1:]:
         check(path)
     return 0

@@ -1,0 +1,690 @@
+#include "analysis/rule_analyzer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* FindingKindToString(FindingKind kind) {
+  switch (kind) {
+    case FindingKind::kTerminationError:
+    case FindingKind::kTerminationWarning:
+      return "termination";
+    case FindingKind::kPriorityContradiction: return "priority";
+    case FindingKind::kNonConfluent: return "confluence";
+    case FindingKind::kDeadRule: return "dead-rule";
+  }
+  return "?";
+}
+
+const char* AnalyzeOnInstallToString(AnalyzeOnInstall policy) {
+  switch (policy) {
+    case AnalyzeOnInstall::kOff: return "off";
+    case AnalyzeOnInstall::kWarn: return "warn";
+    case AnalyzeOnInstall::kError: return "error";
+  }
+  return "?";
+}
+
+Result<AnalyzeOnInstall> AnalyzeOnInstallFromString(std::string_view name) {
+  const std::string lower = ToLower(name);
+  if (lower == "off") return AnalyzeOnInstall::kOff;
+  if (lower == "warn") return AnalyzeOnInstall::kWarn;
+  if (lower == "error") return AnalyzeOnInstall::kError;
+  return Status::InvalidArgument("unknown analyze policy \"" +
+                                 std::string(name) +
+                                 "\" (expected off, warn, or error)");
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Tarjan SCC over a subset of the trigger edges
+// ---------------------------------------------------------------------------
+
+struct SccResult {
+  std::vector<int> comp;  // per node; ids assigned in completion order
+  int count = 0;
+  /// SCCs that contain a cycle: size > 1, or a single node with a self-loop
+  /// among the considered edges.
+  std::vector<bool> cyclic;
+};
+
+template <typename EdgeFilter>
+SccResult ComputeSccs(const TriggerGraph& graph, EdgeFilter include) {
+  const size_t n = graph.rules().size();
+  SccResult result;
+  result.comp.assign(n, -1);
+
+  std::vector<int> index(n, -1);
+  std::vector<int> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  int next_index = 0;
+
+  // Iterative Tarjan (explicit frame stack keeps deep chains safe).
+  struct Frame {
+    size_t node;
+    size_t edge_pos = 0;
+  };
+  for (size_t root = 0; root < n; ++root) {
+    if (index[root] >= 0) continue;
+    std::vector<Frame> frames{{root}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const std::vector<size_t>& out = graph.out_edges(f.node);
+      bool descended = false;
+      while (f.edge_pos < out.size()) {
+        const TriggerEdge& e = graph.edges()[out[f.edge_pos]];
+        ++f.edge_pos;
+        if (!include(e)) continue;
+        if (index[e.to] < 0) {
+          index[e.to] = lowlink[e.to] = next_index++;
+          stack.push_back(e.to);
+          on_stack[e.to] = true;
+          frames.push_back({e.to});
+          descended = true;
+          break;
+        }
+        if (on_stack[e.to]) {
+          lowlink[f.node] = std::min(lowlink[f.node], index[e.to]);
+        }
+      }
+      if (descended) continue;
+      const size_t node = f.node;
+      frames.pop_back();
+      if (!frames.empty()) {
+        lowlink[frames.back().node] =
+            std::min(lowlink[frames.back().node], lowlink[node]);
+      }
+      if (lowlink[node] == index[node]) {
+        size_t member;
+        size_t size = 0;
+        do {
+          member = stack.back();
+          stack.pop_back();
+          on_stack[member] = false;
+          result.comp[member] = result.count;
+          ++size;
+        } while (member != node);
+        result.cyclic.push_back(size > 1);
+        ++result.count;
+      }
+    }
+  }
+
+  // Single-node SCCs are cyclic when a considered self-loop exists.
+  for (const TriggerEdge& e : graph.edges()) {
+    if (e.from == e.to && include(e)) {
+      result.cyclic[result.comp[e.from]] = true;
+    }
+  }
+  return result;
+}
+
+/// Walks a cycle inside one SCC, following only `include`-d edges whose
+/// endpoints stay in the component. Returns the edge indices of the cycle
+/// (the last edge closes the loop).
+template <typename EdgeFilter>
+std::vector<size_t> FindCycleEdges(const TriggerGraph& graph,
+                                   const SccResult& sccs, int comp,
+                                   size_t start, EdgeFilter include) {
+  std::vector<size_t> path_edges;
+  std::map<size_t, size_t> pos;  // node -> index into the walk
+  pos[start] = 0;
+  size_t cur = start;
+  while (true) {
+    std::optional<size_t> next_edge;
+    for (size_t ei : graph.out_edges(cur)) {
+      const TriggerEdge& e = graph.edges()[ei];
+      if (sccs.comp[e.to] == comp && include(e)) {
+        next_edge = ei;
+        break;
+      }
+    }
+    if (!next_edge.has_value()) return path_edges;  // defensive
+    const TriggerEdge& e = graph.edges()[*next_edge];
+    path_edges.push_back(*next_edge);
+    if (auto it = pos.find(e.to); it != pos.end()) {
+      // Trim the lead-in before the first repeated node.
+      path_edges.erase(path_edges.begin(),
+                       path_edges.begin() + static_cast<long>(it->second));
+      return path_edges;
+    }
+    pos[e.to] = path_edges.size();
+    cur = e.to;
+  }
+}
+
+std::string RenderChain(const TriggerGraph& graph,
+                        const std::vector<size_t>& cycle_edges) {
+  std::string out = graph.rules()[graph.edges()[cycle_edges.front()].from].name;
+  for (size_t ei : cycle_edges) {
+    out += " -> " + graph.rules()[graph.edges()[ei].to].name;
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    return std::to_string(static_cast<long long>(v));
+  }
+  std::ostringstream os;
+  os << std::setprecision(4) << v;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Dead-rule detection
+// ---------------------------------------------------------------------------
+
+/// Type-order class in the Value total order: null < bool < numeric < string.
+int TypeClass(DataType type) {
+  switch (type) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: return 1;
+    case DataType::kInt:
+    case DataType::kFloat: return 2;
+    case DataType::kString: return 3;
+  }
+  return 2;
+}
+
+struct Interval {
+  std::optional<Value> lower;
+  bool lower_strict = false;
+  std::optional<Value> upper;
+  bool upper_strict = false;
+
+  bool Empty() const {
+    if (!lower || !upper) return false;
+    const int c = lower->Compare(*upper);
+    if (c > 0) return true;
+    return c == 0 && (lower_strict || upper_strict);
+  }
+};
+
+/// The `colref OP literal` shape (either operand order; mirrored so the
+/// column is on the left). Returns false for anything else.
+bool AsColumnVsLiteral(const Expr& conjunct, const ColumnRefExpr** col,
+                       const Value** literal, BinaryOp* op) {
+  if (conjunct.kind != ExprKind::kBinary) return false;
+  const auto& bin = static_cast<const BinaryExpr&>(conjunct);
+  if (!IsComparison(bin.op)) return false;
+  if (bin.lhs->kind == ExprKind::kColumnRef &&
+      bin.rhs->kind == ExprKind::kLiteral) {
+    *col = static_cast<const ColumnRefExpr*>(bin.lhs.get());
+    *literal = &static_cast<const LiteralExpr*>(bin.rhs.get())->value;
+    *op = bin.op;
+    return true;
+  }
+  if (bin.lhs->kind == ExprKind::kLiteral &&
+      bin.rhs->kind == ExprKind::kColumnRef) {
+    *col = static_cast<const ColumnRefExpr*>(bin.rhs.get());
+    *literal = &static_cast<const LiteralExpr*>(bin.lhs.get())->value;
+    *op = MirrorComparison(bin.op);
+    return true;
+  }
+  return false;
+}
+
+/// Truth of `x OP y` when the sign of Compare(x, y) is known a priori
+/// (cross-type-class comparisons are decided by the type tag alone).
+bool ComparisonOutcome(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq: return cmp == 0;
+    case BinaryOp::kNe: return cmp != 0;
+    case BinaryOp::kLt: return cmp < 0;
+    case BinaryOp::kLe: return cmp <= 0;
+    case BinaryOp::kGt: return cmp > 0;
+    case BinaryOp::kGe: return cmp >= 0;
+    default: return true;
+  }
+}
+
+/// First provable-unsatisfiability reason for this variable's selection, or
+/// nullopt. Checks, per conjunct: literal-false conjuncts, literal-literal
+/// comparisons, schema type-class mismatches, and the per-attribute
+/// interval closure over `attr OP numeric-literal` conjuncts.
+std::optional<std::string> DeadReason(const ReadVar& v,
+                                      const Catalog& catalog) {
+  const HeapRelation* relation = catalog.GetRelation(v.relation);
+  const Schema* schema = relation != nullptr ? &relation->schema() : nullptr;
+
+  if (schema != nullptr) {
+    for (const std::string& attr : v.attrs) {
+      if (schema->IndexOf(attr) < 0) {
+        return "condition reads " + v.relation + "." + attr +
+               ", which is not in the schema";
+      }
+    }
+  }
+
+  std::map<std::string, Interval> intervals;
+  for (const ExprPtr& conjunct : v.selections) {
+    if (conjunct->kind == ExprKind::kLiteral) {
+      const Value& val = static_cast<const LiteralExpr&>(*conjunct).value;
+      if (val.is_bool() && !val.bool_value()) {
+        return "selection conjunct is constant false";
+      }
+      continue;
+    }
+    if (conjunct->kind != ExprKind::kBinary) continue;
+    const auto& bin = static_cast<const BinaryExpr&>(*conjunct);
+    if (!IsComparison(bin.op)) continue;
+
+    if (bin.lhs->kind == ExprKind::kLiteral &&
+        bin.rhs->kind == ExprKind::kLiteral) {
+      const Value& a = static_cast<const LiteralExpr&>(*bin.lhs).value;
+      const Value& b = static_cast<const LiteralExpr&>(*bin.rhs).value;
+      if (!ComparisonOutcome(bin.op, a.Compare(b))) {
+        return "\"" + conjunct->ToString() + "\" is constant false";
+      }
+      continue;
+    }
+
+    const ColumnRefExpr* col = nullptr;
+    const Value* literal = nullptr;
+    BinaryOp op = BinaryOp::kEq;
+    if (!AsColumnVsLiteral(*conjunct, &col, &literal, &op)) continue;
+    if (ToLower(col->tuple_var) != v.var_name || col->is_all()) continue;
+
+    DataType attr_type = DataType::kNull;
+    if (schema != nullptr) {
+      const int idx = schema->IndexOf(ToLower(col->attribute));
+      if (idx < 0) continue;  // already reported above
+      attr_type = schema->attribute(static_cast<size_t>(idx)).type;
+    }
+
+    // Cross-type-class comparison: decided by the Value total order.
+    const int attr_class = TypeClass(attr_type);
+    const int lit_class = TypeClass(literal->type());
+    if (schema != nullptr && attr_class != lit_class) {
+      if (!ComparisonOutcome(op, attr_class < lit_class ? -1 : 1)) {
+        return "\"" + conjunct->ToString() + "\" can never hold: " +
+               v.relation + "." + ToLower(col->attribute) + " is " +
+               DataTypeToString(attr_type) + " but the literal is " +
+               DataTypeToString(literal->type());
+      }
+      continue;
+    }
+
+    // Same-class bounds: close the interval per attribute. `previous`
+    // reads get their own key — old and new values are distinct.
+    const std::string key =
+        (col->previous ? "previous " : "") + ToLower(col->attribute);
+    Interval& iv = intervals[key];
+    auto tighten_lower = [&](const Value& val, bool strict) {
+      if (!iv.lower || val.Compare(*iv.lower) > 0 ||
+          (val == *iv.lower && strict)) {
+        iv.lower = val;
+        iv.lower_strict = strict;
+      }
+    };
+    auto tighten_upper = [&](const Value& val, bool strict) {
+      if (!iv.upper || val.Compare(*iv.upper) < 0 ||
+          (val == *iv.upper && strict)) {
+        iv.upper = val;
+        iv.upper_strict = strict;
+      }
+    };
+    switch (op) {
+      case BinaryOp::kEq:
+        tighten_lower(*literal, false);
+        tighten_upper(*literal, false);
+        break;
+      case BinaryOp::kLt: tighten_upper(*literal, true); break;
+      case BinaryOp::kLe: tighten_upper(*literal, false); break;
+      case BinaryOp::kGt: tighten_lower(*literal, true); break;
+      case BinaryOp::kGe: tighten_lower(*literal, false); break;
+      default: break;  // != constrains nothing the interval can use
+    }
+    if (iv.Empty()) {
+      return "constraints on " + v.relation + "." + key +
+             " are contradictory (empty interval at \"" +
+             conjunct->ToString() + "\")";
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+size_t RuleSetAnalysis::num_errors() const {
+  size_t n = 0;
+  for (const Finding& f : findings) n += f.is_error() ? 1 : 0;
+  return n;
+}
+
+size_t RuleSetAnalysis::num_warnings() const {
+  return findings.size() - num_errors();
+}
+
+Result<RuleSetAnalysis> AnalyzeRuleSet(const RuleManager& rules,
+                                       const Catalog& catalog) {
+  std::vector<const Rule*> installed;
+  for (const std::string& name : rules.RuleNames()) {
+    const Rule* rule = rules.GetRule(name);
+    if (rule != nullptr) installed.push_back(rule);
+  }
+
+  RuleSetAnalysis analysis;
+  ARIEL_ASSIGN_OR_RETURN(
+      analysis.graph, TriggerGraph::Build(installed, catalog, rules.policy()));
+  const TriggerGraph& graph = analysis.graph;
+  const std::vector<AnalyzedRule>& nodes = graph.rules();
+
+  const auto all_edges = [](const TriggerEdge&) { return true; };
+  const auto definite_edges = [](const TriggerEdge& e) { return e.definite; };
+  const SccResult full = ComputeSccs(graph, all_edges);
+  const SccResult definite = ComputeSccs(graph, definite_edges);
+
+  // --- (a) Termination -----------------------------------------------------
+  // One finding per cyclic SCC; ERROR when the SCC contains a cycle of
+  // definite edges (provably re-triggering, and definite edges never leave
+  // a halt-ing rule), WARNING otherwise.
+  std::vector<std::vector<size_t>> scc_members(
+      static_cast<size_t>(full.count));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    scc_members[static_cast<size_t>(full.comp[i])].push_back(i);
+  }
+  for (int c = full.count - 1; c >= 0; --c) {  // reverse = creation order
+    if (!full.cyclic[static_cast<size_t>(c)]) continue;
+    const std::vector<size_t>& members =
+        scc_members[static_cast<size_t>(c)];
+    std::optional<size_t> definite_start;
+    for (size_t m : members) {
+      if (definite.cyclic[static_cast<size_t>(definite.comp[m])]) {
+        definite_start = m;
+        break;
+      }
+    }
+    Finding f;
+    std::vector<size_t> cycle;
+    if (definite_start.has_value()) {
+      f.kind = FindingKind::kTerminationError;
+      const int dc = definite.comp[*definite_start];
+      cycle = FindCycleEdges(
+          graph, definite, dc, *definite_start,
+          [&](const TriggerEdge& e) { return e.definite; });
+    } else {
+      f.kind = FindingKind::kTerminationWarning;
+      cycle = FindCycleEdges(graph, full, c, members.front(), all_edges);
+    }
+    if (cycle.empty()) continue;  // defensive
+    const TriggerEdge& closing = graph.edges()[cycle.back()];
+    std::set<std::string> names;
+    for (size_t ei : cycle) {
+      names.insert(nodes[graph.edges()[ei].from].name);
+    }
+    f.rules.assign(names.begin(), names.end());
+    std::string what = std::string(WriteOpKindToString(closing.op)) + " " +
+                       closing.relation;
+    if (!closing.attribute.empty()) what += "." + closing.attribute;
+    f.message = std::string(definite_start ? "definite cycle "
+                                           : "possible cycle ") +
+                RenderChain(graph, cycle) + ", closed by " + what +
+                (definite_start
+                     ? "; every firing provably re-triggers the next rule"
+                     : "; the analysis cannot prove the cascade stops");
+    analysis.findings.push_back(std::move(f));
+  }
+
+  // --- (b) Stratification --------------------------------------------------
+  // Condensation longest path from the roots; Tarjan completion ids are a
+  // reverse topological order, so descending ids visit producers first.
+  std::vector<int> scc_stratum(static_cast<size_t>(full.count), 0);
+  for (int c = full.count - 1; c >= 0; --c) {
+    for (size_t node : scc_members[static_cast<size_t>(c)]) {
+      for (size_t ei : graph.out_edges(node)) {
+        const TriggerEdge& e = graph.edges()[ei];
+        const int target = full.comp[e.to];
+        if (target == c) continue;
+        scc_stratum[static_cast<size_t>(target)] =
+            std::max(scc_stratum[static_cast<size_t>(target)],
+                     scc_stratum[static_cast<size_t>(c)] + 1);
+      }
+    }
+  }
+  analysis.strata.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    analysis.strata[i] = scc_stratum[static_cast<size_t>(full.comp[i])];
+  }
+
+  // Priority contradictions: a consumer that outranks its producer fires
+  // first under conflict resolution even though the dependency order says
+  // it consumes the producer's output.
+  std::set<std::pair<size_t, size_t>> reported_pairs;
+  for (const TriggerEdge& e : graph.edges()) {
+    if (full.comp[e.from] == full.comp[e.to]) continue;
+    if (nodes[e.to].priority <= nodes[e.from].priority) continue;
+    if (!reported_pairs.insert({e.from, e.to}).second) continue;
+    Finding f;
+    f.kind = FindingKind::kPriorityContradiction;
+    f.rules = {nodes[e.from].name, nodes[e.to].name};
+    f.message = nodes[e.to].name + " (priority " +
+                Num(nodes[e.to].priority) + ") outranks " +
+                nodes[e.from].name + " (priority " +
+                Num(nodes[e.from].priority) +
+                "), which produces its input via " +
+                WriteOpKindToString(e.op) + " " + e.relation +
+                "; priorities contradict the dependency order";
+    analysis.findings.push_back(std::move(f));
+  }
+
+  // --- (c) Confluence ------------------------------------------------------
+  // Equal-priority pairs whose firings do not commute. Append-append
+  // commutes; a one-directional producer -> consumer edge converges via the
+  // cascade. Flagged: overlapping replaces, delete vs. read-relevant
+  // replace, and mutual re-triggering.
+  std::set<std::pair<size_t, size_t>> mutual;
+  for (const TriggerEdge& e : graph.edges()) {
+    if (e.from != e.to) mutual.insert({e.from, e.to});
+  }
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (size_t j = i + 1; j < nodes.size(); ++j) {
+      if (nodes[i].priority != nodes[j].priority) continue;
+      std::string reason;
+      for (const WriteOp& wi : nodes[i].writes) {
+        for (const WriteOp& wj : nodes[j].writes) {
+          if (wi.relation != wj.relation) continue;
+          if (wi.kind == WriteOp::Kind::kReplace &&
+              wj.kind == WriteOp::Kind::kReplace) {
+            for (const auto& [attr, expr] : wi.assignments) {
+              for (const auto& [attr2, expr2] : wj.assignments) {
+                if (attr == attr2) {
+                  reason = "both replace " + wi.relation + "." + attr;
+                  break;
+                }
+              }
+              if (!reason.empty()) break;
+            }
+          } else if ((wi.kind == WriteOp::Kind::kDelete &&
+                      wj.kind == WriteOp::Kind::kReplace) ||
+                     (wi.kind == WriteOp::Kind::kReplace &&
+                      wj.kind == WriteOp::Kind::kDelete)) {
+            const WriteOp& del = wi.kind == WriteOp::Kind::kDelete ? wi : wj;
+            const WriteOp& rep = wi.kind == WriteOp::Kind::kDelete ? wj : wi;
+            const AnalyzedRule& deleter =
+                wi.kind == WriteOp::Kind::kDelete ? nodes[i] : nodes[j];
+            for (const ReadVar& v : deleter.reads) {
+              if (v.relation != del.relation) continue;
+              for (const auto& [attr, expr] : rep.assignments) {
+                if (v.whole_tuple ||
+                    std::find(v.attrs.begin(), v.attrs.end(), attr) !=
+                        v.attrs.end()) {
+                  reason = deleter.name + " deletes from " + del.relation +
+                           " by reading " + del.relation +
+                           (v.whole_tuple ? "" : "." + attr) +
+                           ", which the other rule replaces";
+                  break;
+                }
+              }
+              if (!reason.empty()) break;
+            }
+          }
+          if (!reason.empty()) break;
+        }
+        if (!reason.empty()) break;
+      }
+      if (reason.empty() && mutual.count({i, j}) > 0 &&
+          mutual.count({j, i}) > 0) {
+        reason = "each rule's writes re-trigger the other";
+      }
+      if (reason.empty()) continue;
+      Finding f;
+      f.kind = FindingKind::kNonConfluent;
+      f.rules = {nodes[i].name, nodes[j].name};
+      f.message = nodes[i].name + " and " + nodes[j].name +
+                  " share priority " + Num(nodes[i].priority) + " and " +
+                  reason + "; the final state depends on firing order";
+      analysis.findings.push_back(std::move(f));
+    }
+  }
+
+  // --- (d) Dead rules ------------------------------------------------------
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const ReadVar& v : nodes[i].reads) {
+      std::optional<std::string> reason = DeadReason(v, catalog);
+      if (!reason) continue;
+      Finding f;
+      f.kind = FindingKind::kDeadRule;
+      f.rules = {nodes[i].name};
+      f.message = nodes[i].name + " can never fire: " + *reason;
+      analysis.findings.push_back(std::move(f));
+      break;  // one finding per rule
+    }
+  }
+
+  return analysis;
+}
+
+namespace {
+
+std::string RenderFinding(const Finding& f) {
+  return std::string(f.is_error() ? "ERROR" : "WARNING") + " [" +
+         FindingKindToString(f.kind) + "] " + f.message;
+}
+
+}  // namespace
+
+std::string RuleSetAnalysis::Render(bool include_costs) const {
+  const std::vector<AnalyzedRule>& nodes = graph.rules();
+  std::ostringstream os;
+  os << "rule-set analysis: " << nodes.size() << " rule"
+     << (nodes.size() == 1 ? "" : "s") << ", " << graph.edges().size()
+     << " trigger edge" << (graph.edges().size() == 1 ? "" : "s") << ", "
+     << graph.pruned().size() << " pruned, " << num_errors() << " error"
+     << (num_errors() == 1 ? "" : "s") << ", " << num_warnings()
+     << " warning" << (num_warnings() == 1 ? "" : "s") << "\n";
+  for (const auto& [name, error] : graph.skipped()) {
+    os << "  skipped " << name << ": " << error << "\n";
+  }
+
+  os << "trigger graph:\n";
+  if (graph.edges().empty()) {
+    os << "  (no edges)\n";
+  }
+  for (const TriggerEdge& e : graph.edges()) {
+    os << "  " << e.ToString(nodes) << (e.definite ? " [definite]" : "")
+       << "\n";
+  }
+  for (const PrunedEdge& p : graph.pruned()) {
+    os << "  pruned " << nodes[p.from].name << " -/-> " << nodes[p.to].name
+       << ": " << p.reason << "\n";
+  }
+
+  if (!nodes.empty()) {
+    os << "strata (cyclic rules share a stratum):\n";
+    const int max_stratum =
+        *std::max_element(strata.begin(), strata.end());
+    for (int s = 0; s <= max_stratum; ++s) {
+      os << "  " << s << ":";
+      for (size_t i = 0; i < nodes.size(); ++i) {
+        if (strata[i] == s) os << " " << nodes[i].name;
+      }
+      os << "\n";
+    }
+  }
+
+  os << "findings:\n";
+  if (findings.empty()) {
+    os << "  (none)\n";
+  }
+  for (const Finding& f : findings) {
+    os << "  " << RenderFinding(f) << "\n";
+  }
+
+  if (include_costs && !nodes.empty()) {
+    os << "match costs (estimated candidates per variable; worst-case "
+          "join work per token):\n";
+    for (const AnalyzedRule& rule : nodes) {
+      os << "  " << rule.name << ":";
+      double worst = 0;
+      for (size_t i = 0; i < rule.reads.size(); ++i) {
+        const ReadVar& v = rule.reads[i];
+        os << " " << v.var_name << "~" << Num(v.estimated_matches);
+        double others = 1;
+        for (size_t j = 0; j < rule.reads.size(); ++j) {
+          if (j != i) others *= rule.reads[j].estimated_matches;
+        }
+        worst += v.estimated_matches * others;
+      }
+      os << "; worst-case " << Num(worst);
+      if (rule.active) {
+        os << "; fired " << rule.times_fired << ", instantiations "
+           << rule.lifetime_instantiations;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RuleSetAnalysis::DescribeRule(const std::string& name) const {
+  std::optional<size_t> idx = graph.IndexOf(name);
+  if (!idx.has_value()) return "";
+  const std::vector<AnalyzedRule>& nodes = graph.rules();
+  std::ostringstream os;
+  os << "analysis:\n  triggers:\n";
+  if (graph.out_edges(*idx).empty()) os << "    (none)\n";
+  for (size_t ei : graph.out_edges(*idx)) {
+    const TriggerEdge& e = graph.edges()[ei];
+    os << "    -> " << nodes[e.to].name << " ("
+       << WriteOpKindToString(e.op) << " " << e.relation
+       << (e.attribute.empty() ? "" : "." + e.attribute) << ")"
+       << (e.definite ? " [definite]" : "") << "\n";
+  }
+  os << "  triggered by:\n";
+  if (graph.in_edges(*idx).empty()) os << "    (none)\n";
+  for (size_t ei : graph.in_edges(*idx)) {
+    const TriggerEdge& e = graph.edges()[ei];
+    os << "    <- " << nodes[e.from].name << " ("
+       << WriteOpKindToString(e.op) << " " << e.relation
+       << (e.attribute.empty() ? "" : "." + e.attribute) << ")"
+       << (e.definite ? " [definite]" : "") << "\n";
+  }
+  os << "  warnings:\n";
+  bool any = false;
+  const std::string lower = ToLower(name);
+  for (const Finding& f : findings) {
+    if (std::find(f.rules.begin(), f.rules.end(), lower) == f.rules.end()) {
+      continue;
+    }
+    os << "    " << RenderFinding(f) << "\n";
+    any = true;
+  }
+  if (!any) os << "    (none)\n";
+  return os.str();
+}
+
+}  // namespace ariel

@@ -1,0 +1,84 @@
+#ifndef ARIEL_ANALYSIS_RULE_ANALYZER_H_
+#define ARIEL_ANALYSIS_RULE_ANALYZER_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/trigger_graph.h"
+#include "rules/rule_manager.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// Classification of one analyzer finding. Only definite-cycle termination
+/// problems are errors; everything else is advisory — the analysis is
+/// conservative and its edges may be spurious (see DESIGN.md §11).
+enum class FindingKind : uint8_t {
+  /// A cycle of definite (provably re-triggering) edges with no halt:
+  /// installing this rule set guarantees a non-terminating cascade.
+  kTerminationError,
+  /// A trigger-graph cycle that may or may not cascade forever at runtime.
+  kTerminationWarning,
+  /// A rule's priority orders it ahead of the rule that produces its input.
+  kPriorityContradiction,
+  /// Equal-priority rules whose firings do not commute: the final state
+  /// depends on conflict-resolution order.
+  kNonConfluent,
+  /// A condition that can never be satisfied against the current catalog.
+  kDeadRule,
+};
+
+const char* FindingKindToString(FindingKind kind);
+
+struct Finding {
+  FindingKind kind = FindingKind::kTerminationWarning;
+  /// Rules involved, lowercased (cycle chain, pair, or single rule).
+  std::vector<std::string> rules;
+  std::string message;
+
+  bool is_error() const { return kind == FindingKind::kTerminationError; }
+};
+
+/// Full analysis of an installed rule set: the trigger graph plus the
+/// termination / stratification / confluence / dead-rule passes over it.
+struct RuleSetAnalysis {
+  TriggerGraph graph;
+  std::vector<Finding> findings;
+  /// Stratum per graph node: longest condensation-DAG path from the roots.
+  /// Rules in one cycle share a stratum.
+  std::vector<int> strata;
+
+  size_t num_errors() const;
+  size_t num_warnings() const;
+
+  /// Renders the `analyze rules` report; with `include_costs`, appends the
+  /// per-rule match-cost annotations (estimated α-matches and the
+  /// CORGI-style worst-case join-candidate bound, plus live firing counters
+  /// for active rules).
+  std::string Render(bool include_costs) const;
+
+  /// Renders the "triggers / triggered-by / warnings" section appended to
+  /// `explain rule <name>`. Empty when the rule is not in the graph.
+  std::string DescribeRule(const std::string& name) const;
+};
+
+/// Runs the full static analysis over every installed rule (active or not)
+/// against the current catalog.
+[[nodiscard]] Result<RuleSetAnalysis> AnalyzeRuleSet(const RuleManager& rules,
+                                                     const Catalog& catalog);
+
+/// Install-time analysis policy (DatabaseOptions.analyze_on_install /
+/// ARIEL_ANALYZE): off = never run; warn = append findings to the install
+/// result; error = reject rule sets whose analysis reports a termination
+/// error.
+enum class AnalyzeOnInstall : uint8_t { kOff, kWarn, kError };
+
+const char* AnalyzeOnInstallToString(AnalyzeOnInstall policy);
+[[nodiscard]] Result<AnalyzeOnInstall> AnalyzeOnInstallFromString(
+    std::string_view name);
+
+}  // namespace ariel
+
+#endif  // ARIEL_ANALYSIS_RULE_ANALYZER_H_

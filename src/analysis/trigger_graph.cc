@@ -1,0 +1,667 @@
+#include "analysis/trigger_graph.h"
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "exec/optimizer.h"
+#include "util/string_util.h"
+
+namespace ariel {
+
+const char* WriteOpKindToString(WriteOp::Kind kind) {
+  switch (kind) {
+    case WriteOp::Kind::kAppend: return "append";
+    case WriteOp::Kind::kDelete: return "delete";
+    case WriteOp::Kind::kReplace: return "replace";
+  }
+  return "?";
+}
+
+std::string TriggerEdge::ToString(
+    const std::vector<AnalyzedRule>& rules) const {
+  std::string out = rules[from].name + " -> " + rules[to].name + " (" +
+                    WriteOpKindToString(op) + " " + relation;
+  if (!attribute.empty()) out += "." + attribute;
+  out += ")";
+  return out;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Constant reasoning over a write applied to a reader's selection.
+//
+// Values are tracked symbolically. Symbol namespaces keep the woken tuple's
+// attributes distinct from whatever the writer's expressions read:
+//   attr:<a>        the woken tuple's attribute a, NOT assigned by the write
+//                   (for a replace this equals the pre-update value)
+//   old:<a>         the pre-replace value of an attribute the write assigns
+//   prev:<a>        a `previous` read in the reader's own selection
+//   src:<v>.<a>     a writer-side tuple-variable read inside an assignment
+// Cancellation across namespaces is what proves e.g. that
+// `replace item (stock = item.reorder_level + 1)` falsifies
+// `item.stock <= item.reorder_level`: both sides reduce to the same
+// attr:reorder_level symbol plus constants.
+// ---------------------------------------------------------------------------
+
+using AssignmentMap = std::map<std::string, const Expr*>;
+
+struct SubstContext {
+  const AssignmentMap* assignments = nullptr;  // null: no write applied
+  WriteOp::Kind kind = WriteOp::Kind::kAppend;
+};
+
+/// Linear form over symbols: Σ coeff·symbol + constant.
+struct Affine {
+  std::map<std::string, double> coeffs;
+  double constant = 0;
+
+  bool IsConstant() const {
+    for (const auto& [sym, c] : coeffs) {
+      if (std::abs(c) > 1e-12) return false;
+    }
+    return true;
+  }
+};
+
+std::optional<Affine> BuildAffine(const Expr& expr, const SubstContext& ctx,
+                                  bool writer_side);
+
+std::optional<Affine> AffineSymbol(std::string symbol) {
+  Affine a;
+  a.coeffs[std::move(symbol)] = 1.0;
+  return a;
+}
+
+/// Affine form of a column reference, routing through the write's
+/// assignments when the referenced attribute is assigned.
+std::optional<Affine> AffineColumnRef(const ColumnRefExpr& ref,
+                                      const SubstContext& ctx,
+                                      bool writer_side) {
+  const std::string attr = ToLower(ref.attribute);
+  if (ref.is_all()) return std::nullopt;
+  if (writer_side) {
+    // Inside an assignment expression: reads see the writer's bindings
+    // (for a replace, the pre-update tuple).
+    if (ref.previous) return AffineSymbol("wprev:" + ToLower(ref.tuple_var) +
+                                          "." + attr);
+    if (ctx.kind == WriteOp::Kind::kReplace && ctx.assignments != nullptr) {
+      // The target variable's own attributes: pre-update values. An
+      // unassigned attribute keeps its value, so old == new == attr:<a>.
+      if (ctx.assignments->count(attr) > 0) return AffineSymbol("old:" + attr);
+      return AffineSymbol("attr:" + attr);
+    }
+    return AffineSymbol("src:" + ToLower(ref.tuple_var) + "." + attr);
+  }
+  // Reader side: the woken tuple.
+  if (ref.previous) return AffineSymbol("prev:" + attr);
+  if (ctx.assignments != nullptr) {
+    auto it = ctx.assignments->find(attr);
+    if (it != ctx.assignments->end()) {
+      return BuildAffine(*it->second, ctx, /*writer_side=*/true);
+    }
+    if (ctx.kind == WriteOp::Kind::kAppend) {
+      // Unassigned attribute of an appended tuple: opaque (null at runtime,
+      // but the analysis stays conservative).
+      return AffineSymbol("attr:" + attr);
+    }
+  }
+  return AffineSymbol("attr:" + attr);
+}
+
+std::optional<Affine> BuildAffine(const Expr& expr, const SubstContext& ctx,
+                                  bool writer_side) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value;
+      if (!v.is_numeric()) return std::nullopt;
+      Affine a;
+      a.constant = v.AsDouble();
+      return a;
+    }
+    case ExprKind::kColumnRef:
+      return AffineColumnRef(static_cast<const ColumnRefExpr&>(expr), ctx,
+                             writer_side);
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op != UnaryOp::kNeg) return std::nullopt;
+      std::optional<Affine> a = BuildAffine(*un.operand, ctx, writer_side);
+      if (!a) return std::nullopt;
+      for (auto& [sym, c] : a->coeffs) c = -c;
+      a->constant = -a->constant;
+      return a;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      std::optional<Affine> lhs = BuildAffine(*bin.lhs, ctx, writer_side);
+      std::optional<Affine> rhs = BuildAffine(*bin.rhs, ctx, writer_side);
+      if (!lhs || !rhs) return std::nullopt;
+      Affine out;
+      switch (bin.op) {
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub: {
+          const double sign = bin.op == BinaryOp::kAdd ? 1.0 : -1.0;
+          out = *lhs;
+          out.constant += sign * rhs->constant;
+          for (const auto& [sym, c] : rhs->coeffs) out.coeffs[sym] += sign * c;
+          return out;
+        }
+        case BinaryOp::kMul: {
+          const Affine* scalar = lhs->IsConstant() ? &*lhs
+                                 : rhs->IsConstant() ? &*rhs
+                                                     : nullptr;
+          const Affine* other = scalar == &*lhs ? &*rhs : &*lhs;
+          if (scalar == nullptr) return std::nullopt;
+          out = *other;
+          out.constant *= scalar->constant;
+          for (auto& [sym, c] : out.coeffs) c *= scalar->constant;
+          return out;
+        }
+        case BinaryOp::kDiv: {
+          if (!rhs->IsConstant() || std::abs(rhs->constant) < 1e-12) {
+            return std::nullopt;
+          }
+          out = *lhs;
+          out.constant /= rhs->constant;
+          for (auto& [sym, c] : out.coeffs) c /= rhs->constant;
+          return out;
+        }
+        default:
+          return std::nullopt;
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Full constant fold under the write: succeeds only when every reference
+/// resolves through the assignments to a literal. Handles strings and
+/// cross-type comparisons the affine path cannot.
+std::optional<Value> FoldConst(const Expr& expr, const SubstContext& ctx,
+                               bool writer_side) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral:
+      return static_cast<const LiteralExpr&>(expr).value;
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (writer_side || ref.previous || ref.is_all()) return std::nullopt;
+      if (ctx.assignments == nullptr) return std::nullopt;
+      auto it = ctx.assignments->find(ToLower(ref.attribute));
+      if (it == ctx.assignments->end()) return std::nullopt;
+      return FoldConst(*it->second, ctx, /*writer_side=*/true);
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      std::optional<Value> v = FoldConst(*un.operand, ctx, writer_side);
+      if (!v) return std::nullopt;
+      if (un.op == UnaryOp::kNeg) {
+        Result<Value> neg = Negate(*v);
+        if (!neg.ok()) return std::nullopt;
+        return *neg;
+      }
+      if (un.op == UnaryOp::kNot && v->is_bool()) {
+        return Value::Bool(!v->bool_value());
+      }
+      return std::nullopt;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      std::optional<Value> lhs = FoldConst(*bin.lhs, ctx, writer_side);
+      std::optional<Value> rhs = FoldConst(*bin.rhs, ctx, writer_side);
+      if (!lhs || !rhs) return std::nullopt;
+      auto arith = [&](Result<Value> r) -> std::optional<Value> {
+        if (!r.ok()) return std::nullopt;
+        return *r;
+      };
+      switch (bin.op) {
+        case BinaryOp::kAdd: return arith(Add(*lhs, *rhs));
+        case BinaryOp::kSub: return arith(Subtract(*lhs, *rhs));
+        case BinaryOp::kMul: return arith(Multiply(*lhs, *rhs));
+        case BinaryOp::kDiv: return arith(Divide(*lhs, *rhs));
+        default: {
+          const int c = lhs->Compare(*rhs);
+          switch (bin.op) {
+            case BinaryOp::kEq: return Value::Bool(c == 0);
+            case BinaryOp::kNe: return Value::Bool(c != 0);
+            case BinaryOp::kLt: return Value::Bool(c < 0);
+            case BinaryOp::kLe: return Value::Bool(c <= 0);
+            case BinaryOp::kGt: return Value::Bool(c > 0);
+            case BinaryOp::kGe: return Value::Bool(c >= 0);
+            default: return std::nullopt;
+          }
+        }
+      }
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+std::optional<bool> DecideComparison(const BinaryExpr& bin,
+                                     const SubstContext& ctx) {
+  // Try the full constant fold first (covers strings and mixed types).
+  if (std::optional<Value> v = FoldConst(bin, ctx, /*writer_side=*/false);
+      v.has_value() && v->is_bool()) {
+    return v->bool_value();
+  }
+  // Affine difference: decidable whenever the symbolic parts cancel.
+  std::optional<Affine> lhs = BuildAffine(*bin.lhs, ctx, false);
+  std::optional<Affine> rhs = BuildAffine(*bin.rhs, ctx, false);
+  if (!lhs || !rhs) return std::nullopt;
+  Affine diff = *lhs;
+  diff.constant -= rhs->constant;
+  for (const auto& [sym, c] : rhs->coeffs) diff.coeffs[sym] -= c;
+  if (!diff.IsConstant()) return std::nullopt;
+  const double d = diff.constant;
+  constexpr double kEps = 1e-9;
+  switch (bin.op) {
+    case BinaryOp::kEq: return std::abs(d) < kEps;
+    case BinaryOp::kNe: return std::abs(d) >= kEps;
+    case BinaryOp::kLt: return d < -kEps;
+    case BinaryOp::kLe: return d < kEps;
+    case BinaryOp::kGt: return d > kEps;
+    case BinaryOp::kGe: return d > -kEps;
+    default: return std::nullopt;
+  }
+}
+
+/// Three-valued truth of a reader selection conjunct under the write
+/// described by `ctx` (nullopt = cannot decide statically).
+std::optional<bool> DecideExpr(const Expr& expr, const SubstContext& ctx) {
+  switch (expr.kind) {
+    case ExprKind::kNew:
+      return true;  // new(v): satisfied by any arriving tuple
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value;
+      if (v.is_bool()) return v.bool_value();
+      return std::nullopt;
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op != UnaryOp::kNot) return std::nullopt;
+      std::optional<bool> inner = DecideExpr(*un.operand, ctx);
+      if (!inner) return std::nullopt;
+      return !*inner;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      if (bin.op == BinaryOp::kAnd || bin.op == BinaryOp::kOr) {
+        std::optional<bool> lhs = DecideExpr(*bin.lhs, ctx);
+        std::optional<bool> rhs = DecideExpr(*bin.rhs, ctx);
+        if (bin.op == BinaryOp::kAnd) {
+          if (lhs == false || rhs == false) return false;
+          if (lhs == true && rhs == true) return true;
+          return std::nullopt;
+        }
+        if (lhs == true || rhs == true) return true;
+        if (lhs == false && rhs == false) return false;
+        return std::nullopt;
+      }
+      if (IsComparison(bin.op)) return DecideComparison(bin, ctx);
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Read / write set extraction
+// ---------------------------------------------------------------------------
+
+/// Collects, per (lowercased) tuple variable, the attributes the expression
+/// reads; whole-tuple reads (`v.all`, `new(v)`, `count(v)`) are recorded in
+/// `whole`.
+void CollectAttrReads(const Expr& expr,
+                      std::map<std::string, std::set<std::string>>* attrs,
+                      std::set<std::string>* whole) {
+  switch (expr.kind) {
+    case ExprKind::kColumnRef: {
+      const auto& ref = static_cast<const ColumnRefExpr&>(expr);
+      if (ref.is_all()) {
+        whole->insert(ToLower(ref.tuple_var));
+      } else {
+        (*attrs)[ToLower(ref.tuple_var)].insert(ToLower(ref.attribute));
+      }
+      break;
+    }
+    case ExprKind::kNew:
+      whole->insert(ToLower(static_cast<const NewExpr&>(expr).tuple_var));
+      break;
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      CollectAttrReads(*bin.lhs, attrs, whole);
+      CollectAttrReads(*bin.rhs, attrs, whole);
+      break;
+    }
+    case ExprKind::kUnary:
+      CollectAttrReads(*static_cast<const UnaryExpr&>(expr).operand, attrs,
+                       whole);
+      break;
+    case ExprKind::kAggregate: {
+      const auto& agg = static_cast<const AggregateExpr&>(expr);
+      if (!agg.tuple_var.empty()) whole->insert(ToLower(agg.tuple_var));
+      if (agg.operand != nullptr) CollectAttrReads(*agg.operand, attrs, whole);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+/// Resolves the relation a delete/replace target variable refers to: the
+/// command's own from-list first, then the rule's condition variables, then
+/// a bare relation name.
+std::optional<std::string> ResolveTargetRelation(
+    const std::string& target_var, const std::vector<FromItem>& from,
+    const std::vector<ReadVar>& reads, const Catalog& catalog) {
+  const std::string lower = ToLower(target_var);
+  for (const FromItem& item : from) {
+    if (ToLower(item.var) == lower) return ToLower(item.relation);
+  }
+  for (const ReadVar& v : reads) {
+    if (v.var_name == lower) return v.relation;
+  }
+  if (catalog.GetRelation(lower) != nullptr) return lower;
+  return std::nullopt;
+}
+
+/// Maps assignment targets to lowercased attribute names; positional
+/// targets (empty names) resolve through the relation schema.
+std::vector<std::pair<std::string, ExprPtr>> ResolveAssignments(
+    const std::vector<Assignment>& targets, const HeapRelation* relation) {
+  std::vector<std::pair<std::string, ExprPtr>> out;
+  for (size_t i = 0; i < targets.size(); ++i) {
+    std::string name = ToLower(targets[i].name);
+    if (name.empty() && relation != nullptr &&
+        i < relation->schema().num_attributes()) {
+      name = ToLower(relation->schema().attribute(i).name);
+    }
+    if (name.empty()) continue;
+    out.emplace_back(std::move(name), targets[i].expr->Clone());
+  }
+  return out;
+}
+
+void ExtractWrites(const Command& command, const std::vector<ReadVar>& reads,
+                   const Catalog& catalog, AnalyzedRule* out) {
+  switch (command.kind) {
+    case CommandKind::kAppend: {
+      const auto& cmd = static_cast<const AppendCommand&>(command);
+      WriteOp op;
+      op.kind = WriteOp::Kind::kAppend;
+      op.relation = ToLower(cmd.relation);
+      op.assignments =
+          ResolveAssignments(cmd.targets, catalog.GetRelation(op.relation));
+      op.conditional = cmd.qualification != nullptr || !cmd.from.empty();
+      out->writes.push_back(std::move(op));
+      break;
+    }
+    case CommandKind::kDelete: {
+      const auto& cmd = static_cast<const DeleteCommand&>(command);
+      std::optional<std::string> rel =
+          ResolveTargetRelation(cmd.target_var, cmd.from, reads, catalog);
+      if (!rel) break;
+      WriteOp op;
+      op.kind = WriteOp::Kind::kDelete;
+      op.relation = *rel;
+      op.conditional = cmd.qualification != nullptr;
+      out->writes.push_back(std::move(op));
+      break;
+    }
+    case CommandKind::kReplace: {
+      const auto& cmd = static_cast<const ReplaceCommand&>(command);
+      std::optional<std::string> rel =
+          ResolveTargetRelation(cmd.target_var, cmd.from, reads, catalog);
+      if (!rel) break;
+      WriteOp op;
+      op.kind = WriteOp::Kind::kReplace;
+      op.relation = *rel;
+      op.assignments =
+          ResolveAssignments(cmd.targets, catalog.GetRelation(*rel));
+      op.conditional = cmd.qualification != nullptr;
+      out->writes.push_back(std::move(op));
+      break;
+    }
+    case CommandKind::kBlock: {
+      for (const CommandPtr& inner :
+           static_cast<const BlockCommand&>(command).commands) {
+        ExtractWrites(*inner, reads, catalog, out);
+      }
+      break;
+    }
+    case CommandKind::kHalt:
+      out->has_halt = true;
+      break;
+    default:
+      break;  // retrieve reads; retrieve-into creates a fresh relation
+  }
+}
+
+Result<AnalyzedRule> AnalyzeOne(const Rule& rule, const Catalog& catalog,
+                                const AlphaMemoryPolicy& policy) {
+  ARIEL_ASSIGN_OR_RETURN(CompiledRule compiled,
+                         CompileRule(*rule.definition, catalog, policy));
+  AnalyzedRule out;
+  out.name = rule.name;
+  out.priority = rule.priority;
+  out.active = rule.active;
+  out.times_fired = rule.times_fired;
+  if (rule.network != nullptr && rule.network->pnode() != nullptr) {
+    out.lifetime_instantiations = rule.network->pnode()->lifetime_insertions();
+  }
+
+  // Attribute-level read sets from the condition.
+  std::map<std::string, std::set<std::string>> attr_reads;
+  std::set<std::string> whole_reads;
+  if (rule.definition->condition != nullptr) {
+    CollectAttrReads(*rule.definition->condition, &attr_reads, &whole_reads);
+  }
+
+  for (size_t i = 0; i < compiled.alphas.size(); ++i) {
+    const AlphaSpec& spec = compiled.alphas[i];
+    ReadVar v;
+    v.var_name = spec.var_name;
+    v.relation = ToLower(spec.relation->name());
+    v.kind = spec.kind;
+    v.on_event = spec.on_event;
+    v.has_previous = spec.has_previous;
+    if (auto it = attr_reads.find(v.var_name); it != attr_reads.end()) {
+      v.attrs.assign(it->second.begin(), it->second.end());
+    }
+    v.whole_tuple = whole_reads.count(v.var_name) > 0 || v.attrs.empty();
+
+    double selectivity = 1.0;
+    if (spec.selection != nullptr) {
+      v.selections = SplitConjuncts(*spec.selection);
+      for (const ExprPtr& s : v.selections) {
+        selectivity *= EstimateSelectivity(*s);
+      }
+    }
+    if (rule.active && rule.network != nullptr &&
+        i < rule.network->num_vars()) {
+      v.estimated_matches =
+          static_cast<double>(rule.network->alpha(i)->EstimatedSize());
+    } else {
+      v.estimated_matches =
+          selectivity * static_cast<double>(spec.relation->size());
+    }
+    out.reads.push_back(std::move(v));
+  }
+
+  for (const CommandPtr& cmd : rule.definition->action) {
+    ExtractWrites(*cmd, out.reads, catalog, &out);
+  }
+  return out;
+}
+
+/// Attributes the write assigns, lowercased.
+std::set<std::string> AssignedAttrs(const WriteOp& op) {
+  std::set<std::string> out;
+  for (const auto& [attr, expr] : op.assignments) out.insert(attr);
+  return out;
+}
+
+/// First element of assigned ∩ read, or nullopt.
+std::optional<std::string> FirstOverlap(const std::set<std::string>& assigned,
+                                        const ReadVar& v) {
+  if (v.whole_tuple && !assigned.empty()) return *assigned.begin();
+  for (const std::string& attr : v.attrs) {
+    if (assigned.count(attr) > 0) return attr;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Result<TriggerGraph> TriggerGraph::Build(const std::vector<const Rule*>& rules,
+                                         const Catalog& catalog,
+                                         const AlphaMemoryPolicy& policy) {
+  TriggerGraph graph;
+  for (const Rule* rule : rules) {
+    Result<AnalyzedRule> analyzed = AnalyzeOne(*rule, catalog, policy);
+    if (!analyzed.ok()) {
+      // A rule whose definition no longer compiles gets reported, not
+      // silently dropped — and must not sink the whole analysis.
+      graph.skipped_.emplace_back(rule->name,
+                                  analyzed.status().ToString());
+      continue;
+    }
+    graph.rules_.push_back(std::move(*analyzed));
+  }
+
+  graph.out_edges_.resize(graph.rules_.size());
+  graph.in_edges_.resize(graph.rules_.size());
+
+  for (size_t w = 0; w < graph.rules_.size(); ++w) {
+    const AnalyzedRule& writer = graph.rules_[w];
+    for (const WriteOp& op : writer.writes) {
+      const std::set<std::string> assigned = AssignedAttrs(op);
+      for (size_t r = 0; r < graph.rules_.size(); ++r) {
+        const AnalyzedRule& reader = graph.rules_[r];
+        for (const ReadVar& v : reader.reads) {
+          if (v.relation != op.relation) continue;
+
+          // --- Can this write wake this α-memory at all? ---
+          bool wakes = false;
+          std::string attribute;
+          if (v.on_event.has_value()) {
+            const EventKind want = v.on_event->kind;
+            const bool kind_match =
+                (op.kind == WriteOp::Kind::kAppend &&
+                 want == EventKind::kAppend) ||
+                (op.kind == WriteOp::Kind::kDelete &&
+                 want == EventKind::kDelete) ||
+                (op.kind == WriteOp::Kind::kReplace &&
+                 want == EventKind::kReplace);
+            if (kind_match) {
+              if (op.kind == WriteOp::Kind::kReplace &&
+                  !v.on_event->attributes.empty()) {
+                for (const std::string& attr : v.on_event->attributes) {
+                  if (assigned.count(attr) > 0) {
+                    wakes = true;
+                    attribute = attr;
+                    break;
+                  }
+                }
+              } else {
+                wakes = true;
+              }
+            }
+          } else if (v.has_previous) {
+            // Transition memories take Δ tokens only; a replace that leaves
+            // every condition-read attribute unchanged cannot flip the
+            // condition's outcome.
+            if (op.kind == WriteOp::Kind::kReplace) {
+              if (std::optional<std::string> overlap =
+                      FirstOverlap(assigned, v)) {
+                wakes = true;
+                attribute = *overlap;
+              }
+            }
+          } else {
+            // Pattern variable. Appends can create matches; replaces can if
+            // they touch a condition-read attribute. Deletes only retract
+            // matches (conditions have no negation) and never wake.
+            if (op.kind == WriteOp::Kind::kAppend) {
+              wakes = true;
+            } else if (op.kind == WriteOp::Kind::kReplace) {
+              if (std::optional<std::string> overlap =
+                      FirstOverlap(assigned, v)) {
+                wakes = true;
+                attribute = *overlap;
+              }
+            }
+          }
+          if (!wakes) continue;
+
+          // --- Unsatisfiability pruning / definiteness ---
+          bool pruned = false;
+          bool all_true = true;
+          if (op.kind == WriteOp::Kind::kDelete) {
+            all_true = v.selections.empty();
+          } else {
+            AssignmentMap amap;
+            for (const auto& [attr, expr] : op.assignments) {
+              amap[attr] = expr.get();
+            }
+            SubstContext ctx{&amap, op.kind};
+            for (const ExprPtr& conjunct : v.selections) {
+              std::optional<bool> decided = DecideExpr(*conjunct, ctx);
+              if (decided == false) {
+                PrunedEdge pe;
+                pe.from = w;
+                pe.to = r;
+                pe.relation = op.relation;
+                pe.reason = std::string(WriteOpKindToString(op.kind)) + " " +
+                            op.relation + " provably falsifies \"" +
+                            conjunct->ToString() + "\"";
+                graph.pruned_.push_back(std::move(pe));
+                pruned = true;
+                break;
+              }
+              if (decided != true) all_true = false;
+            }
+          }
+          if (pruned) break;  // next reader rule; this var can't be woken
+
+          TriggerEdge edge;
+          edge.from = w;
+          edge.to = r;
+          edge.op = op.kind;
+          edge.relation = op.relation;
+          edge.attribute = attribute;
+          // Provably re-triggering: an unconditional append into a
+          // single-variable rule whose selection is provably satisfied by
+          // every written tuple. Replace/delete writes can affect zero
+          // tuples, and multi-variable rules need the other memories
+          // non-empty, so neither is ever "definite".
+          edge.definite = op.kind == WriteOp::Kind::kAppend &&
+                          !op.conditional && reader.reads.size() == 1 &&
+                          all_true && !writer.has_halt;
+          graph.out_edges_[w].push_back(graph.edges_.size());
+          graph.in_edges_[r].push_back(graph.edges_.size());
+          graph.edges_.push_back(std::move(edge));
+          break;  // one edge per (write, reader rule) pair is enough
+        }
+      }
+    }
+  }
+
+  // Deduplicate edges from multiple writes of the same rule to the same
+  // reader: keep them all (they carry different ops/attributes) — but the
+  // downstream passes treat parallel edges as one adjacency.
+  return graph;
+}
+
+std::optional<size_t> TriggerGraph::IndexOf(const std::string& name) const {
+  const std::string lower = ToLower(name);
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    if (rules_[i].name == lower) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace ariel

@@ -1,0 +1,149 @@
+#ifndef ARIEL_ANALYSIS_TRIGGER_GRAPH_H_
+#define ARIEL_ANALYSIS_TRIGGER_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "parser/ast.h"
+#include "rules/rule_manager.h"
+#include "util/status.h"
+
+namespace ariel {
+
+/// One condition variable of a rule, viewed by the analyzer: which data
+/// changes can wake it and which attributes its condition actually reads.
+/// Derived from the same CompileRule output the network is built from, so
+/// the analysis sees exactly the α-memory layer the engine would install.
+struct ReadVar {
+  std::string var_name;
+  std::string relation;  // lowercased
+  AlphaKind kind = AlphaKind::kStored;
+  /// Event filter (on-clause variables only); attribute names lowercased.
+  std::optional<EventSpec> on_event;
+  /// Transition variable: only Δ (replace) tokens reach its memory.
+  bool has_previous = false;
+  /// True when the condition reads the variable as a whole (`v.all`,
+  /// `new(v)`, or no attribute references at all): every attribute of a
+  /// replace then counts as read.
+  bool whole_tuple = false;
+  /// Attributes of this variable referenced anywhere in the condition
+  /// (selections and join conjuncts, including `previous` reads).
+  std::vector<std::string> attrs;
+  /// Single-variable selection conjuncts over this variable (cloned).
+  std::vector<ExprPtr> selections;
+  /// |R| × estimated selection selectivity — the candidate count a token
+  /// joining through this memory must face (CORGI-style cost bound input).
+  /// For active rules this is the live α-memory estimate.
+  double estimated_matches = 0;
+};
+
+/// One mutation a rule's action performs, extracted from the action AST.
+struct WriteOp {
+  enum class Kind : uint8_t { kAppend, kDelete, kReplace };
+
+  Kind kind = Kind::kAppend;
+  std::string relation;  // lowercased
+  /// Assigned attributes (lowercased) with their value expressions (cloned;
+  /// empty for deletes). Replace assignments read the pre-update tuple.
+  std::vector<std::pair<std::string, ExprPtr>> assignments;
+  /// True when the command has its own from-list or qualification: it may
+  /// then touch zero tuples, so a firing does not guarantee the write.
+  bool conditional = false;
+};
+
+const char* WriteOpKindToString(WriteOp::Kind kind);
+
+/// A rule as the analyzer sees it: read set, write set, and the metadata
+/// the downstream passes (termination / stratification / confluence / cost
+/// annotation) need.
+struct AnalyzedRule {
+  std::string name;
+  double priority = 0;
+  bool active = false;
+  uint64_t times_fired = 0;
+  /// P-node lifetime insertions when the rule is active (match activity).
+  uint64_t lifetime_instantiations = 0;
+  /// The action contains a halt: a firing can stop the recognize-act cycle,
+  /// so cycles through this rule are never provably non-terminating.
+  bool has_halt = false;
+  std::vector<ReadVar> reads;
+  std::vector<WriteOp> writes;
+};
+
+/// Edge r_from → r_to: some write of r_from may change the outcome of
+/// r_to's condition (wake one of its α-memories with a net-new match).
+struct TriggerEdge {
+  size_t from = 0;
+  size_t to = 0;
+  WriteOp::Kind op = WriteOp::Kind::kAppend;
+  std::string relation;
+  /// The written attribute that overlaps the reader's read set ("" when the
+  /// whole relation matters, e.g. appends and deletes).
+  std::string attribute;
+  /// Provably re-triggering: the write is unconditional, the reader is a
+  /// single-variable rule, and its selection is provably satisfied by (or
+  /// absent from) every written tuple. A cycle of definite edges cannot
+  /// terminate (absent halt) — that is the analyzer's termination *error*.
+  bool definite = false;
+
+  std::string ToString(const std::vector<AnalyzedRule>& rules) const;
+};
+
+/// A candidate edge removed by unsatisfiability pruning: the write provably
+/// falsifies the reader's selection (the "self-disabling" refinement when
+/// from == to).
+struct PrunedEdge {
+  size_t from = 0;
+  size_t to = 0;
+  std::string relation;
+  std::string reason;
+};
+
+/// The trigger graph of an installed rule set (writes(r1) ∩ reads(r2)
+/// edges, refined by attribute overlap and constant-predicate
+/// unsatisfiability). Built statically from rule definitions against the
+/// catalog; rules whose definitions no longer compile are skipped with a
+/// note rather than failing the whole analysis.
+class TriggerGraph {
+ public:
+  [[nodiscard]] static Result<TriggerGraph> Build(
+      const std::vector<const Rule*>& rules, const Catalog& catalog,
+      const AlphaMemoryPolicy& policy);
+
+  const std::vector<AnalyzedRule>& rules() const { return rules_; }
+  const std::vector<TriggerEdge>& edges() const { return edges_; }
+  const std::vector<PrunedEdge>& pruned() const { return pruned_; }
+  /// Rules that failed to compile against the current catalog (name +
+  /// error); they have no node in the graph.
+  const std::vector<std::pair<std::string, std::string>>& skipped() const {
+    return skipped_;
+  }
+
+  /// Outgoing edge indices (into edges()) per rule.
+  const std::vector<size_t>& out_edges(size_t rule) const {
+    return out_edges_[rule];
+  }
+  /// Incoming edge indices (into edges()) per rule.
+  const std::vector<size_t>& in_edges(size_t rule) const {
+    return in_edges_[rule];
+  }
+
+  /// Node index of a rule by (lowercased) name.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+
+ private:
+  std::vector<AnalyzedRule> rules_;
+  std::vector<TriggerEdge> edges_;
+  std::vector<PrunedEdge> pruned_;
+  std::vector<std::pair<std::string, std::string>> skipped_;
+  std::vector<std::vector<size_t>> out_edges_;
+  std::vector<std::vector<size_t>> in_edges_;
+};
+
+}  // namespace ariel
+
+#endif  // ARIEL_ANALYSIS_TRIGGER_GRAPH_H_

@@ -63,6 +63,11 @@ Database::Database(DatabaseOptions options)
     // Malformed values are ignored, like the other env knobs.
     if (parsed.ok()) options_.on_action_error = *parsed;
   }
+  if (const char* policy = std::getenv("ARIEL_ANALYZE");
+      policy != nullptr && *policy != '\0') {
+    Result<AnalyzeOnInstall> parsed = AnalyzeOnInstallFromString(policy);
+    if (parsed.ok()) options_.analyze_on_install = *parsed;
+  }
   monitor_->set_txn(txn_.get());
   monitor_->set_on_action_error(options_.on_action_error);
   network_.set_token_listener(
@@ -191,6 +196,35 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
       if (options_.auto_activate_rules) {
         ARIEL_RETURN_NOT_OK(rules_->ActivateRule(cmd.rule_name));
       }
+      if (options_.analyze_on_install != AnalyzeOnInstall::kOff) {
+        ARIEL_ASSIGN_OR_RETURN(RuleSetAnalysis analysis,
+                               AnalyzeRuleSet(*rules_, catalog_));
+        if (options_.analyze_on_install == AnalyzeOnInstall::kError &&
+            analysis.num_errors() > 0) {
+          // Installing this rule created a provably non-terminating
+          // cascade: undo the install and surface the cycle report.
+          std::string detail;
+          for (const Finding& f : analysis.findings) {
+            if (f.is_error()) detail += "; " + f.message;
+          }
+          ARIEL_RETURN_NOT_OK(rules_->RemoveRule(cmd.rule_name));
+          return Status::InvalidArgument(
+              "rule \"" + ToLower(cmd.rule_name) +
+              "\" rejected by install-time analysis" + detail);
+        }
+        if (!analysis.findings.empty()) {
+          std::ostringstream os;
+          os << "install-time analysis of rule " << ToLower(cmd.rule_name)
+             << ":\n";
+          for (const Finding& f : analysis.findings) {
+            os << "  " << (f.is_error() ? "ERROR" : "WARNING") << " ["
+               << FindingKindToString(f.kind) << "] " << f.message << "\n";
+          }
+          CommandResult result;
+          result.message = os.str();
+          return result;
+        }
+      }
       return CommandResult{};
     }
     case CommandKind::kActivateRule: {
@@ -291,8 +325,23 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
            << (pnode->size() == 1 ? "" : "s") << ", "
            << pnode->lifetime_insertions() << " created over its lifetime\n";
       }
+      // Static analysis section: who this rule triggers, who triggers it,
+      // and any analyzer findings that involve it.
+      ARIEL_ASSIGN_OR_RETURN(RuleSetAnalysis analysis,
+                             AnalyzeRuleSet(*rules_, catalog_));
+      os << analysis.DescribeRule(rule->name);
       CommandResult result;
       result.message = os.str();
+      return result;
+    }
+
+    case CommandKind::kAnalyzeRules: {
+      // Read-only diagnostic, like show stats: no transition, no
+      // recognize-act cycle.
+      ARIEL_ASSIGN_OR_RETURN(RuleSetAnalysis analysis,
+                             AnalyzeRuleSet(*rules_, catalog_));
+      CommandResult result;
+      result.message = analysis.Render(/*include_costs=*/true);
       return result;
     }
   }

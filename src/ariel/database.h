@@ -8,6 +8,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "analysis/rule_analyzer.h"
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "exec/failpoint_gateway.h"
@@ -15,7 +16,7 @@
 #include "network/discrimination_network.h"
 #include "network/network_auditor.h"
 #include "network/transition_manager.h"
-#include "rules/rule_compiler.h"
+#include "rules/alpha_policy.h"
 #include "rules/rule_manager.h"
 #include "rules/rule_monitor.h"
 #include "txn/txn_context.h"
@@ -70,6 +71,12 @@ struct DatabaseOptions {
   /// aborted commands leave no trace. Overridable with the ARIEL_FAILPOINT
   /// env var.
   size_t failpoint_at = 0;
+  /// Static rule-set analysis at `define rule` time: off (default) skips
+  /// it, warn appends the analyzer's findings to the install result, error
+  /// additionally rejects (uninstalls) rules whose installation creates a
+  /// definite non-terminating cascade. Overridable with the ARIEL_ANALYZE
+  /// env var (off | warn | error).
+  AnalyzeOnInstall analyze_on_install = AnalyzeOnInstall::kOff;
 };
 
 /// The Ariel active DBMS: a relational engine whose update processing is

@@ -186,7 +186,7 @@ enum class CommandKind : uint8_t {
   kBlock, kDefineRule, kActivateRule, kDeactivateRule, kRemoveRule,
   kHalt,
   kBeginTxn, kCommitTxn, kAbortTxn,
-  kShowStats, kExplainRule,
+  kShowStats, kExplainRule, kAnalyzeRules,
 };
 
 struct Command {
@@ -421,6 +421,18 @@ struct ExplainRuleCommand : Command {
     return clone;
   }
   std::string ToString() const override { return "explain rule " + rule_name; }
+};
+
+/// `analyze rules` — runs the static rule-set analyzer (trigger graph,
+/// termination / stratification / confluence / dead-rule checks) over the
+/// installed rule catalog and renders the report with per-rule match-cost
+/// annotations.
+struct AnalyzeRulesCommand : Command {
+  AnalyzeRulesCommand() : Command(CommandKind::kAnalyzeRules) {}
+  CommandPtr Clone() const override {
+    return std::make_unique<AnalyzeRulesCommand>();
+  }
+  std::string ToString() const override { return "analyze rules"; }
 };
 
 // ---------------------------------------------------------------------------

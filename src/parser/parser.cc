@@ -143,6 +143,11 @@ class Parser {
       cmd->reset = MatchWord("reset");
       return CommandPtr(std::move(cmd));
     }
+    if (t.text == "analyze") {
+      Advance();
+      ARIEL_RETURN_NOT_OK(ExpectWord("rules"));
+      return CommandPtr(std::make_unique<AnalyzeRulesCommand>());
+    }
     if (t.text == "explain") {
       Advance();
       ARIEL_RETURN_NOT_OK(ExpectWord("rule"));

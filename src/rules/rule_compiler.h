@@ -7,24 +7,10 @@
 #include "catalog/catalog.h"
 #include "network/rule_network.h"
 #include "parser/ast.h"
+#include "rules/alpha_policy.h"
 #include "util/status.h"
 
 namespace ariel {
-
-/// Policy for choosing between stored and virtual α-memories for pattern
-/// variables (§4.2: "when to use a virtual memory node ... is an
-/// interesting optimization problem").
-struct AlphaMemoryPolicy {
-  enum class Mode : uint8_t {
-    kAllStored,   // classic TREAT
-    kAllVirtual,  // maximum storage saving
-    kAdaptive,    // virtual when the estimated match count exceeds threshold
-  };
-  Mode mode = Mode::kAdaptive;
-  /// Adaptive: memories whose estimated cardinality (|R| × predicate
-  /// selectivity) is at least this many tuples become virtual.
-  double virtual_threshold = 256;
-};
 
 /// The condition analysis of one rule: the α-memory layer plus join
 /// conjuncts, ready to build a RuleNetwork, and the query-modified action.

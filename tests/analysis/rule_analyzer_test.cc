@@ -1,0 +1,327 @@
+// Analyzer fixture suite (ISSUE 6 acceptance): the planted definite cycle
+// is a termination ERROR naming the closing relation, the self-disabling
+// variant is cleared by unsatisfiability pruning, the equal-priority
+// replace pair is non-confluent, contradictory/mistyped conditions are
+// dead rules, and the install-time policy rejects cyclic rule sets only
+// under `error`.
+
+#include "analysis/rule_analyzer.h"
+
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "ariel/database.h"
+#include "test_util.h"
+
+namespace ariel {
+namespace {
+
+class RuleAnalyzerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute("create a (x = int)"));
+    ASSERT_OK(db_.Execute("create b (x = int)"));
+    ASSERT_OK(db_.Execute("create c (x = int)"));
+    ASSERT_OK(db_.Execute(
+        "create item (sku = int, stock = int, reorder_level = int)"));
+  }
+
+  RuleSetAnalysis Analyze() {
+    auto analysis = AnalyzeRuleSet(db_.rules(), db_.catalog());
+    EXPECT_OK(analysis);
+    return std::move(*analysis);
+  }
+
+  std::vector<const Finding*> FindingsOfKind(const RuleSetAnalysis& analysis,
+                                             FindingKind kind) {
+    std::vector<const Finding*> out;
+    for (const Finding& f : analysis.findings) {
+      if (f.kind == kind) out.push_back(&f);
+    }
+    return out;
+  }
+
+  Database db_;
+};
+
+TEST_F(RuleAnalyzerTest, PlantedDefiniteCycleIsTerminationError) {
+  ASSERT_OK(db_.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  ASSERT_OK(db_.Execute(
+      "define rule pong on append b then append to a (x = b.x)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  ASSERT_EQ(analysis.graph.edges().size(), 2u);
+  for (const TriggerEdge& e : analysis.graph.edges()) {
+    EXPECT_TRUE(e.definite) << e.ToString(analysis.graph.rules());
+  }
+  ASSERT_EQ(analysis.num_errors(), 1u);
+  auto errors = FindingsOfKind(analysis, FindingKind::kTerminationError);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_EQ(errors[0]->rules, (std::vector<std::string>{"ping", "pong"}));
+  // The report names the chain and the write closing the loop.
+  EXPECT_NE(errors[0]->message.find("definite cycle"), std::string::npos)
+      << errors[0]->message;
+  EXPECT_NE(errors[0]->message.find("closed by append"), std::string::npos)
+      << errors[0]->message;
+}
+
+TEST_F(RuleAnalyzerTest, HaltInCycleDowngradesErrorToWarning) {
+  ASSERT_OK(db_.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  ASSERT_OK(db_.Execute("define rule pong on append b then do "
+                        "append to a (x = b.x) halt end"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_EQ(analysis.num_errors(), 0u);
+  auto warnings = FindingsOfKind(analysis, FindingKind::kTerminationWarning);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_EQ(warnings[0]->rules, (std::vector<std::string>{"ping", "pong"}));
+}
+
+TEST_F(RuleAnalyzerTest, SelfDisablingRuleIsCleared) {
+  // The action provably falsifies the rule's own condition: 0 < 0.
+  ASSERT_OK(db_.Execute("define rule clamp if item.stock < 0 "
+                        "then replace item (stock = 0)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_TRUE(analysis.graph.edges().empty());
+  ASSERT_EQ(analysis.graph.pruned().size(), 1u);
+  EXPECT_NE(analysis.graph.pruned()[0].reason.find("falsifies"),
+            std::string::npos)
+      << analysis.graph.pruned()[0].reason;
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+TEST_F(RuleAnalyzerTest, AffineSelfDisablingIsClearedSymbolically) {
+  // stock := reorder_level + 1 falsifies stock <= reorder_level even though
+  // neither side is a constant: the symbolic parts cancel to 1 > 0.
+  ASSERT_OK(db_.Execute(
+      "define rule reorder if item.stock <= item.reorder_level "
+      "then replace item (stock = item.reorder_level + 1)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_TRUE(analysis.graph.edges().empty());
+  EXPECT_EQ(analysis.graph.pruned().size(), 1u);
+  EXPECT_TRUE(analysis.findings.empty());
+}
+
+TEST_F(RuleAnalyzerTest, UndecidableReplaceCycleIsWarningNotError) {
+  // stock := stock + 1 under stock < 10 terminates at runtime, but the
+  // analysis cannot prove it: expect a warning, never an error (replace
+  // edges are not definite).
+  ASSERT_OK(db_.Execute("define rule creep if item.stock < 10 "
+                        "then replace item (stock = item.stock + 1)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  ASSERT_EQ(analysis.graph.edges().size(), 1u);
+  EXPECT_FALSE(analysis.graph.edges()[0].definite);
+  EXPECT_EQ(analysis.num_errors(), 0u);
+  auto warnings = FindingsOfKind(analysis, FindingKind::kTerminationWarning);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0]->message.find("replace item.stock"),
+            std::string::npos)
+      << warnings[0]->message;
+}
+
+TEST_F(RuleAnalyzerTest, StratificationAndPriorityContradiction) {
+  ASSERT_OK(db_.Execute(
+      "define rule produce on append a then append to b (x = a.x)"));
+  ASSERT_OK(db_.Execute("define rule consume priority 5 on append b "
+                        "then append to c (x = b.x)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  auto produce = analysis.graph.IndexOf("produce");
+  auto consume = analysis.graph.IndexOf("consume");
+  ASSERT_TRUE(produce.has_value());
+  ASSERT_TRUE(consume.has_value());
+  EXPECT_EQ(analysis.strata[*produce], 0);
+  EXPECT_EQ(analysis.strata[*consume], 1);
+
+  // consume (priority 5) outranks the rule that feeds it (priority 0).
+  auto contradictions =
+      FindingsOfKind(analysis, FindingKind::kPriorityContradiction);
+  ASSERT_EQ(contradictions.size(), 1u);
+  EXPECT_EQ(contradictions[0]->rules,
+            (std::vector<std::string>{"produce", "consume"}));
+}
+
+TEST_F(RuleAnalyzerTest, EqualPriorityReplacePairIsNonConfluent) {
+  ASSERT_OK(db_.Execute("define rule seta if item.stock > 100 "
+                        "then replace item (stock = 100)"));
+  ASSERT_OK(db_.Execute("define rule setb if item.sku > 0 "
+                        "then replace item (stock = 50)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  auto confluence = FindingsOfKind(analysis, FindingKind::kNonConfluent);
+  ASSERT_EQ(confluence.size(), 1u);
+  EXPECT_EQ(confluence[0]->rules, (std::vector<std::string>{"seta", "setb"}));
+  EXPECT_NE(confluence[0]->message.find("item.stock"), std::string::npos)
+      << confluence[0]->message;
+  EXPECT_EQ(analysis.num_errors(), 0u);
+}
+
+TEST_F(RuleAnalyzerTest, DistinctPrioritiesAreNotFlaggedForConfluence) {
+  ASSERT_OK(db_.Execute("define rule seta priority 1 if item.stock > 100 "
+                        "then replace item (stock = 100)"));
+  ASSERT_OK(db_.Execute("define rule setb if item.sku > 0 "
+                        "then replace item (stock = 50)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_TRUE(
+      FindingsOfKind(analysis, FindingKind::kNonConfluent).empty());
+}
+
+TEST_F(RuleAnalyzerTest, EqualPriorityAppendsCommute) {
+  // Two appenders into the same relation commute — no confluence noise
+  // (the fig9-11 benchmarks install hundreds of these).
+  ASSERT_OK(db_.Execute(
+      "define rule log1 on append a then append to c (x = a.x)"));
+  ASSERT_OK(db_.Execute(
+      "define rule log2 on append b then append to c (x = b.x)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_TRUE(FindingsOfKind(analysis, FindingKind::kNonConfluent).empty());
+}
+
+TEST_F(RuleAnalyzerTest, ContradictoryIntervalIsDeadRule) {
+  ASSERT_OK(db_.Execute(
+      "define rule dead if item.stock > 5 and item.stock < 3 "
+      "then append to b (x = 1)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  auto dead = FindingsOfKind(analysis, FindingKind::kDeadRule);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0]->rules, (std::vector<std::string>{"dead"}));
+  EXPECT_NE(dead[0]->message.find("contradictory"), std::string::npos)
+      << dead[0]->message;
+}
+
+TEST_F(RuleAnalyzerTest, TypeMismatchComparisonIsDeadRule) {
+  // item.stock is int; under the Value total order an int can never equal
+  // a string, so the condition is unsatisfiable.
+  ASSERT_OK(db_.Execute("define rule dead if item.stock = \"high\" "
+                        "then append to b (x = 1)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  auto dead = FindingsOfKind(analysis, FindingKind::kDeadRule);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_NE(dead[0]->message.find("int"), std::string::npos)
+      << dead[0]->message;
+  EXPECT_NE(dead[0]->message.find("string"), std::string::npos)
+      << dead[0]->message;
+}
+
+TEST_F(RuleAnalyzerTest, SatisfiableRulesAreNotDead) {
+  ASSERT_OK(db_.Execute(
+      "define rule alive if item.stock >= 3 and item.stock <= 3 "
+      "then append to b (x = 1)"));
+
+  RuleSetAnalysis analysis = Analyze();
+  EXPECT_TRUE(FindingsOfKind(analysis, FindingKind::kDeadRule).empty());
+}
+
+TEST_F(RuleAnalyzerTest, AnalyzeRulesCommandRendersReport) {
+  ASSERT_OK(db_.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  ASSERT_OK(db_.Execute(
+      "define rule pong on append b then append to a (x = b.x)"));
+
+  auto result = db_.Execute("analyze rules");
+  ASSERT_OK(result);
+  const std::string& report = result->message;
+  EXPECT_NE(report.find("rule-set analysis: 2 rules"), std::string::npos)
+      << report;
+  EXPECT_NE(report.find("ping -> pong (append b) [definite]"),
+            std::string::npos)
+      << report;
+  EXPECT_NE(report.find("ERROR [termination]"), std::string::npos) << report;
+  EXPECT_NE(report.find("match costs"), std::string::npos) << report;
+}
+
+TEST_F(RuleAnalyzerTest, AnalyzeRulesOnEmptyCatalogIsClean) {
+  auto result = db_.Execute("analyze rules");
+  ASSERT_OK(result);
+  EXPECT_NE(result->message.find("0 errors, 0 warnings"), std::string::npos)
+      << result->message;
+}
+
+// --- Install-time policy ---------------------------------------------------
+
+TEST(AnalyzeOnInstallTest, DefaultInstallIsUnchanged) {
+  Database db;
+  ASSERT_OK(db.Execute("create a (x = int)"));
+  ASSERT_OK(db.Execute("create b (x = int)"));
+  ASSERT_OK(db.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  // The cyclic second rule installs fine under the default (off) policy.
+  ASSERT_OK(db.Execute(
+      "define rule pong on append b then append to a (x = b.x)"));
+  EXPECT_NE(db.rules().GetRule("pong"), nullptr);
+}
+
+TEST(AnalyzeOnInstallTest, WarnPolicyAppendsFindings) {
+  DatabaseOptions options;
+  options.analyze_on_install = AnalyzeOnInstall::kWarn;
+  Database db(options);
+  ASSERT_OK(db.Execute("create a (x = int)"));
+  ASSERT_OK(db.Execute("create b (x = int)"));
+  ASSERT_OK(db.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  auto result = db.Execute(
+      "define rule pong on append b then append to a (x = b.x)");
+  ASSERT_OK(result);
+  // Installed, but the result carries the analyzer's report.
+  EXPECT_NE(db.rules().GetRule("pong"), nullptr);
+  EXPECT_NE(result->message.find("ERROR [termination]"), std::string::npos)
+      << result->message;
+}
+
+TEST(AnalyzeOnInstallTest, ErrorPolicyRejectsDefiniteCycle) {
+  DatabaseOptions options;
+  options.analyze_on_install = AnalyzeOnInstall::kError;
+  Database db(options);
+  ASSERT_OK(db.Execute("create a (x = int)"));
+  ASSERT_OK(db.Execute("create b (x = int)"));
+  ASSERT_OK(db.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+
+  auto result = db.Execute(
+      "define rule pong on append b then append to a (x = b.x)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("rejected by install-time"),
+            std::string::npos)
+      << result.status().ToString();
+  // The rejected rule was uninstalled; the engine stays usable.
+  EXPECT_EQ(db.rules().GetRule("pong"), nullptr);
+  ASSERT_OK(db.Execute("create c2 (x = int)"));
+  ASSERT_OK(db.Execute(
+      "define rule quiet on append b then append to c2 (x = b.x)"));
+}
+
+TEST(AnalyzeOnInstallTest, EnvVarSelectsPolicy) {
+  ::setenv("ARIEL_ANALYZE", "error", 1);
+  Database db;
+  ::unsetenv("ARIEL_ANALYZE");
+  ASSERT_OK(db.Execute("create a (x = int)"));
+  ASSERT_OK(db.Execute("create b (x = int)"));
+  ASSERT_OK(db.Execute(
+      "define rule ping on append a then append to b (x = a.x)"));
+  auto result = db.Execute(
+      "define rule pong on append b then append to a (x = b.x)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AnalyzeOnInstallTest, PolicyParsing) {
+  auto warn = AnalyzeOnInstallFromString("WARN");
+  ASSERT_OK(warn);
+  EXPECT_EQ(*warn, AnalyzeOnInstall::kWarn);
+  EXPECT_STREQ(AnalyzeOnInstallToString(AnalyzeOnInstall::kError), "error");
+  EXPECT_FALSE(AnalyzeOnInstallFromString("sometimes").ok());
+}
+
+}  // namespace
+}  // namespace ariel

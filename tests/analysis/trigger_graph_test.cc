@@ -1,0 +1,207 @@
+// Trigger-graph construction: read/write extraction from compiled rules,
+// the wake matrix (event / transition / pattern variables vs. the three
+// write kinds), attribute-level edge refinement, and unsatisfiability
+// pruning through the constant-fold + affine decision procedure.
+
+#include "analysis/trigger_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "ariel/database.h"
+#include "test_util.h"
+
+namespace ariel {
+namespace {
+
+class TriggerGraphTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute("create quotes (symbol = string, price = float)"));
+    ASSERT_OK(db_.Execute(
+        "create item (sku = int, stock = int, reorder_level = int)"));
+    ASSERT_OK(db_.Execute("create log (x = int)"));
+  }
+
+  TriggerGraph Build() {
+    std::vector<const Rule*> rules;
+    for (const std::string& name : db_.rules().RuleNames()) {
+      rules.push_back(db_.rules().GetRule(name));
+    }
+    auto graph =
+        TriggerGraph::Build(rules, db_.catalog(), db_.rules().policy());
+    EXPECT_OK(graph);
+    return std::move(*graph);
+  }
+
+  /// Edge from -> to exists (by rule name)?
+  bool HasEdge(const TriggerGraph& graph, const std::string& from,
+               const std::string& to) {
+    auto f = graph.IndexOf(from);
+    auto t = graph.IndexOf(to);
+    if (!f || !t) return false;
+    for (const TriggerEdge& e : graph.edges()) {
+      if (e.from == *f && e.to == *t) return true;
+    }
+    return false;
+  }
+
+  Database db_;
+};
+
+TEST_F(TriggerGraphTest, ReadAndWriteSetsAreExtracted) {
+  ASSERT_OK(db_.Execute(
+      "define rule reorder if item.stock <= item.reorder_level "
+      "then append to log (x = item.sku)"));
+
+  TriggerGraph graph = Build();
+  ASSERT_EQ(graph.rules().size(), 1u);
+  const AnalyzedRule& rule = graph.rules()[0];
+  ASSERT_EQ(rule.reads.size(), 1u);
+  EXPECT_EQ(rule.reads[0].relation, "item");
+  // Read attributes come from the condition (what can wake the rule), not
+  // the action's own reads.
+  EXPECT_EQ(rule.reads[0].attrs,
+            (std::vector<std::string>{"reorder_level", "stock"}));
+  EXPECT_FALSE(rule.reads[0].whole_tuple);
+  EXPECT_EQ(rule.reads[0].selections.size(), 1u);
+  ASSERT_EQ(rule.writes.size(), 1u);
+  EXPECT_EQ(rule.writes[0].kind, WriteOp::Kind::kAppend);
+  EXPECT_EQ(rule.writes[0].relation, "log");
+  ASSERT_EQ(rule.writes[0].assignments.size(), 1u);
+  EXPECT_EQ(rule.writes[0].assignments[0].first, "x");
+  EXPECT_FALSE(rule.writes[0].conditional);
+}
+
+TEST_F(TriggerGraphTest, PositionalAppendTargetsResolveThroughSchema) {
+  // `append to quotes ("X", 1.0)` assigns symbol and price positionally.
+  ASSERT_OK(db_.Execute("define rule seed on append log "
+                        "then append to quotes (\"X\", 1.0)"));
+  TriggerGraph graph = Build();
+  ASSERT_EQ(graph.rules().size(), 1u);
+  ASSERT_EQ(graph.rules()[0].writes.size(), 1u);
+  const WriteOp& op = graph.rules()[0].writes[0];
+  ASSERT_EQ(op.assignments.size(), 2u);
+  EXPECT_EQ(op.assignments[0].first, "symbol");
+  EXPECT_EQ(op.assignments[1].first, "price");
+}
+
+TEST_F(TriggerGraphTest, ReplaceWakesOnlyOnReadAttributeOverlap) {
+  ASSERT_OK(db_.Execute("define rule watch_stock if item.stock < 5 "
+                        "then append to log (x = item.sku)"));
+  ASSERT_OK(db_.Execute("define rule bump_level on append log "
+                        "then replace item (reorder_level = 1)"));
+
+  TriggerGraph graph = Build();
+  // watch_stock's condition reads only stock; the replace assigns
+  // reorder_level, so the write cannot change the condition's outcome.
+  EXPECT_FALSE(HasEdge(graph, "bump_level", "watch_stock"));
+  // The append into log does wake bump_level's on-append variable.
+  EXPECT_TRUE(HasEdge(graph, "watch_stock", "bump_level"));
+}
+
+TEST_F(TriggerGraphTest, DeleteNeverWakesPatternVariables) {
+  ASSERT_OK(db_.Execute("define rule pattern if item.stock < 5 "
+                        "then append to log (x = item.sku)"));
+  ASSERT_OK(db_.Execute(
+      "define rule reaper on append log then delete item"));
+
+  TriggerGraph graph = Build();
+  // Conditions have no negation: removing tuples can only retract matches.
+  EXPECT_FALSE(HasEdge(graph, "reaper", "pattern"));
+}
+
+TEST_F(TriggerGraphTest, OnDeleteEventVariableWakesOnDelete) {
+  ASSERT_OK(db_.Execute("define rule obituary on delete item "
+                        "then append to log (x = 1)"));
+  ASSERT_OK(db_.Execute(
+      "define rule reaper on append log then delete item"));
+
+  TriggerGraph graph = Build();
+  EXPECT_TRUE(HasEdge(graph, "reaper", "obituary"));
+}
+
+TEST_F(TriggerGraphTest, OnReplaceAttributeListFiltersWakes) {
+  ASSERT_OK(db_.Execute("define rule stockwatch on replace item (stock) "
+                        "then append to log (x = item.sku)"));
+  ASSERT_OK(db_.Execute("define rule bump_level on append log "
+                        "then replace item (reorder_level = 1)"));
+  ASSERT_OK(db_.Execute("define rule bump_stock on append quotes "
+                        "then replace item (stock = 1)"));
+
+  TriggerGraph graph = Build();
+  EXPECT_FALSE(HasEdge(graph, "bump_level", "stockwatch"));
+  EXPECT_TRUE(HasEdge(graph, "bump_stock", "stockwatch"));
+}
+
+TEST_F(TriggerGraphTest, TransitionVariableWakesOnlyOnReplace) {
+  ASSERT_OK(db_.Execute(
+      "define rule spike if quotes.price > 1.05 * previous quotes.price "
+      "then append to log (x = 1)"));
+  ASSERT_OK(db_.Execute("define rule seed on append log "
+                        "then append to quotes (\"X\", 1.0)"));
+  ASSERT_OK(db_.Execute("define rule mover on delete item "
+                        "then replace quotes (price = 2.0)"));
+
+  TriggerGraph graph = Build();
+  // An append creates no old/new transition; a replace of price does.
+  EXPECT_FALSE(HasEdge(graph, "seed", "spike"));
+  EXPECT_TRUE(HasEdge(graph, "mover", "spike"));
+}
+
+TEST_F(TriggerGraphTest, ConstantPruningRemovesUnsatisfiableEdges) {
+  ASSERT_OK(db_.Execute("define rule crash if quotes.price < 10.0 "
+                        "then append to log (x = 1)"));
+  // Writes price = 50.0: provably cannot wake crash.
+  ASSERT_OK(db_.Execute("define rule pump on append log "
+                        "then replace quotes (price = 50.0)"));
+
+  TriggerGraph graph = Build();
+  EXPECT_FALSE(HasEdge(graph, "pump", "crash"));
+  ASSERT_EQ(graph.pruned().size(), 1u);
+  const PrunedEdge& pruned = graph.pruned()[0];
+  EXPECT_EQ(graph.rules()[pruned.from].name, "pump");
+  EXPECT_EQ(graph.rules()[pruned.to].name, "crash");
+  EXPECT_EQ(pruned.relation, "quotes");
+}
+
+TEST_F(TriggerGraphTest, DefiniteEdgeRequiresUnconditionalAppend) {
+  ASSERT_OK(db_.Execute(
+      "define rule sink on append log then append to quotes (\"X\", 1.0)"));
+  ASSERT_OK(db_.Execute("define rule filtered on append quotes "
+                        "if quotes.price > 100.0 "
+                        "then append to log (x = 1)"));
+
+  TriggerGraph graph = Build();
+  // filtered -> sink survives (sink has no selection, the append is
+  // unconditional — provably re-triggering); sink -> filtered is pruned
+  // because the assigned price = 1.0 folds 1.0 > 100.0 to false.
+  ASSERT_EQ(graph.edges().size(), 1u);
+  const TriggerEdge& e = graph.edges()[0];
+  EXPECT_EQ(graph.rules()[e.from].name, "filtered");
+  EXPECT_EQ(graph.rules()[e.to].name, "sink");
+  EXPECT_TRUE(e.definite) << e.ToString(graph.rules());
+  EXPECT_EQ(graph.pruned().size(), 1u);
+}
+
+TEST_F(TriggerGraphTest, EdgeToStringNamesRulesAndAttribute) {
+  ASSERT_OK(db_.Execute("define rule stockwatch if item.stock < 5 "
+                        "then append to log (x = item.sku)"));
+  ASSERT_OK(db_.Execute("define rule bump on append log "
+                        "then replace item (stock = 1)"));
+
+  TriggerGraph graph = Build();
+  // bump writes stock = 1, and 1 < 5 folds true: edge survives.
+  ASSERT_EQ(graph.edges().size(), 2u);
+  bool found = false;
+  for (const TriggerEdge& e : graph.edges()) {
+    if (graph.rules()[e.from].name == "bump") {
+      EXPECT_EQ(e.ToString(graph.rules()),
+                "bump -> stockwatch (replace item.stock)");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace ariel

@@ -1,0 +1,79 @@
+// `explain rule` surface (ISSUE 6 satellite): clean Status error for
+// unknown rule names, case-insensitive lookup, inactive rules, and the
+// analysis section (triggers / triggered-by / warnings).
+
+#include <gtest/gtest.h>
+
+#include "ariel/database.h"
+#include "test_util.h"
+
+namespace ariel {
+namespace {
+
+class ExplainRuleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_OK(db_.Execute("create a (x = int)"));
+    ASSERT_OK(db_.Execute("create b (x = int)"));
+    ASSERT_OK(db_.Execute(
+        "define rule feeder on append a then append to b (x = a.x)"));
+    ASSERT_OK(db_.Execute("define rule drain on append b "
+                          "if b.x > 0 then delete b"));
+  }
+
+  Database db_;
+};
+
+TEST_F(ExplainRuleTest, UnknownRuleIsCleanNotFound) {
+  auto result = db_.Execute("explain rule no_such_rule");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().message().find("no rule named"),
+            std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("no_such_rule"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST_F(ExplainRuleTest, LookupIsCaseInsensitive) {
+  auto result = db_.Execute("explain rule FEEDER");
+  ASSERT_OK(result);
+  EXPECT_NE(result->message.find("rule feeder"), std::string::npos)
+      << result->message;
+}
+
+TEST_F(ExplainRuleTest, ReportsTriggerRelationships) {
+  auto result = db_.Execute("explain rule feeder");
+  ASSERT_OK(result);
+  const std::string& message = result->message;
+  EXPECT_NE(message.find("triggers:"), std::string::npos) << message;
+  EXPECT_NE(message.find("triggered by:"), std::string::npos) << message;
+  EXPECT_NE(message.find("warnings:"), std::string::npos) << message;
+  // feeder's append into b wakes drain.
+  EXPECT_NE(message.find("drain"), std::string::npos) << message;
+}
+
+TEST_F(ExplainRuleTest, RuleWithNoNeighborsShowsPlaceholders) {
+  ASSERT_OK(db_.Execute("create island (x = int)"));
+  ASSERT_OK(db_.Execute("define rule loner on append island "
+                        "then append to a (x = island.x)"));
+  // loner -> feeder exists (append into a), but nothing triggers loner.
+  auto result = db_.Execute("explain rule loner");
+  ASSERT_OK(result);
+  EXPECT_NE(result->message.find("(none)"), std::string::npos)
+      << result->message;
+}
+
+TEST_F(ExplainRuleTest, InactiveRuleStillExplains) {
+  ASSERT_OK(db_.Execute("deactivate rule drain"));
+  auto result = db_.Execute("explain rule drain");
+  ASSERT_OK(result);
+  EXPECT_NE(result->message.find("inactive"), std::string::npos)
+      << result->message;
+  EXPECT_NE(result->message.find("triggered by:"), std::string::npos)
+      << result->message;
+}
+
+}  // namespace
+}  // namespace ariel

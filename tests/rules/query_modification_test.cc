@@ -8,7 +8,8 @@
 
 #include "catalog/catalog.h"
 #include "parser/parser.h"
-#include "rules/rule_compiler.h"
+// This suite exercises the compiler's internal transformation directly.
+#include "rules/rule_compiler.h"  // ariel-lint: allow(compiler-internals)
 
 namespace ariel {
 namespace {
