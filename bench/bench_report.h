@@ -43,6 +43,13 @@ class BenchReporter {
   BenchReporter(const BenchReporter&) = delete;
   BenchReporter& operator=(const BenchReporter&) = delete;
 
+  /// Records a bench-specific headline number (throughput, a percentile…)
+  /// emitted under the report's "results" object, e.g.
+  /// AddResult("c8_commands_per_sec", 12345.6).
+  void AddResult(const std::string& key, double value) {
+    results_.emplace_back(key, value);
+  }
+
   ~BenchReporter() {
     const double wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -57,6 +64,12 @@ class BenchReporter {
     std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
     std::fprintf(f, "  \"schema_version\": 1,\n");
     std::fprintf(f, "  \"wall_time_seconds\": %.6f,\n", wall_seconds);
+    std::fprintf(f, "  \"results\": {\n");
+    for (size_t i = 0; i < results_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %.6f%s\n", results_[i].first.c_str(),
+                   results_[i].second, i + 1 < results_.size() ? "," : "");
+    }
+    std::fprintf(f, "  },\n");
     std::fprintf(f, "  \"counters\": {\n");
     auto counters = Metrics().registry.Counters();
     for (size_t i = 0; i < counters.size(); ++i) {
@@ -97,6 +110,7 @@ class BenchReporter {
   std::string name_;
   std::chrono::steady_clock::time_point start_;
   std::map<std::string, uint64_t> baseline_;
+  std::vector<std::pair<std::string, double>> results_;
 };
 
 }  // namespace ariel::bench

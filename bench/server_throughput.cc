@@ -1,0 +1,141 @@
+// Loopback throughput of the networked front end (ISSUE 7 acceptance):
+// N concurrent clients issue synchronous round-trip commands against an
+// in-process ariel-server; we report commands/sec and client-observed
+// latency percentiles per concurrency level.
+//
+// Smoke mode (ARIEL_BENCH_SMOKE=1): one configuration, 8 clients — the
+// acceptance floor — with a small per-client command count. Full mode
+// sweeps {1, 2, 4, 8, 16} clients.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ariel/database.h"
+#include "bench/bench_report.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double PercentileMs(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const size_t index = std::min(
+      sorted_ms.size() - 1,
+      static_cast<size_t>(p * static_cast<double>(sorted_ms.size())));
+  return sorted_ms[index];
+}
+
+struct RunResult {
+  double commands_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+RunResult RunConcurrency(int clients, int commands_per_client) {
+  ariel::Database db;
+  ariel::server::ServerOptions options;
+  options.port = 0;
+  ariel::server::ArielServer server(&db, options);
+  ariel::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n",
+                 started.ToString().c_str());
+    return {};
+  }
+  ariel::Status run_status;
+  std::thread server_thread([&] { run_status = server.Run(); });
+
+  {
+    auto setup =
+        ariel::server::ClientConnection::Connect("127.0.0.1", server.port());
+    if (setup.ok()) {
+      ARIEL_IGNORE_STATUS(
+          setup->RoundTrip("create emp (name = string, sal = float)")
+              .status());
+      ARIEL_IGNORE_STATUS(
+          setup
+              ->RoundTrip("define rule watch\nif emp.sal > 1000000.0\n"
+                          "then delete emp")
+              .status());
+    }
+  }
+
+  std::vector<std::vector<double>> latencies_ms(
+      static_cast<size_t>(clients));
+  const auto begin = Clock::now();
+  std::vector<std::thread> workers;
+  for (int c = 0; c < clients; ++c) {
+    workers.emplace_back([&, c] {
+      auto client = ariel::server::ClientConnection::Connect("127.0.0.1",
+                                                             server.port());
+      if (!client.ok()) return;
+      auto& mine = latencies_ms[static_cast<size_t>(c)];
+      mine.reserve(static_cast<size_t>(commands_per_client));
+      for (int i = 0; i < commands_per_client; ++i) {
+        const auto t0 = Clock::now();
+        auto response =
+            client->RoundTrip("append emp (name=\"w\", sal=50.0)");
+        const auto t1 = Clock::now();
+        if (!response.ok() || response->kind != ariel::server::kRespOk) {
+          return;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - begin).count();
+  server.RequestShutdown();
+  server_thread.join();
+  if (!run_status.ok()) {
+    std::fprintf(stderr, "server run failed: %s\n",
+                 run_status.ToString().c_str());
+  }
+
+  std::vector<double> all_ms;
+  for (const auto& mine : latencies_ms) {
+    all_ms.insert(all_ms.end(), mine.begin(), mine.end());
+  }
+  std::sort(all_ms.begin(), all_ms.end());
+  RunResult result;
+  result.commands_per_sec =
+      elapsed > 0 ? static_cast<double>(all_ms.size()) / elapsed : 0.0;
+  result.p50_ms = PercentileMs(all_ms, 0.50);
+  result.p99_ms = PercentileMs(all_ms, 0.99);
+  std::printf(
+      "clients=%2d  commands=%6zu  throughput=%9.0f cmd/s  "
+      "p50=%7.3f ms  p99=%7.3f ms\n",
+      clients, all_ms.size(), result.commands_per_sec, result.p50_ms,
+      result.p99_ms);
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  ariel::bench::BenchReporter reporter("server_throughput");
+  const bool smoke = ariel::bench::SmokeMode();
+  const int commands_per_client = smoke ? 25 : 500;
+  std::vector<int> sweep = smoke ? std::vector<int>{8}
+                                 : std::vector<int>{1, 2, 4, 8, 16};
+  std::printf("server_throughput: loopback, synchronous round trips, "
+              "%d commands/client%s\n",
+              commands_per_client, smoke ? " (smoke)" : "");
+  for (int clients : sweep) {
+    RunResult result = RunConcurrency(clients, commands_per_client);
+    const std::string prefix = "c" + std::to_string(clients) + "_";
+    reporter.AddResult(prefix + "commands_per_sec", result.commands_per_sec);
+    reporter.AddResult(prefix + "p50_latency_ms", result.p50_ms);
+    reporter.AddResult(prefix + "p99_latency_ms", result.p99_ms);
+  }
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Line-oriented client for ariel-server — and, with --local, the same REPL
+// driven against an in-process database through the identical session layer.
+// That symmetry is what the CI server-smoke job diffs: piping a script
+// through `ariel-client --local` and through a real server must produce
+// byte-identical output.
+//
+//   ./build/examples/ariel-client [--host H] [--port P] [--local]
+//
+// Defaults: host 127.0.0.1, port $ARIEL_PORT or 7087. Multi-line commands
+// work the same way as in ariel_shell: while the server (or local session)
+// answers "incomplete input", the client keeps accumulating lines.
+// \reset discards the partial command, \quit (\q) exits.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "ariel/database.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/session.h"
+#include "util/string_util.h"
+
+namespace {
+
+struct ClientOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 7087;
+  bool local = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--local]\n"
+               "  --local runs against an in-process database instead of a "
+               "server\n",
+               argv0);
+}
+
+std::optional<ClientOptions> ParseArgs(int argc, char** argv) {
+  ClientOptions options;
+  if (const char* env = std::getenv("ARIEL_PORT")) {
+    options.port = static_cast<uint16_t>(std::atoi(env));
+  }
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--local") {
+      options.local = true;
+    } else if (arg == "--host" && i + 1 < argc) {
+      options.host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      options.port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else {
+      Usage(argv[0]);
+      return std::nullopt;
+    }
+  }
+  return options;
+}
+
+/// One request-response exchange, local or remote. Both paths return the
+/// same Response shape so the REPL below is oblivious to the transport.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+  [[nodiscard]] virtual ariel::Result<ariel::server::ClientConnection::Response>
+  Ask(const std::string& text) = 0;
+};
+
+class LocalBackend : public Backend {
+ public:
+  LocalBackend() : session_(&db_, /*id=*/1) {}
+
+  ariel::Result<ariel::server::ClientConnection::Response> Ask(
+      const std::string& text) override {
+    ariel::server::Session::Reply reply = session_.HandleRequest(text);
+    return ariel::server::ClientConnection::Response{reply.kind,
+                                                     std::move(reply.payload)};
+  }
+
+ private:
+  ariel::Database db_;
+  ariel::server::Session session_;
+};
+
+class RemoteBackend : public Backend {
+ public:
+  explicit RemoteBackend(ariel::server::ClientConnection connection)
+      : connection_(std::move(connection)) {}
+
+  ariel::Result<ariel::server::ClientConnection::Response> Ask(
+      const std::string& text) override {
+    return connection_.RoundTrip(text);
+  }
+
+ private:
+  ariel::server::ClientConnection connection_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<ClientOptions> options = ParseArgs(argc, argv);
+  if (!options.has_value()) return 2;
+
+  std::unique_ptr<Backend> backend;
+  if (options->local) {
+    backend = std::make_unique<LocalBackend>();
+  } else {
+    auto connection =
+        ariel::server::ClientConnection::Connect(options->host, options->port);
+    if (!connection.ok()) {
+      std::fprintf(stderr, "error: cannot connect to %s:%u: %s\n",
+                   options->host.c_str(), options->port,
+                   connection.status().ToString().c_str());
+      return 1;
+    }
+    backend = std::make_unique<RemoteBackend>(std::move(*connection));
+  }
+
+  const bool interactive = ::isatty(STDIN_FILENO) != 0;
+  if (interactive) {
+    std::printf("ariel-client connected (%s). \\quit to exit, \\reset to "
+                "discard a partial command.\n",
+                options->local
+                    ? "local in-process database"
+                    : (options->host + ":" + std::to_string(options->port))
+                          .c_str());
+  }
+
+  std::string buffer;
+  std::string line;
+  while (true) {
+    if (interactive) {
+      std::printf(buffer.empty() ? "ariel> " : "   ... ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) {
+      const bool stream_error = std::cin.bad();
+      if (interactive) std::printf("\n");
+      if (!buffer.empty()) {
+        std::fprintf(stderr,
+                     "warning: input ended mid-command; discarding "
+                     "unfinished command:\n%s",
+                     buffer.c_str());
+      }
+      if (stream_error) {
+        std::fprintf(stderr, "error: input stream failed\n");
+        return 1;
+      }
+      return 0;
+    }
+    std::string trimmed(ariel::Trim(line));
+    if (buffer.empty() && trimmed.empty()) continue;
+
+    // Meta commands are client-side and work mid-continuation too.
+    if (!trimmed.empty() && trimmed[0] == '\\') {
+      if (trimmed == "\\quit" || trimmed == "\\q") {
+        if (!buffer.empty()) {
+          std::fprintf(stderr, "(discarding unfinished command)\n");
+        }
+        return 0;
+      }
+      if (trimmed == "\\reset") {
+        if (buffer.empty()) {
+          std::printf("no partial command to discard\n");
+        } else {
+          buffer.clear();
+          std::printf("(partial command discarded)\n");
+        }
+        continue;
+      }
+      std::printf("unknown meta command: %s\n", trimmed.c_str());
+      continue;
+    }
+
+    buffer += line;
+    buffer += "\n";
+    auto response = backend->Ask(buffer);
+    if (!response.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   response.status().ToString().c_str());
+      return 1;  // transport failure — the session state is gone
+    }
+    if (response->kind == ariel::server::kRespIncomplete) {
+      continue;  // keep accumulating lines
+    }
+    std::printf("%s", response->payload.c_str());
+    buffer.clear();
+  }
+}

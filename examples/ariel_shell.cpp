@@ -6,19 +6,23 @@
 //   ariel> append emp (name="x", sal=50.0)
 //   ariel> retrieve (emp.all)
 //
-// Multi-line input: a do…end block or define rule may span lines; the
-// shell keeps reading until the command parses (or is unambiguously
-// broken). Meta commands:
+// Multi-line input: a do…end block or define rule may span lines; the shell
+// keeps reading while the parser reports the structured incomplete-input
+// signal (StatusCode::kIncompleteInput). Meta commands work at both the
+// "ariel> " and the continuation "   ... " prompt, so a user can always
+// bail out of a half-typed command:
 //   \rules            list rules and their networks
 //   \relations        list relations
 //   \explain <cmd>    show the physical plan
-//   \quit
+//   \reset            discard the partial multi-line command
+//   \quit  (\q)
 
 #include <cstdio>
 #include <iostream>
 #include <string>
 
 #include "ariel/database.h"
+#include "server/protocol.h"
 #include "util/string_util.h"
 
 namespace {
@@ -49,11 +53,42 @@ void PrintRelations(ariel::Database& db) {
   }
 }
 
-/// Heuristic: input that ends mid-block or mid-rule needs more lines —
-/// the parser reports running into end of input.
-bool LooksIncomplete(const ariel::Status& error) {
-  return error.message().find("found end of input") != std::string::npos ||
-         error.message().find("unterminated") != std::string::npos;
+/// Handles one meta command. Returns false when the shell should exit
+/// (\quit). Meta commands are recognized regardless of continuation state —
+/// a user trapped at the "... " prompt can always \reset or \quit.
+bool HandleMeta(ariel::Database& db, const std::string& meta,
+                std::string& buffer) {
+  if (meta == "\\quit" || meta == "\\q") {
+    if (!buffer.empty()) {
+      std::fprintf(stderr, "(discarding unfinished command)\n");
+    }
+    return false;
+  }
+  if (meta == "\\reset") {
+    if (buffer.empty()) {
+      std::printf("no partial command to discard\n");
+    } else {
+      buffer.clear();
+      std::printf("(partial command discarded)\n");
+    }
+    return true;
+  }
+  if (meta == "\\rules") {
+    PrintRules(db);
+    return true;
+  }
+  if (meta == "\\relations") {
+    PrintRelations(db);
+    return true;
+  }
+  if (meta.rfind("\\explain ", 0) == 0) {
+    auto plan = db.ExplainPlan(meta.substr(9));
+    std::printf("%s\n", plan.ok() ? plan->c_str()
+                                  : plan.status().ToString().c_str());
+    return true;
+  }
+  std::printf("unknown meta command: %s\n", meta.c_str());
+  return true;
 }
 
 }  // namespace
@@ -61,34 +96,36 @@ bool LooksIncomplete(const ariel::Status& error) {
 int main() {
   ariel::Database db;
   std::printf("Ariel shell — POSTQUEL/ARL. \\quit to exit, \\rules, "
-              "\\relations, \\explain <cmd>.\n");
+              "\\relations, \\explain <cmd>, \\reset.\n");
 
   std::string buffer;
   std::string line;
   while (true) {
     std::printf(buffer.empty() ? "ariel> " : "   ... ");
     std::fflush(stdout);
-    if (!std::getline(std::cin, line)) break;
+    if (!std::getline(std::cin, line)) {
+      // EOF (Ctrl-D) or a stream error. A partial command abandoned at the
+      // continuation prompt is worth a diagnostic — silently dropping it
+      // used to make "did my command run?" unanswerable.
+      const bool stream_error = std::cin.bad();
+      std::printf("\n");
+      if (!buffer.empty()) {
+        std::fprintf(stderr,
+                     "warning: input ended mid-command; discarding "
+                     "unfinished command:\n%s",
+                     buffer.c_str());
+      }
+      if (stream_error) {
+        std::fprintf(stderr, "error: input stream failed\n");
+        return 1;
+      }
+      return 0;
+    }
     std::string trimmed(ariel::Trim(line));
     if (buffer.empty() && trimmed.empty()) continue;
 
-    if (buffer.empty() && trimmed[0] == '\\') {
-      if (trimmed == "\\quit" || trimmed == "\\q") break;
-      if (trimmed == "\\rules") {
-        PrintRules(db);
-        continue;
-      }
-      if (trimmed == "\\relations") {
-        PrintRelations(db);
-        continue;
-      }
-      if (trimmed.rfind("\\explain ", 0) == 0) {
-        auto plan = db.ExplainPlan(trimmed.substr(9));
-        std::printf("%s\n", plan.ok() ? plan->c_str()
-                                      : plan.status().ToString().c_str());
-        continue;
-      }
-      std::printf("unknown meta command: %s\n", trimmed.c_str());
+    if (!trimmed.empty() && trimmed[0] == '\\') {
+      if (!HandleMeta(db, trimmed, buffer)) break;
       continue;
     }
 
@@ -96,24 +133,14 @@ int main() {
     buffer += "\n";
     auto result = db.Execute(buffer);
     if (!result.ok()) {
-      if (result.status().code() == ariel::StatusCode::kParseError &&
-          LooksIncomplete(result.status())) {
+      if (result.status().IsIncompleteInput()) {
         continue;  // keep accumulating lines
       }
       std::printf("error: %s\n", result.status().ToString().c_str());
       buffer.clear();
       continue;
     }
-    if (!result->message.empty()) {
-      std::printf("%s", result->message.c_str());
-    } else if (result->rows.has_value()) {
-      std::printf("%s(%zu rows)\n", result->rows->ToString().c_str(),
-                  result->rows->num_rows());
-    } else if (result->affected > 0) {
-      std::printf("(%zu tuples affected)\n", result->affected);
-    } else {
-      std::printf("ok\n");
-    }
+    std::printf("%s", ariel::server::RenderCommandResult(*result).c_str());
     buffer.clear();
   }
   std::printf("\n");

@@ -43,6 +43,12 @@ Rules
                  through rules/alpha_policy.h or the RuleManager API. Tests
                  that deliberately exercise compiler internals carry an
                  allow() with a justification.
+  server-session Database::Execute* calls in src/server/ outside the session
+                 layer (session.h/.cc). Sessions are the server's single
+                 doorway into the engine: they bracket the explicit
+                 transaction, classify incomplete input, and record the
+                 server command metrics. A connection or event-loop file
+                 calling Execute directly bypasses all three.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -219,6 +225,11 @@ COMPILER_INTERNALS_OK = (
     ("src", "rules"),
     ("src", "analysis"),
 )
+# server-session: the networked front end's only doorway into the engine is
+# the session layer; connection/event-loop code calling Execute* directly
+# would bypass transaction bracketing and the server command metrics.
+SERVER_EXECUTE_RE = re.compile(r"(->|\.)\s*Execute(All|Command)?\s*\(")
+SERVER_SESSION_FILES = ("session.h", "session.cc")
 BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
@@ -320,6 +331,17 @@ def lint_file(path: Path) -> list[Finding]:
                    "storage/txn/gateway layers — route the mutation through "
                    "a StorageGateway (or annotate why this relation is not "
                    "base data)")
+
+    # server-session: inside src/server/, Database::Execute* stays in the
+    # session layer.
+    if rel_all[:2] == ("src", "server") and \
+            path.name not in SERVER_SESSION_FILES:
+        for m in SERVER_EXECUTE_RE.finditer(code):
+            lineno = code[: m.start()].count("\n") + 1
+            report(lineno, "server-session",
+                   "Execute* call in src/server/ outside the session layer "
+                   "— route engine access through Session so transaction "
+                   "bracketing and server metrics stay in one place")
 
     # compiler-internals: compiled-rule structures stay inside the rule
     # compiler's two sanctioned consumers.

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Server front-end smoke: the same command script, piped through
+#   (a) ariel-client --local   (in-process database, session layer)
+#   (b) ariel-client against a live ariel-server over loopback TCP
+# must produce byte-identical output — the client/server stack adds no
+# rendering of its own. Also smokes the shell's multi-line continuation and
+# continuation-prompt meta commands (\reset, \quit).
+#
+# Usage: scripts/server_smoke.sh <build-dir>   (e.g. build-release)
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: server_smoke.sh <build-dir>}
+PORT=${ARIEL_PORT:-7187}
+SERVER_PID=
+WORK=$(mktemp -d)
+trap '[ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null; rm -rf "$WORK"' EXIT
+
+cat > "$WORK/script.arl" <<'EOF'
+create emp (name = string, sal = float)
+define rule watch
+if emp.sal > 100
+then delete emp
+append emp (name="alice", sal=50.0)
+append emp (name="bob", sal=75.0)
+append emp (name="spike", sal=500.0)
+retrieve (emp.all)
+begin
+append emp (name="temp", sal=1.0)
+abort
+retrieve (emp.all) where emp.sal > 60
+do
+append emp (name="carol", sal=80.0)
+append emp (name="dave", sal=90.0)
+end
+retrieve (emp.all)
+EOF
+
+echo "== in-process run (ariel-client --local)"
+"$BUILD_DIR/examples/ariel-client" --local \
+    < "$WORK/script.arl" > "$WORK/local.out"
+
+echo "== networked run (ariel-server + ariel-client on port $PORT)"
+"$BUILD_DIR/examples/ariel-server" --port "$PORT" &
+SERVER_PID=$!
+for _ in $(seq 1 50); do
+  if "$BUILD_DIR/examples/ariel-client" --port "$PORT" </dev/null \
+      >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+"$BUILD_DIR/examples/ariel-client" --port "$PORT" \
+    < "$WORK/script.arl" > "$WORK/net.out"
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_PID=
+
+echo "== diff (must be byte-identical)"
+diff -u "$WORK/local.out" "$WORK/net.out"
+
+echo "== shell continuation + meta-command smoke"
+printf '%s\n' \
+    'create emp (name = string, sal = float)' \
+    'define rule abandoned' \
+    'if emp.sal > 1' \
+    '\reset' \
+    'append emp (name="x", sal=50.0)' \
+    'retrieve (emp.all)' \
+    '\quit' \
+    | "$BUILD_DIR/examples/ariel_shell" > "$WORK/shell.out"
+grep -q 'partial command discarded' "$WORK/shell.out"
+grep -q '(1 rows)' "$WORK/shell.out"
+# The abandoned rule must NOT have been defined.
+if grep -q 'rule abandoned' "$WORK/shell.out"; then
+  echo "shell defined a rule that was \\reset away" >&2
+  exit 1
+fi
+
+echo "server_smoke: ok"

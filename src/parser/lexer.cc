@@ -66,8 +66,10 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
     if (c == '/' && i + 1 < input.size() && input[i + 1] == '*') {
       size_t end = input.find("*/", i + 2);
       if (end == std::string_view::npos) {
-        return Status::ParseError("unterminated comment at line " +
-                                  std::to_string(line));
+        // Unterminated at end of input: more lines may close it, so this is
+        // the structured incomplete-input signal, not a hard parse error.
+        return Status::IncompleteInput("unterminated comment at line " +
+                                       std::to_string(line));
       }
       for (size_t j = i; j < end; ++j) {
         if (input[j] == '\n') ++line;
@@ -179,8 +181,8 @@ Result<std::vector<Token>> Tokenize(std::string_view input) {
         ++i;
       }
       if (!closed) {
-        return Status::ParseError("unterminated string literal at line " +
-                                  std::to_string(line));
+        return Status::IncompleteInput("unterminated string literal at line " +
+                                       std::to_string(line));
       }
       push(TokenKind::kString, start, std::move(text));
       continue;

@@ -86,12 +86,17 @@ class Parser {
   }
   Status Unexpected(std::string expected) const {
     const Token& t = Peek();
-    std::string got = t.Is(TokenKind::kEnd)
-                          ? "end of input"
-                          : (t.Is(TokenKind::kIdentifier) ||
-                                     t.Is(TokenKind::kString)
-                                 ? "\"" + t.text + "\""
-                                 : std::string(TokenKindToString(t.kind)));
+    if (t.Is(TokenKind::kEnd)) {
+      // The command is a valid prefix that ran out of tokens — a structured
+      // signal, so interactive front ends can keep reading more lines
+      // without sniffing error-message wording.
+      return Status::IncompleteInput("expected " + expected +
+                                     " but found end of input at line " +
+                                     std::to_string(t.line));
+    }
+    std::string got = t.Is(TokenKind::kIdentifier) || t.Is(TokenKind::kString)
+                          ? "\"" + t.text + "\""
+                          : std::string(TokenKindToString(t.kind));
     return Status::ParseError("expected " + expected + " but found " + got +
                               " at line " + std::to_string(t.line));
   }

@@ -1,0 +1,125 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "server/protocol.h"
+
+namespace ariel::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::ExecutionError(std::string(what) + ": " + strerror(errno));
+}
+
+}  // namespace
+
+Result<ClientConnection> ClientConnection::Connect(const std::string& host,
+                                                   uint16_t port) {
+  const std::string resolved = (host.empty() || host == "localhost")
+                                   ? std::string("127.0.0.1")
+                                   : host;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, resolved.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("cannot parse host \"" + host +
+                                   "\" (want IPv4 dotted or localhost)");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Errno("socket");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status failed = Errno("connect");
+    ::close(fd);
+    return failed;
+  }
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return ClientConnection(fd);
+}
+
+ClientConnection::ClientConnection(ClientConnection&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), inbuf_(std::move(other.inbuf_)) {}
+
+ClientConnection& ClientConnection::operator=(
+    ClientConnection&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    inbuf_ = std::move(other.inbuf_);
+  }
+  return *this;
+}
+
+ClientConnection::~ClientConnection() { Close(); }
+
+void ClientConnection::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ClientConnection::CloseWriteHalf() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+Status ClientConnection::Send(std::string_view command_text) {
+  return SendRaw(EncodeRequest(command_text));
+}
+
+Status ClientConnection::SendRaw(std::string_view bytes) {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n = ::write(fd_, bytes.data() + sent, bytes.size() - sent);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<ClientConnection::Response> ClientConnection::ReadResponse() {
+  if (fd_ < 0) return Status::InvalidArgument("not connected");
+  while (true) {
+    Response response;
+    std::string error;
+    DecodeStatus decoded =
+        DecodeResponse(&inbuf_, &response.kind, &response.payload, &error);
+    if (decoded == DecodeStatus::kFrame) return response;
+    if (decoded == DecodeStatus::kMalformed) {
+      return Status::ExecutionError("malformed response from server: " +
+                                    error);
+    }
+    char chunk[16 * 1024];
+    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (n == 0) {
+      return Status::ExecutionError(
+          "server closed the connection mid-response");
+    }
+    inbuf_.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+Result<ClientConnection::Response> ClientConnection::RoundTrip(
+    std::string_view command_text) {
+  ARIEL_RETURN_NOT_OK(Send(command_text));
+  return ReadResponse();
+}
+
+}  // namespace ariel::server

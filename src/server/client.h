@@ -1,0 +1,61 @@
+#ifndef ARIEL_SERVER_CLIENT_H_
+#define ARIEL_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace ariel::server {
+
+/// Blocking client side of the wire protocol; used by examples/ariel_client,
+/// the loopback tests, and bench/server_throughput. Requests go out
+/// length-framed; Send/ReadResponse are split so callers can pipeline.
+class ClientConnection {
+ public:
+  struct Response {
+    char kind = 0;        // kRespOk / kRespError / kRespIncomplete
+    std::string payload;  // rendered results or rendered Status
+  };
+
+  /// Connects over IPv4 ("localhost" is accepted as 127.0.0.1).
+  [[nodiscard]] static Result<ClientConnection> Connect(
+      const std::string& host, uint16_t port);
+
+  ClientConnection(ClientConnection&& other) noexcept;
+  ClientConnection& operator=(ClientConnection&& other) noexcept;
+  ClientConnection(const ClientConnection&) = delete;
+  ClientConnection& operator=(const ClientConnection&) = delete;
+  ~ClientConnection();
+
+  /// Sends one length-framed request without waiting for the reply.
+  [[nodiscard]] Status Send(std::string_view command_text);
+
+  /// Blocks for the next response frame. Responses arrive in request order.
+  [[nodiscard]] Result<Response> ReadResponse();
+
+  /// Send + ReadResponse.
+  [[nodiscard]] Result<Response> RoundTrip(std::string_view command_text);
+
+  /// Writes arbitrary bytes — the loopback tests use this to hand the
+  /// server malformed and oversized frames.
+  [[nodiscard]] Status SendRaw(std::string_view bytes);
+
+  /// Half-closes the write side so the server sees EOF while responses can
+  /// still be read (pipelined-drain testing).
+  void CloseWriteHalf();
+
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit ClientConnection(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace ariel::server
+
+#endif  // ARIEL_SERVER_CLIENT_H_

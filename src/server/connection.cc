@@ -1,0 +1,75 @@
+#include "server/connection.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include "util/metrics.h"
+
+namespace ariel::server {
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::ExecutionError(std::string("fcntl(O_NONBLOCK): ") +
+                                  strerror(errno));
+  }
+  return Status::OK();
+}
+
+Connection::~Connection() {
+  // Session teardown (transaction abort) runs first — session_ is declared
+  // after fd_ so its destructor fires before the socket state goes away.
+  session_.reset();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<size_t> Connection::ReadAvailable() {
+  size_t total = 0;
+  char chunk[16 * 1024];
+  while (true) {
+    ssize_t n = ::read(fd_, chunk, sizeof chunk);
+    if (n > 0) {
+      input.append(chunk, static_cast<size_t>(n));
+      total += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      read_closed = true;
+      break;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return Status::ExecutionError(std::string("read: ") + strerror(errno));
+  }
+  if (total > 0) {
+    Metrics().server_bytes_read.Increment(total);
+    Touch();
+  }
+  return total;
+}
+
+Result<bool> Connection::FlushOutput() {
+  size_t written = 0;
+  while (written < output.size()) {
+    ssize_t n = ::write(fd_, output.data() + written,
+                        output.size() - written);
+    if (n > 0) {
+      written += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    if (n < 0 && errno == EINTR) continue;
+    output.erase(0, written);
+    return Status::ExecutionError(std::string("write: ") + strerror(errno));
+  }
+  if (written > 0) {
+    Metrics().server_bytes_written.Increment(written);
+    output.erase(0, written);
+    Touch();
+  }
+  return output.empty();
+}
+
+}  // namespace ariel::server

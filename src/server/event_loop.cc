@@ -1,0 +1,186 @@
+#include "server/event_loop.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#if defined(__linux__)
+#include <sys/epoll.h>
+#define ARIEL_HAVE_EPOLL 1
+#endif
+
+namespace ariel::server {
+
+namespace {
+
+Status Errno(const char* what) {
+  return Status::ExecutionError(std::string(what) + ": " + strerror(errno));
+}
+
+/// Portable fallback: rebuilds a pollfd array per Wait. O(tracked fds) per
+/// call, which is fine at this server's connection counts; epoll exists for
+/// the day it is not.
+class PollLoop final : public EventLoop {
+ public:
+  Status Add(int fd, bool read, bool write) override {
+    for (const auto& [tracked, mask] : fds_) {
+      if (tracked == fd) {
+        return Status::InvalidArgument("fd already registered");
+      }
+    }
+    fds_.emplace_back(fd, MakeMask(read, write));
+    return Status::OK();
+  }
+
+  Status Modify(int fd, bool read, bool write) override {
+    for (auto& [tracked, mask] : fds_) {
+      if (tracked == fd) {
+        mask = MakeMask(read, write);
+        return Status::OK();
+      }
+    }
+    return Status::NotFound("fd not registered");
+  }
+
+  Status Remove(int fd) override {
+    auto it = std::find_if(fds_.begin(), fds_.end(),
+                           [fd](const auto& e) { return e.first == fd; });
+    if (it == fds_.end()) return Status::NotFound("fd not registered");
+    fds_.erase(it);
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<IoEvent>* events) override {
+    events->clear();
+    pollfds_.clear();
+    for (const auto& [fd, mask] : fds_) {
+      pollfds_.push_back(pollfd{fd, mask, 0});
+    }
+    int n = ::poll(pollfds_.data(),
+                   static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("poll");
+    }
+    for (const pollfd& p : pollfds_) {
+      if (p.revents == 0) continue;
+      IoEvent event;
+      event.fd = p.fd;
+      event.readable = (p.revents & POLLIN) != 0;
+      event.writable = (p.revents & POLLOUT) != 0;
+      event.hangup = (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "poll"; }
+
+ private:
+  static short MakeMask(bool read, bool write) {  // NOLINT(runtime/int)
+    short mask = 0;                               // NOLINT(runtime/int)
+    if (read) mask |= POLLIN;
+    if (write) mask |= POLLOUT;
+    return mask;
+  }
+
+  std::vector<std::pair<int, short>> fds_;  // NOLINT(runtime/int)
+  std::vector<pollfd> pollfds_;
+};
+
+#ifdef ARIEL_HAVE_EPOLL
+
+class EpollLoop final : public EventLoop {
+ public:
+  ~EpollLoop() override {
+    if (epfd_ >= 0) ::close(epfd_);
+  }
+
+  Status Init() {
+    epfd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epfd_ < 0) return Errno("epoll_create1");
+    return Status::OK();
+  }
+
+  Status Add(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_ADD, fd, read, write, "epoll_ctl(ADD)");
+  }
+
+  Status Modify(int fd, bool read, bool write) override {
+    return Ctl(EPOLL_CTL_MOD, fd, read, write, "epoll_ctl(MOD)");
+  }
+
+  Status Remove(int fd) override {
+    epoll_event unused{};
+    if (::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, &unused) < 0) {
+      return Errno("epoll_ctl(DEL)");
+    }
+    return Status::OK();
+  }
+
+  Status Wait(int timeout_ms, std::vector<IoEvent>* events) override {
+    events->clear();
+    epoll_event ready[64];
+    int n = ::epoll_wait(epfd_, ready, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return Status::OK();
+      return Errno("epoll_wait");
+    }
+    for (int i = 0; i < n; ++i) {
+      IoEvent event;
+      event.fd = ready[i].data.fd;
+      event.readable = (ready[i].events & EPOLLIN) != 0;
+      event.writable = (ready[i].events & EPOLLOUT) != 0;
+      event.hangup = (ready[i].events & (EPOLLERR | EPOLLHUP)) != 0;
+      events->push_back(event);
+    }
+    return Status::OK();
+  }
+
+  const char* name() const override { return "epoll"; }
+
+ private:
+  Status Ctl(int op, int fd, bool read, bool write, const char* what) {
+    epoll_event event{};
+    if (read) event.events |= EPOLLIN;
+    if (write) event.events |= EPOLLOUT;
+    event.data.fd = fd;
+    if (::epoll_ctl(epfd_, op, fd, &event) < 0) return Errno(what);
+    return Status::OK();
+  }
+
+  int epfd_ = -1;
+};
+
+#endif  // ARIEL_HAVE_EPOLL
+
+}  // namespace
+
+Result<std::unique_ptr<EventLoop>> MakeEventLoop(std::string_view backend) {
+  if (backend == "poll") {
+    return std::unique_ptr<EventLoop>(std::make_unique<PollLoop>());
+  }
+#ifdef ARIEL_HAVE_EPOLL
+  if (backend.empty() || backend == "epoll") {
+    auto loop = std::make_unique<EpollLoop>();
+    ARIEL_RETURN_NOT_OK(loop->Init());
+    return std::unique_ptr<EventLoop>(std::move(loop));
+  }
+#else
+  if (backend.empty()) {
+    return std::unique_ptr<EventLoop>(std::make_unique<PollLoop>());
+  }
+  if (backend == "epoll") {
+    return Status::NotSupported("epoll is not available on this platform");
+  }
+#endif
+  return Status::InvalidArgument("unknown event backend \"" +
+                                 std::string(backend) +
+                                 "\" (want \"epoll\" or \"poll\")");
+}
+
+}  // namespace ariel::server

@@ -1,0 +1,52 @@
+#ifndef ARIEL_SERVER_EVENT_LOOP_H_
+#define ARIEL_SERVER_EVENT_LOOP_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ariel::server {
+
+/// One readiness notification from EventLoop::Wait.
+struct IoEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Peer hangup or socket error; the fd should be torn down after any
+  /// remaining readable bytes are drained.
+  bool hangup = false;
+};
+
+/// Readiness-notification backend for the server's single-threaded loop.
+/// Linux builds get an epoll implementation; poll(2) is the portable
+/// fallback and a forced choice for testing (ARIEL_EVENT_BACKEND=poll).
+/// Level-triggered semantics in both backends: an fd with unread input or
+/// unflushed interest keeps reporting until serviced.
+class EventLoop {
+ public:
+  virtual ~EventLoop() = default;
+
+  [[nodiscard]] virtual Status Add(int fd, bool read, bool write) = 0;
+  [[nodiscard]] virtual Status Modify(int fd, bool read, bool write) = 0;
+  [[nodiscard]] virtual Status Remove(int fd) = 0;
+
+  /// Blocks up to `timeout_ms` (-1 = indefinitely) and appends ready fds to
+  /// `*events` (cleared first). Returning zero events on timeout is normal.
+  [[nodiscard]] virtual Status Wait(int timeout_ms,
+                                    std::vector<IoEvent>* events) = 0;
+
+  /// "epoll" or "poll" — surfaced in the server banner and tests.
+  virtual const char* name() const = 0;
+};
+
+/// Creates an event loop. `backend` is "" (epoll where available, else
+/// poll), "epoll", or "poll"; anything else is an InvalidArgument error, as
+/// is requesting epoll on a platform without it.
+[[nodiscard]] Result<std::unique_ptr<EventLoop>> MakeEventLoop(
+    std::string_view backend);
+
+}  // namespace ariel::server
+
+#endif  // ARIEL_SERVER_EVENT_LOOP_H_

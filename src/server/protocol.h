@@ -1,0 +1,72 @@
+#ifndef ARIEL_SERVER_PROTOCOL_H_
+#define ARIEL_SERVER_PROTOCOL_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "exec/executor.h"
+#include "util/status.h"
+
+namespace ariel::server {
+
+// ---------------------------------------------------------------------------
+// Wire protocol (ISSUE 7 tentpole).
+//
+// Requests (client → server), one of two framings:
+//   bare line     <command text>\n            — telnet-friendly one-liners;
+//                                               any line not starting with '$'
+//   length frame  $<n>\n<n payload bytes>\n   — exact byte count, so command
+//                                               text may span lines (multi-
+//                                               line define rule, do…end)
+//
+// Responses (server → client), always length-framed:
+//   <kind><n>\n<n payload bytes>\n
+// with kind one of:
+//   '+'  command(s) executed; payload is the rendered results
+//   '-'  error; payload is the rendered Status
+//   '~'  incomplete input (StatusCode::kIncompleteInput): the request is a
+//        valid prefix of a command — accumulate more lines and resend the
+//        whole buffer. Nothing was executed.
+//
+// Both sides parse frames with the incremental decoders below; responses to
+// pipelined requests are emitted strictly in request order.
+// ---------------------------------------------------------------------------
+
+inline constexpr char kRespOk = '+';
+inline constexpr char kRespError = '-';
+inline constexpr char kRespIncomplete = '~';
+
+enum class DecodeStatus : uint8_t {
+  kNeedMore,  // buffer holds no complete frame yet
+  kFrame,     // one frame decoded and consumed from the buffer
+  kMalformed, // framing is broken; the connection cannot be resynchronized
+};
+
+/// Decodes one request from the front of `buffer`, erasing consumed bytes.
+/// On kFrame, `*text` holds the command text. On kMalformed, `*error`
+/// explains what broke (bad length header, frame terminator missing, or a
+/// frame/line exceeding `max_frame_bytes`).
+DecodeStatus DecodeRequest(std::string* buffer, size_t max_frame_bytes,
+                           std::string* text, std::string* error);
+
+/// Decodes one response from the front of `buffer`, erasing consumed bytes.
+/// On kFrame, `*kind` is one of kResp* and `*payload` holds the body.
+DecodeStatus DecodeResponse(std::string* buffer, char* kind,
+                            std::string* payload, std::string* error);
+
+/// Encodes a request as a length frame ("$<n>\n<text>\n").
+std::string EncodeRequest(std::string_view text);
+
+/// Encodes a response frame ("<kind><n>\n<payload>\n").
+std::string EncodeResponse(char kind, std::string_view payload);
+
+/// Canonical human-readable rendering of one command result — the single
+/// definition shared by the shell, the session layer, and the client's
+/// --local mode, so "client against a server" and "same script in process"
+/// produce byte-identical output.
+std::string RenderCommandResult(const CommandResult& result);
+
+}  // namespace ariel::server
+
+#endif  // ARIEL_SERVER_PROTOCOL_H_

@@ -234,6 +234,24 @@ EngineMetrics::EngineMetrics()
       batch_flushes(registry.RegisterCounter("batch_flushes")),
       match_tasks(registry.RegisterCounter("match_tasks")),
       match_steal_count(registry.RegisterCounter("match_steal_count")),
+      server_connections_accepted(
+          registry.RegisterCounter("server_connections_accepted")),
+      server_connections_rejected(
+          registry.RegisterCounter("server_connections_rejected")),
+      server_connections_closed(
+          registry.RegisterCounter("server_connections_closed")),
+      server_commands(registry.RegisterCounter("server_commands")),
+      server_bytes_read(registry.RegisterCounter("server_bytes_read")),
+      server_bytes_written(registry.RegisterCounter("server_bytes_written")),
+      server_frame_errors(registry.RegisterCounter("server_frame_errors")),
+      server_backpressure_stalls(
+          registry.RegisterCounter("server_backpressure_stalls")),
+      server_idle_disconnects(
+          registry.RegisterCounter("server_idle_disconnects")),
+      server_txn_aborts_on_disconnect(
+          registry.RegisterCounter("server_txn_aborts_on_disconnect")),
+      server_active_connections(
+          registry.RegisterGauge("server_active_connections")),
       txn_undo_records(registry.RegisterCounter("txn_undo_records")),
       txn_rollbacks(registry.RegisterCounter("txn_rollbacks")),
       txn_rule_aborts(registry.RegisterCounter("txn_rule_aborts")),
@@ -248,7 +266,8 @@ EngineMetrics::EngineMetrics()
       batch_select_ns(registry.RegisterHistogram("batch_select_ns")),
       batch_match_ns(registry.RegisterHistogram("batch_match_ns")),
       batch_merge_ns(registry.RegisterHistogram("batch_merge_ns")),
-      txn_rollback_ns(registry.RegisterHistogram("txn_rollback_ns")) {}
+      txn_rollback_ns(registry.RegisterHistogram("txn_rollback_ns")),
+      server_command_ns(registry.RegisterHistogram("server_command_ns")) {}
 
 EngineMetrics& Metrics() {
   // Intentionally leaked: handles embedded across the engine hold raw cell

@@ -330,6 +330,21 @@ struct EngineMetrics {
   Counter match_steal_count;  // cross-deque steals inside those batches
 
   // Transaction / undo layer (src/txn).
+  // Networked front end (src/server): connection lifecycle, request
+  // traffic, and robustness events. All zero unless an ArielServer runs in
+  // the process.
+  Counter server_connections_accepted;
+  Counter server_connections_rejected;   // over max_connections
+  Counter server_connections_closed;
+  Counter server_commands;               // commands executed for clients
+  Counter server_bytes_read;
+  Counter server_bytes_written;
+  Counter server_frame_errors;           // malformed/oversized frames
+  Counter server_backpressure_stalls;    // output-cap stall episodes
+  Counter server_idle_disconnects;       // idle-timeout teardowns
+  Counter server_txn_aborts_on_disconnect;  // dropped mid-transaction peers
+  Gauge server_active_connections;
+
   Counter txn_undo_records;   // undo records appended to armed logs
   Counter txn_rollbacks;      // savepoint/command/explicit rollbacks replayed
   Counter txn_rule_aborts;    // rule firings undone by on_action_error=abort_rule
@@ -343,6 +358,8 @@ struct EngineMetrics {
   Histogram batch_match_ns;   // batch stage 2: per-rule join/α-memory work
   Histogram batch_merge_ns;   // batch stage 3: deterministic delta merge
   Histogram txn_rollback_ns;  // undo replay + engine-state restore per rollback
+  Histogram server_command_ns;  // per-request execute+render (p50/p99 in
+                                // `show stats` via the registry render)
 
   FiringTraceRing firing_trace;
 

@@ -13,6 +13,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Invalid argument";
     case StatusCode::kParseError:
       return "Parse error";
+    case StatusCode::kIncompleteInput:
+      return "Incomplete input";
     case StatusCode::kSemanticError:
       return "Semantic error";
     case StatusCode::kNotFound:

@@ -15,6 +15,7 @@ enum class StatusCode : uint8_t {
   kOk = 0,
   kInvalidArgument,   // malformed input from the caller (bad value, bad name)
   kParseError,        // lexer/parser rejected a command string
+  kIncompleteInput,   // input is a valid prefix; more text may complete it
   kSemanticError,     // command parsed but is not meaningful (unknown column)
   kNotFound,          // named object does not exist
   kAlreadyExists,     // named object exists and duplicates are not allowed
@@ -53,6 +54,13 @@ class [[nodiscard]] Status {
   [[nodiscard]] static Status ParseError(std::string msg) {
     return Status(StatusCode::kParseError, std::move(msg));
   }
+  /// The input ends mid-construct (unterminated block, rule, string, ...):
+  /// it is not wrong, just unfinished. Interactive front ends (the shell,
+  /// the server protocol) branch on this code to keep reading instead of
+  /// reporting an error — never on error-message wording.
+  [[nodiscard]] static Status IncompleteInput(std::string msg) {
+    return Status(StatusCode::kIncompleteInput, std::move(msg));
+  }
   [[nodiscard]] static Status SemanticError(std::string msg) {
     return Status(StatusCode::kSemanticError, std::move(msg));
   }
@@ -75,6 +83,9 @@ class [[nodiscard]] Status {
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsHalt() const { return code_ == StatusCode::kHalt; }
+  bool IsIncompleteInput() const {
+    return code_ == StatusCode::kIncompleteInput;
+  }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 

@@ -1,0 +1,75 @@
+// Pins the structured incomplete-input signal (StatusCode::kIncompleteInput)
+// that the shell and the server protocol use for multi-line continuation.
+// These are regression tests: if the parser ever reports running out of
+// input as a plain kParseError again, interactive continuation silently
+// breaks (the shell would print an error instead of a "... " prompt).
+
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "test_util.h"
+#include "util/status.h"
+
+namespace ariel {
+namespace {
+
+StatusCode CodeOf(std::string_view script) {
+  auto result = ParseScript(script);
+  return result.status().code();
+}
+
+TEST(IncompleteInputTest, MultiLineDefineRuleEntry) {
+  // Every truncation point of a define rule keeps the incomplete signal,
+  // so the shell keeps reading at any mid-rule prompt.
+  EXPECT_EQ(CodeOf("define rule"), StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("define rule watch"), StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("define rule watch if"), StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("define rule watch if emp.sal > 100.0"),
+            StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("define rule watch if emp.sal > 100.0 then"),
+            StatusCode::kIncompleteInput);
+  EXPECT_OK(ParseScript(
+      "define rule watch if emp.sal > 100.0 then delete emp"));
+}
+
+TEST(IncompleteInputTest, MultiLineBlockEntry) {
+  EXPECT_EQ(CodeOf("do"), StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("do\nappend emp (sal = 1.0)"),
+            StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("do\nappend emp (sal = 1.0)\nappend emp (sal = 2.0)"),
+            StatusCode::kIncompleteInput);
+  EXPECT_OK(ParseScript("do\nappend emp (sal = 1.0)\nend"));
+}
+
+TEST(IncompleteInputTest, UnterminatedLexemes) {
+  EXPECT_EQ(CodeOf("append emp (name = \"unfinished"),
+            StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("retrieve (emp.all) /* comment"),
+            StatusCode::kIncompleteInput);
+}
+
+TEST(IncompleteInputTest, TruncatedCommandForms) {
+  EXPECT_EQ(CodeOf("create emp (name = string,"),
+            StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("retrieve (emp.all) where"),
+            StatusCode::kIncompleteInput);
+  EXPECT_EQ(CodeOf("append emp (sal ="), StatusCode::kIncompleteInput);
+}
+
+TEST(IncompleteInputTest, GenuineErrorsStayParseErrors) {
+  // A wrong token in the middle of the input is a real error — continuation
+  // must NOT swallow it and trap the user at the "... " prompt.
+  EXPECT_EQ(CodeOf("retrieve (emp.all) where )"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("create emp (name == string)"), StatusCode::kParseError);
+  EXPECT_EQ(CodeOf("frobnicate emp"), StatusCode::kParseError);
+}
+
+TEST(IncompleteInputTest, SingleCommandTrailingInputIsAnError) {
+  // ParseCommand rejects trailing text after a complete command; that is
+  // "too much input", never "incomplete input".
+  auto result = ParseCommand("halt halt");
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+}  // namespace
+}  // namespace ariel

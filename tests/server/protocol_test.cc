@@ -1,0 +1,161 @@
+// Unit tests for the wire-protocol framing: incremental request/response
+// decoding, bare-line vs length-framed requests, split feeds, CRLF
+// tolerance, malformed headers, and oversized frames.
+
+#include "server/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "test_util.h"
+
+namespace ariel::server {
+namespace {
+
+constexpr size_t kMaxFrame = 1024;
+
+TEST(DecodeRequest, BareLine) {
+  std::string buffer = "retrieve (emp.all)\n";
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, "retrieve (emp.all)");
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(DecodeRequest, BareLineCrlf) {
+  std::string buffer = "halt\r\n";
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, "halt");
+}
+
+TEST(DecodeRequest, LengthFrame) {
+  const std::string payload = "define rule r\nif emp.sal > 10\nthen delete emp";
+  std::string buffer = EncodeRequest(payload);
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, payload);
+  EXPECT_TRUE(buffer.empty());
+}
+
+TEST(DecodeRequest, NeedMoreUntilComplete) {
+  const std::string payload = "append emp (name=\"x\")";
+  const std::string wire = EncodeRequest(payload);
+  std::string buffer;
+  std::string text, error;
+  // Feed the encoded frame one byte at a time: every prefix must report
+  // kNeedMore, and only the full frame decodes.
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer += wire[i];
+    ASSERT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+              DecodeStatus::kNeedMore)
+        << "prefix length " << i + 1;
+  }
+  buffer += wire.back();
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, payload);
+}
+
+TEST(DecodeRequest, PipelinedFramesDecodeInOrder) {
+  std::string buffer =
+      EncodeRequest("first") + "second bare\n" + EncodeRequest("third");
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, "first");
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, "second bare");
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(text, "third");
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kNeedMore);
+}
+
+TEST(DecodeRequest, MalformedLengthHeader) {
+  std::string buffer = "$notanumber\npayload\n";
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kMalformed);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(DecodeRequest, MissingFrameTerminator) {
+  // Frame declares 2 payload bytes but the byte after them is not '\n'.
+  std::string buffer = "$2\nabX";
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kMalformed);
+}
+
+TEST(DecodeRequest, OversizedFrame) {
+  std::string buffer = "$2048\n";
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kMalformed);
+  EXPECT_NE(error.find("exceeds"), std::string::npos) << error;
+}
+
+TEST(DecodeRequest, OversizedBareLine) {
+  // A line longer than the frame cap, with no newline yet, must be rejected
+  // rather than buffered forever.
+  std::string buffer(kMaxFrame + 1, 'x');
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kMalformed);
+}
+
+TEST(DecodeRequest, EmptyLengthFrame) {
+  std::string buffer = EncodeRequest("");
+  std::string text, error;
+  EXPECT_EQ(DecodeRequest(&buffer, kMaxFrame, &text, &error),
+            DecodeStatus::kFrame);
+  EXPECT_TRUE(text.empty());
+}
+
+TEST(DecodeResponse, RoundTripsAllKinds) {
+  for (char kind : {kRespOk, kRespError, kRespIncomplete}) {
+    std::string buffer = EncodeResponse(kind, "payload with\nnewlines\n");
+    char got_kind = 0;
+    std::string payload, error;
+    ASSERT_EQ(DecodeResponse(&buffer, &got_kind, &payload, &error),
+              DecodeStatus::kFrame);
+    EXPECT_EQ(got_kind, kind);
+    EXPECT_EQ(payload, "payload with\nnewlines\n");
+    EXPECT_TRUE(buffer.empty());
+  }
+}
+
+TEST(DecodeResponse, SplitFeed) {
+  const std::string wire = EncodeResponse(kRespOk, "ok\n");
+  std::string buffer;
+  char kind = 0;
+  std::string payload, error;
+  for (size_t i = 0; i + 1 < wire.size(); ++i) {
+    buffer += wire[i];
+    ASSERT_EQ(DecodeResponse(&buffer, &kind, &payload, &error),
+              DecodeStatus::kNeedMore);
+  }
+  buffer += wire.back();
+  EXPECT_EQ(DecodeResponse(&buffer, &kind, &payload, &error),
+            DecodeStatus::kFrame);
+  EXPECT_EQ(kind, kRespOk);
+  EXPECT_EQ(payload, "ok\n");
+}
+
+TEST(DecodeResponse, UnknownKindIsMalformed) {
+  std::string buffer = "?3\nabc\n";
+  char kind = 0;
+  std::string payload, error;
+  EXPECT_EQ(DecodeResponse(&buffer, &kind, &payload, &error),
+            DecodeStatus::kMalformed);
+}
+
+}  // namespace
+}  // namespace ariel::server
