@@ -180,6 +180,10 @@ int main() {
           static_cast<unsigned long long>(row.flushes),
           static_cast<unsigned long long>(row.tasks),
           static_cast<unsigned long long>(row.steals));
+      const std::string key = "n" + std::to_string(row.size) + "_" +
+                              ModeName(row) + "_t" +
+                              std::to_string(row.threads);
+      reporter.AddResult(key + "_tokens_per_sec", row.TokensPerSecond());
     }
   }
   return 0;

@@ -1,0 +1,125 @@
+// Columnar vs row scan throughput: the same retrieve over a single
+// relation, swept across table size (10^2 .. 10^5 rows) and predicate
+// selectivity, with the columnar execution layer on and off
+// (ARIEL_COLUMNAR=1 vs 0 — the bench sets the env var per point, so each
+// Database resolves the master switch exactly the way a user run would).
+//
+// The row path evaluates the compiled predicate on a scratch row per tuple
+// and deep-copies every projected Value; the columnar path evaluates the
+// vectorized prefix over the relation's cached ColumnBatch (one typed loop
+// per conjunct) and only materializes survivors. The gap therefore widens
+// as selectivity drops. Results are identical in both modes by
+// construction (the kernels replicate Value::Compare bit-for-bit).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_report.h"
+#include "bench/paper_workload.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace ariel;
+using namespace ariel::bench;
+
+constexpr int kValDomain = 1000;
+
+struct Point {
+  int size = 0;
+  int sel_pct = 0;   // nominal selectivity, percent
+  bool columnar = false;
+  double rows_per_sec = 0;
+  size_t hits = 0;
+};
+
+Point RunPoint(int size, int sel_pct, bool columnar) {
+  // The env var is the master switch (it overwrites the option), so flip it
+  // the way an A/B harness would.
+  setenv("ARIEL_COLUMNAR", columnar ? "1" : "0", /*overwrite=*/1);
+  DatabaseOptions options;
+  Database db(options);
+  CheckOk(db.Execute("create data (id = int, val = int, pad = string)")
+              .status(),
+          "create data");
+  HeapRelation* data = db.catalog().GetRelation("data");
+  for (int i = 0; i < size; ++i) {
+    CheckOk(db.transitions()
+                .Insert(data, Tuple(std::vector<Value>{
+                                  Value::Int(i),
+                                  Value::Int((i * 131) % kValDomain),
+                                  Value::String("row" + std::to_string(i))}))
+                .status(),
+            "populate data");
+  }
+
+  const std::string query = "retrieve (d.id, d.val) from d in data where "
+                            "d.val < " +
+                            std::to_string(kValDomain * sel_pct / 100);
+  // Warm up once (builds the column cache on the columnar path; the timed
+  // loop then measures steady-state scans, which is what a rule cascade
+  // re-running the same scan sees).
+  CommandResult warm = CheckOk(db.Execute(query), "warmup scan");
+  const size_t hits = warm.rows.has_value() ? warm.rows->num_rows() : 0;
+
+  // Size the trial count so every point runs long enough to time.
+  const int trials = size >= 100000 ? 20 : size >= 10000 ? 100 : 400;
+  Timer timer;
+  for (int t = 0; t < trials; ++t) {
+    CommandResult r = CheckOk(db.Execute(query), "timed scan");
+    if (!r.rows.has_value() || r.rows->num_rows() != hits) {
+      std::fprintf(stderr, "scan_throughput: result drifted between runs\n");
+      std::exit(1);
+    }
+  }
+  const double seconds = timer.ElapsedSeconds();
+
+  Point p;
+  p.size = size;
+  p.sel_pct = sel_pct;
+  p.columnar = columnar;
+  p.hits = hits;
+  p.rows_per_sec =
+      seconds > 0 ? static_cast<double>(size) * trials / seconds : 0;
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  BenchReporter reporter("scan_throughput");
+  const bool smoke = SmokeMode();
+  const std::vector<int> sizes =
+      smoke ? std::vector<int>{100, 1000}
+            : std::vector<int>{100, 1000, 10000, 100000};
+  const std::vector<int> selectivities =
+      smoke ? std::vector<int>{10} : std::vector<int>{1, 10, 50, 90};
+
+  std::printf("=== scan throughput: columnar batch vs row-at-a-time ===\n");
+  std::printf("(retrieve with one band predicate over data[N]; rows/s = "
+              "tuples scanned per second)\n");
+  std::printf("%-9s %-7s %-9s %-14s %-14s %-9s\n", "size", "sel%", "hits",
+              "row (r/s)", "column (r/s)", "speedup");
+  for (int size : sizes) {
+    for (int sel : selectivities) {
+      Point row = RunPoint(size, sel, /*columnar=*/false);
+      Point col = RunPoint(size, sel, /*columnar=*/true);
+      const double speedup =
+          row.rows_per_sec > 0 ? col.rows_per_sec / row.rows_per_sec : 0;
+      std::printf("%-9d %-7d %-9zu %-14.0f %-14.0f %-9.2f\n", size, sel,
+                  row.hits, row.rows_per_sec, col.rows_per_sec, speedup);
+      const std::string key =
+          "n" + std::to_string(size) + "_sel" + std::to_string(sel);
+      reporter.AddResult(key + "_row_rows_per_sec", row.rows_per_sec);
+      reporter.AddResult(key + "_col_rows_per_sec", col.rows_per_sec);
+      reporter.AddResult(key + "_speedup", speedup);
+    }
+  }
+  std::printf("\nExpected shape: the columnar path pulls ahead as N grows\n"
+              "(batch build amortizes across re-scans) and as selectivity\n"
+              "drops (survivor-only materialization skips the per-tuple\n"
+              "Value deep copies the row path pays on every hit).\n");
+  return 0;
+}

@@ -83,6 +83,10 @@ int main() {
     Sample s = Run(rule_type, num_rules);
     std::printf("%-10d %-14.2f %-14.2f %-14.2f\n", rule_type, s.insert_us,
                 s.replace_us, s.delete_us);
+    const std::string prefix = "type" + std::to_string(rule_type) + "_";
+    reporter.AddResult(prefix + "insert_us", s.insert_us);
+    reporter.AddResult(prefix + "replace_us", s.replace_us);
+    reporter.AddResult(prefix + "delete_us", s.delete_us);
   }
   std::printf("\nExpected shape: deletes are far cheaper than inserts (no\n"
               "joins — TREAT's deletion advantage); replaces cost about an\n"

@@ -49,6 +49,12 @@ Rules
                  transaction, classify incomplete input, and record the
                  server command metrics. A connection or event-loop file
                  calling Execute directly bypasses all three.
+  heap-iteration Direct HeapRelation tuple sweeps (AllTupleIds/ForEachTuple)
+                 in src/exec/. Executor scans must read rows through the
+                 columnar batch layer (HeapRelation::ColumnView + the
+                 selection-vector kernels) so the row/column choice stays in
+                 one place; the deliberate row-path fallbacks carry an
+                 allow() with a one-line justification.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -234,6 +240,10 @@ BARE_OK_RE = re.compile(
     r"(EXPECT|ASSERT)_TRUE\s*\(\s*[^;]*?\.\s*ok\s*\(\s*\)\s*\)\s*;",
     re.DOTALL,
 )
+# heap-iteration: row-at-a-time sweeps over a HeapRelation inside the
+# executor. Scans must go through the columnar batch machinery (ColumnView +
+# selection-vector kernels) or a deliberately annotated row fallback.
+HEAP_ITER_RE = re.compile(r"(->|\.)\s*(AllTupleIds|ForEachTuple)\s*\(")
 
 
 def in_storage(path: Path) -> bool:
@@ -314,6 +324,16 @@ def lint_file(path: Path) -> list[Finding]:
                    f"atomic {m.group(1)} without an explicit "
                    "std::memory_order — metric/pool atomics are relaxed by "
                    "design; synchronization belongs to mutexes")
+
+    # heap-iteration: executor files must not sweep heap tuples row-at-a-
+    # time outside the annotated fallbacks.
+    if rel_parts == ("src", "exec"):
+        for i, line in enumerate(code_lines, start=1):
+            if HEAP_ITER_RE.search(line):
+                report(i, "heap-iteration",
+                       "row-at-a-time HeapRelation sweep in the executor — "
+                       "read through ColumnView/vector kernels or annotate "
+                       "the deliberate row fallback")
 
     # gateway-mutation: tuple mutations in engine code must go through a
     # StorageGateway (undo records + network tokens); direct relation calls

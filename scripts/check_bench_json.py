@@ -9,6 +9,8 @@ Each report must be valid JSON with:
   - "schema_version": integer
   - "wall_time_seconds": non-negative number
   - "counters": object with at least MIN_COUNTERS integer entries
+  - "results": numeric headline values; optional in general but required
+    (non-empty) for the benches in REQUIRE_RESULTS
 
 Exits 1 on the first malformed report; CI runs this over the smoke-mode
 bench artifacts so a bench that stops reporting fails the build.
@@ -25,6 +27,16 @@ import re
 import sys
 
 MIN_COUNTERS = 6
+
+# Benches whose reports must carry a non-empty structured "results" object
+# (headline numbers, diffable pre/post by key). A bench on this list that
+# silently stops calling AddResult fails CI even in smoke mode.
+REQUIRE_RESULTS = {
+    "server_throughput",
+    "token_ops",
+    "bulk_transitions",
+    "scan_throughput",
+}
 
 # `bench/<name>` where the path ends at the name (excludes directories
 # like bench/results/... via the trailing-slash lookahead).
@@ -59,6 +71,18 @@ def check(path: str) -> None:
     wall = report.get("wall_time_seconds")
     if not isinstance(wall, (int, float)) or isinstance(wall, bool) or wall < 0:
         fail(path, '"wall_time_seconds" missing or not a non-negative number')
+
+    results = report.get("results")
+    if results is not None:
+        if not isinstance(results, dict):
+            fail(path, '"results" present but not an object')
+        bad = [k for k, v in results.items()
+               if not isinstance(v, (int, float)) or isinstance(v, bool)]
+        if bad:
+            fail(path, f"non-numeric results: {', '.join(sorted(bad))}")
+    if bench in REQUIRE_RESULTS and not results:
+        fail(path, f'"{bench}" must report a non-empty "results" object '
+                   "(BenchReporter::AddResult)")
 
     counters = report.get("counters")
     if not isinstance(counters, dict):

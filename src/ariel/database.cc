@@ -27,7 +27,17 @@ size_t EnvSizeOr(const char* name, size_t fallback) {
 
 Database::Database(DatabaseOptions options)
     : options_(options), optimizer_(options.optimizer) {
+  options_.columnar_exec =
+      EnvSizeOr("ARIEL_COLUMNAR", options_.columnar_exec ? 1 : 0) != 0;
+  {
+    // optimizer_ was constructed from options.optimizer before the env
+    // override ran; re-apply the resolved master switch.
+    OptimizerOptions opt = optimizer_.options();
+    opt.columnar_exec = options_.columnar_exec;
+    optimizer_.set_options(opt);
+  }
   options_.batch_tokens = EnvSizeOr("ARIEL_BATCH_TOKENS", options_.batch_tokens);
+  network_.set_columnar_exec(options_.columnar_exec);
   options_.match_threads =
       EnvSizeOr("ARIEL_MATCH_THREADS", options_.match_threads);
   if (options_.match_threads > 0) {
@@ -51,6 +61,7 @@ Database::Database(DatabaseOptions options)
   rules_->set_policy(options.alpha_policy);
   rules_->set_join_backend(options.join_backend);
   rules_->set_join_hash_indexes(options.join_hash_indexes);
+  rules_->set_columnar_exec(options_.columnar_exec);
   monitor_ = std::make_unique<RuleExecutionMonitor>(rules_.get(),
                                                     executor_.get(),
                                                     transitions_.get());
@@ -441,6 +452,17 @@ Result<std::vector<AuditViolation>> Database::AuditNetwork() {
   ARIEL_ASSIGN_OR_RETURN(std::vector<AuditViolation> violations,
                          NetworkAuditor::AuditAtQuiescence(
                              networks, network_.selection_network()));
+  // Every materialized heap column cache must mirror its relation
+  // cell-for-cell (the batches columnar scans read).
+  for (const std::string& rel_name : catalog_.RelationNames()) {
+    HeapRelation* relation = catalog_.GetRelation(rel_name);
+    if (relation == nullptr) continue;
+    if (std::string problem = relation->AuditColumnCache(); !problem.empty()) {
+      violations.push_back(AuditViolation{
+          AuditViolationKind::kColumnCacheIncoherent,
+          "relation " + rel_name, std::move(problem)});
+    }
+  }
   // A flushed batch must leave nothing behind: no deferred tokens in the
   // transition manager, no rule still staging P-node deltas.
   if (transitions_->pending_batch_tokens() > 0) {

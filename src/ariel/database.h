@@ -77,6 +77,14 @@ struct DatabaseOptions {
   /// definite non-terminating cascade. Overridable with the ARIEL_ANALYZE
   /// env var (off | warn | error).
   AnalyzeOnInstall analyze_on_install = AnalyzeOnInstall::kOff;
+  /// Columnar batch execution: evaluate vectorizable predicates column-at-
+  /// a-time over cached ColumnBatch views — scan/filter residual prefixes,
+  /// α-memory candidate prefilters in the join networks, and Δ-batch
+  /// classification in the selection network. Off forces the row path
+  /// everywhere (A/B comparison; results are identical either way).
+  /// Overridable with the ARIEL_COLUMNAR env var (0 | 1). The master
+  /// switch: it overwrites optimizer.columnar_exec.
+  bool columnar_exec = true;
 };
 
 /// The Ariel active DBMS: a relational engine whose update processing is

@@ -209,22 +209,88 @@ Result<Plan> Optimizer::BuildPlan(const std::vector<PlanVar>& vars,
         residual.push_back(c->expr->Clone());
       }
     }
+    const bool use_index = best_index != nullptr && !bound_conjuncts.empty();
+
+    // Columnar: vector-compile the maximal *prefix* of the residual list.
+    // Vectorizing only a prefix keeps error behavior identical to the row
+    // path — a conjunct that can raise (arithmetic, non-bool) is never
+    // reordered before the mask, so `x != 0 and 1/x > 2` still short-
+    // circuits. Index scans stay on the row path (their tid order comes
+    // from the index, not the heap batch).
+    VectorPredicatePtr vector_filter;
+    CompiledExprPtr row_residual;
+    if (options_.columnar_exec && !use_index && !residual.empty()) {
+      const Schema& schema = vars[v].relation->schema();
+      const std::string& var_name = scope.var(v).name;
+      size_t prefix = 0;
+      while (prefix < residual.size() &&
+             VectorPredicate::Compile(*residual[prefix], var_name, schema) !=
+                 nullptr) {
+        ++prefix;
+      }
+      if (prefix > 0) {
+        std::vector<ExprPtr> head;
+        head.reserve(prefix);
+        for (size_t i = 0; i < prefix; ++i) {
+          head.push_back(residual[i]->Clone());
+        }
+        ExprPtr head_expr = CombineConjuncts(std::move(head));
+        vector_filter = VectorPredicate::Compile(*head_expr, var_name, schema);
+        std::vector<ExprPtr> tail;
+        for (size_t i = prefix; i < residual.size(); ++i) {
+          tail.push_back(residual[i]->Clone());
+        }
+        if (ExprPtr tail_expr = CombineConjuncts(std::move(tail))) {
+          ARIEL_ASSIGN_OR_RETURN(row_residual, CompileExpr(*tail_expr, scope));
+        }
+      }
+    }
+
     ExprPtr residual_expr = CombineConjuncts(std::move(residual));
     CompiledExprPtr filter;
     if (residual_expr) {
       ARIEL_ASSIGN_OR_RETURN(filter, CompileExpr(*residual_expr, scope));
     }
 
-    if (best_index != nullptr && !bound_conjuncts.empty()) {
+    if (use_index) {
       scans[v] = std::make_unique<IndexScanNode>(
           vars[v].relation, best_index, best_attr, v, n, std::move(lower),
           std::move(upper), std::move(filter));
     } else {
       scans[v] = std::make_unique<SeqScanNode>(
           vars[v].relation, v, n, std::move(filter),
-          vars[v].is_pnode ? "PnodeScan" : "SeqScan");
+          vars[v].is_pnode ? "PnodeScan" : "SeqScan", std::move(vector_filter),
+          std::move(row_residual), options_.columnar_min_rows);
     }
   }
+
+  // Wraps `child` in a FilterNode. When the predicate touches exactly one
+  // variable and vector-compiles, the filter gets (relation, ordinal,
+  // VectorPredicate) so it can classify rows by tuple id against one
+  // column-view mask instead of re-evaluating the predicate per row.
+  auto make_filter = [&](PlanNodePtr child,
+                         const Expr& expr) -> Result<PlanNodePtr> {
+    ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr pred, CompileExpr(expr, scope));
+    const HeapRelation* vrel = nullptr;
+    size_t vvar = 0;
+    VectorPredicatePtr vp;
+    if (options_.columnar_exec) {
+      std::vector<std::string> names = CollectTupleVars(expr);
+      int idx = names.size() == 1 ? scope.IndexOf(names[0]) : -1;
+      if (idx >= 0) {
+        size_t ord = static_cast<size_t>(idx);
+        vp = VectorPredicate::Compile(expr, scope.var(ord).name,
+                                      vars[ord].relation->schema());
+        if (vp != nullptr) {
+          vrel = vars[ord].relation;
+          vvar = ord;
+        }
+      }
+    }
+    return PlanNodePtr(std::make_unique<FilterNode>(
+        std::move(child), std::move(pred), expr.ToString(), vrel, vvar,
+        std::move(vp), options_.columnar_min_rows));
+  };
 
   // --- Greedy join ordering ---
   std::set<size_t> joined;
@@ -308,11 +374,7 @@ Result<Plan> Optimizer::BuildPlan(const std::vector<PlanVar>& vars,
                                                  std::move(lk), std::move(rk),
                                                  text);
       if (pred_expr) {
-        ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr residual,
-                               CompileExpr(*pred_expr, scope));
-        plan = std::make_unique<FilterNode>(std::move(plan),
-                                            std::move(residual),
-                                            pred_expr->ToString());
+        ARIEL_ASSIGN_OR_RETURN(plan, make_filter(std::move(plan), *pred_expr));
       }
     } else {
       // Nested loop carries all predicates, including the equijoin if any.
@@ -341,9 +403,7 @@ Result<Plan> Optimizer::BuildPlan(const std::vector<PlanVar>& vars,
   // Any remaining conjuncts (constants, 3+-variable residuals) filter on top.
   for (Conjunct& c : conjuncts) {
     if (c.used) continue;
-    ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr pred, CompileExpr(*c.expr, scope));
-    plan = std::make_unique<FilterNode>(std::move(plan), std::move(pred),
-                                        c.expr->ToString());
+    ARIEL_ASSIGN_OR_RETURN(plan, make_filter(std::move(plan), *c.expr));
   }
 
   return Plan{std::move(scope), std::move(plan)};

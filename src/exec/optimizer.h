@@ -27,6 +27,14 @@ struct OptimizerOptions {
   /// Minimum estimated outer*inner row product before sort-merge is
   /// preferred over nested loop.
   double sort_merge_threshold = 256;
+  /// Compile vectorizable scan/filter conjuncts into column-at-a-time
+  /// kernels over cached ColumnBatch views (DatabaseOptions.columnar_exec /
+  /// ARIEL_COLUMNAR propagate here).
+  bool columnar_exec = true;
+  /// Minimum live-tuple count, checked at execute time, before a scan or
+  /// filter actually takes the columnar path; below it the per-scan mask
+  /// setup costs more than it saves.
+  size_t columnar_min_rows = 64;
 };
 
 /// A System-R-flavored planner: splits the qualification into conjuncts,

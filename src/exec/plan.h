@@ -9,6 +9,7 @@
 
 #include "exec/expr.h"
 #include "exec/row.h"
+#include "exec/vector_kernels.h"
 #include "storage/btree_index.h"
 #include "storage/heap_relation.h"
 #include "util/status.h"
@@ -60,25 +61,46 @@ class ConstRowNode : public PlanNode {
 /// Full scan of a heap relation, with an optional pushed-down filter.
 /// Also used (with a distinguishing label) as the paper's PnodeScan
 /// operator, since a P-node is itself a heap relation.
+///
+/// When the optimizer compiled (a prefix of) the pushed-down conjuncts into
+/// a VectorPredicate, Execute evaluates that prefix column-wise over the
+/// relation's cached ColumnBatch and only materializes surviving rows —
+/// rejected tuples are never deep-copied into a Row. `row_residual` is the
+/// non-vectorizable conjunct suffix, row-evaluated on survivors; because
+/// the vectorized conjuncts are a *prefix* of the residual list, mask-then-
+/// residual raises exactly the errors the left-to-right row path would.
+/// `filter` remains the full residual for the audited row fallback (small
+/// relations, or a mutation observed mid-scan).
 class SeqScanNode : public PlanNode {
  public:
   SeqScanNode(const HeapRelation* relation, size_t var, size_t num_vars,
-              CompiledExprPtr filter, std::string label_prefix = "SeqScan")
+              CompiledExprPtr filter, std::string label_prefix = "SeqScan",
+              VectorPredicatePtr vector_filter = nullptr,
+              CompiledExprPtr row_residual = nullptr,
+              size_t columnar_min_rows = 0)
       : relation_(relation),
         var_(var),
         num_vars_(num_vars),
         filter_(std::move(filter)),
-        label_prefix_(std::move(label_prefix)) {}
+        label_prefix_(std::move(label_prefix)),
+        vector_filter_(std::move(vector_filter)),
+        row_residual_(std::move(row_residual)),
+        columnar_min_rows_(columnar_min_rows) {}
 
   [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
 
  private:
+  [[nodiscard]] Status ExecuteColumnar(const RowConsumer& consume);
+
   const HeapRelation* relation_;
   size_t var_;
   size_t num_vars_;
   CompiledExprPtr filter_;
   std::string label_prefix_;
+  VectorPredicatePtr vector_filter_;  // null = always row path
+  CompiledExprPtr row_residual_;      // non-vectorizable conjunct suffix
+  size_t columnar_min_rows_;
 };
 
 /// B+tree index range scan with optional residual filter.
@@ -144,10 +166,23 @@ class SortMergeJoinNode : public PlanNode {
 };
 
 /// Applies a predicate to child rows.
+///
+/// For a single-variable vectorizable predicate the optimizer additionally
+/// supplies (relation, var ordinal, VectorPredicate): Execute then computes
+/// one mask over the relation's column view up front and classifies each
+/// child row by its tuple id instead of re-evaluating the predicate. The
+/// mask is trusted only while the relation's version matches the batch —
+/// the batch is built before the child starts producing rows, so every row
+/// copied during this Execute under an unchanged version agrees with it;
+/// any version bump drops to per-row evaluation.
 class FilterNode : public PlanNode {
  public:
   FilterNode(PlanNodePtr child, CompiledExprPtr predicate,
-             std::string predicate_text);
+             std::string predicate_text,
+             const HeapRelation* vector_relation = nullptr,
+             size_t vector_var = 0,
+             VectorPredicatePtr vector_predicate = nullptr,
+             size_t columnar_min_rows = 0);
 
   [[nodiscard]] Status Execute(const RowConsumer& consume) override;
   std::string Label() const override;
@@ -155,6 +190,10 @@ class FilterNode : public PlanNode {
  private:
   CompiledExprPtr predicate_;
   std::string predicate_text_;
+  const HeapRelation* vector_relation_;  // null = always row path
+  size_t vector_var_;
+  VectorPredicatePtr vector_predicate_;
+  size_t columnar_min_rows_;
 };
 
 /// A complete physical plan: the operator tree plus the variable scope its

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/metrics.h"
 
 namespace ariel {
 
@@ -42,6 +43,7 @@ struct Row {
   void MergeFrom(const Row& other) {
     for (size_t i = 0; i < num_vars(); ++i) {
       if (other.filled[i]) {
+        Metrics().values_copied.Increment(other.current[i].size());
         current[i] = other.current[i];
         previous[i] = other.previous[i];
         tids[i] = other.tids[i];

@@ -1,0 +1,398 @@
+#include "exec/vector_kernels.h"
+
+#include <string_view>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace ariel {
+namespace {
+
+/// Mirrors the TypeRank lattice inside Value::Compare: null < bool <
+/// numeric < string (int and float share a rank and compare numerically).
+int TypeRankOf(DataType t) {
+  switch (t) {
+    case DataType::kNull: return 0;
+    case DataType::kBool: return 1;
+    case DataType::kInt:
+    case DataType::kFloat: return 2;
+    case DataType::kString: return 3;
+  }
+  return 4;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+int Sign(int cmp) { return cmp < 0 ? -1 : (cmp > 0 ? 1 : 0); }
+
+bool ApplyOp(BinaryOp op, int cmp) {
+  switch (op) {
+    case BinaryOp::kEq: return cmp == 0;
+    case BinaryOp::kNe: return cmp != 0;
+    case BinaryOp::kLt: return cmp < 0;
+    case BinaryOp::kLe: return cmp <= 0;
+    case BinaryOp::kGt: return cmp > 0;
+    case BinaryOp::kGe: return cmp >= 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+void AndCompareColumnScalar(const ColumnBatch& batch, size_t col,
+                            BinaryOp op, const Value& key,
+                            std::vector<uint8_t>* mask) {
+  const ColumnBatch::Column& c = batch.col(col);
+  const size_t n = batch.num_rows();
+  std::vector<uint8_t>& m = *mask;
+  const int col_rank = TypeRankOf(c.type);
+  const int key_rank = TypeRankOf(key.type());
+
+  if (col_rank != key_rank) {
+    // The payload is never inspected: the outcome depends only on whether
+    // the cell is null. (A null key also lands here — schema columns are
+    // never declared null-typed, so the ranks cannot both be 0.)
+    const uint8_t valid_out =
+        ApplyOp(op, col_rank < key_rank ? -1 : 1) ? 1 : 0;
+    const uint8_t null_out = ApplyOp(op, key.is_null() ? 0 : -1) ? 1 : 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (m[i]) m[i] = c.IsValid(i) ? valid_out : null_out;
+    }
+    return;
+  }
+
+  // Same rank: a null cell still ranks below the key.
+  const uint8_t null_out = ApplyOp(op, -1) ? 1 : 0;
+  switch (c.type) {
+    case DataType::kInt:
+      if (key.is_int()) {
+        const int64_t k = key.int_value();
+        for (size_t i = 0; i < n; ++i) {
+          if (!m[i]) continue;
+          if (!c.IsValid(i)) {
+            m[i] = null_out;
+            continue;
+          }
+          const int64_t v = c.ints[i];
+          m[i] = ApplyOp(op, v < k ? -1 : (v > k ? 1 : 0)) ? 1 : 0;
+        }
+      } else {
+        const double k = key.AsDouble();
+        for (size_t i = 0; i < n; ++i) {
+          if (!m[i]) continue;
+          if (!c.IsValid(i)) {
+            m[i] = null_out;
+            continue;
+          }
+          m[i] = ApplyOp(op, CompareDoubles(static_cast<double>(c.ints[i]),
+                                            k))
+                     ? 1
+                     : 0;
+        }
+      }
+      break;
+    case DataType::kFloat: {
+      const double k = key.AsDouble();
+      for (size_t i = 0; i < n; ++i) {
+        if (!m[i]) continue;
+        if (!c.IsValid(i)) {
+          m[i] = null_out;
+          continue;
+        }
+        m[i] = ApplyOp(op, CompareDoubles(c.floats[i], k)) ? 1 : 0;
+      }
+      break;
+    }
+    case DataType::kBool: {
+      const int k = key.bool_value() ? 1 : 0;
+      for (size_t i = 0; i < n; ++i) {
+        if (!m[i]) continue;
+        if (!c.IsValid(i)) {
+          m[i] = null_out;
+          continue;
+        }
+        m[i] = ApplyOp(op, static_cast<int>(c.bools[i]) - k) ? 1 : 0;
+      }
+      break;
+    }
+    case DataType::kString: {
+      const std::string_view k = key.string_value();
+      for (size_t i = 0; i < n; ++i) {
+        if (!m[i]) continue;
+        if (!c.IsValid(i)) {
+          m[i] = null_out;
+          continue;
+        }
+        m[i] = ApplyOp(op, Sign(batch.StringAt(col, i).compare(k))) ? 1 : 0;
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VectorPredicate
+// ---------------------------------------------------------------------------
+
+struct VectorPredicate::Node {
+  enum class Kind : uint8_t {
+    kConst,          // constant truth value
+    kBoolColumn,     // a bool-typed column used directly as a predicate
+    kCompareScalar,  // column <op> literal
+    kCompareCols,    // column <op> column (same tuple variable)
+    kAnd,
+    kOr,
+    kNot,
+  };
+
+  Kind kind;
+  bool const_value = false;
+  size_t col = 0;
+  size_t col2 = 0;
+  BinaryOp op = BinaryOp::kEq;
+  Value literal;
+  std::unique_ptr<Node> a;
+  std::unique_ptr<Node> b;
+};
+
+namespace {
+
+using VPNode = VectorPredicate::Node;
+
+}  // namespace
+
+VectorPredicate::VectorPredicate(std::unique_ptr<Node> root)
+    : root_(std::move(root)) {}
+VectorPredicate::~VectorPredicate() = default;
+VectorPredicate::VectorPredicate(VectorPredicate&&) noexcept = default;
+VectorPredicate& VectorPredicate::operator=(VectorPredicate&&) noexcept =
+    default;
+
+namespace {
+
+std::unique_ptr<VPNode> MakeConst(bool v) {
+  auto node = std::make_unique<VPNode>();
+  node->kind = VPNode::Kind::kConst;
+  node->const_value = v;
+  return node;
+}
+
+/// Resolves a ColumnRef of `var_name` to its attribute position; -1 when
+/// the ref is out of grammar (previous, whole-tuple, another variable, an
+/// unknown attribute).
+int ResolveColumn(const Expr& expr, std::string_view var_name,
+                  const Schema& schema) {
+  if (expr.kind != ExprKind::kColumnRef) return -1;
+  const auto& col = static_cast<const ColumnRefExpr&>(expr);
+  if (col.previous || col.is_all()) return -1;
+  if (!EqualsIgnoreCase(col.tuple_var, var_name)) return -1;
+  return schema.IndexOf(col.attribute);
+}
+
+/// Compiles `expr` at predicate position: the result must be bool-or-null
+/// on every row and must never raise ExecutionError (so masks can be
+/// computed eagerly over rows the row path would have skipped). Returns
+/// nullptr when the expression falls outside that grammar.
+std::unique_ptr<VPNode> CompilePredicate(const Expr& expr,
+                                         std::string_view var_name,
+                                         const Schema& schema) {
+  switch (expr.kind) {
+    case ExprKind::kLiteral: {
+      const Value& v = static_cast<const LiteralExpr&>(expr).value;
+      if (v.is_bool()) return MakeConst(v.bool_value());
+      if (v.is_null()) return MakeConst(false);  // EvalPredicate: null→false
+      return nullptr;  // non-bool literal errors on the row path
+    }
+    case ExprKind::kNew: {
+      // new(v) is the always-true selection condition; it compiles to a
+      // true literal on the row path.
+      const auto& n = static_cast<const NewExpr&>(expr);
+      if (!EqualsIgnoreCase(n.tuple_var, var_name)) return nullptr;
+      return MakeConst(true);
+    }
+    case ExprKind::kColumnRef: {
+      int pos = ResolveColumn(expr, var_name, schema);
+      if (pos < 0) return nullptr;
+      // Only a bool-typed column is safe: any other type would raise
+      // ExecutionError at predicate position on the row path.
+      if (schema.attribute(static_cast<size_t>(pos)).type != DataType::kBool) {
+        return nullptr;
+      }
+      auto node = std::make_unique<VPNode>();
+      node->kind = VPNode::Kind::kBoolColumn;
+      node->col = static_cast<size_t>(pos);
+      return node;
+    }
+    case ExprKind::kUnary: {
+      const auto& un = static_cast<const UnaryExpr&>(expr);
+      if (un.op != UnaryOp::kNot) return nullptr;  // kNeg is arithmetic
+      auto operand = CompilePredicate(*un.operand, var_name, schema);
+      if (operand == nullptr) return nullptr;
+      auto node = std::make_unique<VPNode>();
+      node->kind = VPNode::Kind::kNot;
+      node->a = std::move(operand);
+      return node;
+    }
+    case ExprKind::kBinary: {
+      const auto& bin = static_cast<const BinaryExpr&>(expr);
+      if (bin.op == BinaryOp::kAnd || bin.op == BinaryOp::kOr) {
+        auto lhs = CompilePredicate(*bin.lhs, var_name, schema);
+        if (lhs == nullptr) return nullptr;
+        auto rhs = CompilePredicate(*bin.rhs, var_name, schema);
+        if (rhs == nullptr) return nullptr;
+        auto node = std::make_unique<VPNode>();
+        node->kind = bin.op == BinaryOp::kAnd ? VPNode::Kind::kAnd
+                                              : VPNode::Kind::kOr;
+        node->a = std::move(lhs);
+        node->b = std::move(rhs);
+        return node;
+      }
+      if (!IsComparison(bin.op)) return nullptr;  // arithmetic can error
+      // Comparison operands: column refs of `var_name` or literals, in any
+      // combination. Comparisons are total over Values, so they never
+      // error regardless of operand types.
+      const bool lhs_lit = bin.lhs->kind == ExprKind::kLiteral;
+      const bool rhs_lit = bin.rhs->kind == ExprKind::kLiteral;
+      if (lhs_lit && rhs_lit) {
+        const Value& l = static_cast<const LiteralExpr&>(*bin.lhs).value;
+        const Value& r = static_cast<const LiteralExpr&>(*bin.rhs).value;
+        return MakeConst(ApplyOp(bin.op, l.Compare(r)));
+      }
+      if (rhs_lit) {
+        int pos = ResolveColumn(*bin.lhs, var_name, schema);
+        if (pos < 0) return nullptr;
+        auto node = std::make_unique<VPNode>();
+        node->kind = VPNode::Kind::kCompareScalar;
+        node->col = static_cast<size_t>(pos);
+        node->op = bin.op;
+        node->literal = static_cast<const LiteralExpr&>(*bin.rhs).value;
+        return node;
+      }
+      if (lhs_lit) {
+        int pos = ResolveColumn(*bin.rhs, var_name, schema);
+        if (pos < 0) return nullptr;
+        auto node = std::make_unique<VPNode>();
+        node->kind = VPNode::Kind::kCompareScalar;
+        node->col = static_cast<size_t>(pos);
+        node->op = MirrorComparison(bin.op);
+        node->literal = static_cast<const LiteralExpr&>(*bin.lhs).value;
+        return node;
+      }
+      int lpos = ResolveColumn(*bin.lhs, var_name, schema);
+      int rpos = ResolveColumn(*bin.rhs, var_name, schema);
+      if (lpos < 0 || rpos < 0) return nullptr;
+      auto node = std::make_unique<VPNode>();
+      node->kind = VPNode::Kind::kCompareCols;
+      node->col = static_cast<size_t>(lpos);
+      node->col2 = static_cast<size_t>(rpos);
+      node->op = bin.op;
+      return node;
+    }
+    default:
+      return nullptr;  // aggregates etc.
+  }
+}
+
+void EvalCompareCols(const ColumnBatch& batch, const VPNode& node,
+                     std::vector<uint8_t>* mask) {
+  const ColumnBatch::Column& a = batch.col(node.col);
+  const ColumnBatch::Column& b = batch.col(node.col2);
+  const size_t n = batch.num_rows();
+  const int rank_a = TypeRankOf(a.type);
+  const int rank_b = TypeRankOf(b.type);
+  std::vector<uint8_t>& m = *mask;
+  for (size_t i = 0; i < n; ++i) {
+    const int ra = a.IsValid(i) ? rank_a : 0;
+    const int rb = b.IsValid(i) ? rank_b : 0;
+    int cmp;
+    if (ra != rb) {
+      cmp = ra < rb ? -1 : 1;
+    } else if (ra == 0) {
+      cmp = 0;  // both null
+    } else if (a.type == DataType::kInt && b.type == DataType::kInt) {
+      cmp = a.ints[i] < b.ints[i] ? -1 : (a.ints[i] > b.ints[i] ? 1 : 0);
+    } else if (rank_a == 2) {  // mixed numerics compare as doubles
+      const double x = a.type == DataType::kInt
+                           ? static_cast<double>(a.ints[i])
+                           : a.floats[i];
+      const double y = b.type == DataType::kInt
+                           ? static_cast<double>(b.ints[i])
+                           : b.floats[i];
+      cmp = CompareDoubles(x, y);
+    } else if (a.type == DataType::kBool) {
+      cmp = static_cast<int>(a.bools[i]) - static_cast<int>(b.bools[i]);
+    } else {  // string vs string
+      cmp = Sign(batch.StringAt(node.col, i)
+                     .compare(batch.StringAt(node.col2, i)));
+    }
+    m[i] = ApplyOp(node.op, cmp) ? 1 : 0;
+  }
+}
+
+void EvalInto(const VPNode& node, const ColumnBatch& batch,
+              std::vector<uint8_t>* mask) {
+  const size_t n = batch.num_rows();
+  std::vector<uint8_t>& m = *mask;
+  switch (node.kind) {
+    case VPNode::Kind::kConst:
+      m.assign(n, node.const_value ? 1 : 0);
+      break;
+    case VPNode::Kind::kBoolColumn: {
+      const ColumnBatch::Column& c = batch.col(node.col);
+      m.resize(n);
+      for (size_t i = 0; i < n; ++i) {
+        m[i] = (c.IsValid(i) && c.bools[i] != 0) ? 1 : 0;
+      }
+      break;
+    }
+    case VPNode::Kind::kCompareScalar:
+      m.assign(n, 1);
+      AndCompareColumnScalar(batch, node.col, node.op, node.literal, mask);
+      break;
+    case VPNode::Kind::kCompareCols:
+      m.resize(n);
+      EvalCompareCols(batch, node, mask);
+      break;
+    case VPNode::Kind::kAnd: {
+      EvalInto(*node.a, batch, mask);
+      std::vector<uint8_t> rhs;
+      EvalInto(*node.b, batch, &rhs);
+      for (size_t i = 0; i < n; ++i) m[i] &= rhs[i];
+      break;
+    }
+    case VPNode::Kind::kOr: {
+      EvalInto(*node.a, batch, mask);
+      std::vector<uint8_t> rhs;
+      EvalInto(*node.b, batch, &rhs);
+      for (size_t i = 0; i < n; ++i) m[i] |= rhs[i];
+      break;
+    }
+    case VPNode::Kind::kNot:
+      EvalInto(*node.a, batch, mask);
+      for (size_t i = 0; i < n; ++i) m[i] ^= 1;
+      break;
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<VectorPredicate> VectorPredicate::Compile(
+    const Expr& expr, std::string_view var_name, const Schema& schema) {
+  auto root = CompilePredicate(expr, var_name, schema);
+  if (root == nullptr) return nullptr;
+  return std::unique_ptr<VectorPredicate>(
+      new VectorPredicate(std::move(root)));  // ariel-lint: allow(raw-new)
+}
+
+void VectorPredicate::EvalMask(const ColumnBatch& batch,
+                               std::vector<uint8_t>* mask) const {
+  EvalInto(*root_, batch, mask);
+}
+
+}  // namespace ariel

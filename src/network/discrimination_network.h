@@ -46,6 +46,11 @@ class DiscriminationNetwork {
   /// Installs the worker pool for stage 2 (nullptr = serial matching).
   void ConfigureBatching(ThreadPool* pool) { pool_ = pool; }
 
+  /// Columnar batch classification in the selection layer (mirrors
+  /// DatabaseOptions.columnar_exec); affects MatchBatch and how
+  /// subsequently added rules compile their selection predicates.
+  void set_columnar_exec(bool on) { selection_.set_columnar_exec(on); }
+
   /// True when an active rule joins through a virtual α-memory over this
   /// relation: propagation then scans the base relation at match time, so
   /// deferred tokens must be flushed before the relation mutates again

@@ -27,6 +27,8 @@ const char* AuditViolationKindToString(AuditViolationKind kind) {
       return "staged-deltas-pending";
     case AuditViolationKind::kUndoResidue:
       return "undo-residue";
+    case AuditViolationKind::kColumnCacheIncoherent:
+      return "column-cache-incoherent";
   }
   return "unknown";
 }
@@ -88,6 +90,13 @@ Status AuditAlphaMemory(const RuleNetwork& rule, const AlphaMemory& alpha,
   }
   // Virtual and simple memories store nothing to cross-check.
   if (!alpha.stores_tuples()) return Status::OK();
+
+  // A materialized column view must mirror the entry vector cell-for-cell
+  // (the batch the ForEachCandidate prefilter masks against).
+  if (std::string problem = alpha.AuditColumnCache(); !problem.empty()) {
+    Report(out, AuditViolationKind::kColumnCacheIncoherent, name,
+           where + ": " + std::move(problem));
+  }
 
   ARIEL_ASSIGN_OR_RETURN(auto expected, ExpectedAlphaContents(rule, alpha));
 

@@ -24,6 +24,7 @@ enum class AuditViolationKind : uint8_t {
   kJoinIndexInconsistent,  // hash join index / retraction map ⇎ entry vector
   kStagedDeltasPending,    // batch pipeline left staged/deferred work behind
   kUndoResidue,            // undo log non-empty / savepoints open at quiescence
+  kColumnCacheIncoherent,  // cached column batch disagrees with its source rows
 };
 
 const char* AuditViolationKindToString(AuditViolationKind kind);
@@ -53,7 +54,10 @@ struct AuditViolation {
 ///   - every P-node instantiation's pattern bindings reference live base
 ///     tuples with matching values;
 ///   - the selection network's interval skip lists answer stabbing queries
-///     identically to a brute-force scan of the registered conditions.
+///     identically to a brute-force scan of the registered conditions;
+///   - any materialized α-memory column cache mirrors its entry vector
+///     cell-for-cell (Database::AuditNetwork adds the same check for heap
+///     relation column caches).
 ///
 /// The checks run in any build; ARIEL_AUDIT only controls whether Database
 /// invokes them automatically after each recognize-act cycle.

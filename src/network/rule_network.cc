@@ -7,6 +7,14 @@
 
 namespace ariel {
 
+namespace {
+
+/// Minimum stored-α entry count before the scan fallback bothers building
+/// a mask; below this the per-scan kernel setup costs more than it saves.
+constexpr size_t kColumnarPrefilterMinEntries = 16;
+
+}  // namespace
+
 const char* AlphaKindToString(AlphaKind kind) {
   switch (kind) {
     case AlphaKind::kStored: return "stored";
@@ -55,6 +63,11 @@ void AlphaMemory::ConfigureJoinIndex(size_t num_vars,
 
 void AlphaMemory::InsertEntry(AlphaEntry entry) {
   Metrics().alpha_insertions.Increment();
+  ++column_version_;
+  if (column_cache_ != nullptr) {
+    column_cache_.reset();
+    Metrics().columnar_batch_invalidations.Increment();
+  }
   const uint32_t slot = static_cast<uint32_t>(entries_.size());
   slot_of_[EncodeTid(entry.tid)] = slot;
   if (join_index_.has_specs()) {
@@ -82,6 +95,11 @@ bool AlphaMemory::RemoveEntry(TupleId tid) {
     if (i == entries_.size()) return false;
     slot = i;
   }
+  ++column_version_;
+  if (column_cache_ != nullptr) {
+    column_cache_.reset();
+    Metrics().columnar_batch_invalidations.Increment();
+  }
   const size_t last = entries_.size() - 1;
   join_index_.RemoveSlot(slot, last);
   if (slot != last) {
@@ -97,6 +115,61 @@ void AlphaMemory::Flush() {
   entries_.clear();
   slot_of_.clear();
   join_index_.Clear();
+  ++column_version_;
+  if (column_cache_ != nullptr) {
+    column_cache_.reset();
+    Metrics().columnar_batch_invalidations.Increment();
+  }
+}
+
+std::shared_ptr<const ColumnBatch> AlphaMemory::ColumnView() const {
+  if (column_cache_ != nullptr &&
+      column_cache_->source_version() == column_version_) {
+    return column_cache_;
+  }
+  ColumnBatchBuilder builder(spec_.relation->schema(), entries_.size());
+  for (const AlphaEntry& entry : entries_) {
+    builder.Append(entry.tid, entry.value);
+  }
+  column_cache_ = builder.Build(column_version_);
+  Metrics().columnar_batches_built.Increment();
+  return column_cache_;
+}
+
+std::string AlphaMemory::AuditColumnCache() const {
+  if (column_cache_ == nullptr) return "";
+  if (column_cache_->source_version() != column_version_) return "";
+  const ColumnBatch& batch = *column_cache_;
+  if (batch.num_rows() != entries_.size()) {
+    return "column cache has " + std::to_string(batch.num_rows()) +
+           " row(s) but the memory holds " + std::to_string(entries_.size());
+  }
+  const Schema& schema = spec_.relation->schema();
+  for (size_t row = 0; row < batch.num_rows(); ++row) {
+    const AlphaEntry& entry = entries_[row];
+    if (!(batch.tids()[row] == entry.tid)) {
+      return "column cache row " + std::to_string(row) + " holds " +
+             batch.tids()[row].ToString() + " but the memory holds " +
+             entry.tid.ToString();
+    }
+    for (size_t c = 0; c < schema.num_attributes(); ++c) {
+      Value cached = batch.ValueAt(c, row);
+      if (cached.Compare(entry.value.at(c)) != 0) {
+        return "column cache cell (" + schema.attribute(c).name + ", " +
+               entry.tid.ToString() + ") holds " + cached.ToString() +
+               " but the memory holds " + entry.value.at(c).ToString();
+      }
+    }
+  }
+  return "";
+}
+
+void AlphaMemory::CorruptColumnCacheForTesting() {
+  ColumnView();
+  // The cache is logically immutable to readers; the test hook reaches
+  // through that on purpose to plant a memory/batch disagreement.
+  const_cast<ColumnBatch*>(column_cache_.get())  // ariel-lint: allow(const-cast)
+      ->CorruptForTesting();
 }
 
 std::vector<std::string> AlphaMemory::AuditIncrementalState() const {
@@ -218,6 +291,10 @@ Status RuleNetwork::Init() {
       }
     }
     ARIEL_RETURN_NOT_OK(RecordIndexJoinPaths(*expr));
+    if (columnar_exec_) {
+      ARIEL_RETURN_NOT_OK(
+          RecordBandedProbes(join_conjuncts_.size(), *expr));
+    }
     join_conjuncts_.push_back(std::move(cc));
   }
   if (join_hash_indexes_) {
@@ -352,6 +429,48 @@ Status RuleNetwork::ConfigureBetas() {
     ARIEL_ASSIGN_OR_RETURN(std::vector<JoinKeySpec> specs,
                            DeriveBetaKeySpecs(level));
     beta_[level].Configure(n, std::move(specs));
+  }
+  return Status::OK();
+}
+
+Status RuleNetwork::RecordBandedProbes(size_t conjunct_idx,
+                                       const Expr& conjunct) {
+  if (conjunct.kind != ExprKind::kBinary) return Status::OK();
+  const auto& bin = static_cast<const BinaryExpr&>(conjunct);
+  if (!IsComparison(bin.op)) return Status::OK();
+
+  // Either side of `a.x <op> <expr>` yields a probe into a's memory when
+  // the column side is a bare (non-previous) reference into a stored memory
+  // and the key side touches only other variables.
+  for (bool flip : {false, true}) {
+    const Expr* col_side = flip ? bin.rhs.get() : bin.lhs.get();
+    const Expr* key_side = flip ? bin.lhs.get() : bin.rhs.get();
+    if (col_side->kind != ExprKind::kColumnRef) continue;
+    const auto& ref = static_cast<const ColumnRefExpr&>(*col_side);
+    if (ref.previous || ref.is_all()) continue;
+    int var = scope_.IndexOf(ref.tuple_var);
+    if (var < 0) continue;
+    if (!alphas_[var]->stores_tuples()) continue;
+    int col = alphas_[var]->spec().relation->schema().IndexOf(ref.attribute);
+    if (col < 0) continue;
+
+    BandedProbe probe;
+    probe.conjunct = conjunct_idx;
+    probe.var = static_cast<size_t>(var);
+    probe.col = static_cast<size_t>(col);
+    probe.op = flip ? MirrorComparison(bin.op) : bin.op;
+    bool self_reference = false;
+    for (const std::string& kv : CollectTupleVars(*key_side)) {
+      int idx = scope_.IndexOf(kv);
+      if (idx < 0 || idx == var) {
+        self_reference = true;
+        break;
+      }
+      probe.key_vars.push_back(static_cast<size_t>(idx));
+    }
+    if (self_reference) continue;
+    ARIEL_ASSIGN_OR_RETURN(probe.key_expr, CompileExpr(*key_side, scope_));
+    banded_probes_.push_back(std::move(probe));
   }
   return Status::OK();
 }
@@ -704,13 +823,67 @@ Status RuleNetwork::ForEachCandidate(
     // Scan fallback (non-equi conjunct, unbound key, or disabled spec).
     // join_probes counts the candidates actually handed to fn.
     Metrics().join_scan_fallbacks.Increment();
+
+    // Columnar prefilter: AND the banded form of a *prefix* of the
+    // conjuncts this join step will evaluate into one mask over the
+    // memory's column view, then hand only survivors to fn — pruned
+    // candidates are never deep-copied into the partial row. The prefix
+    // discipline keeps error behaviour exact: a pruned candidate fails an
+    // earlier, error-free conjunct, so the row path would have rejected it
+    // before reaching any erroring one. Survivors are still re-verified by
+    // the caller.
+    std::vector<uint8_t> mask;
+    bool prefiltered = false;
+    if (columnar_exec_ && !banded_probes_.empty() &&
+        entries.size() >= kColumnarPrefilterMinEntries) {
+      std::shared_ptr<const ColumnBatch> view;
+      for (size_t ci = 0; ci < join_conjuncts_.size(); ++ci) {
+        const CompiledConjunct& cc = join_conjuncts_[ci];
+        bool touches_j = false;
+        bool all_bound = true;
+        for (size_t v : cc.vars) {
+          if (v == j) touches_j = true;
+          if (!bound[v]) all_bound = false;
+        }
+        if (!touches_j || !all_bound) continue;  // not evaluated this step
+        const BandedProbe* probe = nullptr;
+        for (const BandedProbe& p : banded_probes_) {
+          if (p.conjunct == ci && p.var == j) {
+            bool usable = true;
+            for (size_t kv : p.key_vars) {
+              if (kv == j || !bound[kv]) usable = false;
+            }
+            if (usable) probe = &p;
+            break;
+          }
+        }
+        // Prefix ends at the first conjunct without a usable probe, or
+        // whose key errors — the caller row-evaluates from there on.
+        if (probe == nullptr) break;
+        Result<Value> key = probe->key_expr->Eval(row);
+        if (!key.ok()) break;
+        if (view == nullptr) {
+          view = alpha->ColumnView();
+          mask.assign(entries.size(), 1);
+        }
+        AndCompareColumnScalar(*view, probe->col, probe->op, *key, &mask);
+        prefiltered = true;
+      }
+    }
+
     size_t emitted = 0;
+    size_t pruned = 0;
     Status status = Status::OK();
     for (size_t i = 0; i < entries.size(); ++i) {
+      if (prefiltered && mask[i] == 0) {
+        ++pruned;
+        continue;
+      }
       ++emitted;
       status = fn(entries[i]);
       if (!status.ok()) break;
     }
+    if (pruned > 0) Metrics().columnar_join_prefiltered.Increment(pruned);
     Metrics().join_probes.Increment(emitted);
     return status;
   }

@@ -11,10 +11,12 @@
 #include "catalog/catalog.h"
 #include "exec/expr.h"
 #include "exec/optimizer.h"
+#include "exec/vector_kernels.h"
 #include "network/join_index.h"
 #include "network/pnode.h"
 #include "network/token.h"
 #include "parser/ast.h"
+#include "storage/column_batch.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
@@ -113,9 +115,26 @@ class AlphaMemory {
   /// (key expressions are compiled against the whole rule scope).
   void ConfigureJoinIndex(size_t num_vars, std::vector<JoinKeySpec> specs);
 
+  /// Lazily-built column view over the current entries' (new) values, in
+  /// entry order — mask position i corresponds to entries()[i]. Engine/
+  /// match-task thread only; invalidated by InsertEntry, RemoveEntry, and
+  /// Flush. Backs the columnar candidate prefilter in
+  /// RuleNetwork::ForEachCandidate.
+  std::shared_ptr<const ColumnBatch> ColumnView() const;
+
   /// Cross-checks the TID→slot map and the hash join indexes against the
   /// entry vector (auditor support). Returns problems (empty = consistent).
   std::vector<std::string> AuditIncrementalState() const;
+
+  /// Coherence check for the cached column view: empty when no cache is
+  /// materialized or it mirrors entries() cell-for-cell, else a description
+  /// of the first disagreement (the auditor wraps it as
+  /// kColumnCacheIncoherent).
+  std::string AuditColumnCache() const;
+
+  /// Test-only: materializes the column view and flips one validity bit,
+  /// planting exactly the incoherence AuditColumnCache must catch.
+  void CorruptColumnCacheForTesting();
 
   /// Estimated candidate count for join ordering.
   size_t EstimatedSize() const;
@@ -144,6 +163,9 @@ class AlphaMemory {
   JoinKeyIndex join_index_;
   size_t num_vars_ = 1;   // rule scope width, set by ConfigureJoinIndex
   Row scratch_row_;       // reused by InsertEntry for key evaluation
+  /// Columnar view of entries_, rebuilt on demand after mutations.
+  mutable std::shared_ptr<const ColumnBatch> column_cache_;
+  uint64_t column_version_ = 0;  // bumped by every entry mutation
 };
 
 /// Which join-network algorithm a rule's condition is tested with.
@@ -182,6 +204,12 @@ class RuleNetwork {
   /// everywhere (A/B comparison and the forced-scan test path).
   void set_join_hash_indexes(bool on) { join_hash_indexes_ = on; }
   bool join_hash_indexes() const { return join_hash_indexes_; }
+
+  /// Enables the columnar candidate prefilter on stored-α scan fallbacks
+  /// (mirrors DatabaseOptions.columnar_exec). Must be set before Init —
+  /// probe derivation happens there.
+  void set_columnar_exec(bool on) { columnar_exec_ = on; }
+  bool columnar_exec() const { return columnar_exec_; }
 
   const std::string& rule_name() const { return rule_name_; }
   const Scope& scope() const { return scope_; }
@@ -402,6 +430,32 @@ class RuleNetwork {
     std::vector<size_t> key_vars;
   };
   std::vector<IndexJoinPath> index_join_paths_;
+
+  /// A join conjunct of the form `j.attr <op> key(other vars)` (normalized
+  /// so the stored column is on the left) usable to prefilter a stored
+  /// α-memory scan column-at-a-time: evaluate `key_expr` once per partial
+  /// row, then AND one comparison kernel over the memory's column view
+  /// instead of deep-copying and testing every candidate. `conjunct` is the
+  /// ordinal into join_conjuncts_ — the prefilter may only consume a
+  /// *prefix* of the conjuncts the caller would evaluate at this join step,
+  /// which keeps error behaviour (and nothing else is observable: the
+  /// kernels replicate Value::Compare exactly, and survivors are still
+  /// re-verified by JoinConjunctsHold / PrefixConjunctsHold).
+  struct BandedProbe {
+    size_t conjunct = 0;
+    size_t var = 0;               // the memory being scanned
+    size_t col = 0;               // attribute position of the column side
+    BinaryOp op = BinaryOp::kEq;  // normalized: column <op> key
+    CompiledExprPtr key_expr;
+    std::vector<size_t> key_vars;
+  };
+  std::vector<BandedProbe> banded_probes_;
+
+  /// Derives BandedProbes from one join conjunct (called by Init, in
+  /// conjunct order, when columnar execution is on).
+  [[nodiscard]] Status RecordBandedProbes(size_t conjunct_idx,
+                                          const Expr& conjunct);
+
   /// adjacency_[i][j] = true when some join conjunct touches both i and j.
   std::vector<std::vector<bool>> adjacency_;
 
@@ -417,6 +471,7 @@ class RuleNetwork {
   uint32_t staged_token_seq_ = 0;
   bool compensating_ = false;
   bool join_hash_indexes_ = true;
+  bool columnar_exec_ = true;
   bool initialized_ = false;
   bool has_dynamic_ = false;
   bool dirty_dynamic_ = false;

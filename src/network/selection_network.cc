@@ -3,12 +3,19 @@
 #include <algorithm>
 #include <sstream>
 
+#include "storage/column_batch.h"
 #include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
 
 namespace {
+
+/// MatchBatch builds a ColumnBatch over a relation's token group only when
+/// the group is at least this large; below it the per-token scratch-Row
+/// path wins (batch construction cost is linear in group size either way,
+/// but masks amortize over candidates only once groups have some width).
+constexpr size_t kColumnarClassifyMinTokens = 16;
 
 /// Intersects `add` into `acc`.
 void IntersectInterval(Interval* acc, const Interval& add) {
@@ -123,7 +130,14 @@ Status SelectionNetwork::AddRule(RuleNetwork* rule) {
       per_rel.residual.push_back(node.id);
       ++num_residual_;
     }
-    per_rel.nodes.emplace(node.id, node);
+    if (columnar_exec_ && spec.selection != nullptr) {
+      // Null when the selection is outside the vectorizable grammar
+      // (previous refs, arithmetic, ...) — those verify per token.
+      node.vector_selection = VectorPredicate::Compile(
+          *spec.selection, spec.var_name, spec.relation->schema());
+    }
+    int64_t id = node.id;
+    per_rel.nodes.emplace(id, std::move(node));
   }
   return Status::OK();
 }
@@ -151,6 +165,7 @@ void SelectionNetwork::RemoveRule(RuleNetwork* rule) {
 
 Status SelectionNetwork::VerifyAndCollect(
     const Token& token, const NodeInfo& node,
+    const std::vector<uint8_t>* mask, size_t mask_pos,
     std::vector<ConditionMatch>* out) const {
   ++node.tested;
   const AlphaMemory* alpha = node.rule->alpha(node.alpha_ordinal);
@@ -158,13 +173,19 @@ Status SelectionNetwork::VerifyAndCollect(
   const CompiledExpr* selection = alpha->compiled_selection();
   if (selection != nullptr) {
     Metrics().selection_predicate_evals.Increment();
-    Row scratch(node.rule->num_vars());
-    scratch.Set(node.alpha_ordinal, token.value, token.tid);
-    if (alpha->is_transition()) {
-      scratch.SetPrevious(node.alpha_ordinal, token.previous);
+    if (mask != nullptr) {
+      // Column-kernel verdict for this token's batch position; the grammar
+      // guarantees it agrees with EvalPredicate on every row.
+      if ((*mask)[mask_pos] == 0) return Status::OK();
+    } else {
+      Row scratch(node.rule->num_vars());
+      scratch.Set(node.alpha_ordinal, token.value, token.tid);
+      if (alpha->is_transition()) {
+        scratch.SetPrevious(node.alpha_ordinal, token.previous);
+      }
+      ARIEL_ASSIGN_OR_RETURN(bool ok, selection->EvalPredicate(scratch));
+      if (!ok) return Status::OK();
     }
-    ARIEL_ASSIGN_OR_RETURN(bool ok, selection->EvalPredicate(scratch));
-    if (!ok) return Status::OK();
   }
   ++node.matched;
   Metrics().selection_matches.Increment();
@@ -194,7 +215,8 @@ Result<std::vector<ConditionMatch>> SelectionNetwork::Match(
   std::sort(candidates.begin(), candidates.end());
 
   for (int64_t id : candidates) {
-    ARIEL_RETURN_NOT_OK(VerifyAndCollect(token, per_rel.nodes.at(id), &out));
+    ARIEL_RETURN_NOT_OK(VerifyAndCollect(token, per_rel.nodes.at(id),
+                                         /*mask=*/nullptr, 0, &out));
   }
   return out;
 }
@@ -211,6 +233,50 @@ Result<std::vector<std::vector<ConditionMatch>>> SelectionNetwork::MatchBatch(
   std::unordered_map<const IntervalSkipList*,
                      std::unordered_map<Value, std::vector<int64_t>, ValueHash>>
       stab_cache;
+
+  // Columnar verification: tokens of the same relation form a group; each
+  // group lazily materializes one ColumnBatch over its token values, and
+  // each vector-compiled condition that comes up as a candidate evaluates
+  // once per group (a mask consulted by batch position) instead of once per
+  // token on a scratch row. Duplicate tids in a batch are fine — masks are
+  // positional, not keyed by tid.
+  struct RelGroup {
+    std::vector<size_t> token_idx;  // positions into `tokens`
+    std::shared_ptr<const ColumnBatch> batch;
+    std::unordered_map<const NodeInfo*, std::vector<uint8_t>> masks;
+  };
+  std::unordered_map<uint32_t, RelGroup> groups;
+  std::vector<size_t> group_pos(columnar_exec_ ? tokens.size() : 0, 0);
+  if (columnar_exec_) {
+    for (size_t i = 0; i < tokens.size(); ++i) {
+      RelGroup& group = groups[tokens[i].relation_id];
+      group_pos[i] = group.token_idx.size();
+      group.token_idx.push_back(i);
+    }
+  }
+  auto mask_for = [&](const Token& token,
+                      const NodeInfo& node) -> const std::vector<uint8_t>* {
+    if (!columnar_exec_ || node.vector_selection == nullptr) return nullptr;
+    RelGroup& group = groups.at(token.relation_id);
+    if (group.token_idx.size() < kColumnarClassifyMinTokens) return nullptr;
+    auto mask_it = group.masks.find(&node);
+    if (mask_it == group.masks.end()) {
+      if (group.batch == nullptr) {
+        const Schema& schema =
+            node.rule->alpha(node.alpha_ordinal)->spec().relation->schema();
+        ColumnBatchBuilder builder(schema, group.token_idx.size());
+        for (size_t ti : group.token_idx) {
+          builder.Append(tokens[ti].tid, tokens[ti].value);
+        }
+        group.batch = builder.Build(/*source_version=*/0);
+        Metrics().columnar_classified_tokens.Increment(group.token_idx.size());
+      }
+      std::vector<uint8_t> mask;
+      node.vector_selection->EvalMask(*group.batch, &mask);
+      mask_it = group.masks.emplace(&node, std::move(mask)).first;
+    }
+    return &mask_it->second;
+  };
 
   for (size_t i = 0; i < tokens.size(); ++i) {
     const Token& token = tokens[i];
@@ -238,8 +304,10 @@ Result<std::vector<std::vector<ConditionMatch>>> SelectionNetwork::MatchBatch(
     std::sort(candidates.begin(), candidates.end());
 
     for (int64_t id : candidates) {
-      ARIEL_RETURN_NOT_OK(
-          VerifyAndCollect(token, per_rel.nodes.at(id), &out[i]));
+      const NodeInfo& node = per_rel.nodes.at(id);
+      ARIEL_RETURN_NOT_OK(VerifyAndCollect(
+          token, node, mask_for(token, node),
+          columnar_exec_ ? group_pos[i] : 0, &out[i]));
     }
   }
   return out;

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exec/vector_kernels.h"
 #include "isl/interval_skip_list.h"
 #include "network/rule_network.h"
 #include "network/token.h"
@@ -52,9 +53,19 @@ class SelectionNetwork {
   /// identical to Match, but each attribute interval index descends once per
   /// distinct attribute value in the batch instead of once per token —
   /// duplicate constant-partitions reuse the cached stab result. Residual
-  /// checks and predicate verification remain per token.
+  /// checks remain per token; predicate verification is column-at-a-time
+  /// when the condition vector-compiles (one mask per condition per
+  /// relation group, over a ColumnBatch of the group's token values),
+  /// per-token otherwise. The vectorizable grammar is total and replicates
+  /// row semantics exactly, so results — and the tested/matched counters —
+  /// are identical either way.
   [[nodiscard]] Result<std::vector<std::vector<ConditionMatch>>> MatchBatch(
       const std::vector<Token>& tokens) const;
+
+  /// Enables columnar batch verification (mirrors
+  /// DatabaseOptions.columnar_exec). Off forces per-token verification.
+  void set_columnar_exec(bool on) { columnar_exec_ = on; }
+  bool columnar_exec() const { return columnar_exec_; }
 
   /// Diagnostics: how many conditions are interval-indexed vs. residual.
   size_t num_indexed() const { return num_indexed_; }
@@ -80,6 +91,11 @@ class SelectionNetwork {
     bool indexed;
     size_t anchor_attr = 0;  // attribute position when indexed
     Interval interval;       // anchor interval when indexed
+    /// Vector-compiled selection predicate, or null when the condition has
+    /// no selection, references `previous`, or falls outside the
+    /// vectorizable grammar. Used by MatchBatch to verify a whole relation
+    /// group with one mask instead of one scratch-Row eval per token.
+    VectorPredicatePtr vector_selection;
     // Lifetime observability counters; mutable because Match is const.
     mutable uint64_t tested = 0;   // tokens verified against this condition
     mutable uint64_t matched = 0;  // tokens admitted to the α-memory
@@ -92,13 +108,20 @@ class SelectionNetwork {
     std::unordered_map<int64_t, NodeInfo> nodes;
   };
 
+  /// Verifies one candidate condition against a token and appends a
+  /// ConditionMatch on success. When `mask` is non-null the selection
+  /// predicate's verdict is read from mask[mask_pos] (a column-kernel
+  /// result over the batch's token values) instead of being re-evaluated
+  /// on a scratch row; counters advance identically either way.
   [[nodiscard]] Status VerifyAndCollect(const Token& token, const NodeInfo& node,
+                          const std::vector<uint8_t>* mask, size_t mask_pos,
                           std::vector<ConditionMatch>* out) const;
 
   std::unordered_map<uint32_t, PerRelation> relations_;
   int64_t next_node_id_ = 1;
   size_t num_indexed_ = 0;
   size_t num_residual_ = 0;
+  bool columnar_exec_ = true;
 };
 
 /// Extracts the tightest index interval from a selection predicate: AND

@@ -53,6 +53,7 @@ Status RuleManager::ActivateRule(const std::string& raw_name) {
       name, next_pnode_id_++, std::move(compiled.alphas),
       std::move(compiled.join_conjuncts), join_backend_);
   network->set_join_hash_indexes(join_hash_indexes_);
+  network->set_columnar_exec(columnar_exec_);
   ARIEL_RETURN_NOT_OK(network->Init());
   ARIEL_RETURN_NOT_OK(network->Prime(optimizer_));
   ARIEL_RETURN_NOT_OK(network_->AddRule(network.get()));

@@ -103,6 +103,11 @@ class RuleManager {
   bool join_hash_indexes() const { return join_hash_indexes_; }
   void set_join_hash_indexes(bool on) { join_hash_indexes_ = on; }
 
+  /// Columnar candidate prefilters on stored-α scan fallbacks for
+  /// subsequently activated rules (mirrors DatabaseOptions.columnar_exec).
+  bool columnar_exec() const { return columnar_exec_; }
+  void set_columnar_exec(bool on) { columnar_exec_ = on; }
+
  private:
   Catalog* catalog_;
   DiscriminationNetwork* network_;
@@ -110,6 +115,7 @@ class RuleManager {
   AlphaMemoryPolicy policy_;
   JoinBackend join_backend_ = JoinBackend::kTreat;
   bool join_hash_indexes_ = true;
+  bool columnar_exec_ = true;
 
   uint64_t next_rule_id_ = 1;
   /// P-node relation ids come from a reserved range far above catalog ids.

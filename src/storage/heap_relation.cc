@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/metrics.h"
 #include "util/string_util.h"
 
 namespace ariel {
@@ -43,6 +44,7 @@ Result<TupleId> HeapRelation::Insert(Tuple tuple) {
     slots_.push_back(std::move(tuple));
   }
   ++live_count_;
+  InvalidateColumnCache();
   TupleId tid{id_, slot};
   for (auto& [attr_pos, index] : indexes_) {
     index->Insert(slots_[slot]->at(attr_pos), tid);
@@ -83,6 +85,7 @@ Status HeapRelation::InsertAt(TupleId tid, Tuple tuple) {
     slots_.push_back(std::move(tuple));
   }
   ++live_count_;
+  InvalidateColumnCache();
   for (auto& [attr_pos, index] : indexes_) {
     index->Insert(slots_[tid.slot]->at(attr_pos), tid);
   }
@@ -101,6 +104,7 @@ Status HeapRelation::Delete(TupleId tid) {
   slots_[tid.slot].reset();
   free_slots_.push_back(tid.slot);
   --live_count_;
+  InvalidateColumnCache();
   return Status::OK();
 }
 
@@ -120,6 +124,7 @@ Status HeapRelation::Update(TupleId tid, Tuple tuple,
     for (auto& [attr_pos, index] : indexes_) {
       index->Insert(slots_[tid.slot]->at(attr_pos), tid);
     }
+    InvalidateColumnCache();
     return Status::OK();
   }
   std::vector<bool> listed(schema_.num_attributes(), false);
@@ -142,6 +147,7 @@ Status HeapRelation::Update(TupleId tid, Tuple tuple,
   for (auto& [attr_pos, index] : indexes_) {
     if (listed[attr_pos]) index->Insert(slots_[tid.slot]->at(attr_pos), tid);
   }
+  InvalidateColumnCache();
   return Status::OK();
 }
 
@@ -195,6 +201,77 @@ const BTreeIndex* HeapRelation::GetIndex(std::string_view attribute) const {
   if (pos < 0) return nullptr;
   auto it = indexes_.find(static_cast<size_t>(pos));
   return it == indexes_.end() ? nullptr : it->second.get();
+}
+
+void HeapRelation::InvalidateColumnCache() {
+  ++version_;
+  if (column_cache_ != nullptr) {
+    column_cache_.reset();
+    Metrics().columnar_batch_invalidations.Increment();
+  }
+}
+
+std::shared_ptr<const ColumnBatch> HeapRelation::ColumnView() const {
+  if (column_cache_ != nullptr &&
+      column_cache_->source_version() == version_) {
+    return column_cache_;
+  }
+  ColumnBatchBuilder builder(schema_, live_count_);
+  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
+    if (slots_[slot].has_value()) {
+      builder.Append(TupleId{id_, slot}, *slots_[slot]);
+    }
+  }
+  column_cache_ = builder.Build(version_);
+  Metrics().columnar_batches_built.Increment();
+  return column_cache_;
+}
+
+std::shared_ptr<const ColumnBatch> HeapRelation::column_cache_if_built()
+    const {
+  if (column_cache_ != nullptr &&
+      column_cache_->source_version() == version_) {
+    return column_cache_;
+  }
+  return nullptr;
+}
+
+void HeapRelation::CorruptColumnCacheForTesting() {
+  ColumnView();
+  // The cache is logically immutable to readers; the test hook reaches
+  // through that on purpose to plant a heap/batch disagreement.
+  const_cast<ColumnBatch*>(column_cache_.get())->CorruptForTesting();
+}
+
+std::string HeapRelation::AuditColumnCache() const {
+  if (column_cache_ == nullptr) return "";
+  if (column_cache_->source_version() != version_) {
+    // A stale cache is legal (ColumnView rebuilds on version mismatch);
+    // only a version-matched batch claims to mirror the heap.
+    return "";
+  }
+  const ColumnBatch& batch = *column_cache_;
+  if (batch.num_rows() != live_count_) {
+    return "column cache has " + std::to_string(batch.num_rows()) +
+           " row(s) but the heap holds " + std::to_string(live_count_);
+  }
+  for (size_t row = 0; row < batch.num_rows(); ++row) {
+    const TupleId tid = batch.tids()[row];
+    const Tuple* tuple = Get(tid);
+    if (tuple == nullptr) {
+      return "column cache row " + std::to_string(row) + " references dead " +
+             tid.ToString();
+    }
+    for (size_t c = 0; c < schema_.num_attributes(); ++c) {
+      Value cached = batch.ValueAt(c, row);
+      if (cached.Compare(tuple->at(c)) != 0) {
+        return "column cache cell (" + schema_.attribute(c).name + ", " +
+               tid.ToString() + ") holds " + cached.ToString() +
+               " but the heap holds " + tuple->at(c).ToString();
+      }
+    }
+  }
+  return "";
 }
 
 std::vector<std::string> HeapRelation::IndexedAttributes() const {

@@ -10,6 +10,7 @@
 
 #include "catalog/schema.h"
 #include "storage/btree_index.h"
+#include "storage/column_batch.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
@@ -91,7 +92,36 @@ class HeapRelation {
   /// the schema (coercing in place: int literals into float columns).
   [[nodiscard]] Status CoerceToSchema(Tuple* tuple) const;
 
+  /// Monotonic mutation counter: every Insert/InsertAt/Delete/Update bumps
+  /// it (index creation does not — it never changes tuple contents).
+  /// Columnar readers compare it against ColumnBatch::source_version to
+  /// detect mid-scan mutation and fall back to the row path.
+  uint64_t version() const { return version_; }
+
+  /// Column-major view of the live tuples, built lazily and cached until
+  /// the next mutation. Engine-thread only: the build mutates the cache
+  /// slot, and every caller of this accessor runs on the thread that owns
+  /// mutations (match-pool workers use the row path instead).
+  std::shared_ptr<const ColumnBatch> ColumnView() const;
+
+  /// The cached view if one is currently materialized and fresh, else null.
+  /// Never builds — the NetworkAuditor coherence check uses this so the
+  /// audit can't vacuously validate a batch it just created itself.
+  std::shared_ptr<const ColumnBatch> column_cache_if_built() const;
+
+  /// Test-only: materializes the column view and flips one validity bit in
+  /// it, planting exactly the incoherence the auditor must detect.
+  void CorruptColumnCacheForTesting();
+
+  /// Coherence check for the cached column view: empty when no cache is
+  /// materialized or it agrees with the heap cell-for-cell, else a
+  /// description of the first disagreement (NetworkAuditor wraps it as
+  /// kColumnCacheIncoherent).
+  std::string AuditColumnCache() const;
+
  private:
+  void InvalidateColumnCache();
+
   uint32_t id_;
   std::string name_;
   Schema schema_;
@@ -100,6 +130,9 @@ class HeapRelation {
   size_t live_count_ = 0;
   // attribute position -> index
   std::unordered_map<size_t, std::unique_ptr<BTreeIndex>> indexes_;
+  uint64_t version_ = 0;
+  // Lazily-built column view of the live tuples; reset by every mutation.
+  mutable std::shared_ptr<const ColumnBatch> column_cache_;
 };
 
 }  // namespace ariel

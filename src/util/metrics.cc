@@ -229,6 +229,19 @@ EngineMetrics::EngineMetrics()
       plans_built(registry.RegisterCounter("plans_built")),
       plan_cache_hits(registry.RegisterCounter("plan_cache_hits")),
       tuples_scanned(registry.RegisterCounter("tuples_scanned")),
+      values_copied(registry.RegisterCounter("values_copied")),
+      columnar_batches_built(
+          registry.RegisterCounter("columnar_batches_built")),
+      columnar_batch_invalidations(
+          registry.RegisterCounter("columnar_batch_invalidations")),
+      columnar_scans(registry.RegisterCounter("columnar_scans")),
+      columnar_scan_rows(registry.RegisterCounter("columnar_scan_rows")),
+      columnar_row_fallbacks(
+          registry.RegisterCounter("columnar_row_fallbacks")),
+      columnar_join_prefiltered(
+          registry.RegisterCounter("columnar_join_prefiltered")),
+      columnar_classified_tokens(
+          registry.RegisterCounter("columnar_classified_tokens")),
       rules_fired(registry.RegisterCounter("rules_fired")),
       cycles_run(registry.RegisterCounter("cycles_run")),
       batch_flushes(registry.RegisterCounter("batch_flushes")),

@@ -318,6 +318,16 @@ struct EngineMetrics {
   Counter plans_built;
   Counter plan_cache_hits;
   Counter tuples_scanned;  // tuples produced by seq/index scan leaves
+  Counter values_copied;   // Values deep-copied into Row slots
+
+  // Columnar execution layer (ColumnBatch views + vector kernels).
+  Counter columnar_batches_built;        // ColumnBatch materializations
+  Counter columnar_batch_invalidations;  // cached views dropped by mutation
+  Counter columnar_scans;           // seq scans evaluated through a batch
+  Counter columnar_scan_rows;       // rows filtered by vector kernels
+  Counter columnar_row_fallbacks;   // scans that used the audited row path
+  Counter columnar_join_prefiltered;  // join candidates skipped by masks
+  Counter columnar_classified_tokens;  // Δ-batch tokens classified columnwise
 
   // Recognize-act cycle.
   Counter rules_fired;

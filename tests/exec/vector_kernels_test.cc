@@ -1,0 +1,278 @@
+// Unit tests for the columnar execution layer: ColumnBatch round-trips,
+// the AndCompareColumnScalar kernel's Value::Compare parity (nulls, mixed
+// numerics, strings), the VectorPredicate grammar boundary, randomized
+// mask-vs-row-path agreement, and the columnar plan operators
+// (SeqScanNode / FilterNode) against their row-path twins.
+
+#include "exec/vector_kernels.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+#include "catalog/catalog.h"
+#include "exec/plan.h"
+#include "parser/parser.h"
+#include "storage/column_batch.h"
+
+namespace ariel {
+namespace {
+
+Schema MixedSchema() {
+  return Schema({Attribute{"id", DataType::kInt},
+                 Attribute{"val", DataType::kInt},
+                 Attribute{"score", DataType::kFloat},
+                 Attribute{"name", DataType::kString},
+                 Attribute{"flag", DataType::kBool}});
+}
+
+/// Deterministic mixed-type row stream with nulls sprinkled through every
+/// column (null semantics are where a hand-rolled kernel would drift).
+Tuple MixedRow(uint64_t i) {
+  auto maybe_null = [&](Value v, uint64_t salt) {
+    return (i + salt) % 5 == 0 ? Value::Null() : v;
+  };
+  return Tuple(std::vector<Value>{
+      Value::Int(static_cast<int64_t>(i)),
+      maybe_null(Value::Int(static_cast<int64_t>((i * 131) % 100)), 1),
+      maybe_null(Value::Float(static_cast<double>((i * 17) % 50) / 2.0), 2),
+      maybe_null(Value::String("n" + std::to_string(i % 13)), 3),
+      maybe_null(Value::Bool(i % 3 == 0), 4)});
+}
+
+class VectorKernelsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    rel_ = *catalog_.CreateRelation("e", MixedSchema());
+    scope_.Add(VarBinding{"e", &rel_->schema(), false});
+    for (uint64_t i = 0; i < 64; ++i) {
+      ASSERT_OK(rel_->Insert(MixedRow(i)));
+    }
+  }
+
+  ExprPtr Parse(const std::string& text) {
+    auto e = ParseExpression(text);
+    EXPECT_OK(e.status());
+    return std::move(*e);
+  }
+
+  VectorPredicatePtr CompileVector(const std::string& text) {
+    ExprPtr e = Parse(text);
+    return VectorPredicate::Compile(*e, "e", rel_->schema());
+  }
+
+  CompiledExprPtr CompileRow(const std::string& text) {
+    auto c = CompileExpr(*Parse(text), scope_);
+    EXPECT_OK(c.status());
+    return std::move(*c);
+  }
+
+  Catalog catalog_;
+  HeapRelation* rel_ = nullptr;
+  Scope scope_;
+};
+
+TEST_F(VectorKernelsTest, ColumnBatchRoundTripsValues) {
+  std::shared_ptr<const ColumnBatch> batch = rel_->ColumnView();
+  ASSERT_EQ(batch->num_rows(), rel_->size());
+  ASSERT_EQ(batch->num_cols(), rel_->schema().num_attributes());
+  EXPECT_EQ(batch->source_version(), rel_->version());
+  for (size_t row = 0; row < batch->num_rows(); ++row) {
+    const Tuple* heap = rel_->Get(batch->tids()[row]);
+    ASSERT_NE(heap, nullptr);
+    for (size_t c = 0; c < batch->num_cols(); ++c) {
+      EXPECT_EQ(batch->ValueAt(c, row).Compare(heap->at(c)), 0)
+          << "cell (" << c << ", " << row << ")";
+    }
+    EXPECT_TRUE(batch->TupleAt(row) == *heap);
+  }
+}
+
+TEST_F(VectorKernelsTest, ColumnViewIsCachedUntilMutation) {
+  auto first = rel_->ColumnView();
+  EXPECT_EQ(first.get(), rel_->ColumnView().get());
+  ASSERT_OK(rel_->Insert(MixedRow(1000)));
+  auto second = rel_->ColumnView();
+  EXPECT_NE(first.get(), second.get());
+  EXPECT_EQ(second->num_rows(), rel_->size());
+}
+
+TEST_F(VectorKernelsTest, CompareKernelMatchesValueCompare) {
+  std::shared_ptr<const ColumnBatch> batch = rel_->ColumnView();
+  // Keys deliberately cross type ranks: null < bool < numeric < string.
+  const std::vector<Value> keys = {
+      Value::Null(),         Value::Bool(true),     Value::Int(42),
+      Value::Float(12.5),    Value::String("n4"),   Value::Int(-1),
+  };
+  const std::vector<BinaryOp> ops = {BinaryOp::kEq, BinaryOp::kNe,
+                                     BinaryOp::kLt, BinaryOp::kLe,
+                                     BinaryOp::kGt, BinaryOp::kGe};
+  for (size_t c = 0; c < batch->num_cols(); ++c) {
+    for (const Value& key : keys) {
+      for (BinaryOp op : ops) {
+        std::vector<uint8_t> mask(batch->num_rows(), 1);
+        AndCompareColumnScalar(*batch, c, op, key, &mask);
+        for (size_t row = 0; row < batch->num_rows(); ++row) {
+          const int cmp = batch->ValueAt(c, row).Compare(key);
+          bool expect = false;
+          switch (op) {
+            case BinaryOp::kEq: expect = cmp == 0; break;
+            case BinaryOp::kNe: expect = cmp != 0; break;
+            case BinaryOp::kLt: expect = cmp < 0; break;
+            case BinaryOp::kLe: expect = cmp <= 0; break;
+            case BinaryOp::kGt: expect = cmp > 0; break;
+            case BinaryOp::kGe: expect = cmp >= 0; break;
+            default: FAIL();
+          }
+          EXPECT_EQ(mask[row] != 0, expect)
+              << "col " << c << " row " << row << " key " << key.ToString();
+        }
+      }
+    }
+  }
+}
+
+TEST_F(VectorKernelsTest, CompareKernelAndsIntoMask) {
+  std::shared_ptr<const ColumnBatch> batch = rel_->ColumnView();
+  std::vector<uint8_t> mask(batch->num_rows(), 0);
+  AndCompareColumnScalar(*batch, 0, BinaryOp::kGe, Value::Int(0), &mask);
+  for (uint8_t bit : mask) EXPECT_EQ(bit, 0);  // 0 entries stay 0
+}
+
+TEST_F(VectorKernelsTest, GrammarAcceptsNonErroringPredicates) {
+  EXPECT_NE(CompileVector("e.val < 50"), nullptr);
+  EXPECT_NE(CompileVector("e.val < 50 and e.score >= 2.5"), nullptr);
+  EXPECT_NE(CompileVector("e.name = \"n4\" or not e.flag"), nullptr);
+  EXPECT_NE(CompileVector("e.val = e.id"), nullptr);
+  EXPECT_NE(CompileVector("e.flag"), nullptr);
+  EXPECT_NE(CompileVector("10 <= e.val"), nullptr);
+}
+
+TEST_F(VectorKernelsTest, GrammarRejectsErroringOrForeignExpressions) {
+  // Arithmetic can raise (division by zero) — row path only.
+  EXPECT_EQ(CompileVector("e.val + 1 < 50"), nullptr);
+  EXPECT_EQ(CompileVector("e.val / e.id > 1"), nullptr);
+  // previous refs live outside a ColumnBatch of current values.
+  EXPECT_EQ(CompileVector("e.val > previous e.val"), nullptr);
+  // Another tuple variable cannot be resolved against this schema.
+  EXPECT_EQ(CompileVector("e.val < d.lo"), nullptr);
+  // Unknown attribute.
+  EXPECT_EQ(CompileVector("e.bogus < 3"), nullptr);
+}
+
+TEST_F(VectorKernelsTest, MaskAgreesWithRowPathEverywhere) {
+  const std::vector<std::string> predicates = {
+      "e.val < 50",
+      "e.val >= 10 and e.val < 80",
+      "e.name = \"n4\" or e.name = \"n7\"",
+      "not (e.val < 50)",
+      "e.flag or e.score > 5.0",
+      "e.val != 42",       // true for null e.val on both paths
+      "e.score <= e.val",  // mixed int/float column-column
+      "e.val = e.id",
+  };
+  std::shared_ptr<const ColumnBatch> batch = rel_->ColumnView();
+  for (const std::string& text : predicates) {
+    VectorPredicatePtr vp = CompileVector(text);
+    ASSERT_NE(vp, nullptr) << text;
+    CompiledExprPtr row_pred = CompileRow(text);
+    std::vector<uint8_t> mask;
+    vp->EvalMask(*batch, &mask);
+    ASSERT_EQ(mask.size(), batch->num_rows());
+    for (size_t i = 0; i < batch->num_rows(); ++i) {
+      Row scratch(1);
+      scratch.Set(0, *rel_->Get(batch->tids()[i]), batch->tids()[i]);
+      auto expect = row_pred->EvalPredicate(scratch);
+      ASSERT_TRUE(expect.ok()) << text << ": " << expect.status().ToString();
+      EXPECT_EQ(mask[i] != 0, *expect) << text << " row " << i;
+    }
+  }
+}
+
+TEST_F(VectorKernelsTest, SeqScanColumnarMatchesRowPath) {
+  auto collect = [&](size_t columnar_min_rows) {
+    ExprPtr pred = Parse("e.val >= 10 and e.val < 80");
+    VectorPredicatePtr vp = VectorPredicate::Compile(*pred, "e",
+                                                     rel_->schema());
+    EXPECT_NE(vp, nullptr);
+    SeqScanNode scan(rel_, 0, 1, CompileRow("e.val >= 10 and e.val < 80"),
+                     "SeqScan", std::move(vp), nullptr, columnar_min_rows);
+    std::vector<std::string> rows;
+    EXPECT_OK(scan.Execute([&](const Row& row) {
+      rows.push_back(row.tids[0].ToString() + row.current[0].ToString());
+      return Status::OK();
+    }));
+    return rows;
+  };
+  std::vector<std::string> columnar = collect(/*columnar_min_rows=*/0);
+  std::vector<std::string> row_path = collect(/*columnar_min_rows=*/1u << 30);
+  EXPECT_FALSE(columnar.empty());
+  EXPECT_EQ(columnar, row_path);
+}
+
+TEST_F(VectorKernelsTest, SeqScanRowResidualRunsOnSurvivorsOnly) {
+  // Vector prefix e.val < 50, arithmetic row residual: survivors of the
+  // mask must be re-verified by the residual exactly as the row path does.
+  ExprPtr prefix = Parse("e.val < 50");
+  VectorPredicatePtr vp =
+      VectorPredicate::Compile(*prefix, "e", rel_->schema());
+  ASSERT_NE(vp, nullptr);
+  SeqScanNode scan(rel_, 0, 1, CompileRow("e.val < 50 and e.id + 0 < 30"),
+                   "SeqScan", std::move(vp), CompileRow("e.id + 0 < 30"),
+                   /*columnar_min_rows=*/0);
+  std::vector<std::string> columnar;
+  ASSERT_OK(scan.Execute([&](const Row& row) {
+    columnar.push_back(row.tids[0].ToString());
+    return Status::OK();
+  }));
+
+  SeqScanNode row_scan(rel_, 0, 1,
+                       CompileRow("e.val < 50 and e.id + 0 < 30"));
+  std::vector<std::string> row_path;
+  ASSERT_OK(row_scan.Execute([&](const Row& row) {
+    row_path.push_back(row.tids[0].ToString());
+    return Status::OK();
+  }));
+  EXPECT_FALSE(columnar.empty());
+  EXPECT_EQ(columnar, row_path);
+}
+
+TEST_F(VectorKernelsTest, FilterNodeMaskMatchesRowPath) {
+  auto collect = [&](bool columnar) {
+    ExprPtr pred = Parse("e.val < 50");
+    VectorPredicatePtr vp =
+        columnar ? VectorPredicate::Compile(*pred, "e", rel_->schema())
+                 : nullptr;
+    if (columnar) {
+      EXPECT_NE(vp, nullptr);
+    }
+    auto child = std::make_unique<SeqScanNode>(rel_, 0, 1, nullptr);
+    FilterNode filter(std::move(child), CompileRow("e.val < 50"),
+                      "e.val < 50", columnar ? rel_ : nullptr, 0,
+                      std::move(vp), /*columnar_min_rows=*/0);
+    std::vector<std::string> rows;
+    EXPECT_OK(filter.Execute([&](const Row& row) {
+      rows.push_back(row.tids[0].ToString() + row.current[0].ToString());
+      return Status::OK();
+    }));
+    return rows;
+  };
+  std::vector<std::string> columnar = collect(true);
+  std::vector<std::string> row_path = collect(false);
+  EXPECT_FALSE(columnar.empty());
+  EXPECT_EQ(columnar, row_path);
+}
+
+TEST_F(VectorKernelsTest, CorruptedCacheIsDetectedByAudit) {
+  EXPECT_EQ(rel_->AuditColumnCache(), "");  // no cache yet
+  rel_->ColumnView();
+  EXPECT_EQ(rel_->AuditColumnCache(), "");  // coherent cache
+  rel_->CorruptColumnCacheForTesting();
+  EXPECT_NE(rel_->AuditColumnCache(), "");
+}
+
+}  // namespace
+}  // namespace ariel
