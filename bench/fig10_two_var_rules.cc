@@ -26,6 +26,12 @@ int main() {
   PrintFigureTable(
       "Figure 10",
       "two-tuple-variable rules (emp selection + emp.dno = dept.dno)", rows);
+  for (const FigureRow& row : rows) {
+    const std::string key = "rules" + std::to_string(row.num_rules);
+    reporter.AddResult(key + "_install_s", row.install_seconds);
+    reporter.AddResult(key + "_activate_s", row.activate_seconds);
+    reporter.AddResult(key + "_token_test_ms", row.token_test_ms);
+  }
 
   // Beyond the paper: the paper's dept relation holds 7 tuples, which caps
   // the work a probe can save; sweeping |dept| shows the hash-index
@@ -37,5 +43,10 @@ int main() {
                                           size, smoke ? 1 : 3));
   }
   PrintScalingTable("Figure 10 extension", scaling);
+  for (const ScalingRow& row : scaling) {
+    reporter.AddResult("dept" + std::to_string(row.relation_size) +
+                           "_token_test_ms",
+                       row.token_test_ms);
+  }
   return 0;
 }

@@ -24,6 +24,12 @@ int main() {
                    "three-tuple-variable rules (emp selection + dept join + "
                    "job join)",
                    rows);
+  for (const FigureRow& row : rows) {
+    const std::string key = "rules" + std::to_string(row.num_rules);
+    reporter.AddResult(key + "_install_s", row.install_seconds);
+    reporter.AddResult(key + "_activate_s", row.activate_seconds);
+    reporter.AddResult(key + "_token_test_ms", row.token_test_ms);
+  }
 
   // Beyond the paper: sweep |dept| = |job| to expose the probe-vs-scan
   // separation the 7/5-tuple paper relations cannot show (see Figure 10's
@@ -35,5 +41,10 @@ int main() {
                                           size, smoke ? 1 : 3));
   }
   PrintScalingTable("Figure 11 extension", scaling);
+  for (const ScalingRow& row : scaling) {
+    reporter.AddResult("joined" + std::to_string(row.relation_size) +
+                           "_token_test_ms",
+                       row.token_test_ms);
+  }
   return 0;
 }

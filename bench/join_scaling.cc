@@ -132,6 +132,12 @@ int main() {
         std::printf("%-6d %-7s %-10d %-16.4f %-14llu\n", row.vars,
                     ModeName(row.mode), row.size, row.token_ms,
                     static_cast<unsigned long long>(row.join_probes));
+        const std::string key = "v" + std::to_string(row.vars) + "_" +
+                                ModeName(row.mode) + "_n" +
+                                std::to_string(row.size);
+        reporter.AddResult(key + "_token_ms", row.token_ms);
+        reporter.AddResult(key + "_join_probes",
+                           static_cast<double>(row.join_probes));
       }
     }
   }

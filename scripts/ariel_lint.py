@@ -55,6 +55,16 @@ Rules
                  selection-vector kernels) so the row/column choice stays in
                  one place; the deliberate row-path fallbacks carry an
                  allow() with a one-line justification.
+  network-topology
+                 Network-shape construction calls (make_unique<RuleNetwork>,
+                 Prime(), set_planned_join_order()) in src/ outside
+                 src/network/ and the rule manager's install/re-plan entry
+                 points (src/rules/rule_manager.cc). A rule's network may
+                 only be (re)built through RuleManager::AddRule/ReplanRule:
+                 anywhere else skips the P-node state carry-over, the
+                 auditor hook, and the adaptive optimizer's bookkeeping, so
+                 the topology silently diverges from what the optimizer
+                 believes is installed.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -244,6 +254,15 @@ BARE_OK_RE = re.compile(
 # executor. Scans must go through the columnar batch machinery (ColumnView +
 # selection-vector kernels) or a deliberately annotated row fallback.
 HEAP_ITER_RE = re.compile(r"(->|\.)\s*(AllTupleIds|ForEachTuple)\s*\(")
+# network-topology: building or re-shaping a rule's join network is the
+# exclusive business of src/network/ and the rule manager's install/re-plan
+# entry points; ad-hoc topology mutation elsewhere bypasses P-node carry-
+# over, auditing, and the adaptive optimizer's bookkeeping.
+NETWORK_TOPOLOGY_RE = re.compile(
+    r"make_unique\s*<\s*RuleNetwork\s*>|"
+    r"(->|\.)\s*(Prime|set_planned_join_order)\s*\(")
+NETWORK_TOPOLOGY_OK = (("src", "network"),)
+NETWORK_TOPOLOGY_OK_FILES = (("src", "rules", "rule_manager.cc"),)
 
 
 def in_storage(path: Path) -> bool:
@@ -351,6 +370,18 @@ def lint_file(path: Path) -> list[Finding]:
                    "storage/txn/gateway layers — route the mutation through "
                    "a StorageGateway (or annotate why this relation is not "
                    "base data)")
+
+    # network-topology: network (re)construction stays inside src/network/
+    # and the rule manager's install/re-plan entry points.
+    if (rel_all[0] == "src" and rel_all[:2] not in NETWORK_TOPOLOGY_OK
+            and rel_all not in NETWORK_TOPOLOGY_OK_FILES):
+        for m in NETWORK_TOPOLOGY_RE.finditer(code):
+            lineno = code[: m.start()].count("\n") + 1
+            report(lineno, "network-topology",
+                   "rule-network topology mutation outside src/network/ and "
+                   "RuleManager::AddRule/ReplanRule — re-shape networks "
+                   "through the rule manager so P-node state, auditing, and "
+                   "adaptive bookkeeping stay consistent")
 
     # server-session: inside src/server/, Database::Execute* stays in the
     # session layer.

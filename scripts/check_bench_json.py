@@ -36,6 +36,12 @@ REQUIRE_RESULTS = {
     "token_ops",
     "bulk_transitions",
     "scan_throughput",
+    "join_scaling",
+    "fig10_two_var_rules",
+    "fig10_two_var_rules_scan",
+    "fig11_three_var_rules",
+    "fig11_three_var_rules_scan",
+    "adaptive_optimizer",
 }
 
 # `bench/<name>` where the path ends at the name (excludes directories

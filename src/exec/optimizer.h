@@ -2,6 +2,7 @@
 #define ARIEL_EXEC_OPTIMIZER_H_
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "exec/plan.h"
@@ -54,8 +55,21 @@ class Optimizer {
   const OptimizerOptions& options() const { return options_; }
   void set_options(OptimizerOptions options) { options_ = options; }
 
+  /// Learned per-relation override of options().columnar_min_rows (the
+  /// adaptive optimizer's row/column decision: 0 forces the columnar path
+  /// for any live-tuple count, SIZE_MAX pins the row path). Applies to
+  /// plans built after the call; cached plans re-check at execute time.
+  void set_columnar_min_rows_for(uint32_t relation_id, size_t min_rows) {
+    columnar_min_rows_overrides_[relation_id] = min_rows;
+  }
+  void clear_columnar_min_rows_overrides() {
+    columnar_min_rows_overrides_.clear();
+  }
+  size_t columnar_min_rows_for(const HeapRelation* relation) const;
+
  private:
   OptimizerOptions options_;
+  std::unordered_map<uint32_t, size_t> columnar_min_rows_overrides_;
 };
 
 /// Estimated selectivity of one conjunct (equality tighter than ranges),

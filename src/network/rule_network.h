@@ -212,6 +212,9 @@ class RuleNetwork {
   bool columnar_exec() const { return columnar_exec_; }
 
   const std::string& rule_name() const { return rule_name_; }
+  /// The P-node's synthetic relation id — reused across re-plans so a
+  /// rebuilt network's conflict set stays addressable by the same id.
+  uint32_t pnode_relation_id() const { return pnode_relation_id_; }
   const Scope& scope() const { return scope_; }
   size_t num_vars() const { return alphas_.size(); }
   AlphaMemory* alpha(size_t i) { return alphas_[i].get(); }
@@ -289,8 +292,34 @@ class RuleNetwork {
   /// Loads stored α-memories and the P-node from current database contents
   /// (rule activation; §6 "priming"). Dynamic memories stay empty; the
   /// P-node is loaded only when no dynamic memory exists (event/transition
-  /// bindings cannot predate activation).
-  [[nodiscard]] Status Prime(Optimizer* optimizer);
+  /// bindings cannot predate activation). Re-planning passes
+  /// `load_pnode = false`: α/β state is rebuilt from the heap relations but
+  /// the history-dependent conflict set is carried over from the old
+  /// network via PNode::CaptureState/RestoreState instead of recomputed.
+  [[nodiscard]] Status Prime(Optimizer* optimizer, bool load_pnode = true);
+
+  // --- Live match statistics (adaptive optimizer inputs) ---
+
+  /// Lifetime token-arrival counters, maintained by Arrive. Carried across
+  /// re-plans by RuleManager::ReplanRule so the cost model keeps its
+  /// history.
+  struct MatchStats {
+    uint64_t arrivals = 0;
+    uint64_t plus_tokens = 0;
+    uint64_t minus_tokens = 0;
+    std::vector<uint64_t> var_arrivals;  // indexed by α ordinal
+  };
+  const MatchStats& match_stats() const { return match_stats_; }
+  void set_match_stats(MatchStats stats) { match_stats_ = std::move(stats); }
+
+  /// Installs an explicit TREAT probe order (a permutation of the variable
+  /// ordinals); ExtendJoin binds the earliest unbound entry first. Empty
+  /// restores the built-in connected-then-smallest heuristic. Ignored under
+  /// Rete (β-chain order is fixed by the variable order).
+  [[nodiscard]] Status set_planned_join_order(std::vector<size_t> order);
+  const std::vector<size_t>& planned_join_order() const {
+    return planned_join_order_;
+  }
 
   /// The backend actually in use (kRete requests fall back to kTreat for
   /// rules with dynamic memories).
@@ -476,6 +505,10 @@ class RuleNetwork {
   bool has_dynamic_ = false;
   bool dirty_dynamic_ = false;
   LastTrigger last_trigger_;
+  MatchStats match_stats_;
+  /// Explicit TREAT probe order (empty = heuristic); see
+  /// set_planned_join_order.
+  std::vector<size_t> planned_join_order_;
 };
 
 }  // namespace ariel

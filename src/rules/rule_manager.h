@@ -9,6 +9,7 @@
 #include "catalog/catalog.h"
 #include "exec/executor.h"
 #include "exec/optimizer.h"
+#include "network/adaptive_optimizer.h"
 #include "network/discrimination_network.h"
 #include "network/rule_network.h"
 #include "rules/rule_compiler.h"
@@ -40,6 +41,8 @@ struct Rule {
   std::vector<CachedPlan> action_plans;
 
   uint64_t times_fired = 0;
+  /// Times the adaptive optimizer rebuilt this rule's network.
+  uint64_t replans = 0;
 };
 
 /// The rule catalog plus lifecycle management.
@@ -59,6 +62,16 @@ class RuleManager {
 
   /// Compiles, primes and registers the rule's network.
   [[nodiscard]] Status ActivateRule(const std::string& name);
+
+  /// Rebuilds an active rule's network under `strategy` (the adaptive
+  /// optimizer's re-plan entry point; also driven directly by the
+  /// equivalence tests). α/β state is re-primed from the heap relations
+  /// while the history-dependent conflict set and the live match statistics
+  /// are carried over, so engine state is equivalent to having run the new
+  /// shape all along. Must be called at quiescence (no transition, no
+  /// staged batch); the caller re-audits afterwards.
+  [[nodiscard]] Status ReplanRule(const std::string& name,
+                                  const NetworkStrategy& strategy);
 
   /// Unregisters the network; the definition stays installed.
   [[nodiscard]] Status DeactivateRule(const std::string& name);
