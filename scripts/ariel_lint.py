@@ -65,6 +65,18 @@ Rules
                  auditor hook, and the adaptive optimizer's bookkeeping, so
                  the topology silently diverges from what the optimizer
                  believes is installed.
+  read-path-purity
+                 Mutation entry points inside the body of an
+                 `ExecuteReadOnly` definition. Those bodies are the engine's
+                 concurrent read path: the server's reader pool runs them on
+                 worker threads against a pinned snapshot, concurrently with
+                 other reads, with only the write barrier keeping mutators
+                 out. A call to ExecuteTransacted/ExecuteDml/ExecuteCommand/
+                 ExecuteAll, RunCycle, BeginTransition,
+                 RefreshSystemCatalogs, BumpVersion, DetachForWrite, a
+                 relation Insert/InsertAt/Delete/Update, or a Reset/Clear
+                 there mutates shared engine state off the serialized write
+                 path — a data race, not just a layering violation.
   atomic-order   Atomic operations in the concurrency-critical util files
                  (src/util/metrics.*, src/util/thread_pool.*) must name an
                  explicit std::memory_order. Metric handles are updated from
@@ -265,6 +277,31 @@ NETWORK_TOPOLOGY_OK = (("src", "network"),)
 NETWORK_TOPOLOGY_OK_FILES = (("src", "rules", "rule_manager.cc"),)
 
 
+# read-path-purity: names that mutate engine state. None of them may be
+# called from the body of an ExecuteReadOnly definition — those bodies run
+# on reader-pool threads, outside the serialized write path.
+READ_ONLY_DEF_RE = re.compile(r"::\s*ExecuteReadOnly\s*\(")
+READ_PATH_FORBIDDEN_RE = re.compile(
+    r"\b(ExecuteTransacted|ExecuteDml|ExecuteCommand|ExecuteAll|RunCycle|"
+    r"BeginTransition|RefreshSystemCatalogs|BumpVersion|DetachForWrite)"
+    r"\s*\(|"
+    r"(->|\.)\s*(Insert|InsertAt|Delete|Update|Reset|Clear)\s*\(")
+
+
+def brace_match(code: str, open_index: int) -> int:
+    """Index of the brace closing the one at open_index (end of text if
+    unbalanced)."""
+    depth = 0
+    for k in range(open_index, len(code)):
+        if code[k] == "{":
+            depth += 1
+        elif code[k] == "}":
+            depth -= 1
+            if depth == 0:
+                return k
+    return len(code) - 1
+
+
 def in_storage(path: Path) -> bool:
     rel = path.relative_to(REPO_ROOT)
     return rel.parts[:2] == ("src", "storage")
@@ -382,6 +419,35 @@ def lint_file(path: Path) -> list[Finding]:
                    "RuleManager::AddRule/ReplanRule — re-shape networks "
                    "through the rule manager so P-node state, auditing, and "
                    "adaptive bookkeeping stay consistent")
+
+    # read-path-purity: no mutation entry point inside the body of an
+    # ExecuteReadOnly definition (the pool-executed concurrent read path).
+    if rel_all[0] == "src" and path.suffix in (".cc", ".cpp"):
+        for m in READ_ONLY_DEF_RE.finditer(code):
+            paren = code.index("(", m.start())
+            depth, k = 0, paren
+            while k < len(code):
+                if code[k] == "(":
+                    depth += 1
+                elif code[k] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k += 1
+            tail_match = re.match(r"\s*(const\s*)?\{", code[k + 1:])
+            if not tail_match:
+                continue  # a call or declaration, not a definition
+            body_open = k + tail_match.end()  # index of '{'
+            body_close = brace_match(code, body_open)
+            body = code[body_open:body_close]
+            base_line = code[:body_open].count("\n")
+            for fm in READ_PATH_FORBIDDEN_RE.finditer(body):
+                name = fm.group(1) or fm.group(3)
+                lineno = base_line + body[: fm.start()].count("\n") + 1
+                report(lineno, "read-path-purity",
+                       f"{name}() inside ExecuteReadOnly — the concurrent "
+                       "read path runs on reader-pool threads; mutations "
+                       "belong to the serialized write path")
 
     # server-session: inside src/server/, Database::Execute* stays in the
     # session layer.

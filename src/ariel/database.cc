@@ -41,6 +41,8 @@ Database::Database(DatabaseOptions options)
   network_.set_columnar_exec(options_.columnar_exec);
   options_.match_threads =
       EnvSizeOr("ARIEL_MATCH_THREADS", options_.match_threads);
+  options_.read_threads =
+      EnvSizeOr("ARIEL_READ_THREADS", options_.read_threads);
   if (options_.match_threads > 0) {
     match_pool_ = std::make_unique<ThreadPool>(options_.match_threads);
     network_.ConfigureBatching(match_pool_.get());
@@ -163,6 +165,12 @@ Result<std::vector<CommandResult>> Database::ExecuteAll(
 }
 
 Result<CommandResult> Database::ExecuteCommand(const Command& command) {
+  // Read-only commands take the same const snapshot path the server's
+  // reader pool uses, so serialized (ARIEL_READ_THREADS=0) and concurrent
+  // configurations are equivalent by construction.
+  if (IsReadOnlyCommand(command)) {
+    return ExecuteReadOnly(command, AcquireReadSnapshot());
+  }
   switch (command.kind) {
     case CommandKind::kCreate:
     case CommandKind::kDefineIndex:
@@ -179,26 +187,15 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
     }
 
     case CommandKind::kRetrieve: {
-      // System catalogs are snapshots: rebuild them when the query might
-      // look at them (cheap — proportional to #relations + #rules).
+      // Only the non-read-only retrieve forms reach the switch: a query
+      // over the sys-catalog snapshots (which must be rebuilt first) or
+      // retrieve-into (which materializes a relation — a mutation).
       const auto& cmd = static_cast<const RetrieveCommand&>(command);
-      bool touches_sys = false;
-      auto check = [&](const Expr* e) {
-        if (e == nullptr) return;
-        for (const std::string& var : CollectTupleVars(*e)) {
-          if (var.rfind("sys", 0) == 0) touches_sys = true;
-        }
-      };
-      for (const Assignment& a : cmd.targets) check(a.expr.get());
-      check(cmd.qualification.get());
-      for (const FromItem& item : cmd.from) {
-        if (ToLower(item.relation).rfind("sys", 0) == 0) touches_sys = true;
-      }
-      if (touches_sys) {
+      if (TraitsOf(command).touches_sys_catalog) {
+        // System catalogs are snapshots: rebuild them when the query might
+        // look at them (cheap — proportional to #relations + #rules).
         ARIEL_RETURN_NOT_OK(RefreshSystemCatalogs());
       }
-      // Plain retrieve is read-only: no transition bookkeeping or rule
-      // wake-ups. retrieve-into materializes a relation and is a mutation.
       if (!cmd.into.empty()) {
         return ExecuteTransacted(command, /*ddl=*/false);
       }
@@ -286,53 +283,100 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
     }
 
     case CommandKind::kShowStats: {
-      // Read-only diagnostic: no transition, no recognize-act cycle.
+      // Only the reset form reaches the switch (plain show stats is
+      // read-only and was routed above). The reset itself is one atomic
+      // epoch swap inside the registry: concurrent readers see either the
+      // pre-reset or the post-reset view, never a half-zeroed registry.
+      CommandResult result;
+      result.message = RenderStats();
+      Metrics().registry.Reset();
+      Metrics().firing_trace.Clear();
+      result.message += "(statistics reset)\n";
+      return result;
+    }
+
+    case CommandKind::kExplainRule:
+    case CommandKind::kAnalyzeRules:
+      // Read-only diagnostics; unreachable through the routing above, but
+      // kept so a direct caller gets the same behaviour.
+      return ExecuteReadOnly(command, AcquireReadSnapshot());
+  }
+  return Status::Internal("unhandled command kind");
+}
+
+std::string Database::RenderStats() const {
+  EngineMetrics& m = Metrics();
+  std::ostringstream os;
+  os << "engine statistics:\n" << m.registry.Render();
+  os << "batch pipeline: batch_tokens=" << options_.batch_tokens
+     << ", match_threads=" << options_.match_threads
+     << (options_.batch_tokens == 0 ? " (per-token propagation)" : "")
+     << "\n";
+  os << "transactions: on_action_error="
+     << ActionErrorPolicyToString(options_.on_action_error)
+     << ", open_frames=" << txn_->open_frames()
+     << ", undo_records=" << txn_->undo_log().size()
+     << ", rollbacks=" << txn_->rollbacks()
+     << (txn_->in_explicit() ? " (explicit transaction open)" : "")
+     << "\n";
+  os << "adaptive optimizer: "
+     << (adaptive_ == nullptr ? "off" : "on");
+  if (adaptive_ != nullptr) {
+    os << " (min_gain=" << adaptive_->config().min_gain
+       << ", min_tokens=" << adaptive_->config().min_tokens << ")";
+  }
+  os << "\n";
+  for (const Rule* rule : rules_->ActiveRules()) {
+    if (rule->network == nullptr) continue;
+    RuleObservation obs = CollectObservation(
+        *rule->network, &network_.selection_network());
+    os << "  " << rule->name << ": "
+       << AdaptiveOptimizer::CurrentStrategy(obs).ToString()
+       << ", replans=" << rule->replans << "\n";
+  }
+  const uint64_t total = m.firing_trace.total_recorded();
+  if (total > 0) {
+    std::vector<FiringTraceEntry> recent = m.firing_trace.Recent(10);
+    os << "recent rule firings (" << recent.size() << " of " << total
+       << " recorded):\n";
+    for (const FiringTraceEntry& entry : recent) {
+      os << "  " << entry.ToString() << "\n";
+    }
+  }
+  return os.str();
+}
+
+ReadSnapshot Database::AcquireReadSnapshot() const {
+  ReadSnapshot snapshot;
+  snapshot.catalog_version = catalog_.version();
+  for (const std::string& name : catalog_.RelationNames()) {
+    const HeapRelation* rel = catalog_.GetRelation(name);
+    if (rel == nullptr) continue;
+    snapshot.pins.push_back(
+        ReadSnapshot::Pin{rel, rel->PinStore(), rel->version()});
+  }
+  return snapshot;
+}
+
+Result<CommandResult> Database::ExecuteReadOnly(
+    const Command& command, const ReadSnapshot& snapshot) const {
+  // The snapshot's pins keep every relation's tuple storage alive for the
+  // duration of the call; under the server's write barrier the live data a
+  // plan reads is additionally bit-identical to the pinned stores (writers
+  // wait for in-flight reads before mutating, and mutation of a pinned
+  // store detaches a fresh copy rather than touching it in place).
+  (void)snapshot;
+  switch (command.kind) {
+    case CommandKind::kRetrieve:
+      return executor_->ExecuteReadOnly(command);
+
+    case CommandKind::kShowStats: {
       const auto& cmd = static_cast<const ShowStatsCommand&>(command);
-      EngineMetrics& m = Metrics();
-      std::ostringstream os;
-      os << "engine statistics:\n" << m.registry.Render();
-      os << "batch pipeline: batch_tokens=" << options_.batch_tokens
-         << ", match_threads=" << options_.match_threads
-         << (options_.batch_tokens == 0 ? " (per-token propagation)" : "")
-         << "\n";
-      os << "transactions: on_action_error="
-         << ActionErrorPolicyToString(options_.on_action_error)
-         << ", open_frames=" << txn_->open_frames()
-         << ", undo_records=" << txn_->undo_log().size()
-         << ", rollbacks=" << txn_->rollbacks()
-         << (txn_->in_explicit() ? " (explicit transaction open)" : "")
-         << "\n";
-      os << "adaptive optimizer: "
-         << (adaptive_ == nullptr ? "off" : "on");
-      if (adaptive_ != nullptr) {
-        os << " (min_gain=" << adaptive_->config().min_gain
-           << ", min_tokens=" << adaptive_->config().min_tokens << ")";
-      }
-      os << "\n";
-      for (Rule* rule : rules_->ActiveRules()) {
-        if (rule->network == nullptr) continue;
-        RuleObservation obs = CollectObservation(
-            *rule->network, &network_.selection_network());
-        os << "  " << rule->name << ": "
-           << AdaptiveOptimizer::CurrentStrategy(obs).ToString()
-           << ", replans=" << rule->replans << "\n";
-      }
-      const uint64_t total = m.firing_trace.total_recorded();
-      if (total > 0) {
-        std::vector<FiringTraceEntry> recent = m.firing_trace.Recent(10);
-        os << "recent rule firings (" << recent.size() << " of " << total
-           << " recorded):\n";
-        for (const FiringTraceEntry& entry : recent) {
-          os << "  " << entry.ToString() << "\n";
-        }
-      }
       if (cmd.reset) {
-        m.registry.Reset();
-        m.firing_trace.Clear();
-        os << "(statistics reset)\n";
+        return Status::Internal("show stats reset is a mutation");
       }
       CommandResult result;
-      result.message = os.str();
+      result.message = RenderStats();
       return result;
     }
 
@@ -379,16 +423,17 @@ Result<CommandResult> Database::ExecuteCommand(const Command& command) {
     }
 
     case CommandKind::kAnalyzeRules: {
-      // Read-only diagnostic, like show stats: no transition, no
-      // recognize-act cycle.
       ARIEL_ASSIGN_OR_RETURN(RuleSetAnalysis analysis,
                              AnalyzeRuleSet(*rules_, catalog_));
       CommandResult result;
       result.message = analysis.Render(/*include_costs=*/true);
       return result;
     }
+
+    default:
+      return Status::Internal(
+          "ExecuteReadOnly: command kind has no read-only path");
   }
-  return Status::Internal("unhandled command kind");
 }
 
 Result<CommandResult> Database::ExecuteDml(const Command& command) {

@@ -99,6 +99,35 @@ struct DatabaseOptions {
   double adaptive_min_gain = 0.25;
   /// A rule must absorb this many tokens between consecutive re-plans.
   size_t adaptive_min_tokens = 64;
+  /// Reader threads for the network server's concurrent read path:
+  /// read-only commands (plain retrieve, show stats, explain rule, analyze
+  /// rules) from sessions outside an explicit transaction run on this many
+  /// pool workers against a pinned snapshot, concurrently with each other,
+  /// while mutating commands stay serialized on the engine thread behind a
+  /// write barrier. 0 (default) = fully serialized, the pre-existing
+  /// behaviour; results are byte-identical at every thread count.
+  /// Overridable with the ARIEL_READ_THREADS env var.
+  size_t read_threads = 0;
+};
+
+/// A pinned, consistent view of the engine taken at a quiescence point.
+/// Holding one keeps every relation's tuple storage alive (shared_ptr pins
+/// into the copy-on-write stores) so a concurrent reader can never touch
+/// freed memory even while the engine thread mutates: writers detach (clone)
+/// a pinned store instead of mutating it in place. Cheap to take — one
+/// shared_ptr copy per relation, no tuple copying. B+tree indexes are *not*
+/// pinned; index-backed plans rely on the server's write barrier (reads only
+/// run while no write is in progress) rather than on the snapshot.
+struct ReadSnapshot {
+  /// Catalog schema epoch at acquisition (plan-cache style staleness check).
+  uint64_t catalog_version = 0;
+  struct Pin {
+    const HeapRelation* relation = nullptr;
+    std::shared_ptr<const TupleStore> store;
+    /// Relation mutation-version stamp at acquisition.
+    uint64_t version = 0;
+  };
+  std::vector<Pin> pins;
 };
 
 /// The Ariel active DBMS: a relational engine whose update processing is
@@ -133,6 +162,21 @@ class Database : private TransactionHooks {
 
   /// Executes one pre-parsed command.
   Result<CommandResult> ExecuteCommand(const Command& command);
+
+  /// Takes a pinned snapshot of the current state. Must be called at engine
+  /// quiescence (between commands); the returned handle may then outlive
+  /// subsequent mutations.
+  ReadSnapshot AcquireReadSnapshot() const;
+
+  /// Const-clean execution of a read-only command (IsReadOnlyCommand must
+  /// hold) against a pinned snapshot: plain retrieve, show stats (without
+  /// reset), explain rule, analyze rules. Touches no engine state — any
+  /// number of callers may run concurrently with each other (but not with
+  /// mutating commands; the server's write barrier enforces that). The same
+  /// path serves ExecuteCommand on the engine thread, so serialized and
+  /// concurrent configurations produce byte-identical results.
+  [[nodiscard]] Result<CommandResult> ExecuteReadOnly(
+      const Command& command, const ReadSnapshot& snapshot) const;
 
   /// Renders the physical plan the optimizer would use for a DML command.
   Result<std::string> ExplainPlan(std::string_view command_text);
@@ -193,6 +237,10 @@ class Database : private TransactionHooks {
 
  private:
   Result<CommandResult> ExecuteDml(const Command& command);
+
+  /// Renders the `show stats` report (const: shared by the read path and
+  /// the mutating reset form, which appends the reset notice).
+  std::string RenderStats() const;
 
   /// Brackets one top-level command (DDL executes directly, DML via
   /// ExecuteDml) in a command transaction frame: success commits, failure

@@ -264,7 +264,7 @@ Result<CommandResult> Executor::ExecuteDefineIndex(
 }
 
 Result<Plan> Executor::PlanFor(const Command& command,
-                               const ExtraBindings* extra) {
+                               const ExtraBindings* extra) const {
   switch (command.kind) {
     case CommandKind::kRetrieve: {
       const auto& cmd = static_cast<const RetrieveCommand&>(command);
@@ -331,7 +331,26 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
                                                 const ExtraBindings* extra,
                                                 CachedPlan* plan_cache) {
   ARIEL_ASSIGN_OR_RETURN(Plan* plan, ObtainPlan(cmd, extra, plan_cache));
+  ARIEL_ASSIGN_OR_RETURN(CommandResult cr, RunRetrieve(cmd, *plan));
 
+  // retrieve into: materialize the result as a new relation; inserts go
+  // through the gateway so any (later-activated) rules see real events.
+  if (!cmd.into.empty()) {
+    ARIEL_ASSIGN_OR_RETURN(
+        HeapRelation * dest,
+        catalog_->CreateRelation(cmd.into, cr.rows->schema));
+    if (undo_ != nullptr) undo_->AppendCreateRelation(cmd.into);
+    for (Tuple& row : cr.rows->rows) {
+      ARIEL_RETURN_NOT_OK(gateway_->Insert(dest, std::move(row)).status());
+    }
+    cr.rows.reset();
+    return cr;
+  }
+  return cr;
+}
+
+Result<CommandResult> Executor::RunRetrieve(const RetrieveCommand& cmd,
+                                            Plan& plan) const {
   // Aggregate form: every target aggregates over the qualified rows and
   // the result is a single row (there is no grouping).
   bool has_aggregate = false;
@@ -342,7 +361,7 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
     if (!cmd.into.empty()) {
       return Status::SemanticError("retrieve into does not take aggregates");
     }
-    return ExecuteAggregateRetrieve(cmd, *plan);
+    return ExecuteAggregateRetrieve(cmd, plan);
   }
 
   // Build the result schema, expanding v.all.
@@ -356,17 +375,17 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
     if (a.expr->kind == ExprKind::kColumnRef &&
         static_cast<const ColumnRefExpr&>(*a.expr).is_all()) {
       const auto& ref = static_cast<const ColumnRefExpr&>(*a.expr);
-      int var = plan->scope.IndexOf(ref.tuple_var);
+      int var = plan.scope.IndexOf(ref.tuple_var);
       if (var < 0) {
         return Status::SemanticError("unknown tuple variable \"" +
                                      ref.tuple_var + "\"");
       }
-      const Schema& var_schema = *plan->scope.var(var).schema;
+      const Schema& var_schema = *plan.scope.var(var).schema;
       for (size_t i = 0; i < var_schema.num_attributes(); ++i) {
         ColumnRefExpr attr_ref(ref.tuple_var, var_schema.attribute(i).name,
                                ref.previous);
         ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr compiled,
-                               CompileExpr(attr_ref, plan->scope));
+                               CompileExpr(attr_ref, plan.scope));
         result.schema.AddAttribute(var_schema.attribute(i));
         columns.push_back(OutCol{std::move(compiled)});
         ++ordinal;
@@ -374,8 +393,8 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
       continue;
     }
     ARIEL_ASSIGN_OR_RETURN(CompiledExprPtr compiled,
-                           CompileExpr(*a.expr, plan->scope));
-    ARIEL_ASSIGN_OR_RETURN(DataType type, InferType(*a.expr, plan->scope));
+                           CompileExpr(*a.expr, plan.scope));
+    ARIEL_ASSIGN_OR_RETURN(DataType type, InferType(*a.expr, plan.scope));
     std::string name =
         a.name.empty() ? DeriveTargetName(*a.expr, ordinal) : a.name;
     result.schema.AddAttribute(Attribute{std::move(name), type});
@@ -383,7 +402,7 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
     ++ordinal;
   }
 
-  ARIEL_RETURN_NOT_OK(plan->root->Execute([&](const Row& row) -> Status {
+  ARIEL_RETURN_NOT_OK(plan.root->Execute([&](const Row& row) -> Status {
     Tuple out;
     for (const OutCol& col : columns) {
       ARIEL_ASSIGN_OR_RETURN(Value v, col.expr->Eval(row));
@@ -393,29 +412,33 @@ Result<CommandResult> Executor::ExecuteRetrieve(const RetrieveCommand& cmd,
     return Status::OK();
   }));
 
-  // retrieve into: materialize the result as a new relation; inserts go
-  // through the gateway so any (later-activated) rules see real events.
-  if (!cmd.into.empty()) {
-    ARIEL_ASSIGN_OR_RETURN(HeapRelation * dest,
-                           catalog_->CreateRelation(cmd.into, result.schema));
-    if (undo_ != nullptr) undo_->AppendCreateRelation(cmd.into);
-    for (Tuple& row : result.rows) {
-      ARIEL_RETURN_NOT_OK(gateway_->Insert(dest, std::move(row)).status());
-    }
-    CommandResult cr;
-    cr.affected = result.rows.size();
-    return cr;
-  }
-
   CommandResult cr;
   cr.affected = result.rows.size();
   cr.rows = std::move(result);
   return cr;
 }
 
+Result<CommandResult> Executor::ExecuteReadOnly(
+    const Command& command, const ExtraBindings* extra) const {
+  if (command.kind != CommandKind::kRetrieve) {
+    return Status::Internal(
+        "ExecuteReadOnly: command kind has no const execution path");
+  }
+  const auto& cmd = static_cast<const RetrieveCommand&>(command);
+  if (!cmd.into.empty()) {
+    return Status::Internal("ExecuteReadOnly: retrieve into is a mutation");
+  }
+  // A call-local plan: the read path never touches the scratch slot or a
+  // shared cache, so concurrent readers don't contend (at the price of
+  // re-planning each read; the pre-registered counter is a relaxed atomic).
+  ARIEL_ASSIGN_OR_RETURN(Plan plan, PlanFor(cmd, extra));
+  Metrics().plans_built.Increment();
+  return RunRetrieve(cmd, plan);
+}
+
 Result<std::vector<Value>> Executor::ComputeAggregates(
     const std::vector<Assignment>& targets, Plan& plan,
-    std::vector<DataType>* types) {
+    std::vector<DataType>* types) const {
   struct AggState {
     AggFunc func;
     CompiledExprPtr operand;  // null for count(v)
@@ -515,7 +538,7 @@ Result<std::vector<Value>> Executor::ComputeAggregates(
 }
 
 Result<CommandResult> Executor::ExecuteAggregateRetrieve(
-    const RetrieveCommand& cmd, Plan& plan) {
+    const RetrieveCommand& cmd, Plan& plan) const {
   std::vector<DataType> types;
   ARIEL_ASSIGN_OR_RETURN(std::vector<Value> values,
                          ComputeAggregates(cmd.targets, plan, &types));

@@ -60,10 +60,19 @@ class Executor {
                                 const ExtraBindings* extra = nullptr,
                                 CachedPlan* plan_cache = nullptr);
 
+  /// Const-clean execution of a read-only command (currently: plain
+  /// retrieve, no `into`). Plans into a call-local slot — never the scratch
+  /// plan or a cache — and touches no executor state, so any number of
+  /// snapshot readers may run it concurrently with each other. The metrics
+  /// it bumps are relaxed atomics.
+  [[nodiscard]] Result<CommandResult> ExecuteReadOnly(
+      const Command& command, const ExtraBindings* extra = nullptr) const;
+
   /// Builds (but does not run) the plan for the row-producing part of a DML
-  /// command; used for EXPLAIN-style introspection and by tests.
+  /// command; used for EXPLAIN-style introspection, the read path, and by
+  /// tests.
   [[nodiscard]] Result<Plan> PlanFor(const Command& command,
-                       const ExtraBindings* extra = nullptr);
+                       const ExtraBindings* extra = nullptr) const;
 
   /// Plan-cache effectiveness counters (see CachedPlan).
   uint64_t plan_cache_hits() const { return plan_cache_hits_; }
@@ -88,15 +97,20 @@ class Executor {
   [[nodiscard]] Result<CommandResult> ExecuteRetrieve(const RetrieveCommand& cmd,
                                         const ExtraBindings* extra,
                                         CachedPlan* plan_cache);
+  /// The row-producing body of retrieve (target compilation, v.all
+  /// expansion, plan execution, aggregate dispatch) — const, shared by the
+  /// serialized path (ExecuteRetrieve) and the read path (ExecuteReadOnly).
+  [[nodiscard]] Result<CommandResult> RunRetrieve(const RetrieveCommand& cmd,
+                                                  Plan& plan) const;
   /// Aggregate-target form of retrieve: count/sum/avg/min/max over the
   /// qualified rows; produces exactly one result row.
   [[nodiscard]] Result<CommandResult> ExecuteAggregateRetrieve(const RetrieveCommand& cmd,
-                                                 Plan& plan);
+                                                 Plan& plan) const;
   /// Evaluates an all-aggregate target list over the plan's rows; one value
   /// (and inferred type) per target. Shared by retrieve and append.
   [[nodiscard]] Result<std::vector<Value>> ComputeAggregates(
       const std::vector<Assignment>& targets, Plan& plan,
-      std::vector<DataType>* types);
+      std::vector<DataType>* types) const;
   [[nodiscard]] Result<CommandResult> ExecuteAppend(const AppendCommand& cmd,
                                       const ExtraBindings* extra,
                                       CachedPlan* plan_cache);

@@ -97,7 +97,7 @@ size_t Optimizer::columnar_min_rows_for(const HeapRelation* relation) const {
 }
 
 Result<Plan> Optimizer::BuildPlan(const std::vector<PlanVar>& vars,
-                                  const Expr* qual) {
+                                  const Expr* qual) const {
   // Build the scope. P-node columns already include previous values as
   // plain columns, so has_previous is false for all plan variables.
   Scope scope;

@@ -49,8 +49,11 @@ class Optimizer {
   explicit Optimizer(OptimizerOptions options = {}) : options_(options) {}
 
   /// Builds a plan producing every binding of `vars` satisfying `qual`
-  /// (null = no qualification). Scope ordinals follow `vars` order.
-  [[nodiscard]] Result<Plan> BuildPlan(const std::vector<PlanVar>& vars, const Expr* qual);
+  /// (null = no qualification). Scope ordinals follow `vars` order. Const:
+  /// planning reads the options and overrides but never mutates the
+  /// optimizer, so the concurrent read path can plan against a snapshot.
+  [[nodiscard]] Result<Plan> BuildPlan(const std::vector<PlanVar>& vars,
+                                       const Expr* qual) const;
 
   const OptimizerOptions& options() const { return options_; }
   void set_options(OptimizerOptions options) { options_ = options; }

@@ -476,4 +476,58 @@ bool MentionsPrevious(const Expr& expr) {
   return false;
 }
 
+CommandTraits TraitsOf(const Command& command) {
+  CommandTraits traits;
+  switch (command.kind) {
+    case CommandKind::kRetrieve: {
+      const auto& cmd = static_cast<const RetrieveCommand&>(command);
+      traits.read_only = cmd.into.empty();
+      // Sys-catalog sniff over both the explicit from-list and the implicit
+      // relation-name tuple variables in targets/qualification (the same
+      // check the engine uses to refresh the snapshots before the query).
+      auto sniff_expr = [&traits](const Expr* e) {
+        if (e == nullptr) return;
+        for (const std::string& var : CollectTupleVars(*e)) {
+          if (var.rfind("sys", 0) == 0) traits.touches_sys_catalog = true;
+        }
+      };
+      for (const Assignment& a : cmd.targets) sniff_expr(a.expr.get());
+      sniff_expr(cmd.qualification.get());
+      for (const FromItem& item : cmd.from) {
+        if (ToLower(item.relation).rfind("sys", 0) == 0) {
+          traits.touches_sys_catalog = true;
+        }
+      }
+      break;
+    }
+    case CommandKind::kShowStats:
+      traits.read_only =
+          !static_cast<const ShowStatsCommand&>(command).reset;
+      break;
+    case CommandKind::kExplainRule:
+    case CommandKind::kAnalyzeRules:
+      traits.read_only = true;
+      break;
+    case CommandKind::kBlock: {
+      // Blocks always bracket a transition on the engine thread, even when
+      // every member is a retrieve; only the sys-catalog sniff propagates.
+      const auto& block = static_cast<const BlockCommand&>(command);
+      for (const CommandPtr& member : block.commands) {
+        if (TraitsOf(*member).touches_sys_catalog) {
+          traits.touches_sys_catalog = true;
+        }
+      }
+      break;
+    }
+    default:
+      break;
+  }
+  return traits;
+}
+
+bool IsReadOnlyCommand(const Command& command) {
+  const CommandTraits traits = TraitsOf(command);
+  return traits.read_only && !traits.touches_sys_catalog;
+}
+
 }  // namespace ariel

@@ -240,6 +240,16 @@ std::vector<Rule*> RuleManager::ActiveRules() {
   return out;
 }
 
+std::vector<const Rule*> RuleManager::ActiveRules() const {
+  std::vector<const Rule*> out;
+  for (const auto& [name, rule] : rules_) {
+    if (rule->active) out.push_back(rule.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Rule* a, const Rule* b) { return a->id < b->id; });
+  return out;
+}
+
 std::vector<std::string> RuleManager::RuleNames() const {
   std::vector<std::string> names;
   for (const auto& [name, rule] : rules_) names.push_back(name);

@@ -94,6 +94,7 @@ class RuleManager {
 
   /// Active rules in creation order.
   std::vector<Rule*> ActiveRules();
+  std::vector<const Rule*> ActiveRules() const;
 
   /// All rule names, sorted (introspection).
   std::vector<std::string> RuleNames() const;

@@ -3,6 +3,7 @@
 #include <errno.h>
 #include <fcntl.h>
 #include <string.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include "util/metrics.h"
@@ -53,8 +54,11 @@ Result<size_t> Connection::ReadAvailable() {
 Result<bool> Connection::FlushOutput() {
   size_t written = 0;
   while (written < output.size()) {
-    ssize_t n = ::write(fd_, output.data() + written,
-                        output.size() - written);
+    // MSG_NOSIGNAL: a peer that closed while replies were still queued
+    // (e.g. a client that fired reads and vanished) must surface as EPIPE,
+    // not a process-killing SIGPIPE.
+    ssize_t n = ::send(fd_, output.data() + written,
+                       output.size() - written, MSG_NOSIGNAL);
     if (n > 0) {
       written += static_cast<size_t>(n);
       continue;

@@ -55,8 +55,29 @@ class Connection {
     return last_activity_;
   }
 
+  /// One decoded request, classified at decode time so the dispatch
+  /// decision (reader pool vs. engine thread) never re-parses per poll.
+  struct Request {
+    std::string text;
+    /// Whole script parses and is read-only (Session::ClassifyRequest).
+    bool read_only = false;
+  };
+
+  /// One in-order reply slot. Every executed request claims the next slot;
+  /// engine-thread execution fills it immediately, a dispatched read fills
+  /// it when its completion is harvested. Slots drain into `output`
+  /// strictly front-to-back, so responses keep request order even when
+  /// pool reads finish out of order.
+  struct ReplySlot {
+    uint64_t seq = 0;
+    bool ready = false;
+    std::string encoded;
+  };
+
   std::string input;                 // raw bytes, not yet framed
-  std::deque<std::string> requests;  // decoded, not yet executed
+  std::deque<Request> requests;      // decoded, not yet executed
+  std::deque<ReplySlot> reply_slots;  // executed/dispatched, not yet emitted
+  uint64_t next_reply_seq = 1;
   std::string output;                // encoded replies, not yet flushed
 
   /// EOF seen: execute what was pipelined, flush, then close.

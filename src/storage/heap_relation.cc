@@ -8,7 +8,10 @@
 namespace ariel {
 
 HeapRelation::HeapRelation(uint32_t id, std::string name, Schema schema)
-    : id_(id), name_(ToLower(name)), schema_(std::move(schema)) {}
+    : id_(id),
+      name_(ToLower(name)),
+      schema_(std::move(schema)),
+      store_(std::make_shared<TupleStore>()) {}
 
 Status HeapRelation::CoerceToSchema(Tuple* tuple) const {
   if (tuple->size() != schema_.num_attributes()) {
@@ -32,22 +35,36 @@ Status HeapRelation::CoerceToSchema(Tuple* tuple) const {
   return Status::OK();
 }
 
+TupleStore& HeapRelation::DetachForWrite() {
+  if (store_.use_count() > 1) {
+    store_ = std::make_shared<TupleStore>(*store_);
+    Metrics().snapshot_cow_copies.Increment();
+  }
+  return *store_;
+}
+
+std::shared_ptr<const TupleStore> HeapRelation::PinStore() const {
+  Metrics().snapshot_pins.Increment();
+  return store_;
+}
+
 Result<TupleId> HeapRelation::Insert(Tuple tuple) {
   ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
+  TupleStore& store = DetachForWrite();
   uint32_t slot;
-  if (!free_slots_.empty()) {
-    slot = free_slots_.back();
-    free_slots_.pop_back();
-    slots_[slot] = std::move(tuple);
+  if (!store.free_slots.empty()) {
+    slot = store.free_slots.back();
+    store.free_slots.pop_back();
+    store.slots[slot] = std::move(tuple);
   } else {
-    slot = static_cast<uint32_t>(slots_.size());
-    slots_.push_back(std::move(tuple));
+    slot = static_cast<uint32_t>(store.slots.size());
+    store.slots.push_back(std::move(tuple));
   }
-  ++live_count_;
+  ++store.live_count;
   InvalidateColumnCache();
   TupleId tid{id_, slot};
   for (auto& [attr_pos, index] : indexes_) {
-    index->Insert(slots_[slot]->at(attr_pos), tid);
+    index->Insert(store.slots[slot]->at(attr_pos), tid);
   }
   return tid;
 }
@@ -58,71 +75,75 @@ Status HeapRelation::InsertAt(TupleId tid, Tuple tuple) {
                                   " into foreign relation \"" + name_ + "\"");
   }
   ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
-  if (tid.slot < slots_.size()) {
-    if (slots_[tid.slot].has_value()) {
+  TupleStore& store = DetachForWrite();
+  if (tid.slot < store.slots.size()) {
+    if (store.slots[tid.slot].has_value()) {
       return Status::ExecutionError("InsertAt into occupied slot " +
                                     tid.ToString() + " of \"" + name_ + "\"");
     }
-    if (!free_slots_.empty() && free_slots_.back() == tid.slot) {
-      free_slots_.pop_back();
+    if (!store.free_slots.empty() && store.free_slots.back() == tid.slot) {
+      store.free_slots.pop_back();
     } else {
-      auto it = std::find(free_slots_.begin(), free_slots_.end(), tid.slot);
-      if (it == free_slots_.end()) {
+      auto it = std::find(store.free_slots.begin(), store.free_slots.end(),
+                          tid.slot);
+      if (it == store.free_slots.end()) {
         return Status::Internal("empty slot " + tid.ToString() + " of \"" +
                                 name_ + "\" is missing from the free list");
       }
-      free_slots_.erase(it);
+      store.free_slots.erase(it);
     }
-    slots_[tid.slot] = std::move(tuple);
+    store.slots[tid.slot] = std::move(tuple);
   } else {
     // Restoring past the end re-grows the heap; any intermediate slots the
     // growth creates become free (cannot happen during rollback, where the
     // slot existed at forward-mutation time, but keeps the call total).
-    while (slots_.size() < tid.slot) {
-      free_slots_.push_back(static_cast<uint32_t>(slots_.size()));
-      slots_.emplace_back();
+    while (store.slots.size() < tid.slot) {
+      store.free_slots.push_back(static_cast<uint32_t>(store.slots.size()));
+      store.slots.emplace_back();
     }
-    slots_.push_back(std::move(tuple));
+    store.slots.push_back(std::move(tuple));
   }
-  ++live_count_;
+  ++store.live_count;
   InvalidateColumnCache();
   for (auto& [attr_pos, index] : indexes_) {
-    index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+    index->Insert(store.slots[tid.slot]->at(attr_pos), tid);
   }
   return Status::OK();
 }
 
 Status HeapRelation::Delete(TupleId tid) {
-  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
-      !slots_[tid.slot].has_value()) {
+  if (tid.relation_id != id_ || tid.slot >= store_->slots.size() ||
+      !store_->slots[tid.slot].has_value()) {
     return Status::ExecutionError("delete of nonexistent tuple " +
                                   tid.ToString() + " in \"" + name_ + "\"");
   }
+  TupleStore& store = DetachForWrite();
   for (auto& [attr_pos, index] : indexes_) {
-    index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+    index->Remove(store.slots[tid.slot]->at(attr_pos), tid);
   }
-  slots_[tid.slot].reset();
-  free_slots_.push_back(tid.slot);
-  --live_count_;
+  store.slots[tid.slot].reset();
+  store.free_slots.push_back(tid.slot);
+  --store.live_count;
   InvalidateColumnCache();
   return Status::OK();
 }
 
 Status HeapRelation::Update(TupleId tid, Tuple tuple,
                             const std::vector<std::string>* updated_attrs) {
-  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
-      !slots_[tid.slot].has_value()) {
+  if (tid.relation_id != id_ || tid.slot >= store_->slots.size() ||
+      !store_->slots[tid.slot].has_value()) {
     return Status::ExecutionError("update of nonexistent tuple " +
                                   tid.ToString() + " in \"" + name_ + "\"");
   }
   ARIEL_RETURN_NOT_OK(CoerceToSchema(&tuple));
   if (updated_attrs == nullptr || updated_attrs->empty()) {
+    TupleStore& store = DetachForWrite();
     for (auto& [attr_pos, index] : indexes_) {
-      index->Remove(slots_[tid.slot]->at(attr_pos), tid);
+      index->Remove(store.slots[tid.slot]->at(attr_pos), tid);
     }
-    slots_[tid.slot] = std::move(tuple);
+    store.slots[tid.slot] = std::move(tuple);
     for (auto& [attr_pos, index] : indexes_) {
-      index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+      index->Insert(store.slots[tid.slot]->at(attr_pos), tid);
     }
     InvalidateColumnCache();
     return Status::OK();
@@ -132,47 +153,57 @@ Status HeapRelation::Update(TupleId tid, Tuple tuple,
     ARIEL_ASSIGN_OR_RETURN(size_t pos, schema_.Find(attr));
     listed[pos] = true;
   }
-  const Tuple& current = *slots_[tid.slot];
-  for (size_t i = 0; i < schema_.num_attributes(); ++i) {
-    if (listed[i] || current.at(i) == tuple.at(i)) continue;
-    return Status::ExecutionError(
-        "update of \"" + name_ + "\" changes attribute \"" +
-        schema_.attribute(i).name + "\" (" + current.at(i).ToString() +
-        " -> " + tuple.at(i).ToString() + ") not named in its target list");
+  {
+    const Tuple& current = *store_->slots[tid.slot];
+    for (size_t i = 0; i < schema_.num_attributes(); ++i) {
+      if (listed[i] || current.at(i) == tuple.at(i)) continue;
+      return Status::ExecutionError(
+          "update of \"" + name_ + "\" changes attribute \"" +
+          schema_.attribute(i).name + "\" (" + current.at(i).ToString() +
+          " -> " + tuple.at(i).ToString() + ") not named in its target list");
+    }
   }
+  TupleStore& store = DetachForWrite();
   for (auto& [attr_pos, index] : indexes_) {
-    if (listed[attr_pos]) index->Remove(current.at(attr_pos), tid);
+    if (listed[attr_pos]) {
+      index->Remove(store.slots[tid.slot]->at(attr_pos), tid);
+    }
   }
-  slots_[tid.slot] = std::move(tuple);
+  store.slots[tid.slot] = std::move(tuple);
   for (auto& [attr_pos, index] : indexes_) {
-    if (listed[attr_pos]) index->Insert(slots_[tid.slot]->at(attr_pos), tid);
+    if (listed[attr_pos]) {
+      index->Insert(store.slots[tid.slot]->at(attr_pos), tid);
+    }
   }
   InvalidateColumnCache();
   return Status::OK();
 }
 
 const Tuple* HeapRelation::Get(TupleId tid) const {
-  if (tid.relation_id != id_ || tid.slot >= slots_.size() ||
-      !slots_[tid.slot].has_value()) {
+  const TupleStore& store = *store_;
+  if (tid.relation_id != id_ || tid.slot >= store.slots.size() ||
+      !store.slots[tid.slot].has_value()) {
     return nullptr;
   }
-  return &*slots_[tid.slot];
+  return &*store.slots[tid.slot];
 }
 
 void HeapRelation::ForEach(
     const std::function<void(TupleId, const Tuple&)>& fn) const {
-  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    if (slots_[slot].has_value()) {
-      fn(TupleId{id_, slot}, *slots_[slot]);
+  const TupleStore& store = *store_;
+  for (uint32_t slot = 0; slot < store.slots.size(); ++slot) {
+    if (store.slots[slot].has_value()) {
+      fn(TupleId{id_, slot}, *store.slots[slot]);
     }
   }
 }
 
 std::vector<TupleId> HeapRelation::AllTupleIds() const {
+  const TupleStore& store = *store_;
   std::vector<TupleId> tids;
-  tids.reserve(live_count_);
-  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    if (slots_[slot].has_value()) tids.push_back(TupleId{id_, slot});
+  tids.reserve(store.live_count);
+  for (uint32_t slot = 0; slot < store.slots.size(); ++slot) {
+    if (store.slots[slot].has_value()) tids.push_back(TupleId{id_, slot});
   }
   return tids;
 }
@@ -181,9 +212,10 @@ Status HeapRelation::CreateIndex(std::string_view attribute) {
   ARIEL_ASSIGN_OR_RETURN(size_t pos, schema_.Find(attribute));
   if (indexes_.contains(pos)) return Status::OK();
   auto index = std::make_unique<BTreeIndex>();
-  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    if (slots_[slot].has_value()) {
-      index->Insert(slots_[slot]->at(pos), TupleId{id_, slot});
+  const TupleStore& store = *store_;
+  for (uint32_t slot = 0; slot < store.slots.size(); ++slot) {
+    if (store.slots[slot].has_value()) {
+      index->Insert(store.slots[slot]->at(pos), TupleId{id_, slot});
     }
   }
   indexes_.emplace(pos, std::move(index));
@@ -205,6 +237,7 @@ const BTreeIndex* HeapRelation::GetIndex(std::string_view attribute) const {
 
 void HeapRelation::InvalidateColumnCache() {
   ++version_;
+  std::lock_guard<std::mutex> lock(column_mu_);
   if (column_cache_ != nullptr) {
     column_cache_.reset();
     Metrics().columnar_batch_invalidations.Increment();
@@ -212,14 +245,16 @@ void HeapRelation::InvalidateColumnCache() {
 }
 
 std::shared_ptr<const ColumnBatch> HeapRelation::ColumnView() const {
+  std::lock_guard<std::mutex> lock(column_mu_);
   if (column_cache_ != nullptr &&
       column_cache_->source_version() == version_) {
     return column_cache_;
   }
-  ColumnBatchBuilder builder(schema_, live_count_);
-  for (uint32_t slot = 0; slot < slots_.size(); ++slot) {
-    if (slots_[slot].has_value()) {
-      builder.Append(TupleId{id_, slot}, *slots_[slot]);
+  const TupleStore& store = *store_;
+  ColumnBatchBuilder builder(schema_, store.live_count);
+  for (uint32_t slot = 0; slot < store.slots.size(); ++slot) {
+    if (store.slots[slot].has_value()) {
+      builder.Append(TupleId{id_, slot}, *store.slots[slot]);
     }
   }
   column_cache_ = builder.Build(version_);
@@ -229,6 +264,7 @@ std::shared_ptr<const ColumnBatch> HeapRelation::ColumnView() const {
 
 std::shared_ptr<const ColumnBatch> HeapRelation::column_cache_if_built()
     const {
+  std::lock_guard<std::mutex> lock(column_mu_);
   if (column_cache_ != nullptr &&
       column_cache_->source_version() == version_) {
     return column_cache_;
@@ -237,23 +273,24 @@ std::shared_ptr<const ColumnBatch> HeapRelation::column_cache_if_built()
 }
 
 void HeapRelation::CorruptColumnCacheForTesting() {
-  ColumnView();
+  std::shared_ptr<const ColumnBatch> batch = ColumnView();
   // The cache is logically immutable to readers; the test hook reaches
   // through that on purpose to plant a heap/batch disagreement.
-  const_cast<ColumnBatch*>(column_cache_.get())->CorruptForTesting();
+  const_cast<ColumnBatch*>(batch.get())->CorruptForTesting();
 }
 
 std::string HeapRelation::AuditColumnCache() const {
-  if (column_cache_ == nullptr) return "";
-  if (column_cache_->source_version() != version_) {
-    // A stale cache is legal (ColumnView rebuilds on version mismatch);
-    // only a version-matched batch claims to mirror the heap.
+  std::shared_ptr<const ColumnBatch> cache = column_cache_if_built();
+  if (cache == nullptr) {
+    // No cache, or a stale one: legal either way (ColumnView rebuilds on
+    // version mismatch); only a version-matched batch claims to mirror the
+    // heap.
     return "";
   }
-  const ColumnBatch& batch = *column_cache_;
-  if (batch.num_rows() != live_count_) {
+  const ColumnBatch& batch = *cache;
+  if (batch.num_rows() != store_->live_count) {
     return "column cache has " + std::to_string(batch.num_rows()) +
-           " row(s) but the heap holds " + std::to_string(live_count_);
+           " row(s) but the heap holds " + std::to_string(store_->live_count);
   }
   for (size_t row = 0; row < batch.num_rows(); ++row) {
     const TupleId tid = batch.tids()[row];

@@ -5,6 +5,47 @@
 
 namespace ariel {
 
+namespace metrics_internal {
+
+/// One reset epoch: the raw cell values captured at Reset() time, indexed
+/// by each cell's registration ordinal. Immutable once published; reads
+/// subtract it. Cells registered after the capture fall past the end of a
+/// vector and keep a zero baseline.
+struct Baseline {
+  std::vector<uint64_t> counters;
+  std::vector<int64_t> gauges;
+  std::vector<HistogramData> histograms;
+};
+
+}  // namespace metrics_internal
+
+namespace {
+
+uint64_t SaturatingSub(uint64_t a, uint64_t b) { return a > b ? a - b : 0; }
+
+/// Reads one histogram cell and subtracts the baseline (when the cell is
+/// older than the epoch).
+HistogramData ReadHistogramCell(const metrics_internal::HistogramCell& cell,
+                                const metrics_internal::Baseline* base) {
+  HistogramData data;
+  data.count = cell.count.load(std::memory_order_relaxed);
+  data.sum = cell.sum.load(std::memory_order_relaxed);
+  for (size_t b = 0; b < data.buckets.size(); ++b) {
+    data.buckets[b] = cell.buckets[b].load(std::memory_order_relaxed);
+  }
+  if (base != nullptr && cell.index < base->histograms.size()) {
+    const HistogramData& zero = base->histograms[cell.index];
+    data.count = SaturatingSub(data.count, zero.count);
+    data.sum = SaturatingSub(data.sum, zero.sum);
+    for (size_t b = 0; b < data.buckets.size(); ++b) {
+      data.buckets[b] = SaturatingSub(data.buckets[b], zero.buckets[b]);
+    }
+  }
+  return data;
+}
+
+}  // namespace
+
 uint64_t HistogramData::ApproxQuantile(double q) const {
   if (count == 0) return 0;
   if (q < 0.0) q = 0.0;
@@ -22,117 +63,202 @@ uint64_t HistogramData::ApproxQuantile(double q) const {
   return ~uint64_t{0};
 }
 
+MetricsRegistry::MetricsRegistry() = default;
+MetricsRegistry::~MetricsRegistry() = default;
+
 Counter MetricsRegistry::RegisterCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = counter_index_.find(name);
-  if (it != counter_index_.end()) return Counter(it->second);
+  if (it != counter_index_.end()) return Counter(it->second, &baseline_);
   counters_.emplace_back();
   counters_.back().name = name;
+  counters_.back().index = counters_.size() - 1;
   counter_index_.emplace(name, &counters_.back());
-  return Counter(&counters_.back());
+  return Counter(&counters_.back(), &baseline_);
 }
 
 Gauge MetricsRegistry::RegisterGauge(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = gauge_index_.find(name);
-  if (it != gauge_index_.end()) return Gauge(it->second);
+  if (it != gauge_index_.end()) return Gauge(it->second, &baseline_);
   gauges_.emplace_back();
   gauges_.back().name = name;
+  gauges_.back().index = gauges_.size() - 1;
   gauge_index_.emplace(name, &gauges_.back());
-  return Gauge(&gauges_.back());
+  return Gauge(&gauges_.back(), &baseline_);
 }
 
 Histogram MetricsRegistry::RegisterHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = histogram_index_.find(name);
-  if (it != histogram_index_.end()) return Histogram(it->second);
+  if (it != histogram_index_.end()) return Histogram(it->second, &baseline_);
   histograms_.emplace_back();
   histograms_.back().name = name;
+  histograms_.back().index = histograms_.size() - 1;
   histogram_index_.emplace(name, &histograms_.back());
-  return Histogram(&histograms_.back());
+  return Histogram(&histograms_.back(), &baseline_);
 }
 
 void MetricsRegistry::Reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto& c : counters_) c.value.store(0, std::memory_order_relaxed);
-  for (auto& g : gauges_) g.value.store(0, std::memory_order_relaxed);
-  for (auto& h : histograms_) {
-    h.count.store(0, std::memory_order_relaxed);
-    h.sum.store(0, std::memory_order_relaxed);
-    for (auto& b : h.buckets) b.store(0, std::memory_order_relaxed);
+  auto epoch = std::make_unique<metrics_internal::Baseline>();
+  epoch->counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    epoch->counters.push_back(c.value.load(std::memory_order_relaxed));
   }
+  epoch->gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    epoch->gauges.push_back(g.value.load(std::memory_order_relaxed));
+  }
+  epoch->histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    epoch->histograms.push_back(ReadHistogramCell(h, nullptr));
+  }
+  // One release store publishes the whole epoch; readers acquire-load the
+  // pointer once per read, so they see the entire old or entire new epoch.
+  // Retired baselines are kept alive for stragglers mid-dereference.
+  const metrics_internal::Baseline* published = epoch.get();
+  old_baselines_.push_back(std::move(epoch));
+  baseline_.store(published, std::memory_order_release);
+}
+
+uint64_t Counter::value() const {
+  if (cell_ == nullptr) return 0;
+  const uint64_t raw = cell_->value.load(std::memory_order_relaxed);
+  const metrics_internal::Baseline* base =
+      baseline_ != nullptr ? baseline_->load(std::memory_order_acquire)
+                           : nullptr;
+  if (base != nullptr && cell_->index < base->counters.size()) {
+    return SaturatingSub(raw, base->counters[cell_->index]);
+  }
+  return raw;
+}
+
+void Gauge::Set(int64_t v) const {
+#ifndef ARIEL_NO_METRICS
+  if (cell_ == nullptr) return;
+  // Re-anchor against the current epoch so value() reads exactly `v`: the
+  // cell stores raw = v + baseline. A Reset racing this store (cold paths
+  // both) can skew the gauge by at most the pre-Set value until the next
+  // Set re-anchors; in the engine both run on the serialized write path.
+  int64_t base = 0;
+  const metrics_internal::Baseline* epoch =
+      baseline_ != nullptr ? baseline_->load(std::memory_order_acquire)
+                           : nullptr;
+  if (epoch != nullptr && cell_->index < epoch->gauges.size()) {
+    base = epoch->gauges[cell_->index];
+  }
+  cell_->value.store(v + base, std::memory_order_relaxed);
+#else
+  (void)v;
+#endif
+}
+
+int64_t Gauge::value() const {
+  if (cell_ == nullptr) return 0;
+  const int64_t raw = cell_->value.load(std::memory_order_relaxed);
+  const metrics_internal::Baseline* base =
+      baseline_ != nullptr ? baseline_->load(std::memory_order_acquire)
+                           : nullptr;
+  if (base != nullptr && cell_->index < base->gauges.size()) {
+    return raw - base->gauges[cell_->index];
+  }
+  return raw;
 }
 
 HistogramData Histogram::Snapshot() const {
-  HistogramData data;
-  if (cell_ == nullptr) return data;
-  data.count = cell_->count.load(std::memory_order_relaxed);
-  data.sum = cell_->sum.load(std::memory_order_relaxed);
-  for (size_t b = 0; b < data.buckets.size(); ++b) {
-    data.buckets[b] = cell_->buckets[b].load(std::memory_order_relaxed);
-  }
-  return data;
+  if (cell_ == nullptr) return HistogramData{};
+  const metrics_internal::Baseline* base =
+      baseline_ != nullptr ? baseline_->load(std::memory_order_acquire)
+                           : nullptr;
+  return ReadHistogramCell(*cell_, base);
 }
 
-std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
-    const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<std::pair<std::string, uint64_t>>
+MetricsRegistry::CountersLocked() const {
+  const metrics_internal::Baseline* base =
+      baseline_.load(std::memory_order_acquire);
   std::vector<std::pair<std::string, uint64_t>> out;
   out.reserve(counters_.size());
   for (const auto& c : counters_) {
-    out.emplace_back(c.name, c.value.load(std::memory_order_relaxed));
+    uint64_t v = c.value.load(std::memory_order_relaxed);
+    if (base != nullptr && c.index < base->counters.size()) {
+      v = SaturatingSub(v, base->counters[c.index]);
+    }
+    out.emplace_back(c.name, v);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Gauges() const {
-  std::lock_guard<std::mutex> lock(mu_);
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugesLocked()
+    const {
+  const metrics_internal::Baseline* base =
+      baseline_.load(std::memory_order_acquire);
   std::vector<std::pair<std::string, int64_t>> out;
   out.reserve(gauges_.size());
   for (const auto& g : gauges_) {
-    out.emplace_back(g.name, g.value.load(std::memory_order_relaxed));
+    int64_t v = g.value.load(std::memory_order_relaxed);
+    if (base != nullptr && g.index < base->gauges.size()) {
+      v -= base->gauges[g.index];
+    }
+    out.emplace_back(g.name, v);
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<std::pair<std::string, HistogramData>>
-MetricsRegistry::Histograms() const {
-  std::lock_guard<std::mutex> lock(mu_);
+MetricsRegistry::HistogramsLocked() const {
+  const metrics_internal::Baseline* base =
+      baseline_.load(std::memory_order_acquire);
   std::vector<std::pair<std::string, HistogramData>> out;
   out.reserve(histograms_.size());
   for (const auto& h : histograms_) {
-    HistogramData data;
-    data.count = h.count.load(std::memory_order_relaxed);
-    data.sum = h.sum.load(std::memory_order_relaxed);
-    for (size_t b = 0; b < data.buckets.size(); ++b) {
-      data.buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
-    }
-    out.emplace_back(h.name, data);
+    out.emplace_back(h.name, ReadHistogramCell(h, base));
   }
   std::sort(out.begin(), out.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CountersLocked();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::Gauges() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return GaugesLocked();
+}
+
+std::vector<std::pair<std::string, HistogramData>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HistogramsLocked();
+}
+
 std::string MetricsRegistry::Render() const {
+  // One lock hold across all three enumerations: a concurrent Reset either
+  // lands wholly before this render or wholly after it.
+  std::lock_guard<std::mutex> lock(mu_);
   std::ostringstream os;
   os << "counters:\n";
   size_t shown = 0;
-  for (const auto& [name, value] : Counters()) {
+  for (const auto& [name, value] : CountersLocked()) {
     if (value == 0) continue;
     os << "  " << name << " = " << value << "\n";
     ++shown;
   }
-  for (const auto& [name, value] : Gauges()) {
+  for (const auto& [name, value] : GaugesLocked()) {
     if (value == 0) continue;
     os << "  " << name << " = " << value << "\n";
     ++shown;
   }
   if (shown == 0) os << "  (all zero)\n";
   bool header = false;
-  for (const auto& [name, data] : Histograms()) {
+  for (const auto& [name, data] : HistogramsLocked()) {
     if (data.count == 0) continue;
     if (!header) {
       os << "timers:\n";
@@ -265,6 +391,17 @@ EngineMetrics::EngineMetrics()
           registry.RegisterCounter("server_txn_aborts_on_disconnect")),
       server_active_connections(
           registry.RegisterGauge("server_active_connections")),
+      server_read_dispatches(
+          registry.RegisterCounter("server_read_dispatches")),
+      server_read_serialized(
+          registry.RegisterCounter("server_read_serialized")),
+      server_read_barrier_waits(
+          registry.RegisterCounter("server_read_barrier_waits")),
+      server_read_orphaned(registry.RegisterCounter("server_read_orphaned")),
+      server_reads_in_flight(
+          registry.RegisterGauge("server_reads_in_flight")),
+      snapshot_pins(registry.RegisterCounter("snapshot_pins")),
+      snapshot_cow_copies(registry.RegisterCounter("snapshot_cow_copies")),
       txn_undo_records(registry.RegisterCounter("txn_undo_records")),
       txn_rollbacks(registry.RegisterCounter("txn_rollbacks")),
       txn_rule_aborts(registry.RegisterCounter("txn_rule_aborts")),

@@ -7,6 +7,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -31,13 +32,17 @@ namespace ariel {
 
 namespace metrics_internal {
 
+struct Baseline;  // epoch captured by MetricsRegistry::Reset (metrics.cc)
+
 struct CounterCell {
   std::string name;
+  size_t index = 0;  // registration ordinal; key into the reset baseline
   std::atomic<uint64_t> value{0};
 };
 
 struct GaugeCell {
   std::string name;
+  size_t index = 0;
   std::atomic<int64_t> value{0};
 };
 
@@ -49,6 +54,7 @@ inline constexpr size_t kHistogramBuckets = 40;
 
 struct HistogramCell {
   std::string name;
+  size_t index = 0;
   std::atomic<uint64_t> count{0};
   std::atomic<uint64_t> sum{0};
   std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
@@ -62,7 +68,9 @@ inline constexpr size_t BucketFor(uint64_t v) {
 }  // namespace metrics_internal
 
 /// Monotonic counter handle. Copyable, trivially destructible; the cell it
-/// points into lives as long as its registry.
+/// points into lives as long as its registry. Reads subtract the registry's
+/// current reset baseline (see MetricsRegistry::Reset), so `value()` reports
+/// the count since the last reset while the cell itself stays monotonic.
 class Counter {
  public:
   Counter() = default;
@@ -77,15 +85,15 @@ class Counter {
 #endif
   }
 
-  uint64_t value() const {
-    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
-                            : 0;
-  }
+  uint64_t value() const;
 
  private:
   friend class MetricsRegistry;
-  explicit Counter(metrics_internal::CounterCell* cell) : cell_(cell) {}
+  Counter(metrics_internal::CounterCell* cell,
+          const std::atomic<const metrics_internal::Baseline*>* baseline)
+      : cell_(cell), baseline_(baseline) {}
   metrics_internal::CounterCell* cell_ = nullptr;
+  const std::atomic<const metrics_internal::Baseline*>* baseline_ = nullptr;
 };
 
 /// Last-write-wins gauge handle.
@@ -93,15 +101,11 @@ class Gauge {
  public:
   Gauge() = default;
 
-  void Set(int64_t v) const {
-#ifndef ARIEL_NO_METRICS
-    if (cell_ != nullptr) {
-      cell_->value.store(v, std::memory_order_relaxed);
-    }
-#else
-    (void)v;
-#endif
-  }
+  /// Last-write-wins: value() reads `v` afterwards regardless of any reset
+  /// baseline (Set re-anchors against the current epoch — out-of-line, it
+  /// needs the Baseline layout; Set sites are cold: connection lifecycle,
+  /// transaction frames).
+  void Set(int64_t v) const;
 
   void Add(int64_t delta) const {
 #ifndef ARIEL_NO_METRICS
@@ -113,15 +117,15 @@ class Gauge {
 #endif
   }
 
-  int64_t value() const {
-    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed)
-                            : 0;
-  }
+  int64_t value() const;
 
  private:
   friend class MetricsRegistry;
-  explicit Gauge(metrics_internal::GaugeCell* cell) : cell_(cell) {}
+  Gauge(metrics_internal::GaugeCell* cell,
+        const std::atomic<const metrics_internal::Baseline*>* baseline)
+      : cell_(cell), baseline_(baseline) {}
   metrics_internal::GaugeCell* cell_ = nullptr;
+  const std::atomic<const metrics_internal::Baseline*>* baseline_ = nullptr;
 };
 
 /// Snapshot of one histogram (see HistogramCell for bucket semantics).
@@ -159,16 +163,28 @@ class Histogram {
 
  private:
   friend class MetricsRegistry;
-  explicit Histogram(metrics_internal::HistogramCell* cell) : cell_(cell) {}
+  Histogram(metrics_internal::HistogramCell* cell,
+            const std::atomic<const metrics_internal::Baseline*>* baseline)
+      : cell_(cell), baseline_(baseline) {}
   metrics_internal::HistogramCell* cell_ = nullptr;
+  const std::atomic<const metrics_internal::Baseline*>* baseline_ = nullptr;
 };
 
 /// Owns the metric cells. Cells live in deques so registration never moves
 /// them — outstanding handles stay valid for the registry's lifetime.
-/// Reset() zeroes values but keeps registrations (and handles) intact.
+///
+/// Reset() is a single atomic epoch swap, not a cell-by-cell zeroing: the
+/// cells stay monotonic forever, and a reset publishes one immutable
+/// `Baseline` (the values captured at reset time) through an atomic pointer.
+/// Every read subtracts the baseline. A concurrent reader therefore sees
+/// either the whole old epoch or the whole new one — never a half-reset
+/// registry — and in-flight Increments are never lost. Handles stay valid.
 class MetricsRegistry {
  public:
-  MetricsRegistry() = default;
+  // Out-of-line: Baseline is incomplete here, and both members must be
+  // instantiated where it is complete (the old-baselines deque owns them).
+  MetricsRegistry();
+  ~MetricsRegistry();
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
@@ -176,7 +192,9 @@ class MetricsRegistry {
   Gauge RegisterGauge(const std::string& name);
   Histogram RegisterHistogram(const std::string& name);
 
-  /// Zeroes every counter, gauge, and histogram. Handles stay valid.
+  /// Starts a new epoch: every counter, gauge, and histogram reads as zero
+  /// afterwards. One release-store of the baseline pointer; safe against
+  /// concurrent readers and writers.
   void Reset();
 
   /// Name-sorted snapshots for rendering and bench JSON.
@@ -185,10 +203,15 @@ class MetricsRegistry {
   std::vector<std::pair<std::string, HistogramData>> Histograms() const;
 
   /// Human-readable dump: nonzero counters and gauges, populated histograms
-  /// (count / mean / approx p50 / p99).
+  /// (count / mean / approx p50 / p99). Enumerated under one lock hold, so
+  /// a concurrent Reset can't split the report across epochs.
   std::string Render() const;
 
  private:
+  std::vector<std::pair<std::string, uint64_t>> CountersLocked() const;
+  std::vector<std::pair<std::string, int64_t>> GaugesLocked() const;
+  std::vector<std::pair<std::string, HistogramData>> HistogramsLocked() const;
+
   mutable std::mutex mu_;  // registration + enumeration only; never hot
   std::deque<metrics_internal::CounterCell> counters_;
   std::deque<metrics_internal::GaugeCell> gauges_;
@@ -198,6 +221,12 @@ class MetricsRegistry {
   std::unordered_map<std::string, metrics_internal::GaugeCell*> gauge_index_;
   std::unordered_map<std::string, metrics_internal::HistogramCell*>
       histogram_index_;
+  /// Current reset epoch; null before the first Reset. Old baselines are
+  /// retired into `old_baselines_`, never freed, so a reader that loaded
+  /// the pointer just before a reset keeps dereferencing valid memory.
+  std::atomic<const metrics_internal::Baseline*> baseline_{nullptr};
+  std::deque<std::unique_ptr<const metrics_internal::Baseline>>
+      old_baselines_;
 };
 
 /// Observes the scope's wall time (in nanoseconds) into a histogram.
@@ -354,6 +383,17 @@ struct EngineMetrics {
   Counter server_idle_disconnects;       // idle-timeout teardowns
   Counter server_txn_aborts_on_disconnect;  // dropped mid-transaction peers
   Gauge server_active_connections;
+
+  // Concurrent read path (reader pool + snapshots). All zero when
+  // DatabaseOptions.read_threads == 0 (fully serialized execution).
+  Counter server_read_dispatches;   // read-only requests run on the pool
+  Counter server_read_serialized;   // read-only requests kept on the engine
+                                    // thread (txn open, pool off, barrier)
+  Counter server_read_barrier_waits;  // writes that had to wait for reads
+  Counter server_read_orphaned;     // read completions whose client vanished
+  Gauge server_reads_in_flight;
+  Counter snapshot_pins;            // TupleStore pins taken by snapshots
+  Counter snapshot_cow_copies;      // mutations that cloned a pinned store
 
   Counter txn_undo_records;   // undo records appended to armed logs
   Counter txn_rollbacks;      // savepoint/command/explicit rollbacks replayed

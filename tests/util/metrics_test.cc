@@ -236,5 +236,72 @@ TEST(EngineMetricsTest, SingletonPreRegistersEngineCounters) {
   EXPECT_GE(counters.size(), 30u);
 }
 
+// Epoch-swap reset (ISSUE 10 satellite): Reset() publishes a new baseline
+// while updater threads keep hammering the same handles with relaxed
+// atomics — no lock is ever taken on the update path, so this must be
+// race-free under TSan, and values must stay coherent: a counter never
+// reads above the true total or below zero, and after a final reset with
+// updaters stopped everything reads zero.
+#ifndef ARIEL_NO_METRICS
+TEST(MetricsRegistryTest, ResetConcurrentWithUpdatesIsCoherent) {
+  MetricsRegistry registry;
+  Counter c = registry.RegisterCounter("hammered_counter");
+  Gauge g = registry.RegisterGauge("hammered_gauge");
+  Histogram h = registry.RegisterHistogram("hammered_histogram");
+
+  constexpr int kThreads = 4;
+  constexpr int kIncrementsPerThread = 20000;
+  std::vector<std::thread> updaters;
+  for (int t = 0; t < kThreads; ++t) {
+    updaters.emplace_back([&, t] {
+      for (int i = 0; i < kIncrementsPerThread; ++i) {
+        c.Increment();
+        g.Add(t % 2 == 0 ? 1 : -1);
+        h.Observe(static_cast<uint64_t>(i % 1000));
+      }
+    });
+  }
+  std::thread resetter([&] {
+    for (int r = 0; r < 200; ++r) {
+      registry.Reset();
+      // Reads interleaved with resets: subtraction must never underflow
+      // into a giant unsigned value.
+      EXPECT_LE(c.value(),
+                static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+      EXPECT_LE(h.Snapshot().count,
+                static_cast<uint64_t>(kThreads) * kIncrementsPerThread);
+    }
+  });
+  for (std::thread& updater : updaters) updater.join();
+  resetter.join();
+
+  // Quiescent: one more reset zeroes every view.
+  registry.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0);
+  EXPECT_EQ(h.Snapshot().count, 0u);
+
+  // Handles still work after many epochs.
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+// A Set-style gauge re-anchors against the current epoch: Set(v) then
+// value() reads v, before and after resets.
+TEST(MetricsRegistryTest, GaugeSetReAnchorsAfterReset) {
+  MetricsRegistry registry;
+  Gauge g = registry.RegisterGauge("level");
+  g.Set(7);
+  EXPECT_EQ(g.value(), 7);
+  registry.Reset();
+  EXPECT_EQ(g.value(), 0);
+  g.Set(3);  // absolute level, not a delta on the pre-reset 7
+  EXPECT_EQ(g.value(), 3);
+  registry.Reset();
+  g.Set(11);
+  EXPECT_EQ(g.value(), 11);
+}
+#endif  // ARIEL_NO_METRICS
+
 }  // namespace
 }  // namespace ariel
